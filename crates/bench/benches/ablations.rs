@@ -1,0 +1,41 @@
+//! Ablations over the design choices DESIGN.md calls out:
+//!
+//! * pane caching on/off (the paper's core mechanism),
+//! * cache-aware vs cache-blind reduce placement (Eq. 4 vs plain Hadoop).
+//!
+//! Reported time is the simulated steady-state cumulative response of an
+//! aggregation run at overlap 0.9.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use redoop_bench::experiments::ablations;
+
+const WINDOWS: u64 = 5;
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    for variant in ["full", "no-caching", "cache-blind-scheduling", "hadoop"] {
+        group.bench_function(variant, |b| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for i in 0..iters {
+                    let a = ablations(WINDOWS, 500 + i);
+                    let secs = match variant {
+                        "full" => a.full,
+                        "no-caching" => a.no_caching,
+                        "cache-blind-scheduling" => a.no_cache_aware_scheduling,
+                        _ => a.hadoop,
+                    };
+                    total += Duration::from_secs_f64(secs);
+                }
+                total
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Fig. 6 — recurring aggregation (WCC), Redoop vs plain Hadoop at the
+//! paper's three overlap factors. The reported time is the **simulated**
+//! steady-state response time per window (virtual seconds surfaced as
+//! the criterion measurement via `iter_custom`), so the bench output
+//! mirrors the figure's y-axis.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use redoop_bench::experiments::fig6;
+
+const WINDOWS: u64 = 4;
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_aggregation");
+    group.sample_size(10);
+    for overlap in [0.9, 0.5, 0.1] {
+        group.bench_with_input(
+            BenchmarkId::new("redoop", format!("overlap-{overlap}")),
+            &overlap,
+            |b, &overlap| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for i in 0..iters {
+                        let s = fig6(overlap, WINDOWS, 100 + i);
+                        assert!(s.outputs_match);
+                        // Mean steady-state response in virtual time.
+                        let mean = s.redoop[1..]
+                            .iter()
+                            .map(|t| t.as_secs_f64())
+                            .sum::<f64>()
+                            / (s.redoop.len() - 1) as f64;
+                        total += Duration::from_secs_f64(mean);
+                    }
+                    total
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("hadoop", format!("overlap-{overlap}")),
+            &overlap,
+            |b, &overlap| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for i in 0..iters {
+                        let s = fig6(overlap, WINDOWS, 100 + i);
+                        let mean = s.hadoop[1..]
+                            .iter()
+                            .map(|t| t.as_secs_f64())
+                            .sum::<f64>()
+                            / (s.hadoop.len() - 1) as f64;
+                        total += Duration::from_secs_f64(mean);
+                    }
+                    total
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

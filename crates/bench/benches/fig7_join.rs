@@ -1,0 +1,60 @@
+//! Fig. 7 — recurring binary join (FFG), Redoop vs plain Hadoop at the
+//! paper's overlap factors. Reported time is the simulated steady-state
+//! response per window (virtual seconds via `iter_custom`).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use redoop_bench::experiments::fig7;
+
+const WINDOWS: u64 = 4;
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_join");
+    group.sample_size(10);
+    for overlap in [0.9, 0.5, 0.1] {
+        group.bench_with_input(
+            BenchmarkId::new("redoop", format!("overlap-{overlap}")),
+            &overlap,
+            |b, &overlap| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for i in 0..iters {
+                        let s = fig7(overlap, WINDOWS, 200 + i);
+                        assert!(s.outputs_match);
+                        let mean = s.redoop[1..]
+                            .iter()
+                            .map(|t| t.as_secs_f64())
+                            .sum::<f64>()
+                            / (s.redoop.len() - 1) as f64;
+                        total += Duration::from_secs_f64(mean);
+                    }
+                    total
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("hadoop", format!("overlap-{overlap}")),
+            &overlap,
+            |b, &overlap| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for i in 0..iters {
+                        let s = fig7(overlap, WINDOWS, 200 + i);
+                        let mean = s.hadoop[1..]
+                            .iter()
+                            .map(|t| t.as_secs_f64())
+                            .sum::<f64>()
+                            / (s.hadoop.len() - 1) as f64;
+                        total += Duration::from_secs_f64(mean);
+                    }
+                    total
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

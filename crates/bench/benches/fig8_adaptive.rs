@@ -1,0 +1,48 @@
+//! Fig. 8 — adaptive input partitioning under 2× workload spikes:
+//! plain Hadoop vs Redoop vs adaptive Redoop. Reported time is the
+//! simulated post-warm-up mean response per window.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use redoop_bench::experiments::fig8;
+use redoop_mapred::SimTime;
+
+const WINDOWS: u64 = 6;
+
+fn mean_after_warmup(times: &[SimTime]) -> Duration {
+    let slice = &times[2..];
+    let mean = slice.iter().map(|t| t.as_secs_f64()).sum::<f64>() / slice.len() as f64;
+    Duration::from_secs_f64(mean)
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_adaptive");
+    group.sample_size(10);
+    for overlap in [0.1] {
+        for system in ["hadoop", "redoop", "adaptive"] {
+            group.bench_with_input(
+                BenchmarkId::new(system, format!("overlap-{overlap}")),
+                &overlap,
+                |b, &overlap| {
+                    b.iter_custom(|iters| {
+                        let mut total = Duration::ZERO;
+                        for i in 0..iters {
+                            let s = fig8(overlap, WINDOWS, 300 + i);
+                            total += match system {
+                                "hadoop" => mean_after_warmup(&s.hadoop),
+                                "redoop" => mean_after_warmup(&s.redoop),
+                                _ => mean_after_warmup(&s.adaptive),
+                            };
+                        }
+                        total
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Fig. 9 — fault tolerance: Redoop with per-window cache losses vs
+//! failure-free Redoop vs plain Hadoop. Reported time is the simulated
+//! cumulative response over the run.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use redoop_bench::experiments::fig9;
+
+const WINDOWS: u64 = 5;
+
+fn bench_fig9(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_fault");
+    group.sample_size(10);
+    for system in ["hadoop", "redoop", "redoop-faulty"] {
+        group.bench_function(system, |b| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for i in 0..iters {
+                    let s = fig9(WINDOWS, 400 + i);
+                    assert!(s.outputs_match);
+                    let series = match system {
+                        "hadoop" => &s.hadoop,
+                        "redoop" => &s.redoop,
+                        _ => &s.redoop_faulty,
+                    };
+                    let sum: f64 = series.iter().map(|t| t.as_secs_f64()).sum();
+                    total += Duration::from_secs_f64(sum);
+                }
+                total
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

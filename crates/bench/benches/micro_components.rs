@@ -1,0 +1,107 @@
+//! Host-time microbenchmarks of the hot components: shuffle sort/group,
+//! partitioning, the stable hash, the cache status matrix, pane packing,
+//! and line-file indexing. These measure *real* CPU time (unlike the
+//! figure benches, which surface simulated time).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use redoop_core::cache::status_matrix::CacheStatusMatrix;
+use redoop_core::packer::DynamicDataPacker;
+use redoop_core::prelude::*;
+use redoop_core::PartitionPlan;
+use redoop_dfs::{Cluster, DfsPath};
+use redoop_mapred::hasher::stable_hash;
+use redoop_mapred::{exec, HashPartitioner, LineFile};
+
+fn pairs(n: usize) -> Vec<(String, u64)> {
+    (0..n).map(|i| (format!("key{}", (i * 2_654_435_761) % 997), i as u64)).collect()
+}
+
+fn bench_sort_group(c: &mut Criterion) {
+    let input = pairs(10_000);
+    c.bench_function("exec/sort_group_10k", |b| {
+        b.iter_batched(|| input.clone(), exec::sort_group, BatchSize::SmallInput)
+    });
+}
+
+fn bench_partition(c: &mut Criterion) {
+    let input = pairs(10_000);
+    c.bench_function("exec/partition_10k_x8", |b| {
+        b.iter_batched(
+            || input.clone(),
+            |p| exec::partition_pairs(p, &HashPartitioner, 8),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_stable_hash(c: &mut Criterion) {
+    c.bench_function("hasher/stable_hash_str", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            stable_hash(&format!("player{i}"))
+        })
+    });
+}
+
+fn bench_status_matrix(c: &mut Criterion) {
+    let geom = PaneGeometry::from_spec(&WindowSpec::new(2_000_000, 200_000).unwrap());
+    c.bench_function("cache/status_matrix_window_cycle", |b| {
+        b.iter(|| {
+            let mut m = CacheStatusMatrix::new(2, geom);
+            for w in 0..10u64 {
+                for p in geom.window_panes(w) {
+                    for q in geom.window_panes(w) {
+                        m.mark_done(&[PaneId(p), PaneId(q)]);
+                    }
+                }
+                m.shift(w);
+            }
+            m.stored_cells()
+        })
+    });
+}
+
+fn bench_packer(c: &mut Criterion) {
+    let lines: Vec<String> = (0..5_000u64).map(|i| format!("{},{}", i % 100_000, i)).collect();
+    c.bench_function("packer/ingest_5k_records", |b| {
+        let mut run = 0u64;
+        b.iter(|| {
+            run += 1;
+            let cluster = Cluster::with_nodes(4);
+            let mut packer = DynamicDataPacker::new(
+                &cluster,
+                0,
+                DfsPath::new(format!("/p{run}")).unwrap(),
+                PartitionPlan::simple(10_000),
+                redoop_core::leading_ts_fn(),
+            );
+            packer
+                .ingest_batch(
+                    lines.iter().map(String::as_str),
+                    &TimeRange::new(EventTime(0), EventTime(100_000)),
+                )
+                .unwrap()
+                .len()
+        })
+    });
+}
+
+fn bench_line_file(c: &mut Criterion) {
+    let text: String = (0..20_000).map(|i| format!("{i},field1,field2\n")).collect();
+    let data = bytes::Bytes::from(text);
+    c.bench_function("io/line_file_index_20k", |b| {
+        b.iter(|| LineFile::new(data.clone()).line_count())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_sort_group,
+    bench_partition,
+    bench_stable_hash,
+    bench_status_matrix,
+    bench_packer,
+    bench_line_file
+);
+criterion_main!(benches);

@@ -1,0 +1,449 @@
+//! The per-figure experiments. Each function runs the full scenario on
+//! the simulated cluster (real data processing + virtual-time charging),
+//! verifies Redoop's outputs against the recomputation baseline, and
+//! returns the series the paper plots.
+
+use std::sync::Arc;
+
+use redoop_core::prelude::*;
+use redoop_core::analyzer::{SemanticAnalyzer, SourceStats};
+use redoop_core::executor::ExecutorOptions;
+use redoop_core::run_baseline_window;
+use redoop_dfs::failure::FailurePlan;
+use redoop_dfs::{DfsPath, NodeId};
+use redoop_mapred::{PhaseTimes, SimTime};
+use redoop_workloads::arrival::ArrivalPlan;
+use redoop_workloads::ffg::Stream;
+use redoop_workloads::queries::{AggMapper, AggReducer, JoinMapper, JoinReducer};
+
+use crate::setup::*;
+
+/// One Redoop-vs-Hadoop series (Fig. 6 / Fig. 7 shape): per-window
+/// response times plus the summed shuffle/reduce phase breakdown.
+#[derive(Debug, Clone)]
+pub struct QuerySeries {
+    /// Overlap factor of the run.
+    pub overlap: f64,
+    /// Per-window Redoop response times.
+    pub redoop: Vec<SimTime>,
+    /// Per-window plain-Hadoop response times.
+    pub hadoop: Vec<SimTime>,
+    /// Summed phase breakdown across all windows (Redoop).
+    pub redoop_phases: PhaseTimes,
+    /// Summed phase breakdown across all windows (Hadoop).
+    pub hadoop_phases: PhaseTimes,
+    /// Whether every window's outputs matched the baseline oracle.
+    pub outputs_match: bool,
+}
+
+impl QuerySeries {
+    /// Cumulative speedup over all windows.
+    pub fn overall_speedup(&self) -> f64 {
+        total_secs(&self.hadoop) / total_secs(&self.redoop)
+    }
+
+    /// Speedup excluding the cold first window (the paper's "subsequent
+    /// sliding steps").
+    pub fn steady_speedup(&self) -> f64 {
+        total_secs(&self.hadoop[1..]) / total_secs(&self.redoop[1..])
+    }
+}
+
+/// Fig. 6: the recurring aggregation (WCC), `windows` recurrences at
+/// `overlap`.
+pub fn fig6(overlap: f64, windows: u64, seed: u64) -> QuerySeries {
+    let spec = spec(overlap);
+    let plan = ArrivalPlan::new(spec, windows);
+    let batches = wcc(&plan, seed);
+    let cluster = cluster();
+    let tag = format!("f6-{}-{seed}", (overlap * 100.0) as u32);
+    let mut exec = agg_executor(&cluster, spec, &tag, controller_off(&cluster, &spec));
+    ingest_all(&mut exec, 0, &batches);
+    let files = baseline_files(&cluster, &format!("/batches/{tag}"), &batches);
+
+    let mut base_sim = sim(&cluster);
+    let mapper = Arc::new(AggMapper);
+    let out_root = DfsPath::new(format!("/out/{tag}-base")).unwrap();
+
+    let mut series = QuerySeries {
+        overlap,
+        redoop: Vec::new(),
+        hadoop: Vec::new(),
+        redoop_phases: PhaseTimes::default(),
+        hadoop_phases: PhaseTimes::default(),
+        outputs_match: true,
+    };
+    for w in 0..windows {
+        let report = exec.run_window(w).expect("redoop window");
+        let baseline = run_baseline_window(
+            &cluster,
+            &mut base_sim,
+            mapper.clone(),
+            &AggReducer,
+            leading_ts_fn(),
+            &spec,
+            w,
+            &files,
+            NUM_REDUCERS,
+            &out_root,
+        )
+        .expect("baseline window");
+        let a: Vec<(String, u64)> = read_window_output(&cluster, &report.outputs).unwrap();
+        let b: Vec<(String, u64)> = read_window_output(&cluster, &baseline.outputs).unwrap();
+        series.outputs_match &= a == b;
+        series.redoop.push(report.response);
+        series.hadoop.push(baseline.metrics.response_time());
+        series.redoop_phases.accumulate(&report.metrics.phases);
+        series.hadoop_phases.accumulate(&baseline.metrics.phases);
+    }
+    series
+}
+
+/// Fig. 7: the recurring binary join (FFG), `windows` recurrences at
+/// `overlap`.
+pub fn fig7(overlap: f64, windows: u64, seed: u64) -> QuerySeries {
+    let spec = spec(overlap);
+    let plan = ArrivalPlan::new(spec, windows);
+    let pos = ffg(&plan, Stream::Position, seed);
+    let spd = ffg(&plan, Stream::Speed, seed + 1);
+    let cluster = cluster();
+    let tag = format!("f7-{}-{seed}", (overlap * 100.0) as u32);
+    let mut exec = join_executor(&cluster, spec, &tag, controller_off(&cluster, &spec));
+    ingest_all(&mut exec, 0, &pos);
+    ingest_all(&mut exec, 1, &spd);
+    let mut files = baseline_files(&cluster, &format!("/batches/{tag}-pos"), &pos);
+    files.extend(baseline_files(&cluster, &format!("/batches/{tag}-spd"), &spd));
+
+    let mut base_sim = sim(&cluster);
+    let mapper = Arc::new(JoinMapper);
+    let out_root = DfsPath::new(format!("/out/{tag}-base")).unwrap();
+
+    let mut series = QuerySeries {
+        overlap,
+        redoop: Vec::new(),
+        hadoop: Vec::new(),
+        redoop_phases: PhaseTimes::default(),
+        hadoop_phases: PhaseTimes::default(),
+        outputs_match: true,
+    };
+    for w in 0..windows {
+        let report = exec.run_window(w).expect("redoop window");
+        let baseline = run_baseline_window(
+            &cluster,
+            &mut base_sim,
+            mapper.clone(),
+            &JoinReducer,
+            leading_ts_fn(),
+            &spec,
+            w,
+            &files,
+            NUM_REDUCERS,
+            &out_root,
+        )
+        .expect("baseline window");
+        let mut a: Vec<(String, String)> = read_window_output(&cluster, &report.outputs).unwrap();
+        let mut b: Vec<(String, String)> =
+            read_window_output(&cluster, &baseline.outputs).unwrap();
+        a.sort();
+        b.sort();
+        series.outputs_match &= a == b;
+        series.redoop.push(report.response);
+        series.hadoop.push(baseline.metrics.response_time());
+        series.redoop_phases.accumulate(&report.metrics.phases);
+        series.hadoop_phases.accumulate(&baseline.metrics.phases);
+    }
+    series
+}
+
+/// Fig. 8 series: per-window responses of the three systems under the
+/// paper's fluctuation schedule.
+#[derive(Debug, Clone)]
+pub struct AdaptiveSeries {
+    /// Overlap factor.
+    pub overlap: f64,
+    /// Plain Hadoop.
+    pub hadoop: Vec<SimTime>,
+    /// Redoop without adaptivity.
+    pub redoop: Vec<SimTime>,
+    /// Adaptive Redoop.
+    pub adaptive: Vec<SimTime>,
+    /// Modes the adaptive run used per window.
+    pub modes: Vec<ExecMode>,
+    /// Output-equality check across all three systems.
+    pub outputs_match: bool,
+}
+
+/// Fig. 8: aggregation under 2× spikes on windows `w % 3 != 0`.
+pub fn fig8(overlap: f64, windows: u64, seed: u64) -> AdaptiveSeries {
+    let spec = spec(overlap);
+    let plan = ArrivalPlan::paper_fluctuation(spec, windows);
+    let batches = wcc(&plan, seed);
+
+    // Redoop (non-adaptive) + adaptive Redoop, interleaved feeding.
+    let run_redoop = |adaptive: bool| {
+        let cluster = cluster();
+        let tag = format!("f8-{}-{}-{seed}", (overlap * 100.0) as u32, adaptive as u8);
+        let controller = if adaptive {
+            controller_on(&cluster, &spec)
+        } else {
+            controller_off(&cluster, &spec)
+        };
+        let mut exec = agg_executor(&cluster, spec, &tag, controller);
+        let reports = run_interleaved(&mut exec, &[&batches], windows, &spec);
+        let outs: Vec<Vec<(String, u64)>> = reports
+            .iter()
+            .map(|r| read_window_output(&cluster, &r.outputs).unwrap())
+            .collect();
+        let times: Vec<SimTime> = reports.iter().map(|r| r.response).collect();
+        let modes: Vec<ExecMode> = reports.iter().map(|r| r.mode).collect();
+        (times, modes, outs)
+    };
+    let (redoop, _, outs_r) = run_redoop(false);
+    let (adaptive, modes, outs_a) = run_redoop(true);
+
+    // Hadoop baseline.
+    let cluster = cluster();
+    let tag = format!("f8h-{}-{seed}", (overlap * 100.0) as u32);
+    let files = baseline_files(&cluster, &format!("/batches/{tag}"), &batches);
+    let mut base_sim = sim(&cluster);
+    let mapper = Arc::new(AggMapper);
+    let out_root = DfsPath::new(format!("/out/{tag}-base")).unwrap();
+    let mut hadoop = Vec::new();
+    let mut outs_h = Vec::new();
+    for w in 0..windows {
+        let baseline = run_baseline_window(
+            &cluster,
+            &mut base_sim,
+            mapper.clone(),
+            &AggReducer,
+            leading_ts_fn(),
+            &spec,
+            w,
+            &files,
+            NUM_REDUCERS,
+            &out_root,
+        )
+        .expect("baseline window");
+        hadoop.push(baseline.metrics.response_time());
+        outs_h.push(read_window_output::<String, u64>(&cluster, &baseline.outputs).unwrap());
+    }
+
+    AdaptiveSeries {
+        overlap,
+        hadoop,
+        redoop,
+        adaptive,
+        modes,
+        outputs_match: outs_r == outs_a && outs_r == outs_h,
+    }
+}
+
+/// Fig. 9 series: cumulative response times with and without injected
+/// cache failures.
+#[derive(Debug, Clone)]
+pub struct FaultSeries {
+    /// Plain Hadoop per-window responses.
+    pub hadoop: Vec<SimTime>,
+    /// Redoop, failure-free.
+    pub redoop: Vec<SimTime>,
+    /// Redoop with cache losses injected at each window start.
+    pub redoop_faulty: Vec<SimTime>,
+    /// Output-equality check.
+    pub outputs_match: bool,
+}
+
+/// Fig. 9: aggregation at overlap 0.5 with cache removals injected at
+/// the start of every window (alternating victim nodes).
+pub fn fig9(windows: u64, seed: u64) -> FaultSeries {
+    let spec = spec(0.5);
+    let plan = ArrivalPlan::new(spec, windows);
+    let batches = wcc(&plan, seed);
+
+    let run_redoop = |faults: Option<FailurePlan>| {
+        let cluster = cluster();
+        let tag = format!("f9-{}-{seed}", faults.is_some() as u8);
+        let mut exec = agg_executor(&cluster, spec, &tag, controller_off(&cluster, &spec));
+        ingest_all(&mut exec, 0, &batches);
+        let mut times = Vec::new();
+        let mut outs = Vec::new();
+        for w in 0..windows {
+            if let Some(f) = &faults {
+                f.apply(w as usize, &cluster).unwrap();
+            }
+            let r = exec.run_window(w).unwrap();
+            times.push(r.response);
+            outs.push(read_window_output::<String, u64>(&cluster, &r.outputs).unwrap());
+        }
+        (times, outs)
+    };
+    // "We inject cache removals at the beginning of each window":
+    // alternate crashing two nodes so part of the caches is lost each
+    // time.
+    let mut plan_f = FailurePlan::none();
+    for w in 1..windows as usize {
+        plan_f = plan_f.at(
+            w,
+            redoop_dfs::failure::FailureEvent::CrashAndRejoin(NodeId((w % NODES) as u32)),
+        );
+    }
+    let (redoop, outs_clean) = run_redoop(None);
+    let (redoop_faulty, outs_faulty) = run_redoop(Some(plan_f));
+
+    let cluster = cluster();
+    let files = baseline_files(&cluster, &format!("/batches/f9h-{seed}"), &batches);
+    let mut base_sim = sim(&cluster);
+    let mapper = Arc::new(AggMapper);
+    let out_root = DfsPath::new(format!("/out/f9h-{seed}-base")).unwrap();
+    let mut hadoop = Vec::new();
+    let mut outs_h = Vec::new();
+    for w in 0..windows {
+        let baseline = run_baseline_window(
+            &cluster,
+            &mut base_sim,
+            mapper.clone(),
+            &AggReducer,
+            leading_ts_fn(),
+            &spec,
+            w,
+            &files,
+            NUM_REDUCERS,
+            &out_root,
+        )
+        .expect("baseline window");
+        hadoop.push(baseline.metrics.response_time());
+        outs_h.push(read_window_output::<String, u64>(&cluster, &baseline.outputs).unwrap());
+    }
+
+    FaultSeries {
+        hadoop,
+        redoop,
+        redoop_faulty,
+        outputs_match: outs_clean == outs_faulty && outs_clean == outs_h,
+    }
+}
+
+/// Fig. 3 / Algorithm 1 demonstration: the partition plans the Semantic
+/// Analyzer produces for the paper's example and two contrasting rates.
+/// Returns `(label, pane_minutes, panes_per_file)` rows.
+pub fn fig3() -> Vec<(String, u64, u64)> {
+    let analyzer = SemanticAnalyzer::new(64 * 1024 * 1024); // 64 MB blocks
+    let spec = WindowSpec::minutes(6, 2).unwrap();
+    let mut rows = Vec::new();
+    for (label, mb_per_min) in
+        [("paper: News @16MB/min", 16.0), ("trickle @1MB/min", 1.0), ("firehose @200MB/min", 200.0)]
+    {
+        let stats = SourceStats { bytes_per_ms: mb_per_min * 1024.0 * 1024.0 / 60_000.0 };
+        let plan = analyzer.plan(&spec, &stats);
+        rows.push((label.to_string(), plan.pane_ms / 60_000, plan.panes_per_file));
+    }
+    rows
+}
+
+/// The paper's headline: best observed speedup across the evaluation
+/// (Fig. 6(a)/7(a) at overlap 0.9). Returns `(agg_speedup, join_speedup)`.
+pub fn headline(windows: u64, seed: u64) -> (f64, f64) {
+    let agg = fig6(0.9, windows, seed);
+    let join = fig7(0.9, windows, seed);
+    assert!(agg.outputs_match && join.outputs_match);
+    (agg.steady_speedup(), join.steady_speedup())
+}
+
+/// Ablation results: steady-state cumulative response times (seconds)
+/// for design-choice variants of the aggregation at overlap 0.9.
+#[derive(Debug, Clone)]
+pub struct AblationReport {
+    /// Full Redoop.
+    pub full: f64,
+    /// Caching disabled (every window rebuilds pane products).
+    pub no_caching: f64,
+    /// Cache-blind reduce placement (plain-Hadoop scheduling).
+    pub no_cache_aware_scheduling: f64,
+    /// Plain Hadoop reference.
+    pub hadoop: f64,
+}
+
+/// Runs the ablations (paper design choices: pane caching, cache-aware
+/// scheduling).
+pub fn ablations(windows: u64, seed: u64) -> AblationReport {
+    let spec = spec(0.9);
+    let plan = ArrivalPlan::new(spec, windows);
+    let batches = wcc(&plan, seed);
+
+    let run = |options: ExecutorOptions, tag: &str| {
+        let cluster = cluster();
+        let mut exec = agg_executor(&cluster, spec, tag, controller_off(&cluster, &spec));
+        exec.set_options(options);
+        ingest_all(&mut exec, 0, &batches);
+        let mut times = Vec::new();
+        for w in 0..windows {
+            times.push(exec.run_window(w).unwrap().response);
+        }
+        total_secs(&times[1..])
+    };
+
+    let full = run(ExecutorOptions::default(), "ab-full");
+    let no_caching =
+        run(ExecutorOptions { caching: false, cache_aware_scheduling: true }, "ab-nocache");
+    let no_cache_aware_scheduling =
+        run(ExecutorOptions { caching: true, cache_aware_scheduling: false }, "ab-blind");
+
+    let cluster = cluster();
+    let files = baseline_files(&cluster, &format!("/batches/abh-{seed}"), &batches);
+    let mut base_sim = sim(&cluster);
+    let mapper = Arc::new(AggMapper);
+    let out_root = DfsPath::new(format!("/out/abh-{seed}-base")).unwrap();
+    let mut hadoop_times = Vec::new();
+    for w in 0..windows {
+        let baseline = run_baseline_window(
+            &cluster,
+            &mut base_sim,
+            mapper.clone(),
+            &AggReducer,
+            leading_ts_fn(),
+            &spec,
+            w,
+            &files,
+            NUM_REDUCERS,
+            &out_root,
+        )
+        .unwrap();
+        hadoop_times.push(baseline.metrics.response_time());
+    }
+
+    AblationReport {
+        full,
+        no_caching,
+        no_cache_aware_scheduling,
+        hadoop: total_secs(&hadoop_times[1..]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_matches_the_paper_example() {
+        let rows = fig3();
+        // News @ 16MB/min: pane 2 min = 32 MB < 64 MB block -> 2 panes/file.
+        assert_eq!(rows[0].1, 2);
+        assert_eq!(rows[0].2, 2);
+        // Firehose: oversize -> one pane per file.
+        assert_eq!(rows[2].2, 1);
+    }
+
+    #[test]
+    fn fig6_small_run_has_the_right_shape() {
+        let s = fig6(0.9, 3, 5);
+        assert!(s.outputs_match);
+        assert!(s.steady_speedup() > 2.0, "speedup {}", s.steady_speedup());
+    }
+
+    #[test]
+    fn ablations_order_as_expected() {
+        let a = ablations(3, 6);
+        assert!(a.full < a.no_caching, "caching must help: {a:?}");
+        assert!(a.full <= a.no_cache_aware_scheduling * 1.01, "affinity must not hurt: {a:?}");
+        assert!(a.no_caching <= a.hadoop * 1.5, "even uncached redoop is hadoop-like: {a:?}");
+    }
+}

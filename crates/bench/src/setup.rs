@@ -1,0 +1,190 @@
+//! Shared experiment scaffolding: clusters, window specs, generated
+//! workloads, executor construction — the bench-side equivalent of the
+//! integration tests' fixtures, sized for the full evaluation sweeps.
+
+use std::sync::Arc;
+
+use redoop_core::prelude::*;
+use redoop_core::{AdaptiveController, PartitionPlan, SemanticAnalyzer};
+use redoop_dfs::{Cluster, ClusterConfig, DfsPath, PlacementPolicy};
+use redoop_mapred::{ClusterSim, CostModel, SimTime};
+use redoop_workloads::arrival::{write_batches, ArrivalPlan, GeneratedBatch};
+use redoop_workloads::ffg::{FfgGenerator, Stream};
+use redoop_workloads::queries::{AggMapper, AggReducer, JoinMapper, JoinReducer};
+use redoop_workloads::wcc::WccGenerator;
+
+/// Scale factor of the cost model: one synthetic record stands for this
+/// many real ones (see `CostModel::scaled`).
+pub const COST_SCALE: f64 = 2_000.0;
+
+/// Number of reduce partitions in every experiment.
+pub const NUM_REDUCERS: usize = 4;
+
+/// Window size in event-time ms (2000 virtual seconds).
+pub const WIN_MS: u64 = 2_000_000;
+
+/// Simulated cluster nodes.
+pub const NODES: usize = 8;
+
+/// The experiment cluster: 8 nodes, 16 KiB blocks, 3-way replication.
+pub fn cluster() -> Cluster {
+    Cluster::new(ClusterConfig {
+        nodes: NODES,
+        block_size: 16 * 1024,
+        replication: 3,
+        placement: PlacementPolicy::RoundRobin,
+    })
+}
+
+/// The simulated testbed (6 map + 2 reduce slots per node).
+pub fn sim(cluster: &Cluster) -> ClusterSim {
+    ClusterSim::paper_testbed(cluster.node_count(), CostModel::scaled(COST_SCALE))
+}
+
+/// Window spec at a paper overlap factor.
+pub fn spec(overlap: f64) -> WindowSpec {
+    WindowSpec::with_overlap(WIN_MS, overlap).expect("valid overlap")
+}
+
+/// WCC clickstream batches for `plan`.
+pub fn wcc(plan: &ArrivalPlan, seed: u64) -> Vec<GeneratedBatch> {
+    let mut generator = WccGenerator::new(seed, 120, 500, 0.01);
+    plan.generate(|range, m| generator.batch(range, m))
+}
+
+/// One FFG sensor stream for `plan`.
+pub fn ffg(plan: &ArrivalPlan, stream: Stream, seed: u64) -> Vec<GeneratedBatch> {
+    let mut generator = FfgGenerator::new(seed, 16, 0.002);
+    plan.generate(|range, m| generator.batch(stream, range, m))
+}
+
+/// Non-adaptive controller.
+pub fn controller_off(cluster: &Cluster, spec: &WindowSpec) -> AdaptiveController {
+    AdaptiveController::disabled(
+        SemanticAnalyzer::new(cluster.config().block_size as u64),
+        PartitionPlan::simple(PaneGeometry::from_spec(spec).pane_ms),
+    )
+}
+
+/// Adaptive controller.
+pub fn controller_on(cluster: &Cluster, spec: &WindowSpec) -> AdaptiveController {
+    AdaptiveController::new(
+        SemanticAnalyzer::new(cluster.config().block_size as u64),
+        PartitionPlan::simple(PaneGeometry::from_spec(spec).pane_ms),
+    )
+}
+
+/// Builds the aggregation executor.
+pub fn agg_executor(
+    cluster: &Cluster,
+    spec: WindowSpec,
+    name: &str,
+    adaptive: AdaptiveController,
+) -> RecurringExecutor<AggMapper, AggReducer> {
+    let source = SourceConf::with_leading_ts(
+        "wcc",
+        spec,
+        DfsPath::new(format!("/panes/{name}")).unwrap(),
+    );
+    let conf = QueryConf::new(name, NUM_REDUCERS, DfsPath::new(format!("/out/{name}")).unwrap())
+        .unwrap();
+    RecurringExecutor::aggregation(
+        cluster,
+        sim(cluster),
+        conf,
+        source,
+        Arc::new(AggMapper),
+        Arc::new(AggReducer),
+        Arc::new(SumMerger),
+        adaptive,
+    )
+    .unwrap()
+}
+
+/// Builds the join executor.
+pub fn join_executor(
+    cluster: &Cluster,
+    spec: WindowSpec,
+    name: &str,
+    adaptive: AdaptiveController,
+) -> RecurringExecutor<JoinMapper, JoinReducer> {
+    let s0 = SourceConf::with_leading_ts(
+        "pos",
+        spec,
+        DfsPath::new(format!("/panes/{name}-pos")).unwrap(),
+    );
+    let s1 = SourceConf::with_leading_ts(
+        "spd",
+        spec,
+        DfsPath::new(format!("/panes/{name}-spd")).unwrap(),
+    );
+    let conf = QueryConf::new(name, NUM_REDUCERS, DfsPath::new(format!("/out/{name}")).unwrap())
+        .unwrap();
+    RecurringExecutor::binary_join(
+        cluster,
+        sim(cluster),
+        conf,
+        [s0, s1],
+        Arc::new(JoinMapper),
+        Arc::new(JoinReducer),
+        adaptive,
+    )
+    .unwrap()
+}
+
+/// Ingests every batch into one executor source.
+pub fn ingest_all<M, R>(
+    exec: &mut RecurringExecutor<M, R>,
+    source: usize,
+    batches: &[GeneratedBatch],
+) where
+    M: redoop_mapred::Mapper,
+    R: redoop_mapred::Reducer<KIn = M::KOut, VIn = M::VOut>,
+{
+    for b in batches {
+        exec.ingest(source, b.lines.iter().map(String::as_str), &b.range).unwrap();
+    }
+}
+
+/// Interleaved driver (feed arrivals up to each fire, then run).
+pub fn run_interleaved<M, R>(
+    exec: &mut RecurringExecutor<M, R>,
+    per_source: &[&[GeneratedBatch]],
+    windows: u64,
+    spec: &WindowSpec,
+) -> Vec<WindowReport>
+where
+    M: redoop_mapred::Mapper,
+    R: redoop_mapred::Reducer<KIn = M::KOut, VIn = M::VOut>,
+{
+    let mut fed = vec![0usize; per_source.len()];
+    let mut reports = Vec::new();
+    for w in 0..windows {
+        let fire = spec.fire_time(w);
+        for (source, batches) in per_source.iter().enumerate() {
+            // Feed every batch holding data this window needs (a batch
+            // straddling the fire time must be delivered before the run).
+            while fed[source] < batches.len() && batches[fed[source]].range.start < fire {
+                let b = &batches[fed[source]];
+                exec.ingest(source, b.lines.iter().map(String::as_str), &b.range).unwrap();
+                fed[source] += 1;
+            }
+        }
+        reports.push(exec.run_window(w).unwrap());
+    }
+    reports
+}
+
+/// Writes batch files for the baseline driver.
+pub fn baseline_files(
+    cluster: &Cluster,
+    dir: &str,
+    batches: &[GeneratedBatch],
+) -> Vec<BatchFile> {
+    write_batches(cluster, &DfsPath::new(dir).unwrap(), batches).unwrap()
+}
+
+/// Sums a slice of virtual times, in seconds.
+pub fn total_secs(times: &[SimTime]) -> f64 {
+    times.iter().map(|t| t.as_secs_f64()).sum()
+}

@@ -1,0 +1,210 @@
+//! Adaptive input partitioning and proactive execution (paper §3.3).
+//!
+//! The Execution Profiler's forecasts drive two reactions:
+//!
+//! 1. **Pane re-sizing** — the Semantic Analyzer applies the scale factor
+//!    to subdivide panes into sub-panes when a spike is forecast, and
+//!    restores whole panes when the load normalizes.
+//! 2. **Proactive mode** — once the plan is finer-grained than the
+//!    original, the query "executes as soon as the first data partition
+//!    with the new pane size becomes available rather than waiting for
+//!    the data of a complete window".
+
+use redoop_mapred::SimTime;
+
+use crate::analyzer::{PartitionPlan, SemanticAnalyzer};
+use crate::profiler::{ExecutionProfiler, Observation};
+
+/// Execution mode for the next recurrence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Wait for the window to close, then run everything (plain batch).
+    Batch,
+    /// Start pane/sub-pane processing as data arrives; only the final
+    /// merge waits for window close.
+    Proactive,
+}
+
+/// Decision produced for one upcoming recurrence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveDecision {
+    /// Plan for panes sealed from now on.
+    pub plan: PartitionPlan,
+    /// How to execute the next recurrence.
+    pub mode: ExecMode,
+    /// The scale factor that drove the decision (diagnostics).
+    pub scale: f64,
+}
+
+/// Combines the profiler and analyzer into the paper's adaptation loop.
+#[derive(Debug)]
+pub struct AdaptiveController {
+    profiler: ExecutionProfiler,
+    analyzer: SemanticAnalyzer,
+    base_plan: PartitionPlan,
+    current: PartitionPlan,
+    /// When true, the controller always proposes proactive execution with
+    /// the base plan (pure-proactive configuration used in ablations).
+    always_proactive: bool,
+    enabled: bool,
+    /// Slow EMA of per-window fresh input volume; spikes in the upcoming
+    /// window's data raise the scale factor even before execution times
+    /// reflect them (the profiler also tracks "the amount of data
+    /// processed", paper §3.3).
+    volume_baseline: Option<f64>,
+    volume_scale: f64,
+}
+
+/// Smoothing constant for the fresh-volume baseline.
+const VOLUME_ALPHA: f64 = 0.15;
+
+impl AdaptiveController {
+    /// Controller starting from `base_plan`.
+    pub fn new(analyzer: SemanticAnalyzer, base_plan: PartitionPlan) -> Self {
+        AdaptiveController {
+            profiler: ExecutionProfiler::with_defaults(),
+            analyzer,
+            base_plan,
+            current: base_plan,
+            always_proactive: false,
+            enabled: true,
+            volume_baseline: None,
+            volume_scale: 1.0,
+        }
+    }
+
+    /// The plan the controller starts from (packers initialize with it).
+    pub fn base_plan(&self) -> PartitionPlan {
+        self.base_plan
+    }
+
+    /// Feeds the upcoming window's fresh data volume: `bytes` first seen
+    /// by this window over `span_ms` of event time. The *rate* is
+    /// compared against the running baseline (window 0's fresh region is
+    /// the whole window, later ones a single slide, so raw bytes would
+    /// not be comparable). A jump raises the scale factor for the next
+    /// [`AdaptiveController::decide`].
+    pub fn observe_fresh_volume(&mut self, bytes: u64, span_ms: u64) {
+        let x = bytes.max(1) as f64 / span_ms.max(1) as f64;
+        match self.volume_baseline {
+            None => {
+                self.volume_baseline = Some(x);
+                self.volume_scale = 1.0;
+            }
+            Some(b) => {
+                self.volume_scale = x / b;
+                self.volume_baseline = Some(VOLUME_ALPHA * x + (1.0 - VOLUME_ALPHA) * b);
+            }
+        }
+    }
+
+    /// Disables adaptation entirely (plain Redoop in Fig. 8).
+    pub fn disabled(analyzer: SemanticAnalyzer, base_plan: PartitionPlan) -> Self {
+        let mut c = AdaptiveController::new(analyzer, base_plan);
+        c.enabled = false;
+        c
+    }
+
+    /// Forces proactive execution regardless of forecasts (ablation).
+    pub fn set_always_proactive(&mut self, on: bool) {
+        self.always_proactive = on;
+    }
+
+    /// Records the completed recurrence's measurements.
+    pub fn record(&mut self, exec_time: SimTime, input_bytes: u64) {
+        self.profiler.record(Observation { exec_time, input_bytes });
+    }
+
+    /// Read access to the profiler (statistics reporting).
+    pub fn profiler(&self) -> &ExecutionProfiler {
+        &self.profiler
+    }
+
+    /// Decides plan + mode for the next recurrence. The scale factor is
+    /// the worse of the execution-time forecast and the fresh-volume
+    /// signal.
+    pub fn decide(&mut self) -> AdaptiveDecision {
+        let scale = self.profiler.scale_factor().max(self.volume_scale);
+        if !self.enabled {
+            return AdaptiveDecision { plan: self.base_plan, mode: ExecMode::Batch, scale };
+        }
+        if self.always_proactive {
+            return AdaptiveDecision { plan: self.base_plan, mode: ExecMode::Proactive, scale };
+        }
+        self.current = self.analyzer.replan(&self.base_plan, scale);
+        // "If the new plan encodes a finer-granular data unit compared to
+        //  the original partition plan, then the system will automatically
+        //  switch to the proactive processing mode."
+        let mode = if self.current.subpanes > 1 { ExecMode::Proactive } else { ExecMode::Batch };
+        AdaptiveDecision { plan: self.current, mode, scale }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redoop_mapred::SimTime;
+
+    fn controller() -> AdaptiveController {
+        AdaptiveController::new(SemanticAnalyzer::new(1 << 20), PartitionPlan::simple(10_000))
+    }
+
+    #[test]
+    fn steady_load_stays_batch() {
+        let mut c = controller();
+        for _ in 0..5 {
+            c.record(SimTime::from_secs(50), 1_000_000);
+        }
+        let d = c.decide();
+        assert_eq!(d.mode, ExecMode::Batch);
+        assert_eq!(d.plan.subpanes, 1);
+    }
+
+    #[test]
+    fn spike_switches_to_proactive_subpanes() {
+        let mut c = controller();
+        for _ in 0..4 {
+            c.record(SimTime::from_secs(50), 1_000_000);
+        }
+        c.record(SimTime::from_secs(120), 2_400_000); // spike
+        let d = c.decide();
+        assert_eq!(d.mode, ExecMode::Proactive);
+        assert!(d.plan.subpanes >= 2);
+        assert!(d.scale > 1.25);
+    }
+
+    #[test]
+    fn recovery_returns_to_batch() {
+        let mut c = controller();
+        c.record(SimTime::from_secs(50), 1_000_000);
+        c.record(SimTime::from_secs(150), 3_000_000);
+        assert_eq!(c.decide().mode, ExecMode::Proactive);
+        // Load settles back down; trend decays.
+        for _ in 0..8 {
+            c.record(SimTime::from_secs(50), 1_000_000);
+        }
+        assert_eq!(c.decide().mode, ExecMode::Batch);
+    }
+
+    #[test]
+    fn disabled_controller_never_adapts() {
+        let mut c = AdaptiveController::disabled(
+            SemanticAnalyzer::new(1 << 20),
+            PartitionPlan::simple(10_000),
+        );
+        c.record(SimTime::from_secs(10), 1);
+        c.record(SimTime::from_secs(1000), 1);
+        let d = c.decide();
+        assert_eq!(d.mode, ExecMode::Batch);
+        assert_eq!(d.plan.subpanes, 1);
+    }
+
+    #[test]
+    fn always_proactive_keeps_base_plan() {
+        let mut c = controller();
+        c.set_always_proactive(true);
+        let d = c.decide();
+        assert_eq!(d.mode, ExecMode::Proactive);
+        assert_eq!(d.plan.subpanes, 1);
+    }
+}

@@ -1,0 +1,203 @@
+//! The Redoop client API (paper §5, "Controller and API").
+//!
+//! A recurring query is specified by (1) map and reduce functions with the
+//! standard Hadoop interfaces, (2) per-source window constraints, (3)
+//! input/output path conventions per recurrence, and (4) an
+//! application-specific finalization function that merges partial outputs
+//! into each recurrence's final output.
+
+use std::sync::Arc;
+
+use redoop_dfs::DfsPath;
+use redoop_mapred::Writable;
+
+use crate::error::{RedoopError, Result};
+use crate::packer::TsFn;
+use crate::query::WindowSpec;
+use crate::time::EventTime;
+
+/// One data source of a recurring query.
+#[derive(Clone)]
+pub struct SourceConf {
+    /// Human-readable name (e.g. `"wcc"`).
+    pub name: String,
+    /// Window constraints on this source.
+    pub spec: WindowSpec,
+    /// DFS directory for this source's pane files.
+    pub pane_root: DfsPath,
+    /// Timestamp extractor for this source's record lines.
+    pub ts_fn: TsFn,
+}
+
+impl std::fmt::Debug for SourceConf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SourceConf")
+            .field("name", &self.name)
+            .field("spec", &self.spec)
+            .field("pane_root", &self.pane_root)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SourceConf {
+    /// A source whose records are comma-separated lines with a leading
+    /// millisecond timestamp (the format our workloads emit).
+    pub fn with_leading_ts(name: impl Into<String>, spec: WindowSpec, pane_root: DfsPath) -> Self {
+        SourceConf { name: name.into(), spec, pane_root, ts_fn: leading_ts_fn() }
+    }
+}
+
+/// Timestamp extractor for `"<millis>,rest..."` lines.
+pub fn leading_ts_fn() -> TsFn {
+    Arc::new(|line: &str| {
+        line.split(',').next().and_then(|f| f.parse::<u64>().ok()).map(EventTime)
+    })
+}
+
+/// The finalization contract for aggregation queries: merges per-pane
+/// partial values of one key into the window's final value. Must be
+/// associative and commutative so pane-wise evaluation matches whole-
+/// window evaluation (the classic pane/window algebraic requirement).
+pub trait Merger<K, V>: Send + Sync + 'static
+where
+    K: Writable,
+    V: Writable,
+{
+    /// Merges the partial values of `key` across panes.
+    fn merge(&self, key: &K, partials: &[V]) -> V;
+}
+
+/// Merger summing numeric partials (counts, sums).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SumMerger;
+
+impl<K: Writable> Merger<K, u64> for SumMerger {
+    fn merge(&self, _key: &K, partials: &[u64]) -> u64 {
+        partials.iter().sum()
+    }
+}
+
+impl<K: Writable> Merger<K, f64> for SumMerger {
+    fn merge(&self, _key: &K, partials: &[f64]) -> f64 {
+        partials.iter().sum()
+    }
+}
+
+/// Merger taking the maximum partial.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MaxMerger;
+
+impl<K: Writable> Merger<K, u64> for MaxMerger {
+    fn merge(&self, _key: &K, partials: &[u64]) -> u64 {
+        partials.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Closure adapter for mergers.
+pub struct ClosureMerger<K, V, F> {
+    f: F,
+    _marker: std::marker::PhantomData<fn() -> (K, V)>,
+}
+
+impl<K, V, F> ClosureMerger<K, V, F>
+where
+    K: Writable,
+    V: Writable,
+    F: Fn(&K, &[V]) -> V + Send + Sync + 'static,
+{
+    /// Wraps `f` as a merger.
+    pub fn new(f: F) -> Self {
+        ClosureMerger { f, _marker: std::marker::PhantomData }
+    }
+}
+
+impl<K, V, F> Merger<K, V> for ClosureMerger<K, V, F>
+where
+    K: Writable,
+    V: Writable,
+    F: Fn(&K, &[V]) -> V + Send + Sync + 'static,
+{
+    fn merge(&self, key: &K, partials: &[V]) -> V {
+        (self.f)(key, partials)
+    }
+}
+
+/// Query-level configuration.
+#[derive(Debug, Clone)]
+pub struct QueryConf {
+    /// Query name (job names and output paths derive from it).
+    pub name: String,
+    /// Reduce partitions. Fixed across recurrences (paper §4.3 requires
+    /// stable partitioning for cache reuse).
+    pub num_reducers: usize,
+    /// Output root; recurrence `i` writes `<root>/w{i}/part-r-*`.
+    pub output_root: DfsPath,
+    /// This query's bit index in controller `doneQueryMask`s.
+    pub query_index: usize,
+}
+
+impl QueryConf {
+    /// Validated constructor.
+    pub fn new(name: impl Into<String>, num_reducers: usize, output_root: DfsPath) -> Result<Self> {
+        if num_reducers == 0 {
+            return Err(RedoopError::InvalidQuery("num_reducers must be > 0".into()));
+        }
+        Ok(QueryConf { name: name.into(), num_reducers, output_root, query_index: 0 })
+    }
+
+    /// `GetOutputPaths` (paper §5): the unique output directory of
+    /// recurrence `i`.
+    pub fn output_dir(&self, recurrence: u64) -> DfsPath {
+        self.output_root
+            .join(&format!("w{recurrence}"))
+            .expect("recurrence segment is always valid")
+    }
+
+    /// Output part file of recurrence `i`, partition `r`.
+    pub fn output_part(&self, recurrence: u64, r: usize) -> DfsPath {
+        self.output_dir(recurrence)
+            .join(&format!("part-r-{r:05}"))
+            .expect("part segment is always valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leading_ts_parses_and_rejects() {
+        let f = leading_ts_fn();
+        assert_eq!(f("123,abc"), Some(EventTime(123)));
+        assert_eq!(f("xyz,abc"), None);
+        assert_eq!(f(""), None);
+    }
+
+    #[test]
+    fn mergers_merge() {
+        let s: &dyn Merger<String, u64> = &SumMerger;
+        assert_eq!(s.merge(&"k".into(), &[1, 2, 3]), 6);
+        let m: &dyn Merger<String, u64> = &MaxMerger;
+        assert_eq!(m.merge(&"k".into(), &[1, 9, 3]), 9);
+        let c = ClosureMerger::new(|_k: &String, vs: &[u64]| vs.len() as u64);
+        assert_eq!(c.merge(&"k".into(), &[5, 5]), 2);
+    }
+
+    #[test]
+    fn output_paths_are_per_recurrence() {
+        let q = QueryConf::new("agg", 4, DfsPath::new("/out/agg").unwrap()).unwrap();
+        assert_eq!(q.output_dir(3).as_str(), "/out/agg/w3");
+        assert_eq!(q.output_part(3, 1).as_str(), "/out/agg/w3/part-r-00001");
+        assert!(QueryConf::new("bad", 0, DfsPath::new("/x").unwrap()).is_err());
+    }
+
+    #[test]
+    fn source_conf_debug_does_not_require_ts_fn_debug() {
+        let s = SourceConf::with_leading_ts(
+            "wcc",
+            WindowSpec::new(100, 10).unwrap(),
+            DfsPath::new("/panes/wcc").unwrap(),
+        );
+        assert!(format!("{s:?}").contains("wcc"));
+    }
+}

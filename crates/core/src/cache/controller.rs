@@ -1,0 +1,316 @@
+//! The Window-Aware Cache Controller (paper §4.2, Table 2).
+//!
+//! A master-side component holding one *cache signature* per cache file:
+//! which node stores it, its readiness (`0` not available, `1` HDFS
+//! available, `2` cache available), and a `doneQueryMask` with one bit per
+//! registered query. When every bit is set the cache is expired and a
+//! purge notification is issued to the owning node's Local Cache Registry.
+
+use std::collections::BTreeMap;
+
+use redoop_dfs::NodeId;
+use redoop_mapred::SimTime;
+
+use super::CacheName;
+use crate::error::{RedoopError, Result};
+
+/// Readiness of a cache (paper: the `ready` column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Ready {
+    /// Not available anywhere.
+    NotAvailable,
+    /// Source data available in HDFS; cache not built (or lost).
+    HdfsAvailable,
+    /// Cache materialized on a task node's local file system.
+    CacheAvailable,
+}
+
+/// One cache signature (paper Table 2 row).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheSignature {
+    /// Node holding the cache (meaningful when `ready == CacheAvailable`).
+    pub node: Option<NodeId>,
+    /// Readiness state.
+    pub ready: Ready,
+    /// Bit `q` set when query `q` no longer needs this cache.
+    pub done_query_mask: u64,
+    /// Cached object size in bytes (for scheduling affinity estimates).
+    pub bytes: u64,
+    /// Size of the source data that would have to be re-read, re-mapped,
+    /// and re-shuffled to reconstruct this cache elsewhere. For pane
+    /// aggregates this is far larger than `bytes` — losing the cache is
+    /// expensive even though the cache file is small.
+    pub rebuild_bytes: u64,
+    /// Virtual time at which the cache became available (readers cannot
+    /// consume it earlier).
+    pub available_at: SimTime,
+}
+
+/// Purge notification sent to a task node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PurgeNotification {
+    /// Node to purge on.
+    pub node: NodeId,
+    /// Cache to purge.
+    pub name: CacheName,
+}
+
+/// Master-side registry of every cache in the system.
+#[derive(Debug)]
+pub struct CacheController {
+    query_count: usize,
+    full_mask: u64,
+    sigs: BTreeMap<CacheName, CacheSignature>,
+}
+
+impl CacheController {
+    /// Controller for `query_count` registered queries (1..=64).
+    pub fn new(query_count: usize) -> Self {
+        assert!((1..=64).contains(&query_count));
+        let full_mask = if query_count == 64 { u64::MAX } else { (1u64 << query_count) - 1 };
+        CacheController { query_count, full_mask, sigs: BTreeMap::new() }
+    }
+
+    /// Number of registered queries.
+    pub fn query_count(&self) -> usize {
+        self.query_count
+    }
+
+    /// Declares that `name`'s source data is loaded in HDFS (ready = 1).
+    /// New caches start with an all-clear mask; existing entries keep
+    /// their mask and only upgrade readiness if currently NotAvailable.
+    pub fn note_hdfs_available(&mut self, name: CacheName) {
+        let sig = self.sigs.entry(name).or_insert(CacheSignature {
+            node: None,
+            ready: Ready::NotAvailable,
+            done_query_mask: 0,
+            bytes: 0,
+            rebuild_bytes: 0,
+            available_at: SimTime::ZERO,
+        });
+        if sig.ready == Ready::NotAvailable {
+            sig.ready = Ready::HdfsAvailable;
+        }
+    }
+
+    /// Registers a materialized cache on `node` (ready = 2), available to
+    /// consumers from virtual time `at`. The node's Local Cache Registry
+    /// synchronizes this via its heartbeat.
+    pub fn register_cache(&mut self, name: CacheName, node: NodeId, bytes: u64, at: SimTime) {
+        self.register_cache_with_rebuild(name, node, bytes, bytes, at)
+    }
+
+    /// Like [`CacheController::register_cache`], with an explicit
+    /// estimate of the source bytes a reconstruction would process.
+    pub fn register_cache_with_rebuild(
+        &mut self,
+        name: CacheName,
+        node: NodeId,
+        bytes: u64,
+        rebuild_bytes: u64,
+        at: SimTime,
+    ) {
+        let sig = self.sigs.entry(name).or_insert(CacheSignature {
+            node: None,
+            ready: Ready::NotAvailable,
+            done_query_mask: 0,
+            bytes: 0,
+            rebuild_bytes: 0,
+            available_at: SimTime::ZERO,
+        });
+        sig.node = Some(node);
+        sig.ready = Ready::CacheAvailable;
+        sig.bytes = bytes;
+        sig.rebuild_bytes = rebuild_bytes.max(bytes);
+        sig.available_at = at;
+    }
+
+    /// Invalidates a single cache whose file was found missing (targeted
+    /// failure rollback): ready drops to HDFS-available. Returns whether
+    /// the signature changed.
+    pub fn invalidate(&mut self, name: &CacheName) -> bool {
+        match self.sigs.get_mut(name) {
+            Some(sig) if sig.ready == Ready::CacheAvailable => {
+                sig.ready = Ready::HdfsAvailable;
+                sig.node = None;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Current signature of `name`.
+    pub fn signature(&self, name: &CacheName) -> Option<&CacheSignature> {
+        self.sigs.get(name)
+    }
+
+    /// The node holding a materialized cache, if any.
+    pub fn location(&self, name: &CacheName) -> Option<NodeId> {
+        self.sigs
+            .get(name)
+            .filter(|s| s.ready == Ready::CacheAvailable)
+            .and_then(|s| s.node)
+    }
+
+    /// Marks query `q` as finished with `name`. Returns a purge
+    /// notification when the mask fills (the cache is expired for every
+    /// query).
+    pub fn mark_query_done(&mut self, name: CacheName, q: usize) -> Result<Option<PurgeNotification>> {
+        if q >= self.query_count {
+            return Err(RedoopError::CacheInconsistency(format!(
+                "query index {q} out of range ({} registered)",
+                self.query_count
+            )));
+        }
+        let sig = self.sigs.get_mut(&name).ok_or_else(|| {
+            RedoopError::CacheInconsistency(format!("mark_query_done on unknown cache {name:?}"))
+        })?;
+        sig.done_query_mask |= 1 << q;
+        if sig.done_query_mask == self.full_mask {
+            if let (Ready::CacheAvailable, Some(node)) = (sig.ready, sig.node) {
+                return Ok(Some(PurgeNotification { node, name }));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Whether every query has finished with `name`.
+    pub fn is_expired(&self, name: &CacheName) -> bool {
+        self.sigs
+            .get(name)
+            .is_some_and(|s| s.done_query_mask == self.full_mask)
+    }
+
+    /// Failure rollback (paper §5): all caches on `node` are lost — their
+    /// ready bit drops back to HDFS-available so the scheduler rebuilds
+    /// them. Returns the affected cache names.
+    pub fn rollback_node(&mut self, node: NodeId) -> Vec<CacheName> {
+        let mut lost = Vec::new();
+        for (name, sig) in self.sigs.iter_mut() {
+            if sig.node == Some(node) && sig.ready == Ready::CacheAvailable {
+                sig.ready = Ready::HdfsAvailable;
+                sig.node = None;
+                lost.push(*name);
+            }
+        }
+        lost
+    }
+
+    /// Drops an expired signature after its purge completed.
+    pub fn forget(&mut self, name: &CacheName) {
+        self.sigs.remove(name);
+    }
+
+    /// Number of tracked signatures.
+    pub fn len(&self) -> usize {
+        self.sigs.len()
+    }
+
+    /// Whether no caches are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.sigs.is_empty()
+    }
+
+    /// Names of every currently materialized cache.
+    pub fn all_cached(&self) -> Vec<CacheName> {
+        self.sigs
+            .iter()
+            .filter(|(_, s)| s.ready == Ready::CacheAvailable)
+            .map(|(n, _)| *n)
+            .collect()
+    }
+
+    /// Total bytes of materialized caches on `node` (capacity reporting).
+    pub fn bytes_on(&self, node: NodeId) -> u64 {
+        self.sigs
+            .values()
+            .filter(|s| s.node == Some(node) && s.ready == Ready::CacheAvailable)
+            .map(|s| s.bytes)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CacheObject;
+    use crate::pane::PaneId;
+
+    fn name(p: u64, r: usize) -> CacheName {
+        CacheName::new(CacheObject::PaneInput { source: 0, pane: PaneId(p), sub: 0 }, r)
+    }
+
+    #[test]
+    fn readiness_lifecycle() {
+        let mut c = CacheController::new(1);
+        let n = name(0, 0);
+        assert!(c.location(&n).is_none());
+        c.note_hdfs_available(n);
+        assert_eq!(c.signature(&n).unwrap().ready, Ready::HdfsAvailable);
+        assert!(c.location(&n).is_none(), "HDFS-available is not a cache hit");
+        c.register_cache(n, NodeId(3), 512, SimTime::ZERO);
+        assert_eq!(c.location(&n), Some(NodeId(3)));
+        assert_eq!(c.signature(&n).unwrap().bytes, 512);
+        // note_hdfs_available after materialization must not downgrade.
+        c.note_hdfs_available(n);
+        assert_eq!(c.location(&n), Some(NodeId(3)));
+    }
+
+    #[test]
+    fn done_mask_fills_then_purges() {
+        let mut c = CacheController::new(2);
+        let n = name(1, 0);
+        c.register_cache(n, NodeId(0), 10, SimTime::ZERO);
+        assert_eq!(c.mark_query_done(n, 0).unwrap(), None);
+        assert!(!c.is_expired(&n));
+        let purge = c.mark_query_done(n, 1).unwrap().unwrap();
+        assert_eq!(purge.node, NodeId(0));
+        assert_eq!(purge.name, n);
+        assert!(c.is_expired(&n));
+        c.forget(&n);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn mark_done_errors_are_reported() {
+        let mut c = CacheController::new(1);
+        assert!(c.mark_query_done(name(0, 0), 0).is_err(), "unknown cache");
+        c.register_cache(name(0, 0), NodeId(0), 1, SimTime::ZERO);
+        assert!(c.mark_query_done(name(0, 0), 5).is_err(), "query out of range");
+    }
+
+    #[test]
+    fn rollback_downgrades_only_the_failed_node() {
+        let mut c = CacheController::new(1);
+        c.register_cache(name(0, 0), NodeId(0), 1, SimTime::ZERO);
+        c.register_cache(name(1, 0), NodeId(1), 1, SimTime::ZERO);
+        c.register_cache(name(2, 0), NodeId(0), 1, SimTime::ZERO);
+        let lost = c.rollback_node(NodeId(0));
+        assert_eq!(lost.len(), 2);
+        assert_eq!(c.signature(&name(0, 0)).unwrap().ready, Ready::HdfsAvailable);
+        assert_eq!(c.location(&name(1, 0)), Some(NodeId(1)));
+    }
+
+    #[test]
+    fn bytes_on_tracks_node_usage() {
+        let mut c = CacheController::new(1);
+        c.register_cache(name(0, 0), NodeId(2), 100, SimTime::ZERO);
+        c.register_cache(name(0, 1), NodeId(2), 50, SimTime::ZERO);
+        c.register_cache(name(1, 0), NodeId(3), 7, SimTime::ZERO);
+        assert_eq!(c.bytes_on(NodeId(2)), 150);
+        assert_eq!(c.bytes_on(NodeId(3)), 7);
+        c.rollback_node(NodeId(2));
+        assert_eq!(c.bytes_on(NodeId(2)), 0);
+    }
+
+    #[test]
+    fn full_64_query_mask() {
+        let mut c = CacheController::new(64);
+        let n = name(0, 0);
+        c.register_cache(n, NodeId(0), 1, SimTime::ZERO);
+        for q in 0..63 {
+            assert_eq!(c.mark_query_done(n, q).unwrap(), None);
+        }
+        assert!(c.mark_query_done(n, 63).unwrap().is_some());
+    }
+}

@@ -1,0 +1,151 @@
+//! Heartbeat synchronization between task nodes and the master
+//! (paper §2.3: "The Local Cache Manager sends its cache meta-data to the
+//! Window-Aware Cache Controller along with its heartbeat for global
+//! synchronization").
+//!
+//! A heartbeat carries the node's view of its caches, verified against
+//! its actual local store (a crashed-and-rejoined node reports an empty
+//! store even if stale registry state survived in memory elsewhere).
+//! The controller reconciles: any cache it believed materialized on the
+//! node but absent from the heartbeat is rolled back to HDFS-available —
+//! the paper's §5 recovery trigger.
+
+use redoop_dfs::{Cluster, NodeId};
+
+use super::controller::CacheController;
+use super::registry::LocalCacheRegistry;
+use super::CacheName;
+
+/// One node's cache report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegistryHeartbeat {
+    /// Reporting node.
+    pub node: NodeId,
+    /// Whether the node is alive (a dead node's heartbeat simply does
+    /// not arrive; modeled as `alive = false` for the reconciler).
+    pub alive: bool,
+    /// Caches the node actually holds (registry entries verified against
+    /// the local store).
+    pub held: Vec<CacheName>,
+}
+
+impl LocalCacheRegistry {
+    /// Builds this node's heartbeat: every unexpired registry entry whose
+    /// file really exists in the node's local store. Entries whose files
+    /// vanished (crash, manual purge) are dropped from the registry as a
+    /// side effect — the node-side half of recovery.
+    pub fn heartbeat(&mut self, cluster: &Cluster) -> RegistryHeartbeat {
+        let node = self.node();
+        if !cluster.is_alive(node) {
+            return RegistryHeartbeat { node, alive: false, held: Vec::new() };
+        }
+        let mut held = Vec::new();
+        let mut lost = Vec::new();
+        for name in self.names() {
+            if cluster.has_local(node, &name.store_name()) {
+                held.push(name);
+            } else {
+                lost.push(name);
+            }
+        }
+        for name in lost {
+            self.drop_entry(&name);
+        }
+        RegistryHeartbeat { node, alive: true, held }
+    }
+}
+
+impl CacheController {
+    /// Reconciles one heartbeat: caches believed materialized on the
+    /// reporting node but not present in the report are invalidated
+    /// (ready 2 → 1). Returns the invalidated names so the scheduler can
+    /// queue rebuilds.
+    pub fn apply_heartbeat(&mut self, hb: &RegistryHeartbeat) -> Vec<CacheName> {
+        if !hb.alive {
+            return self.rollback_node(hb.node);
+        }
+        let mut lost = Vec::new();
+        for name in self.all_cached() {
+            if self.location(&name) == Some(hb.node) && !hb.held.contains(&name) {
+                self.invalidate(&name);
+                lost.push(name);
+            }
+        }
+        lost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::purge::PurgePolicy;
+    use crate::cache::CacheObject;
+    use crate::pane::PaneId;
+    use bytes::Bytes;
+    use redoop_mapred::SimTime;
+
+    fn name(p: u64) -> CacheName {
+        CacheName::new(CacheObject::PaneInput { source: 0, pane: PaneId(p), sub: 0 }, 0)
+    }
+
+    #[test]
+    fn heartbeat_reports_only_real_files() {
+        let cluster = Cluster::with_nodes(2);
+        let mut reg = LocalCacheRegistry::new(NodeId(1), PurgePolicy::default());
+        cluster.put_local(NodeId(1), name(0).store_name(), Bytes::from_static(b"x")).unwrap();
+        reg.add_entry(name(0), 1);
+        reg.add_entry(name(1), 1); // registry claims it, store lacks it
+        let hb = reg.heartbeat(&cluster);
+        assert!(hb.alive);
+        assert_eq!(hb.held, vec![name(0)]);
+        // The phantom entry is dropped node-side.
+        assert!(reg.get(&name(1)).is_none());
+        assert!(reg.get(&name(0)).is_some());
+    }
+
+    #[test]
+    fn dead_node_heartbeat_rolls_back_everything() {
+        let cluster = Cluster::with_nodes(2);
+        let mut reg = LocalCacheRegistry::new(NodeId(0), PurgePolicy::default());
+        let mut ctl = CacheController::new(1);
+        cluster.put_local(NodeId(0), name(0).store_name(), Bytes::from_static(b"x")).unwrap();
+        reg.add_entry(name(0), 1);
+        ctl.register_cache(name(0), NodeId(0), 1, SimTime::ZERO);
+        cluster.kill_node(NodeId(0)).unwrap();
+        let hb = reg.heartbeat(&cluster);
+        assert!(!hb.alive);
+        let lost = ctl.apply_heartbeat(&hb);
+        assert_eq!(lost, vec![name(0)]);
+        assert!(ctl.location(&name(0)).is_none());
+    }
+
+    #[test]
+    fn controller_invalidates_missing_caches_on_live_nodes() {
+        let cluster = Cluster::with_nodes(2);
+        let mut reg = LocalCacheRegistry::new(NodeId(1), PurgePolicy::default());
+        let mut ctl = CacheController::new(1);
+        // Two caches registered; only one file survives.
+        cluster.put_local(NodeId(1), name(0).store_name(), Bytes::from_static(b"x")).unwrap();
+        reg.add_entry(name(0), 1);
+        reg.add_entry(name(1), 1);
+        ctl.register_cache(name(0), NodeId(1), 1, SimTime::ZERO);
+        ctl.register_cache(name(1), NodeId(1), 1, SimTime::ZERO);
+        let hb = reg.heartbeat(&cluster);
+        let lost = ctl.apply_heartbeat(&hb);
+        assert_eq!(lost, vec![name(1)]);
+        assert_eq!(ctl.location(&name(0)), Some(NodeId(1)));
+        assert!(ctl.location(&name(1)).is_none());
+    }
+
+    #[test]
+    fn heartbeats_ignore_other_nodes_caches() {
+        let cluster = Cluster::with_nodes(3);
+        let mut reg = LocalCacheRegistry::new(NodeId(2), PurgePolicy::default());
+        let mut ctl = CacheController::new(1);
+        ctl.register_cache(name(5), NodeId(0), 1, SimTime::ZERO);
+        let hb = reg.heartbeat(&cluster); // node 2 holds nothing
+        let lost = ctl.apply_heartbeat(&hb);
+        assert!(lost.is_empty(), "node 0's caches are not node 2's business");
+        assert_eq!(ctl.location(&name(5)), Some(NodeId(0)));
+    }
+}

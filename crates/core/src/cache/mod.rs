@@ -1,0 +1,130 @@
+//! Window-aware caching (paper §4): cache identities, the per-node Local
+//! Cache Registry, the master-side Window-Aware Cache Controller, the
+//! per-query cache status matrix, and purge policies.
+
+pub mod controller;
+pub mod heartbeat;
+pub mod purge;
+pub mod registry;
+pub mod status_matrix;
+
+use crate::pane::PaneId;
+
+/// What a cached object holds. Redoop caches at two stages of a job
+/// (paper §4): reduce *input* (shuffled, sorted pane partitions) and
+/// reduce *output* (per-pane aggregates or per-pane-pair join results).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CacheObject {
+    /// Reduce-input cache: the sorted shuffle partition of one (sub-)pane.
+    PaneInput {
+        /// Source the pane belongs to (0-based).
+        source: u32,
+        /// The pane.
+        pane: PaneId,
+        /// Sub-pane index (0 when undivided).
+        sub: u32,
+    },
+    /// Reduce-output cache of an aggregation: one pane's partial
+    /// aggregates.
+    PaneOutput {
+        /// Source the pane belongs to.
+        source: u32,
+        /// The pane.
+        pane: PaneId,
+    },
+    /// Reduce-output cache of a binary join: one pane-pair's join result.
+    PairOutput {
+        /// Pane of source 0.
+        left: PaneId,
+        /// Pane of source 1.
+        right: PaneId,
+    },
+}
+
+/// Cache type tag as stored in registries (paper Table 1: 1 = reduce
+/// input, 2 = reduce output).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CacheKind {
+    /// Reduce-input cache.
+    ReduceInput,
+    /// Reduce-output cache.
+    ReduceOutput,
+}
+
+impl CacheObject {
+    /// The cache stage this object belongs to.
+    pub fn kind(&self) -> CacheKind {
+        match self {
+            CacheObject::PaneInput { .. } => CacheKind::ReduceInput,
+            CacheObject::PaneOutput { .. } | CacheObject::PairOutput { .. } => {
+                CacheKind::ReduceOutput
+            }
+        }
+    }
+
+    /// Node-local store name for this object restricted to one reduce
+    /// partition — the on-disk identity of the cache file.
+    pub fn store_name(&self, partition: usize) -> String {
+        match self {
+            CacheObject::PaneInput { source, pane, sub } => {
+                format!("ri/s{source}p{}.{sub}/r{partition}", pane.0)
+            }
+            CacheObject::PaneOutput { source, pane } => {
+                format!("ro/s{source}p{}/r{partition}", pane.0)
+            }
+            CacheObject::PairOutput { left, right } => {
+                format!("po/p{}x{}/r{partition}", left.0, right.0)
+            }
+        }
+    }
+}
+
+/// A cache identity: object + reduce partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CacheName {
+    /// The cached object.
+    pub object: CacheObject,
+    /// The reduce partition of the object held in this file.
+    pub partition: usize,
+}
+
+impl CacheName {
+    /// Constructor.
+    pub fn new(object: CacheObject, partition: usize) -> Self {
+        CacheName { object, partition }
+    }
+
+    /// Node-local store name.
+    pub fn store_name(&self) -> String {
+        self.object.store_name(self.partition)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_names_follow_convention() {
+        let input = CacheObject::PaneInput { source: 1, pane: PaneId(4), sub: 0 };
+        assert_eq!(input.store_name(2), "ri/s1p4.0/r2");
+        assert_eq!(input.kind(), CacheKind::ReduceInput);
+
+        let out = CacheObject::PaneOutput { source: 0, pane: PaneId(7) };
+        assert_eq!(out.store_name(0), "ro/s0p7/r0");
+        assert_eq!(out.kind(), CacheKind::ReduceOutput);
+
+        let pair = CacheObject::PairOutput { left: PaneId(3), right: PaneId(5) };
+        assert_eq!(pair.store_name(1), "po/p3x5/r1");
+        assert_eq!(pair.kind(), CacheKind::ReduceOutput);
+    }
+
+    #[test]
+    fn names_are_distinct_across_partitions_and_objects() {
+        let a = CacheName::new(CacheObject::PaneOutput { source: 0, pane: PaneId(1) }, 0);
+        let b = CacheName::new(CacheObject::PaneOutput { source: 0, pane: PaneId(1) }, 1);
+        let c = CacheName::new(CacheObject::PaneInput { source: 0, pane: PaneId(1), sub: 0 }, 0);
+        assert_ne!(a.store_name(), b.store_name());
+        assert_ne!(a.store_name(), c.store_name());
+    }
+}

@@ -1,0 +1,71 @@
+//! Purge policies for node-local caches (paper §4.1).
+//!
+//! Two light-weight mechanisms: *periodic* purging scans the registry
+//! every `PurgeCycle` windows, and *on-demand* purging fires immediately
+//! when the local file system is at risk of filling up.
+
+/// When expired caches are physically deleted.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PurgePolicy {
+    /// Scan-and-delete every `periodic_cycle` completed recurrences.
+    /// The paper's default `PurgeCycle` is the slide of the data source,
+    /// i.e. one recurrence.
+    pub periodic_cycle: u64,
+    /// Emergency threshold: when a node's local store exceeds this many
+    /// bytes, expired caches are purged immediately.
+    pub on_demand_capacity: u64,
+}
+
+impl Default for PurgePolicy {
+    fn default() -> Self {
+        PurgePolicy { periodic_cycle: 1, on_demand_capacity: 64 * 1024 * 1024 }
+    }
+}
+
+impl PurgePolicy {
+    /// Whether a periodic purge is due after completing `recurrence`.
+    pub fn periodic_due(&self, recurrence: u64) -> bool {
+        self.periodic_cycle != 0 && (recurrence + 1).is_multiple_of(self.periodic_cycle)
+    }
+
+    /// Whether store usage triggers an emergency purge.
+    pub fn on_demand_due(&self, store_bytes: u64) -> bool {
+        store_bytes > self.on_demand_capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_cycle_purges_every_recurrence() {
+        let p = PurgePolicy::default();
+        for r in 0..5 {
+            assert!(p.periodic_due(r));
+        }
+    }
+
+    #[test]
+    fn longer_cycles_skip_recurrences() {
+        let p = PurgePolicy { periodic_cycle: 3, ..Default::default() };
+        assert!(!p.periodic_due(0));
+        assert!(!p.periodic_due(1));
+        assert!(p.periodic_due(2));
+        assert!(p.periodic_due(5));
+    }
+
+    #[test]
+    fn zero_cycle_disables_periodic() {
+        let p = PurgePolicy { periodic_cycle: 0, ..Default::default() };
+        assert!(!p.periodic_due(0));
+        assert!(!p.periodic_due(100));
+    }
+
+    #[test]
+    fn on_demand_threshold() {
+        let p = PurgePolicy { on_demand_capacity: 100, ..Default::default() };
+        assert!(!p.on_demand_due(100));
+        assert!(p.on_demand_due(101));
+    }
+}

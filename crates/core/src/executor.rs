@@ -1,0 +1,1521 @@
+//! The Redoop recurring-query executor.
+//!
+//! Drives one recurring query across its recurrences, composing every
+//! component of the paper:
+//!
+//! * the Dynamic Data Packer seals arriving batches into pane files,
+//! * per window, only panes without materialized caches are mapped and
+//!   shuffled; cached pane products are *reused* from the task nodes'
+//!   local stores (reduce-input caches for joins, reduce-output caches
+//!   for aggregations, pane-pair output caches for join windows),
+//! * reduce-side work runs as one task per partition per window (plus
+//!   per-pane early tasks in proactive mode), placed by the cache-aware
+//!   scheduler (Eq. 4) and charged virtual time on the simulated cluster,
+//! * a finalization step merges per-pane partial results into the
+//!   recurrence's output (`<output_root>/w{i}/part-r-*`),
+//! * after each recurrence, expired caches are detected through the
+//!   cache status matrix + lifespans and purged via the local registries,
+//! * cache losses (node failures) are detected at window start and healed
+//!   by re-executing exactly the producing tasks (paper §5 recovery).
+//!
+//! Aggregation queries have one source and require a [`Merger`] — the
+//! finalization function merging per-pane partial aggregates. The
+//! reducer's output key must have the same textual form as its input key
+//! (true for grouping aggregations), because merged partials are re-read
+//! under the mapper's key type. Binary joins have two sources; the
+//! reduce function sees both sources' values per key and emits join
+//! results.
+
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use bytes::Bytes;
+use redoop_dfs::{Cluster, DfsPath, NodeId};
+use redoop_mapred::counters::names as cnames;
+use redoop_mapred::{
+    exec, io as mrio, ClusterSim, HashPartitioner, JobMetrics, MapWork, Mapper, Placement,
+    ReduceWork, Reducer, Scheduler, SchedulerCtx, SimTime, TaskKind, Writable,
+};
+
+use crate::adaptive::{AdaptiveController, ExecMode};
+use crate::api::{Merger, QueryConf, SourceConf};
+use crate::cache::controller::CacheController;
+use crate::cache::purge::PurgePolicy;
+use crate::cache::registry::LocalCacheRegistry;
+use crate::cache::status_matrix::CacheStatusMatrix;
+use crate::cache::{CacheName, CacheObject};
+use crate::error::{RedoopError, Result};
+use crate::packer::DynamicDataPacker;
+use crate::pane::{PaneGeometry, PaneId};
+use crate::scheduler::{cache_affinity, CacheAwareScheduler, MapTaskEntry, TaskLists};
+use crate::time::TimeRange;
+
+/// Feature switches for ablation experiments.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecutorOptions {
+    /// Reuse caches across windows (the paper's core optimization).
+    /// When false, every window rebuilds all pane products.
+    pub caching: bool,
+    /// Use cache-locality affinity when placing reduce-side tasks
+    /// (Eq. 4). When false, reduces are placed load-only, like plain
+    /// Hadoop — caches landing on other nodes must be rebuilt.
+    pub cache_aware_scheduling: bool,
+}
+
+impl Default for ExecutorOptions {
+    fn default() -> Self {
+        ExecutorOptions { caching: true, cache_aware_scheduling: true }
+    }
+}
+
+/// Per-recurrence execution report.
+#[derive(Debug, Clone)]
+pub struct WindowReport {
+    /// Recurrence index.
+    pub recurrence: u64,
+    /// Virtual time the window fired (event close).
+    pub fired_at: SimTime,
+    /// Response time: last output written minus fire time.
+    pub response: SimTime,
+    /// Execution mode used.
+    pub mode: ExecMode,
+    /// Merged metrics of every task charged for this recurrence.
+    pub metrics: JobMetrics,
+    /// Output part files.
+    pub outputs: Vec<DfsPath>,
+    /// Pane/pair products built (or rebuilt) this window.
+    pub built_products: usize,
+    /// Cache hits this window.
+    pub reused_caches: usize,
+}
+
+/// Shared or owned packer handle: multi-query deployments attach several
+/// executors to one packer via [`crate::shared::SharedSource`].
+type PackerHandle = Arc<Mutex<DynamicDataPacker>>;
+
+impl std::fmt::Display for WindowReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "window {}: response {} ({:?} mode, {} built, {} reused)",
+            self.recurrence, self.response, self.mode, self.built_products, self.reused_caches
+        )
+    }
+}
+
+struct SourceState {
+    conf: SourceConf,
+    geom: PaneGeometry,
+    packer: PackerHandle,
+}
+
+/// Per-map-task (per block split) statistics kept for proactive-mode
+/// pipelining, grouped by the sub-pane file the split came from.
+struct SliceMapInfo {
+    /// Index of the originating [`crate::packer::PaneSlice`] (sub-pane).
+    slice_idx: usize,
+    /// Virtual completion of this split's map task.
+    end: SimTime,
+    /// Per-partition shuffle bucket bytes produced by this split.
+    bucket_bytes: Vec<u64>,
+    /// Per-partition shuffle bucket records produced by this split.
+    bucket_records: Vec<u64>,
+}
+
+/// Per-sub-pane aggregate of [`SliceMapInfo`]: the unit of proactive
+/// reduce pipelining (one early micro-task per *sub-pane*, not per
+/// block — a whole pane is one unit when the plan has no subdivision).
+struct SubpaneCharge {
+    ready: SimTime,
+    bytes: u64,
+    records: u64,
+}
+
+fn subpane_charges(slices: &[SliceMapInfo], r: usize) -> Vec<SubpaneCharge> {
+    let mut by_slice: std::collections::BTreeMap<usize, SubpaneCharge> =
+        std::collections::BTreeMap::new();
+    for si in slices {
+        let e = by_slice.entry(si.slice_idx).or_insert(SubpaneCharge {
+            ready: SimTime::ZERO,
+            bytes: 0,
+            records: 0,
+        });
+        e.ready = e.ready.max(si.end);
+        e.bytes += si.bucket_bytes[r];
+        e.records += si.bucket_records[r];
+    }
+    by_slice.into_values().collect()
+}
+
+/// Transient real map output of one pane: encoded shuffle buckets, one
+/// per reduce partition, plus the virtual time each became available.
+struct MappedPane {
+    ready: SimTime,
+    buckets: Vec<String>,
+    slices: Vec<SliceMapInfo>,
+}
+
+/// The recurring-query executor. See module docs.
+pub struct RecurringExecutor<M, R>
+where
+    M: Mapper,
+    R: Reducer<KIn = M::KOut, VIn = M::VOut>,
+{
+    cluster: Cluster,
+    sim: ClusterSim,
+    conf: QueryConf,
+    options: ExecutorOptions,
+    mapper: Arc<M>,
+    reducer: Arc<R>,
+    merger: Option<Arc<dyn Merger<M::KOut, R::VOut>>>,
+    combiner: Option<Arc<dyn redoop_mapred::Combiner<M::KOut, M::VOut>>>,
+    partitioner: HashPartitioner,
+    sources: Vec<SourceState>,
+    controller: CacheController,
+    registries: Vec<LocalCacheRegistry>,
+    matrix: CacheStatusMatrix,
+    lists: TaskLists,
+    adaptive: AdaptiveController,
+    scheduler: CacheAwareScheduler,
+    mapped: HashMap<(u32, u64), MappedPane>,
+    built_panes: BTreeSet<(u32, u64)>,
+    built_pairs: BTreeSet<(u64, u64)>,
+    window_built: usize,
+    window_reused: usize,
+    /// Rotation counter for cache-blind reduce placement (see
+    /// [`ExecutorOptions::cache_aware_scheduling`]).
+    blind_counter: u64,
+    reports: Vec<WindowReport>,
+}
+
+impl<M, R> RecurringExecutor<M, R>
+where
+    M: Mapper,
+    R: Reducer<KIn = M::KOut, VIn = M::VOut>,
+{
+    /// Builds an executor for an **aggregation** query (one source; the
+    /// merger implements the finalization function over the reducer's
+    /// partial aggregates).
+    #[allow(clippy::too_many_arguments)]
+    pub fn aggregation(
+        cluster: &Cluster,
+        sim: ClusterSim,
+        conf: QueryConf,
+        source: SourceConf,
+        mapper: Arc<M>,
+        reducer: Arc<R>,
+        merger: Arc<dyn Merger<M::KOut, R::VOut>>,
+        adaptive: AdaptiveController,
+    ) -> Result<Self> {
+        Self::build(
+            cluster,
+            sim,
+            conf,
+            vec![(source, None)],
+            None,
+            mapper,
+            reducer,
+            Some(merger),
+            adaptive,
+        )
+    }
+
+    /// Like [`RecurringExecutor::aggregation`], attaching to a
+    /// [`crate::shared::SharedSource`] instead of owning its packer: the
+    /// pane files are ingested once and consumed by every query attached
+    /// to the source. The executor must not re-plan a shared packer, so
+    /// shared deployments should use a non-adaptive controller.
+    #[allow(clippy::too_many_arguments)]
+    pub fn aggregation_shared(
+        cluster: &Cluster,
+        sim: ClusterSim,
+        conf: QueryConf,
+        shared: &crate::shared::SharedSource,
+        spec: crate::query::WindowSpec,
+        mapper: Arc<M>,
+        reducer: Arc<R>,
+        merger: Arc<dyn Merger<M::KOut, R::VOut>>,
+        adaptive: AdaptiveController,
+    ) -> Result<Self> {
+        let source = shared.conf_for(spec)?;
+        let handle = shared.packer_handle();
+        Self::build(
+            cluster,
+            sim,
+            conf,
+            vec![(source, Some(handle))],
+            Some(shared.pane_ms()),
+            mapper,
+            reducer,
+            Some(merger),
+            adaptive,
+        )
+    }
+
+    /// Builds an executor for a **binary join** query (two sources with
+    /// identical window constraints; the reduce function performs the
+    /// join within each key group).
+    pub fn binary_join(
+        cluster: &Cluster,
+        sim: ClusterSim,
+        conf: QueryConf,
+        sources: [SourceConf; 2],
+        mapper: Arc<M>,
+        reducer: Arc<R>,
+        adaptive: AdaptiveController,
+    ) -> Result<Self> {
+        let [a, b] = sources;
+        if a.spec != b.spec {
+            return Err(RedoopError::InvalidQuery(
+                "binary join sources must share window constraints".into(),
+            ));
+        }
+        Self::build(
+            cluster,
+            sim,
+            conf,
+            vec![(a, None), (b, None)],
+            None,
+            mapper,
+            reducer,
+            None,
+            adaptive,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn build(
+        cluster: &Cluster,
+        sim: ClusterSim,
+        conf: QueryConf,
+        sources: Vec<(SourceConf, Option<PackerHandle>)>,
+        pane_override_ms: Option<u64>,
+        mapper: Arc<M>,
+        reducer: Arc<R>,
+        merger: Option<Arc<dyn Merger<M::KOut, R::VOut>>>,
+        adaptive: AdaptiveController,
+    ) -> Result<Self> {
+        if sources.is_empty() || sources.len() > 2 {
+            return Err(RedoopError::InvalidQuery("1 or 2 sources supported".into()));
+        }
+        if sources.len() == 1 && merger.is_none() {
+            return Err(RedoopError::InvalidQuery("aggregation requires a merger".into()));
+        }
+        let geom_of = |spec: &crate::query::WindowSpec| -> Result<PaneGeometry> {
+            match pane_override_ms {
+                None => Ok(PaneGeometry::from_spec(spec)),
+                Some(p) => PaneGeometry::with_pane(spec, p).ok_or_else(|| {
+                    RedoopError::InvalidQuery(format!(
+                        "pane {p}ms must divide win {} and slide {}",
+                        spec.win, spec.slide
+                    ))
+                }),
+            }
+        };
+        let geom = geom_of(&sources[0].0.spec)?;
+        let mut states = Vec::with_capacity(sources.len());
+        for (sid, (src, shared)) in sources.into_iter().enumerate() {
+            let src_geom = geom_of(&src.spec)?;
+            let packer = match shared {
+                Some(handle) => handle,
+                None => {
+                    let mut plan = adaptive.base_plan();
+                    plan.pane_ms = src_geom.pane_ms;
+                    Arc::new(Mutex::new(DynamicDataPacker::new(
+                        cluster,
+                        sid as u32,
+                        src.pane_root.clone(),
+                        plan,
+                        src.ts_fn.clone(),
+                    )))
+                }
+            };
+            states.push(SourceState { geom: src_geom, conf: src, packer });
+        }
+        let dims = states.len();
+        let registries = (0..cluster.node_count() as u32)
+            .map(|i| LocalCacheRegistry::new(NodeId(i), PurgePolicy::default()))
+            .collect();
+        Ok(RecurringExecutor {
+            cluster: cluster.clone(),
+            sim,
+            conf,
+            options: ExecutorOptions::default(),
+            mapper,
+            reducer,
+            merger,
+            combiner: None,
+            partitioner: HashPartitioner,
+            sources: states,
+            controller: CacheController::new(1),
+            registries,
+            matrix: CacheStatusMatrix::new(dims, geom),
+            lists: TaskLists::new(),
+            adaptive,
+            scheduler: CacheAwareScheduler,
+            mapped: HashMap::new(),
+            built_panes: BTreeSet::new(),
+            built_pairs: BTreeSet::new(),
+            window_built: 0,
+            window_reused: 0,
+            blind_counter: 0,
+            reports: Vec::new(),
+        })
+    }
+
+    /// Overrides the ablation switches.
+    pub fn set_options(&mut self, options: ExecutorOptions) {
+        self.options = options;
+    }
+
+    /// Installs a map-side combiner: map output is pre-aggregated per key
+    /// before partitioning, shrinking shuffle bytes and cache files. The
+    /// combiner must be algebraically safe (associative + commutative
+    /// folding), as in Hadoop.
+    pub fn set_combiner(
+        &mut self,
+        combiner: Arc<dyn redoop_mapred::Combiner<M::KOut, M::VOut>>,
+    ) {
+        self.combiner = Some(combiner);
+    }
+
+    /// Access to the adaptive controller (e.g. to force proactive mode).
+    pub fn adaptive_mut(&mut self) -> &mut AdaptiveController {
+        &mut self.adaptive
+    }
+
+    /// Reports of completed recurrences.
+    pub fn reports(&self) -> &[WindowReport] {
+        &self.reports
+    }
+
+    /// The simulated cluster state (for inspection or chaining).
+    pub fn sim(&self) -> &ClusterSim {
+        &self.sim
+    }
+
+    /// The cache controller (inspection in tests/benches).
+    pub fn controller(&self) -> &CacheController {
+        &self.controller
+    }
+
+    /// Ingests one arriving batch into `source`'s packer (the packer
+    /// piggybacks pane creation on loading, paper §2.3). Sealed panes are
+    /// announced to the cache controller (ready bit 1) and queued on the
+    /// map task list.
+    pub fn ingest<'l>(
+        &mut self,
+        source: usize,
+        lines: impl Iterator<Item = &'l str>,
+        range: &TimeRange,
+    ) -> Result<()> {
+        let sid = source as u32;
+        let state = &mut self.sources[source];
+        let mut packer = state.packer.lock();
+        let before = packer.manifest().max_sealed_pane().map(|p| p.0 + 1).unwrap_or(0);
+        packer.ingest_batch(lines, range)?;
+        let after = packer.manifest().max_sealed_pane().map(|p| p.0 + 1).unwrap_or(0);
+        drop(packer);
+        for p in before..after {
+            for r in 0..self.conf.num_reducers {
+                self.controller.note_hdfs_available(CacheName::new(
+                    CacheObject::PaneInput { source: sid, pane: PaneId(p), sub: 0 },
+                    r,
+                ));
+            }
+            self.lists.push_map(MapTaskEntry { source: sid, pane: PaneId(p), sub: 0 });
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Scheduling plumbing
+    // ------------------------------------------------------------------
+
+    fn alive_vec(&self) -> Vec<bool> {
+        let mut alive = vec![false; self.cluster.node_count()];
+        for id in self.cluster.alive_nodes() {
+            alive[id.index()] = true;
+        }
+        alive
+    }
+
+    /// Picks the node for a reduce-side task ready at `floor`, per Eq. 4.
+    /// Loads are clamped to `floor`: a slot freeing up before the task
+    /// can start contributes no waiting time, so only *actual* queueing
+    /// competes with the cache-affinity term.
+    fn pick_reduce_node(&mut self, caches: &[CacheName], floor: SimTime) -> NodeId {
+        let loads: Vec<SimTime> =
+            self.sim.loads(TaskKind::Reduce).into_iter().map(|l| l.max(floor)).collect();
+        let alive = self.alive_vec();
+        let ctx = SchedulerCtx { loads: &loads, alive: &alive };
+        if !self.options.cache_aware_scheduling {
+            // Plain-Hadoop reduce placement: whichever task tracker's
+            // heartbeat wins — arbitrary with respect to caches. Modeled
+            // as a rotation over live nodes.
+            let alive_ids = self.cluster.alive_nodes();
+            let node = alive_ids[(self.blind_counter as usize) % alive_ids.len()];
+            self.blind_counter += 1;
+            return node;
+        }
+        let cost = self.sim.cost().clone();
+        let controller = &self.controller;
+        let affinity = move |n: NodeId| cache_affinity(controller, caches, n, &cost);
+        self.scheduler.pick_node(TaskKind::Reduce, &ctx, &affinity)
+    }
+
+    fn charge_map(
+        &mut self,
+        node: NodeId,
+        ready: SimTime,
+        work: &MapWork,
+        local: bool,
+        metrics: &mut JobMetrics,
+    ) -> Placement {
+        let duration = work.duration(self.sim.cost(), local);
+        let placement = self.sim.assign(TaskKind::Map, node, ready, duration);
+        metrics.phases.map += duration;
+        metrics.map_tasks += 1;
+        metrics.counters.add(cnames::MAP_INPUT_RECORDS, work.input_records);
+        metrics.counters.add(cnames::MAP_OUTPUT_RECORDS, work.output_records);
+        metrics.counters.add(cnames::HDFS_BYTES_READ, work.split_bytes);
+        metrics.finished_at = metrics.finished_at.max(placement.end);
+        placement
+    }
+
+    fn charge_reduce(
+        &mut self,
+        node: NodeId,
+        ready: SimTime,
+        work: &ReduceWork,
+        metrics: &mut JobMetrics,
+    ) -> Placement {
+        let phases = work.phases(self.sim.cost());
+        let placement = self.sim.assign(TaskKind::Reduce, node, ready, phases.total());
+        metrics.phases.shuffle += phases.copy;
+        metrics.phases.sort += phases.sort;
+        metrics.phases.reduce += phases.reduce;
+        metrics.reduce_tasks += 1;
+        metrics.counters.add(cnames::SHUFFLE_BYTES, work.shuffle_bytes);
+        metrics.counters.add(cnames::CACHE_BYTES_READ, work.cache_bytes);
+        metrics.counters.add(cnames::REDUCE_INPUT_RECORDS, work.input_records);
+        metrics.counters.add(cnames::REDUCE_OUTPUT_RECORDS, work.output_records);
+        metrics.counters.add(cnames::HDFS_BYTES_WRITTEN, work.hdfs_output_bytes);
+        metrics.finished_at = metrics.finished_at.max(placement.end);
+        placement
+    }
+
+    // ------------------------------------------------------------------
+    // Map stage
+    // ------------------------------------------------------------------
+
+    /// Runs (for real) and charges (virtually) the map tasks of one pane,
+    /// producing its encoded shuffle buckets. `floor` is the earliest
+    /// virtual time work may start (window fire time in batch mode,
+    /// `ZERO` in proactive mode — slices are still gated by arrival).
+    fn ensure_pane_mapped(
+        &mut self,
+        source: u32,
+        pane: PaneId,
+        floor: SimTime,
+        metrics: &mut JobMetrics,
+    ) -> Result<SimTime> {
+        if let Some(m) = self.mapped.get(&(source, pane.0)) {
+            return Ok(m.ready);
+        }
+        let slices: Vec<crate::packer::PaneSlice> = self.sources[source as usize]
+            .packer
+            .lock()
+            .manifest()
+            .slices_of(pane)
+            .to_vec();
+        let num_reducers = self.conf.num_reducers;
+        let block_size = self.cluster.config().block_size.max(1);
+        let mut buckets: Vec<String> = vec![String::new(); num_reducers];
+        let mut ready = floor;
+        // One map task per DFS block of each slice, like Hadoop's
+        // block-aligned input splits.
+        let mut tasks: Vec<(usize, crate::packer::PaneSlice, std::ops::Range<usize>, u64)> =
+            Vec::new();
+        for (slice_idx, slice) in slices.iter().enumerate() {
+            let n_tasks = ((slice.bytes as usize).div_ceil(block_size)).max(1);
+            let lines = slice.lines.clone();
+            let total = lines.len();
+            let chunk = total.div_ceil(n_tasks).max(1);
+            let mut start = lines.start;
+            while start < lines.end {
+                let end = (start + chunk).min(lines.end);
+                let frac = (end - start) as f64 / total.max(1) as f64;
+                let bytes = (slice.bytes as f64 * frac).round() as u64;
+                tasks.push((slice_idx, slice.clone(), start..end, bytes));
+                start = end;
+            }
+            if total == 0 {
+                tasks.push((slice_idx, slice.clone(), lines, 0));
+            }
+        }
+        let mut slice_infos: Vec<SliceMapInfo> = Vec::with_capacity(tasks.len());
+        for (slice_idx, slice, line_range, split_bytes) in &tasks {
+            // Real execution: map this split's lines.
+            let data = self.cluster.read(&slice.path)?;
+            let file = redoop_mapred::LineFile::new(data);
+            let (pairs, input_records) =
+                exec::run_mapper(&*self.mapper, file.lines(line_range.clone()));
+            let pairs = match &self.combiner {
+                Some(c) => exec::apply_combiner(pairs, c.as_ref()),
+                None => pairs,
+            };
+            let parts = exec::partition_pairs(pairs, &self.partitioner, num_reducers);
+            let mut output_bytes = 0u64;
+            let mut output_records = 0u64;
+            let mut bucket_bytes = vec![0u64; num_reducers];
+            let mut bucket_records = vec![0u64; num_reducers];
+            for (r, bucket) in parts.into_iter().enumerate() {
+                output_records += bucket.len() as u64;
+                bucket_records[r] = bucket.len() as u64;
+                let text = mrio::encode_kv_block(&bucket);
+                output_bytes += text.len() as u64;
+                bucket_bytes[r] = text.len() as u64;
+                buckets[r].push_str(&text);
+            }
+            let work = MapWork {
+                split_bytes: *split_bytes,
+                input_records,
+                output_records,
+                output_bytes,
+            };
+            // Virtual: place on a map slot with HDFS locality affinity.
+            let replicas = self
+                .cluster
+                .namenode()
+                .get_file(&slice.path)
+                .map(|m| m.blocks.first().map(|b| b.replicas.clone()).unwrap_or_default())
+                .unwrap_or_default();
+            let cost = self.sim.cost().clone();
+            let task_ready = floor.max(slice.ready_at);
+            let loads: Vec<SimTime> =
+                self.sim.loads(TaskKind::Map).into_iter().map(|l| l.max(task_ready)).collect();
+            let alive = self.alive_vec();
+            let ctx = SchedulerCtx { loads: &loads, alive: &alive };
+            let bytes = *split_bytes;
+            let reps = replicas.clone();
+            let node = self.scheduler.pick_node(TaskKind::Map, &ctx, &move |n| {
+                let local = reps.contains(&n);
+                cost.hdfs_read(bytes, local).saturating_sub(cost.hdfs_read(bytes, true))
+            });
+            let local = replicas.contains(&node);
+            let placement = self.charge_map(node, task_ready, &work, local, metrics);
+            slice_infos.push(SliceMapInfo {
+                slice_idx: *slice_idx,
+                end: placement.end,
+                bucket_bytes,
+                bucket_records,
+            });
+            ready = ready.max(placement.end);
+        }
+        self.mapped
+            .insert((source, pane.0), MappedPane { ready, buckets, slices: slice_infos });
+        Ok(ready)
+    }
+
+    // ------------------------------------------------------------------
+    // Pane product construction (real work, cache registration)
+    // ------------------------------------------------------------------
+
+    fn input_name(source: u32, pane: PaneId, r: usize) -> CacheName {
+        CacheName::new(CacheObject::PaneInput { source, pane, sub: 0 }, r)
+    }
+
+    fn output_name(source: u32, pane: PaneId, r: usize) -> CacheName {
+        CacheName::new(CacheObject::PaneOutput { source, pane }, r)
+    }
+
+    fn pair_name(left: PaneId, right: PaneId, r: usize) -> CacheName {
+        CacheName::new(CacheObject::PairOutput { left, right }, r)
+    }
+
+    /// Whether `name` is materialized on `node` specifically.
+    fn cached_on(&self, name: &CacheName, node: NodeId) -> bool {
+        self.controller.location(name) == Some(node)
+    }
+
+    fn register(&mut self, name: CacheName, node: NodeId, bytes: u64, at: SimTime) {
+        if let Some(old) = self.controller.location(&name) {
+            if old != node {
+                // The authoritative copy migrates; the stale file on the
+                // old node is garbage — let its registry purge it.
+                self.registries[old.index()].mark_expired(&name);
+            }
+        }
+        // Estimate the reconstruction cost as the source pane bytes (per
+        // partition): losing a small aggregate cache still forces a full
+        // pane re-read/re-map/re-shuffle.
+        let rebuild = self.rebuild_bytes_of(&name);
+        self.controller.register_cache_with_rebuild(name, node, bytes, rebuild, at);
+        self.registries[node.index()].add_entry(name, bytes);
+    }
+
+    /// Per-partition source bytes behind one cache object.
+    fn rebuild_bytes_of(&self, name: &CacheName) -> u64 {
+        let r = self.conf.num_reducers as u64;
+        match name.object {
+            CacheObject::PaneInput { source, pane, .. }
+            | CacheObject::PaneOutput { source, pane } => {
+                self.sources[source as usize].packer.lock().manifest().pane_bytes(pane) / r
+            }
+            CacheObject::PairOutput { left, right } => {
+                (self.sources[0].packer.lock().manifest().pane_bytes(left)
+                    + self
+                        .sources
+                        .get(1)
+                        .map(|s| s.packer.lock().manifest().pane_bytes(right))
+                        .unwrap_or(0))
+                    / r
+            }
+        }
+    }
+
+    /// Builds the sorted reduce-input cache of `(source, pane)` partition
+    /// `r` on `node`, *real side only* (no virtual charge — the caller
+    /// folds the bytes into its window reduce task). Returns
+    /// `(input_records, shuffle_bytes, cache_file_bytes)`.
+    fn build_input_cache_real(
+        &mut self,
+        source: u32,
+        pane: PaneId,
+        r: usize,
+        node: NodeId,
+    ) -> Result<(u64, u64, u64)> {
+        let name = Self::input_name(source, pane, r);
+        let bucket_len;
+        let text = {
+            let m = self.mapped.get(&(source, pane.0)).expect("pane mapped before build");
+            let bucket = &m.buckets[r];
+            bucket_len = bucket.len() as u64;
+            let pairs: Vec<(M::KOut, M::VOut)> = mrio::decode_kv_block(bucket)?;
+            let groups = exec::sort_group(pairs);
+            let mut text = String::with_capacity(bucket.len());
+            for (k, vs) in &groups {
+                for v in vs {
+                    mrio::encode_kv(k, v, &mut text);
+                }
+            }
+            text
+        };
+        let records = text.lines().count() as u64;
+        let bytes = text.len() as u64;
+        self.cluster.put_local(node, name.store_name(), Bytes::from(text))?;
+        self.built_panes.insert((source, pane.0));
+        self.window_built += 1;
+        Ok((records, bucket_len, bytes))
+    }
+
+    /// Builds the per-pane partial aggregate (reduce-output cache) of
+    /// `(source, pane)` partition `r` on `node`, real side only. Returns
+    /// `(input_records, shuffle_bytes, cache_file_bytes)`.
+    fn build_pane_output_real(
+        &mut self,
+        source: u32,
+        pane: PaneId,
+        r: usize,
+        node: NodeId,
+    ) -> Result<(u64, u64, u64)> {
+        let name = Self::output_name(source, pane, r);
+        let (input_records, bucket_len, text) = {
+            let m = self.mapped.get(&(source, pane.0)).expect("pane mapped before build");
+            let bucket = &m.buckets[r];
+            let pairs: Vec<(M::KOut, M::VOut)> = mrio::decode_kv_block(bucket)?;
+            let input_records = pairs.len() as u64;
+            let groups = exec::sort_group(pairs);
+            let (out_pairs, _) = exec::run_reducer(&*self.reducer, &groups);
+            (input_records, bucket.len() as u64, mrio::encode_kv_block(&out_pairs))
+        };
+        let bytes = text.len() as u64;
+        self.cluster.put_local(node, name.store_name(), Bytes::from(text))?;
+        if r == self.conf.num_reducers - 1 {
+            self.matrix.mark_done(&[pane]);
+        }
+        self.built_panes.insert((source, pane.0));
+        self.window_built += 1;
+        Ok((input_records, bucket_len, bytes))
+    }
+
+    /// Joins the cached inputs of `(left, right)` partition `r` on
+    /// `node`, storing the pair-output cache, real side only. Returns
+    /// `(input_records, pair_cache_bytes, inputs_read_bytes)`.
+    fn build_pair_output_real(
+        &mut self,
+        left: PaneId,
+        right: PaneId,
+        r: usize,
+        node: NodeId,
+    ) -> Result<(u64, u64, u64)> {
+        let name = Self::pair_name(left, right, r);
+        let lt = self.cluster.get_local(node, &Self::input_name(0, left, r).store_name())?;
+        let rt = self.cluster.get_local(node, &Self::input_name(1, right, r).store_name())?;
+        let read_bytes = (lt.len() + rt.len()) as u64;
+        let mut pairs: Vec<(M::KOut, M::VOut)> =
+            mrio::decode_kv_block(std::str::from_utf8(&lt).unwrap_or(""))?;
+        pairs.extend(mrio::decode_kv_block::<M::KOut, M::VOut>(
+            std::str::from_utf8(&rt).unwrap_or(""),
+        )?);
+        let input_records = pairs.len() as u64;
+        let groups = exec::sort_group(pairs);
+        let (out_pairs, _) = exec::run_reducer(&*self.reducer, &groups);
+        let text = mrio::encode_kv_block(&out_pairs);
+        let bytes = text.len() as u64;
+        self.cluster.put_local(node, name.store_name(), Bytes::from(text))?;
+        self.matrix.mark_done(&[left, right]);
+        self.built_pairs.insert((left.0, right.0));
+        self.window_built += 1;
+        Ok((input_records, bytes, read_bytes))
+    }
+
+    // ------------------------------------------------------------------
+    // Window execution
+    // ------------------------------------------------------------------
+
+    /// Runs recurrence `rec`, returning its report. Ingest must have
+    /// covered the window's event range first.
+    pub fn run_window(&mut self, rec: u64) -> Result<WindowReport> {
+        let spec = self.sources[0].conf.spec;
+        let fire = SimTime::from_millis(spec.fire_time(rec).as_millis());
+        let mut metrics =
+            JobMetrics { submitted_at: fire, finished_at: fire, ..Default::default() };
+        self.window_built = 0;
+        self.window_reused = 0;
+
+        // Recovery audit: caches claimed available must still exist.
+        self.audit_caches();
+        if !self.options.caching {
+            for name in self.controller.all_cached() {
+                self.controller.invalidate(&name);
+            }
+        }
+
+        // Feed the fresh-volume signal, then take the adaptive decision.
+        let geom0 = self.sources[0].geom;
+        let prev_panes: Vec<u64> =
+            if rec == 0 { Vec::new() } else { geom0.window_panes(rec - 1).collect() };
+        let mut fresh_bytes = 0u64;
+        let mut fresh_panes = 0u64;
+        for st in &self.sources {
+            for p in geom0.window_panes(rec) {
+                if !prev_panes.contains(&p) {
+                    fresh_bytes += st.packer.lock().manifest().pane_bytes(PaneId(p));
+                    fresh_panes += 1;
+                }
+            }
+        }
+        self.adaptive
+            .observe_fresh_volume(fresh_bytes, fresh_panes.max(1) * geom0.pane_ms);
+        let decision = self.adaptive.decide();
+        for s in &mut self.sources {
+            let mut plan = decision.plan;
+            plan.pane_ms = s.geom.pane_ms; // pane length is geometry-fixed
+            s.packer.lock().set_plan(plan);
+        }
+        let floor = match decision.mode {
+            ExecMode::Batch => fire,
+            ExecMode::Proactive => SimTime::ZERO,
+        };
+
+        let geom = self.sources[0].geom;
+        let panes: Vec<PaneId> = geom.window_panes(rec).map(PaneId).collect();
+
+        // Guard: every pane of this window must have been sealed by the
+        // packer. Running early would silently cache empty panes and
+        // corrupt later windows.
+        let last_needed = *panes.last().expect("windows have panes");
+        for st in &self.sources {
+            let sealed = st.packer.lock().manifest().max_sealed_pane();
+            if sealed.map(|p| p < last_needed).unwrap_or(true) {
+                return Err(RedoopError::InvalidQuery(format!(
+                    "window {rec} needs pane {} of source {:?} but ingestion only sealed                      through {:?}",
+                    last_needed.0, st.conf.name, sealed
+                )));
+            }
+        }
+
+        let mut outputs = Vec::with_capacity(self.conf.num_reducers);
+        for r in 0..self.conf.num_reducers {
+            let path = if self.sources.len() == 1 {
+                self.run_window_partition_agg(rec, &panes, r, fire, floor, decision.mode, &mut metrics)?
+            } else {
+                self.run_window_partition_join(rec, &panes, r, fire, floor, decision.mode, &mut metrics)?
+            };
+            outputs.push(path);
+        }
+
+        // Post-window maintenance: expiration + purging.
+        self.expire_and_purge(rec)?;
+        self.mapped.clear();
+
+        let response = metrics.finished_at.saturating_sub(fire);
+        let input_bytes = metrics.counters.get(cnames::HDFS_BYTES_READ);
+        self.adaptive.record(response, input_bytes);
+
+        let report = WindowReport {
+            recurrence: rec,
+            fired_at: fire,
+            response,
+            mode: decision.mode,
+            metrics,
+            outputs,
+            built_products: self.window_built,
+            reused_caches: self.window_reused,
+        };
+        self.reports.push(report.clone());
+        Ok(report)
+    }
+
+    /// One aggregation window, one partition: build missing pane outputs
+    /// (one consolidated reduce task in batch mode; per-pane early tasks
+    /// in proactive mode), then merge all pane outputs into the final
+    /// part file.
+    #[allow(clippy::too_many_arguments)]
+    fn run_window_partition_agg(
+        &mut self,
+        rec: u64,
+        panes: &[PaneId],
+        r: usize,
+        fire: SimTime,
+        floor: SimTime,
+        mode: ExecMode,
+        metrics: &mut JobMetrics,
+    ) -> Result<DfsPath> {
+        let names: Vec<CacheName> =
+            panes.iter().map(|&p| Self::output_name(0, p, r)).collect();
+        let node = self.pick_reduce_node(&names, fire);
+        let missing: Vec<PaneId> = panes
+            .iter()
+            .copied()
+            .filter(|&p| !self.cached_on(&Self::output_name(0, p, r), node))
+            .collect();
+        self.window_reused += panes.len() - missing.len();
+
+        // Map stage for missing panes.
+        let mut map_ready = floor;
+        for &p in &missing {
+            self.lists.reopen_map(MapTaskEntry { source: 0, pane: p, sub: 0 });
+        }
+        while let Some(entry) = self.lists.pop_map() {
+            if missing.contains(&entry.pane) {
+                let t = self.ensure_pane_mapped(entry.source, entry.pane, floor, metrics)?;
+                map_ready = map_ready.max(t);
+            }
+        }
+
+        // Reduce side. In batch mode this is ONE task per partition, as
+        // in the paper: "the reducer input now physically comes from two
+        // different sources: the output from the mappers (for the new
+        // input data) and the local file system (for the caches of
+        // previous panes)". In proactive mode, new panes get early
+        // per-pane tasks and only the merge waits for the window close.
+        let mut ready = fire.max(map_ready);
+        let mut shuffle_bytes = 0u64;
+        let mut new_records = 0u64;
+        let mut local_out = 0u64;
+        let mut early_done = SimTime::ZERO;
+        match mode {
+            ExecMode::Batch => {
+                for &p in &missing {
+                    let (recs, shuffled, bytes) = self.build_pane_output_real(0, p, r, node)?;
+                    new_records += recs;
+                    shuffle_bytes += shuffled;
+                    local_out += bytes;
+                }
+            }
+            ExecMode::Proactive => {
+                // Pipelined: one small reduce task per map split (sub-pane)
+                // ready as soon as that split's map output exists — only
+                // the final split's work lands after the window closes.
+                for &p in &missing {
+                    self.ensure_pane_mapped(0, p, floor, metrics)?;
+                    let (_recs, _shuffled, bytes) = self.build_pane_output_real(0, p, r, node)?;
+                    let charges = subpane_charges(&self.mapped[&(0, p.0)].slices, r);
+                    let mut pane_done = SimTime::ZERO;
+                    let n = charges.len().max(1) as u64;
+                    for charge in charges {
+                        let work = ReduceWork {
+                            shuffle_bytes: charge.bytes,
+                            cache_bytes: 0,
+                            input_records: charge.records,
+                            merged_records: 0,
+                            aggregate_records: 0,
+                            output_records: charge.records,
+                            hdfs_output_bytes: 0,
+                            local_output_bytes: bytes / n,
+                        };
+                        let placement = self.charge_reduce(node, charge.ready, &work, metrics);
+                        pane_done = pane_done.max(placement.end);
+                    }
+                    self.register(Self::output_name(0, p, r), node, bytes, pane_done);
+                    early_done = early_done.max(pane_done);
+                }
+            }
+        }
+
+        // Merge every pane output (cache reads for reused panes) into the
+        // window result.
+        let mut cache_bytes = 0u64;
+        let mut partials: Vec<(M::KOut, R::VOut)> = Vec::new();
+        for &p in panes {
+            let name = Self::output_name(0, p, r);
+            if let Some(sig) = self.controller.signature(&name) {
+                // Previously cached panes gate readiness; panes built in
+                // this batch task are produced inside it.
+                ready = ready.max(sig.available_at);
+                cache_bytes += sig.bytes;
+            }
+            let data = self.cluster.get_local(node, &name.store_name())?;
+            partials.extend(mrio::decode_kv_block::<M::KOut, R::VOut>(
+                std::str::from_utf8(&data).unwrap_or(""),
+            )?);
+        }
+        let partial_records = partials.len() as u64;
+        let groups = exec::sort_group(partials);
+        let merger = self.merger.as_ref().expect("aggregation has a merger").clone();
+        let mut out = String::new();
+        let mut output_records = 0u64;
+        for (k, vs) in &groups {
+            let merged = merger.merge(k, vs);
+            k.write(&mut out);
+            out.push('\t');
+            merged.write(&mut out);
+            out.push('\n');
+            output_records += 1;
+        }
+        let path = self.conf.output_part(rec, r);
+        let work = ReduceWork {
+            shuffle_bytes,
+            cache_bytes,
+            input_records: new_records,
+            merged_records: 0,
+            // Pane partials and the merged window totals are aggregate
+            // records: "pane-based rather than tuple-based" (paper §6.2.1).
+            aggregate_records: partial_records + output_records,
+            output_records: 0,
+            hdfs_output_bytes: out.len() as u64,
+            local_output_bytes: local_out,
+        };
+        self.cluster.create(&path, Bytes::from(out))?;
+        let placement = self.charge_reduce(node, ready.max(early_done), &work, metrics);
+        if mode == ExecMode::Batch {
+            for &p in &missing {
+                let name = Self::output_name(0, p, r);
+                let bytes = self
+                    .cluster
+                    .get_local(node, &name.store_name())
+                    .map(|b| b.len() as u64)
+                    .unwrap_or(0);
+                self.register(name, node, bytes, placement.end);
+            }
+        }
+        Ok(path)
+    }
+
+    /// One join window, one partition: ensure input caches of every
+    /// window pane, join the not-yet-done pane pairs (incremental), then
+    /// concatenate all in-window pair outputs into the final part file.
+    #[allow(clippy::too_many_arguments)]
+    fn run_window_partition_join(
+        &mut self,
+        rec: u64,
+        panes: &[PaneId],
+        r: usize,
+        fire: SimTime,
+        floor: SimTime,
+        mode: ExecMode,
+        metrics: &mut JobMetrics,
+    ) -> Result<DfsPath> {
+        // Affinity over every cache this window's partition touches.
+        let mut names: Vec<CacheName> = Vec::new();
+        for s in 0..2u32 {
+            for &p in panes {
+                names.push(Self::input_name(s, p, r));
+            }
+        }
+        for &p in panes {
+            for &q in panes {
+                names.push(Self::pair_name(p, q, r));
+            }
+        }
+        let node = self.pick_reduce_node(&names, fire);
+
+        // Which inputs are missing on the chosen node?
+        let mut missing: Vec<(u32, PaneId)> = Vec::new();
+        for s in 0..2u32 {
+            for &p in panes {
+                if self.cached_on(&Self::input_name(s, p, r), node) {
+                    self.window_reused += 1;
+                } else {
+                    missing.push((s, p));
+                }
+            }
+        }
+
+        // Map stage for missing panes.
+        for &(s, p) in &missing {
+            self.lists.reopen_map(MapTaskEntry { source: s, pane: p, sub: 0 });
+        }
+        let mut per_pane_map_ready: HashMap<(u32, u64), SimTime> = HashMap::new();
+        while let Some(entry) = self.lists.pop_map() {
+            if missing.contains(&(entry.source, entry.pane)) {
+                let t = self.ensure_pane_mapped(entry.source, entry.pane, floor, metrics)?;
+                per_pane_map_ready.insert((entry.source, entry.pane.0), t);
+            }
+        }
+
+        // Pairs that still need joining: not done, or their cache is not
+        // on the chosen node (rebuild — e.g. after failure or cache-blind
+        // scheduling moved the partition).
+        let mut todo_pairs: Vec<(PaneId, PaneId)> = Vec::new();
+        for &p in panes {
+            for &q in panes {
+                let done = self.matrix.is_done(&[p, q]);
+                let local = self.cached_on(&Self::pair_name(p, q, r), node);
+                if done && local {
+                    self.window_reused += 1;
+                } else {
+                    todo_pairs.push((p, q));
+                }
+            }
+        }
+
+        // Input-cache availability per pane on `node`, building missing
+        // ones. Virtual charging differs by mode.
+        let mut input_avail: HashMap<(u32, u64), SimTime> = HashMap::new();
+        for s in 0..2u32 {
+            for &p in panes {
+                let name = Self::input_name(s, p, r);
+                if self.cached_on(&name, node) {
+                    let at = self.controller.signature(&name).expect("cached").available_at;
+                    input_avail.insert((s, p.0), at);
+                }
+            }
+        }
+
+        // Reduce side. In batch mode this is ONE window task per
+        // partition: shuffle in the new panes' buckets, sort them into
+        // input caches, merge-join every outstanding pane pair against
+        // the pre-sorted caches, reuse cached pair outputs, and write the
+        // window output — the paper's two-source reducer input (mappers +
+        // local file system). Proactive mode instead charges early
+        // per-pane and per-pair-group tasks as data arrives, with only a
+        // concatenation task gated on the window close.
+        let mut ready = fire;
+        for &(s, p) in &missing {
+            ready = ready.max(*per_pane_map_ready.get(&(s, p.0)).unwrap_or(&floor));
+        }
+        let mut shuffle_bytes = 0u64;
+        let mut new_input_records = 0u64;
+        let mut local_out = 0u64;
+        let mut old_input_reads = 0u64;
+        let mut pair_output_records = 0u64;
+        let mut early_done = SimTime::ZERO;
+        let mut batch_registrations: Vec<(CacheName, u64)> = Vec::new();
+        // Old pane inputs participating in new pairs are streamed from the
+        // local cache ONCE (they are pre-sorted; the incremental join is a
+        // linear merge) — "reducers only need to process the incremental
+        // inputs and produce new results" (paper §6.2.2).
+        let mut old_panes_touched: BTreeSet<(u32, u64)> = BTreeSet::new();
+        for &(p, q) in &todo_pairs {
+            if !missing.contains(&(0, p)) {
+                old_panes_touched.insert((0, p.0));
+            }
+            if !missing.contains(&(1, q)) {
+                old_panes_touched.insert((1, q.0));
+            }
+        }
+        for &(src, p) in &old_panes_touched {
+            if let Some(sig) =
+                self.controller.signature(&Self::input_name(src, PaneId(p), r))
+            {
+                old_input_reads += sig.bytes;
+            }
+        }
+        match mode {
+            ExecMode::Batch => {
+                for &(s, p) in &missing {
+                    let (recs, shuffled, bytes) = self.build_input_cache_real(s, p, r, node)?;
+                    new_input_records += recs;
+                    shuffle_bytes += shuffled;
+                    local_out += bytes;
+                    batch_registrations.push((Self::input_name(s, p, r), bytes));
+                }
+                for &(p, q) in &todo_pairs {
+                    let (_recs, bytes, _read) = self.build_pair_output_real(p, q, r, node)?;
+                    local_out += bytes;
+                    pair_output_records += self
+                        .cluster
+                        .get_local(node, &Self::pair_name(p, q, r).store_name())
+                        .map(|b| {
+                            std::str::from_utf8(&b).map(|t| t.lines().count() as u64).unwrap_or(0)
+                        })
+                        .unwrap_or(0);
+                    batch_registrations.push((Self::pair_name(p, q, r), bytes));
+                }
+            }
+            ExecMode::Proactive => {
+                // Build each missing input as its sub-panes arrive
+                // (pipelined per map split).
+                for &(s, p) in &missing {
+                    let (_recs, _shuffled, bytes) = self.build_input_cache_real(s, p, r, node)?;
+                    let charges = subpane_charges(&self.mapped[&(s, p.0)].slices, r);
+                    let mut pane_done = SimTime::ZERO;
+                    let n = charges.len().max(1) as u64;
+                    for charge in charges {
+                        let work = ReduceWork {
+                            shuffle_bytes: charge.bytes,
+                            cache_bytes: 0,
+                            input_records: charge.records,
+                            merged_records: 0,
+                            aggregate_records: 0,
+                            output_records: charge.records,
+                            hdfs_output_bytes: 0,
+                            local_output_bytes: bytes / n,
+                        };
+                        let placement = self.charge_reduce(node, charge.ready, &work, metrics);
+                        pane_done = pane_done.max(placement.end);
+                    }
+                    self.register(Self::input_name(s, p, r), node, bytes, pane_done);
+                    input_avail.insert((s, p.0), pane_done);
+                }
+                // Join pairs as soon as both inputs exist, grouped by the
+                // later-available input.
+                let mut pair_groups: HashMap<u64, Vec<(PaneId, PaneId)>> = HashMap::new();
+                for &(p, q) in &todo_pairs {
+                    let tp = input_avail.get(&(0, p.0)).copied().unwrap_or(floor);
+                    let tq = input_avail.get(&(1, q.0)).copied().unwrap_or(floor);
+                    pair_groups.entry(tp.max(tq).0).or_default().push((p, q));
+                }
+                let mut keys: Vec<u64> = pair_groups.keys().copied().collect();
+                keys.sort_unstable();
+                for key in keys {
+                    let pairs = pair_groups[&key].clone();
+                    let mut outs = 0u64;
+                    let mut group_local_out = 0u64;
+                    let mut built: Vec<(CacheName, u64)> = Vec::new();
+                    for &(p, q) in &pairs {
+                        let (_recs, bytes, _read) = self.build_pair_output_real(p, q, r, node)?;
+                        group_local_out += bytes;
+                        outs += self
+                            .cluster
+                            .get_local(node, &Self::pair_name(p, q, r).store_name())
+                            .map(|b| {
+                                std::str::from_utf8(&b)
+                                    .map(|t| t.lines().count() as u64)
+                                    .unwrap_or(0)
+                            })
+                            .unwrap_or(0);
+                        built.push((Self::pair_name(p, q, r), bytes));
+                    }
+                    let work = ReduceWork {
+                        shuffle_bytes: 0,
+                        cache_bytes: 0,
+                        input_records: 0,
+                        merged_records: 0,
+                        aggregate_records: 0,
+                        output_records: outs,
+                        hdfs_output_bytes: 0,
+                        local_output_bytes: group_local_out,
+                    };
+                    let placement = self.charge_reduce(node, SimTime(key), &work, metrics);
+                    for (name, bytes) in built {
+                        self.register(name, node, bytes, placement.end);
+                    }
+                    early_done = early_done.max(placement.end);
+                }
+            }
+        }
+
+        // Window output: concatenate every in-window pair output (reused
+        // pair caches gate readiness and pay cache reads; pairs built in
+        // this very task are already in hand).
+        let mut reused_cache_bytes = 0u64;
+        let mut out = String::new();
+        let mut concat_records = 0u64;
+        for &p in panes {
+            for &q in panes {
+                let name = Self::pair_name(p, q, r);
+                let freshly_built = todo_pairs.contains(&(p, q));
+                if let Some(sig) = self.controller.signature(&name) {
+                    if !freshly_built {
+                        ready = ready.max(sig.available_at);
+                        reused_cache_bytes += sig.bytes;
+                    }
+                }
+                let data = self.cluster.get_local(node, &name.store_name())?;
+                let text = std::str::from_utf8(&data).unwrap_or("");
+                concat_records += text.lines().count() as u64;
+                out.push_str(text);
+            }
+        }
+        let path = self.conf.output_part(rec, r);
+        let work = ReduceWork {
+            shuffle_bytes,
+            cache_bytes: old_input_reads + reused_cache_bytes,
+            input_records: new_input_records,
+            merged_records: 0,
+            // Concatenating cached pair outputs is a byte copy, not
+            // per-tuple recomputation.
+            aggregate_records: concat_records,
+            output_records: pair_output_records,
+            hdfs_output_bytes: out.len() as u64,
+            local_output_bytes: local_out,
+        };
+        self.cluster.create(&path, Bytes::from(out))?;
+        let placement = self.charge_reduce(node, ready.max(early_done), &work, metrics);
+        for (name, bytes) in batch_registrations {
+            self.register(name, node, bytes, placement.end);
+        }
+        Ok(path)
+    }
+
+    // ------------------------------------------------------------------
+    // Recovery and maintenance
+    // ------------------------------------------------------------------
+
+    /// Synchronizes every node's Local Cache Registry with the
+    /// Window-Aware Cache Controller via heartbeats (paper §2.3): caches
+    /// the controller believed materialized but missing from a node's
+    /// report are rolled back to HDFS-available (ready 2 → 1), so they
+    /// get rebuilt on demand (paper §5 failure recovery). Returns the
+    /// number of lost caches.
+    pub fn audit_caches(&mut self) -> usize {
+        let mut lost = 0;
+        for reg in &mut self.registries {
+            let hb = reg.heartbeat(&self.cluster);
+            lost += self.controller.apply_heartbeat(&hb).len();
+        }
+        lost
+    }
+
+    /// Expiration + purging after recurrence `rec` (paper §4.1/§4.2):
+    /// panes and pairs that left the window and exhausted their lifespans
+    /// get their `doneQueryMask` bits set, purge notifications flow to
+    /// the local registries, and registries run their purge policies.
+    fn expire_and_purge(&mut self, rec: u64) -> Result<()> {
+        let geom = self.sources[0].geom;
+        let mut notifications = Vec::new();
+
+        let expired_panes: Vec<(u32, u64)> = self
+            .built_panes
+            .iter()
+            .copied()
+            .filter(|&(source, p)| {
+                let dim = if self.matrix.dims() == 1 { 0 } else { source as usize };
+                geom.pane_out_of_window(PaneId(p), rec)
+                    && self.matrix.pane_fully_processed(dim, PaneId(p))
+            })
+            .collect();
+        for (source, p) in expired_panes {
+            for r in 0..self.conf.num_reducers {
+                for object in [
+                    CacheObject::PaneInput { source, pane: PaneId(p), sub: 0 },
+                    CacheObject::PaneOutput { source, pane: PaneId(p) },
+                ] {
+                    let name = CacheName::new(object, r);
+                    if self.controller.signature(&name).is_some() {
+                        if let Some(n) = self.controller.mark_query_done(name, 0)? {
+                            notifications.push(n);
+                        }
+                        self.controller.forget(&name);
+                    }
+                }
+            }
+            self.built_panes.remove(&(source, p));
+        }
+
+        if self.matrix.dims() == 2 {
+            let expired_pairs: Vec<(u64, u64)> = self
+                .built_pairs
+                .iter()
+                .copied()
+                .filter(|&(p, q)| {
+                    let wp = geom.windows_containing(PaneId(p));
+                    let wq = geom.windows_containing(PaneId(q));
+                    wp.end.min(wq.end) <= rec + 1
+                })
+                .collect();
+            for (p, q) in expired_pairs {
+                for r in 0..self.conf.num_reducers {
+                    let name = Self::pair_name(PaneId(p), PaneId(q), r);
+                    if self.controller.signature(&name).is_some() {
+                        if let Some(n) = self.controller.mark_query_done(name, 0)? {
+                            notifications.push(n);
+                        }
+                        self.controller.forget(&name);
+                    }
+                }
+                self.built_pairs.remove(&(p, q));
+            }
+        }
+
+        for n in notifications {
+            self.registries[n.node.index()].mark_expired(&n.name);
+        }
+        for reg in &mut self.registries {
+            if self.cluster.is_alive(reg.node()) {
+                reg.maybe_purge(&self.cluster, rec)?;
+            }
+        }
+        self.matrix.shift(rec);
+        Ok(())
+    }
+}
+
+/// Reads a recurrence's output back as sorted, typed pairs — the oracle
+/// used to check Redoop against the plain recomputation baseline.
+pub fn read_window_output<K, V>(cluster: &Cluster, outputs: &[DfsPath]) -> Result<Vec<(K, V)>>
+where
+    K: Writable + Ord,
+    V: Writable + Ord,
+{
+    let mut all: Vec<(K, V)> = Vec::new();
+    for p in outputs {
+        let data = cluster.read(p)?;
+        all.extend(mrio::decode_kv_block::<K, V>(std::str::from_utf8(&data).unwrap_or(""))?);
+    }
+    all.sort();
+    Ok(all)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adaptive::AdaptiveController;
+    use crate::analyzer::{PartitionPlan, SemanticAnalyzer};
+    use crate::api::{leading_ts_fn, QueryConf, SumMerger};
+    use crate::query::WindowSpec;
+    use redoop_mapred::{ClosureMapper, ClosureReducer, CostModel, MapContext, ReduceContext};
+
+    type TestMapper = ClosureMapper<String, u64, fn(&str, &mut MapContext<String, u64>)>;
+    type TestReducer =
+        ClosureReducer<String, u64, String, u64, fn(&String, &[u64], &mut ReduceContext<String, u64>)>;
+
+    fn mapper() -> Arc<TestMapper> {
+        fn map(line: &str, ctx: &mut MapContext<String, u64>) {
+            if let Some(k) = line.split(',').nth(1) {
+                ctx.emit(k.to_string(), 1);
+            }
+        }
+        Arc::new(ClosureMapper::new(map))
+    }
+
+    #[allow(clippy::ptr_arg)]
+    fn reducer() -> Arc<TestReducer> {
+        fn reduce(k: &String, vs: &[u64], ctx: &mut ReduceContext<String, u64>) {
+            ctx.emit(k.clone(), vs.iter().sum());
+        }
+        Arc::new(ClosureReducer::new(reduce))
+    }
+
+    fn fixture(
+    ) -> (Cluster, ClusterSim, QueryConf, SourceConf, AdaptiveController, WindowSpec) {
+        let cluster = Cluster::with_nodes(4);
+        let sim = ClusterSim::paper_testbed(4, CostModel::default());
+        let spec = WindowSpec::new(200, 100).unwrap();
+        let conf = QueryConf::new("t", 2, DfsPath::new("/out/t").unwrap()).unwrap();
+        let source = SourceConf {
+            name: "s".into(),
+            spec,
+            pane_root: DfsPath::new("/panes/t").unwrap(),
+            ts_fn: leading_ts_fn(),
+        };
+        let adaptive = AdaptiveController::disabled(
+            SemanticAnalyzer::new(1024),
+            PartitionPlan::simple(100),
+        );
+        (cluster, sim, conf, source, adaptive, spec)
+    }
+
+    #[test]
+    fn join_rejects_mismatched_window_specs() {
+        let (cluster, sim, conf, source, adaptive, _) = fixture();
+        let mut other = source.clone();
+        other.spec = WindowSpec::new(400, 100).unwrap();
+        let result = RecurringExecutor::binary_join(
+            &cluster,
+            sim,
+            conf,
+            [source, other],
+            mapper(),
+            reducer(),
+            adaptive,
+        );
+        assert!(matches!(result.err(), Some(RedoopError::InvalidQuery(_))));
+    }
+
+    #[test]
+    fn running_before_ingest_is_an_error_not_corruption() {
+        let (cluster, sim, conf, source, adaptive, _) = fixture();
+        let mut exec = RecurringExecutor::aggregation(
+            &cluster,
+            sim,
+            conf,
+            source,
+            mapper(),
+            reducer(),
+            Arc::new(SumMerger),
+            adaptive,
+        )
+        .unwrap();
+        let err = exec.run_window(0).unwrap_err();
+        assert!(matches!(err, RedoopError::InvalidQuery(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn minimal_window_runs_and_reports() {
+        let (cluster, sim, conf, source, adaptive, _) = fixture();
+        let mut exec = RecurringExecutor::aggregation(
+            &cluster,
+            sim,
+            conf,
+            source,
+            mapper(),
+            reducer(),
+            Arc::new(SumMerger),
+            adaptive,
+        )
+        .unwrap();
+        exec.ingest(
+            0,
+            ["10,a", "50,b", "150,a"].into_iter(),
+            &crate::time::TimeRange::new(
+                crate::time::EventTime(0),
+                crate::time::EventTime(200),
+            ),
+        )
+        .unwrap();
+        let report = exec.run_window(0).unwrap();
+        assert_eq!(report.recurrence, 0);
+        assert!(report.response > SimTime::ZERO);
+        assert_eq!(report.outputs.len(), 2);
+        let out: Vec<(String, u64)> = read_window_output(&cluster, &report.outputs).unwrap();
+        assert_eq!(out, vec![("a".to_string(), 2), ("b".to_string(), 1)]);
+        assert_eq!(exec.reports().len(), 1);
+        // Caches were registered for both panes.
+        assert!(!exec.controller().is_empty());
+    }
+
+    #[test]
+    fn audit_on_fresh_executor_is_clean() {
+        let (cluster, sim, conf, source, adaptive, _) = fixture();
+        let mut exec = RecurringExecutor::aggregation(
+            &cluster,
+            sim,
+            conf,
+            source,
+            mapper(),
+            reducer(),
+            Arc::new(SumMerger),
+            adaptive,
+        )
+        .unwrap();
+        assert_eq!(exec.audit_caches(), 0);
+    }
+}

@@ -1,0 +1,117 @@
+//! # redoop-core
+//!
+//! A from-scratch reproduction of **Redoop: Supporting Recurring Queries
+//! in Hadoop** (Lei, Rundensteiner, Eltabakh — EDBT 2014), built on the
+//! `redoop-dfs` (HDFS-like) and `redoop-mapred` (MapReduce runtime)
+//! substrate crates.
+//!
+//! A *recurring query* re-executes every `slide` over a `win`-sized
+//! sliding window of evolving, disk-resident data. Redoop makes such
+//! queries first-class:
+//!
+//! * **Recurring query model** ([`query::WindowSpec`]) — `win` + `slide`,
+//!   overlap factor, recurrence ranges (paper §2.1).
+//! * **Semantic Analyzer** ([`analyzer`]) — Algorithm 1: pane =
+//!   `gcd(win, slide)`, oversize/undersized file packing against the DFS
+//!   block size, adaptive re-planning from profiler forecasts.
+//! * **Dynamic Data Packer** ([`packer`]) — seals arriving batches into
+//!   `S#P#` / `S#P#_#` pane files (multi-pane files carry a locator
+//!   header) and sub-pane files under adaptive plans.
+//! * **Execution Profiler** ([`profiler`]) — Holt double-exponential
+//!   smoothing (Eqs. 1–3) forecasting execution times.
+//! * **Adaptive/proactive execution** ([`adaptive`]) — scale-factor
+//!   driven sub-pane subdivision and early partial processing (§3.3).
+//! * **Window-aware caching** ([`cache`]) — reduce-input/output caches on
+//!   task nodes' local file systems, the per-node Local Cache Registry
+//!   (Table 1), the master's Window-Aware Cache Controller with cache
+//!   signatures and `doneQueryMask` (Table 2), the per-query cache status
+//!   matrix with lifespan-based expiration and shifting (Table 3,
+//!   Fig. 4), and periodic/on-demand purging (§4.1–4.2).
+//! * **Cache-aware task scheduling** ([`scheduler`]) — Eq. 4
+//!   (`argmin Load_i + C_task,i`) over map/reduce task lists
+//!   (Algorithm 2).
+//! * **The recurring executor** ([`executor`]) — incremental window
+//!   execution with cache reuse, finalization, expiration, purging, and
+//!   failure recovery via task re-execution (§5).
+//! * **The plain-Hadoop baseline** ([`baseline`]) — the driver approach
+//!   the paper compares against.
+//!
+//! ## Quick start
+//!
+//! See `examples/quickstart.rs`; the short version:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use redoop_core::prelude::*;
+//! use redoop_core::{AdaptiveController, PartitionPlan, SemanticAnalyzer};
+//! use redoop_mapred::{ClosureMapper, ClosureReducer, MapContext, ReduceContext, ClusterSim, CostModel};
+//! use redoop_dfs::{Cluster, DfsPath};
+//!
+//! // Count clicks per URL over the last 40ms of data, every 20ms.
+//! let cluster = Cluster::with_nodes(4);
+//! let spec = WindowSpec::new(40, 20).unwrap();
+//! let source = SourceConf::with_leading_ts("clicks", spec, DfsPath::new("/panes").unwrap());
+//! let mapper = Arc::new(ClosureMapper::new(|line: &str, ctx: &mut MapContext<String, u64>| {
+//!     if let Some(url) = line.split(',').nth(1) { ctx.emit(url.to_string(), 1); }
+//! }));
+//! let reducer = Arc::new(ClosureReducer::new(
+//!     |k: &String, vs: &[u64], ctx: &mut ReduceContext<String, u64>| {
+//!         ctx.emit(k.clone(), vs.iter().sum());
+//!     },
+//! ));
+//! let conf = QueryConf::new("clicks", 2, DfsPath::new("/out").unwrap()).unwrap();
+//! let adaptive = AdaptiveController::disabled(SemanticAnalyzer::new(64 * 1024), PartitionPlan::simple(20));
+//! let mut exec = RecurringExecutor::aggregation(
+//!     &cluster,
+//!     ClusterSim::paper_testbed(4, CostModel::default()),
+//!     conf, source, mapper, reducer, Arc::new(SumMerger), adaptive,
+//! ).unwrap();
+//! exec.ingest(0, ["5,a", "15,b", "25,a", "35,a"].into_iter(),
+//!             &TimeRange::new(EventTime(0), EventTime(40))).unwrap();
+//! let report = exec.run_window(0).unwrap();
+//! assert!(report.response > redoop_mapred::SimTime::ZERO);
+//! ```
+
+pub mod adaptive;
+pub mod analyzer;
+pub mod api;
+pub mod baseline;
+pub mod cache;
+pub mod error;
+pub mod executor;
+pub mod packer;
+pub mod pane;
+pub mod profiler;
+pub mod query;
+pub mod scheduler;
+pub mod shared;
+pub mod time;
+
+pub use adaptive::{AdaptiveController, AdaptiveDecision, ExecMode};
+pub use analyzer::{PartitionPlan, SemanticAnalyzer, SourceStats};
+pub use api::{leading_ts_fn, ClosureMerger, MaxMerger, Merger, QueryConf, SourceConf, SumMerger};
+pub use baseline::{run_baseline_window, BatchFile, WindowFilterMapper};
+pub use error::{RedoopError, Result};
+pub use executor::{read_window_output, ExecutorOptions, RecurringExecutor, WindowReport};
+pub use packer::{DynamicDataPacker, PaneManifest, PaneSlice};
+pub use pane::{gcd, PaneGeometry, PaneId};
+pub use profiler::{ExecutionProfiler, Observation};
+pub use query::WindowSpec;
+pub use shared::SharedSource;
+pub use time::{EventTime, TimeRange};
+
+/// Convenient glob import for applications.
+pub mod prelude {
+    pub use crate::adaptive::{AdaptiveController, ExecMode};
+    pub use crate::analyzer::{PartitionPlan, SemanticAnalyzer, SourceStats};
+    pub use crate::api::{
+        leading_ts_fn, ClosureMerger, MaxMerger, Merger, QueryConf, SourceConf, SumMerger,
+    };
+    pub use crate::baseline::{run_baseline_window, BatchFile};
+    pub use crate::executor::{
+        read_window_output, ExecutorOptions, RecurringExecutor, WindowReport,
+    };
+    pub use crate::pane::{PaneGeometry, PaneId};
+    pub use crate::query::WindowSpec;
+    pub use crate::time::{EventTime, TimeRange};
+}

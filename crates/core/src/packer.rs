@@ -1,0 +1,584 @@
+//! The Dynamic Data Packer (paper §3.2).
+//!
+//! Executes the partition plan at load time: as each arriving batch file
+//! is ingested, its records are routed into pane (or sub-pane) buffers,
+//! and completed panes are sealed as DFS files using the paper's naming
+//! convention:
+//!
+//! * oversize case — one pane per file: `S#P#` (e.g. `S1P4`),
+//! * undersized case — several panes per file: `S#P#_#` (e.g. `S1P0_3`
+//!   holds panes 0..=3), with a *header line* indexing each contained
+//!   pane so a consumer can locate one pane without scanning the file,
+//! * adaptive sub-panes — `S#P#s#` (e.g. `S1P4s1` is the second sub-pane
+//!   of pane 4).
+//!
+//! The packer also maintains an in-memory [`PaneManifest`] (pane →
+//! slices) that Redoop's executor uses to resolve window inputs, and
+//! observed arrival statistics for the Semantic Analyzer.
+
+use std::collections::BTreeMap;
+use std::ops::Range;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use redoop_dfs::{Cluster, DfsPath};
+use redoop_mapred::SimTime;
+
+use crate::analyzer::{PartitionPlan, SourceStats};
+use crate::error::{RedoopError, Result};
+use crate::pane::PaneId;
+use crate::time::{EventTime, TimeRange};
+
+/// Extracts the event timestamp from one record line.
+pub type TsFn = Arc<dyn Fn(&str) -> Option<EventTime> + Send + Sync>;
+
+/// One physical slice of a pane: where the records of `(pane, sub)` live.
+#[derive(Debug, Clone)]
+pub struct PaneSlice {
+    /// The logical pane.
+    pub pane: PaneId,
+    /// Sub-pane index within the pane (0 when the plan has no subdivision).
+    pub sub: u32,
+    /// Backing file.
+    pub path: DfsPath,
+    /// Line range within the file (after the header line, if any).
+    pub lines: Range<usize>,
+    /// Byte length of those lines (charged as the slice's read cost).
+    pub bytes: u64,
+    /// Record count.
+    pub records: u64,
+    /// Virtual time at which this slice is sealed and processable
+    /// (event-time close of the sub-pane; 1 event ms == 1 virtual ms).
+    pub ready_at: SimTime,
+}
+
+/// Pane → slices lookup for one source.
+#[derive(Debug, Default, Clone)]
+pub struct PaneManifest {
+    slices: BTreeMap<u64, Vec<PaneSlice>>,
+}
+
+impl PaneManifest {
+    /// Slices of pane `p` (empty if the pane holds no data or is not yet
+    /// sealed).
+    pub fn slices_of(&self, p: PaneId) -> &[PaneSlice] {
+        self.slices.get(&p.0).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Total records sealed for pane `p`.
+    pub fn pane_records(&self, p: PaneId) -> u64 {
+        self.slices_of(p).iter().map(|s| s.records).sum()
+    }
+
+    /// Total bytes sealed for pane `p`.
+    pub fn pane_bytes(&self, p: PaneId) -> u64 {
+        self.slices_of(p).iter().map(|s| s.bytes).sum()
+    }
+
+    /// Virtual time when the whole pane is available.
+    pub fn pane_ready_at(&self, p: PaneId) -> SimTime {
+        self.slices_of(p).iter().map(|s| s.ready_at).max().unwrap_or(SimTime::ZERO)
+    }
+
+    /// Highest sealed pane id, if any.
+    pub fn max_sealed_pane(&self) -> Option<PaneId> {
+        self.slices.keys().next_back().map(|&p| PaneId(p))
+    }
+
+    fn push(&mut self, slice: PaneSlice) {
+        self.slices.entry(slice.pane.0).or_default().push(slice);
+    }
+}
+
+/// Header line of a multi-pane file: `#panes p:start:count;...`.
+pub fn encode_pane_header(entries: &[(PaneId, usize, usize)]) -> String {
+    let mut s = String::from("#panes ");
+    for (i, (p, start, count)) in entries.iter().enumerate() {
+        if i > 0 {
+            s.push(';');
+        }
+        s.push_str(&format!("{}:{}:{}", p.0, start, count));
+    }
+    s
+}
+
+/// Parses a multi-pane header line back into `(pane, start_line, count)`.
+pub fn decode_pane_header(line: &str) -> Result<Vec<(PaneId, usize, usize)>> {
+    let body = line
+        .strip_prefix("#panes ")
+        .ok_or_else(|| RedoopError::BadRecord(format!("not a pane header: {line:?}")))?;
+    let mut out = Vec::new();
+    for part in body.split(';') {
+        let mut it = part.split(':');
+        let (p, s, c) = (it.next(), it.next(), it.next());
+        match (p, s, c) {
+            (Some(p), Some(s), Some(c)) => {
+                let parse = |x: &str| {
+                    x.parse::<u64>()
+                        .map_err(|_| RedoopError::BadRecord(format!("bad header field {x:?}")))
+                };
+                out.push((PaneId(parse(p)?), parse(s)? as usize, parse(c)? as usize));
+            }
+            _ => return Err(RedoopError::BadRecord(format!("bad header part {part:?}"))),
+        }
+    }
+    Ok(out)
+}
+
+/// The Dynamic Data Packer for one data source.
+pub struct DynamicDataPacker {
+    cluster: Cluster,
+    source_id: u32,
+    root: DfsPath,
+    plan: PartitionPlan,
+    ts_fn: TsFn,
+    manifest: PaneManifest,
+    /// Buffered lines per (pane, sub) awaiting seal.
+    pending: BTreeMap<(u64, u32), Vec<String>>,
+    /// Panes already sealed (records arriving late for them are errors).
+    sealed_through: Option<u64>,
+    /// Observed arrival volume for rate estimation.
+    observed_bytes: u64,
+    observed_span_ms: u64,
+    dropped_records: u64,
+}
+
+impl DynamicDataPacker {
+    /// A packer writing pane files under `root` (e.g. `/redoop/panes/s1`).
+    pub fn new(
+        cluster: &Cluster,
+        source_id: u32,
+        root: DfsPath,
+        plan: PartitionPlan,
+        ts_fn: TsFn,
+    ) -> Self {
+        DynamicDataPacker {
+            cluster: cluster.clone(),
+            source_id,
+            root,
+            plan,
+            ts_fn,
+            manifest: PaneManifest::default(),
+            pending: BTreeMap::new(),
+            sealed_through: None,
+            observed_bytes: 0,
+            observed_span_ms: 0,
+            dropped_records: 0,
+        }
+    }
+
+    /// The active partition plan.
+    pub fn plan(&self) -> &PartitionPlan {
+        &self.plan
+    }
+
+    /// Installs a new plan (adaptive re-planning). Takes effect for panes
+    /// not yet sealed; buffered records keep their existing sub-pane
+    /// assignment only if the subdivision is unchanged, otherwise they are
+    /// re-bucketed.
+    pub fn set_plan(&mut self, plan: PartitionPlan) {
+        if plan.subpanes != self.plan.subpanes {
+            let old: Vec<String> =
+                std::mem::take(&mut self.pending).into_values().flatten().collect();
+            self.plan = plan;
+            for line in old {
+                if let Some((key, _)) = self.locate(&line) {
+                    self.pending.entry(key).or_default().push(line);
+                }
+            }
+        } else {
+            self.plan = plan;
+        }
+    }
+
+    /// The sealed-pane manifest.
+    pub fn manifest(&self) -> &PaneManifest {
+        &self.manifest
+    }
+
+    /// Records dropped for missing/bad timestamps.
+    pub fn dropped_records(&self) -> u64 {
+        self.dropped_records
+    }
+
+    /// Observed source statistics (bytes per event-time ms so far).
+    pub fn observed_stats(&self) -> SourceStats {
+        if self.observed_span_ms == 0 {
+            return SourceStats { bytes_per_ms: 0.0 };
+        }
+        SourceStats { bytes_per_ms: self.observed_bytes as f64 / self.observed_span_ms as f64 }
+    }
+
+    fn locate(&self, line: &str) -> Option<((u64, u32), EventTime)> {
+        let ts = (self.ts_fn)(line)?;
+        let pane = ts.0 / self.plan.pane_ms;
+        let within = ts.0 % self.plan.pane_ms;
+        let sub = (within / self.plan.subpane_ms()).min(self.plan.subpanes - 1) as u32;
+        Some(((pane, sub), ts))
+    }
+
+    /// Ingests one arriving batch covering `batch_range` (paper model:
+    /// batch ranges are ordered and non-overlapping). Seals every
+    /// (sub-)pane whose time range closed at or before `batch_range.end`,
+    /// returning the paths of newly written pane files.
+    pub fn ingest_batch<'l>(
+        &mut self,
+        lines: impl Iterator<Item = &'l str>,
+        batch_range: &TimeRange,
+    ) -> Result<Vec<DfsPath>> {
+        for line in lines {
+            match self.locate(line) {
+                Some((key, ts)) => {
+                    if !batch_range.contains(ts) {
+                        return Err(RedoopError::BadRecord(format!(
+                            "record at {ts} outside batch range {batch_range}"
+                        )));
+                    }
+                    if self.sealed_through.is_some_and(|s| key.0 <= s) {
+                        return Err(RedoopError::BadRecord(format!(
+                            "late record at {ts}: pane {} already sealed",
+                            key.0
+                        )));
+                    }
+                    self.observed_bytes += line.len() as u64 + 1;
+                    self.pending.entry(key).or_default().push(line.to_string());
+                }
+                None => self.dropped_records += 1,
+            }
+        }
+        self.observed_span_ms = self.observed_span_ms.max(batch_range.end.0);
+        self.seal_until(batch_range.end)
+    }
+
+    /// Seals everything buffered, regardless of completeness (end of
+    /// stream).
+    pub fn finish(&mut self) -> Result<Vec<DfsPath>> {
+        self.seal_until(EventTime(u64::MAX))
+    }
+
+    /// Seals all (sub-)panes whose event range ends at or before `upto`.
+    fn seal_until(&mut self, upto: EventTime) -> Result<Vec<DfsPath>> {
+        let pane_ms = self.plan.pane_ms;
+        let sub_ms = self.plan.subpane_ms();
+        let complete_pane = if upto.0 == u64::MAX {
+            u64::MAX
+        } else {
+            // Panes with end <= upto, i.e. pane id < upto/pane_ms.
+            upto.0 / pane_ms
+        };
+        if complete_pane == 0 {
+            return Ok(Vec::new());
+        }
+        let last_complete = complete_pane - 1; // inclusive, may be MAX-1 for finish()
+        let last_complete = if upto.0 == u64::MAX {
+            match self.pending.keys().next_back() {
+                Some(&(p, _)) => p,
+                None => return Ok(Vec::new()),
+            }
+        } else {
+            last_complete
+        };
+        let first = self.sealed_through.map(|s| s + 1).unwrap_or(0);
+        if first > last_complete {
+            return Ok(Vec::new());
+        }
+
+        let mut written = Vec::new();
+        // Chunk the complete panes into files of up to `panes_per_file`
+        // consecutive panes (undersized case). A complete pane is never
+        // held back waiting for group-mates: recurring windows must be
+        // able to consume every pane that has closed.
+        let ppf = self.plan.panes_per_file;
+        let mut group_start = first;
+        while group_start <= last_complete {
+            let group_end = (group_start + ppf - 1).min(last_complete);
+            written.extend(self.seal_group(group_start, group_end, pane_ms, sub_ms)?);
+            self.sealed_through = Some(group_end);
+            group_start = group_end + 1;
+        }
+        Ok(written)
+    }
+
+    /// Seals panes `lo..=hi` into physical files per the plan.
+    fn seal_group(&mut self, lo: u64, hi: u64, pane_ms: u64, sub_ms: u64) -> Result<Vec<DfsPath>> {
+        let sid = self.source_id;
+        let mut written = Vec::new();
+        if self.plan.subpanes > 1 {
+            // Sub-pane files: one file per (pane, sub).
+            for p in lo..=hi {
+                for sub in 0..self.plan.subpanes as u32 {
+                    let lines = self.pending.remove(&(p, sub)).unwrap_or_default();
+                    let name = format!("S{sid}P{p}s{sub}");
+                    let path = self.root.join(&name)?;
+                    let (bytes, records, text) = join_lines(&lines);
+                    self.cluster.create(&path, Bytes::from(text))?;
+                    let ready_ms = p * pane_ms + (sub as u64 + 1) * sub_ms;
+                    self.manifest.push(PaneSlice {
+                        pane: PaneId(p),
+                        sub,
+                        path: path.clone(),
+                        lines: 0..records as usize,
+                        bytes,
+                        records,
+                        ready_at: SimTime::from_millis(ready_ms),
+                    });
+                    written.push(path);
+                }
+            }
+        } else if self.plan.panes_per_file > 1 {
+            // Undersized: one file for panes lo..=hi with a header.
+            let name = if lo == hi {
+                format!("S{sid}P{lo}")
+            } else {
+                format!("S{sid}P{lo}_{hi}")
+            };
+            let path = self.root.join(&name)?;
+            let mut header_entries = Vec::new();
+            let mut body = String::new();
+            let mut per_pane: Vec<(u64, Range<usize>, u64, u64)> = Vec::new();
+            let mut line_cursor = 0usize;
+            for p in lo..=hi {
+                let lines = self.pending.remove(&(p, 0)).unwrap_or_default();
+                let (bytes, records, text) = join_lines(&lines);
+                header_entries.push((PaneId(p), line_cursor, records as usize));
+                // Manifest line ranges are absolute file lines: the header
+                // occupies line 0, so the body starts at line 1.
+                let abs = line_cursor + 1;
+                per_pane.push((p, abs..abs + records as usize, bytes, records));
+                line_cursor += records as usize;
+                body.push_str(&text);
+            }
+            let mut file_text = encode_pane_header(&header_entries);
+            file_text.push('\n');
+            file_text.push_str(&body);
+            self.cluster.create(&path, Bytes::from(file_text))?;
+            for (p, lines, bytes, records) in per_pane {
+                self.manifest.push(PaneSlice {
+                    pane: PaneId(p),
+                    sub: 0,
+                    path: path.clone(),
+                    lines,
+                    bytes,
+                    records,
+                    // A shared file is only on disk once its last pane
+                    // closes; every contained pane becomes readable then.
+                    ready_at: SimTime::from_millis((hi + 1) * pane_ms),
+                });
+            }
+            written.push(path);
+        } else {
+            // Oversize: one pane per file.
+            for p in lo..=hi {
+                let lines = self.pending.remove(&(p, 0)).unwrap_or_default();
+                let name = format!("S{sid}P{p}");
+                let path = self.root.join(&name)?;
+                let (bytes, records, text) = join_lines(&lines);
+                self.cluster.create(&path, Bytes::from(text))?;
+                self.manifest.push(PaneSlice {
+                    pane: PaneId(p),
+                    sub: 0,
+                    path: path.clone(),
+                    lines: 0..records as usize,
+                    bytes,
+                    records,
+                    ready_at: SimTime::from_millis((p + 1) * pane_ms),
+                });
+                written.push(path);
+            }
+        }
+        Ok(written)
+    }
+}
+
+fn join_lines(lines: &[String]) -> (u64, u64, String) {
+    let mut text = String::with_capacity(lines.iter().map(|l| l.len() + 1).sum());
+    for l in lines {
+        text.push_str(l);
+        text.push('\n');
+    }
+    (text.len() as u64, lines.len() as u64, text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redoop_dfs::ClusterConfig;
+
+    fn ts_fn() -> TsFn {
+        Arc::new(|line: &str| {
+            line.split(',').next().and_then(|f| f.parse::<u64>().ok()).map(EventTime)
+        })
+    }
+
+    fn cluster() -> Cluster {
+        Cluster::new(ClusterConfig { nodes: 3, block_size: 1 << 20, replication: 2, ..Default::default() })
+    }
+
+    fn root() -> DfsPath {
+        DfsPath::new("/panes/s1").unwrap()
+    }
+
+    #[test]
+    fn oversize_naming_one_pane_per_file() {
+        let c = cluster();
+        let plan = PartitionPlan::simple(10);
+        let mut packer = DynamicDataPacker::new(&c, 1, root(), plan, ts_fn());
+        let lines = ["3,a", "12,b", "7,c", "15,d"];
+        let written = packer
+            .ingest_batch(lines.into_iter(), &TimeRange::new(EventTime(0), EventTime(20)))
+            .unwrap();
+        let names: Vec<String> =
+            written.iter().map(|p| p.file_name().to_string()).collect();
+        assert_eq!(names, vec!["S1P0", "S1P1"]);
+        assert_eq!(packer.manifest().pane_records(PaneId(0)), 2);
+        assert_eq!(packer.manifest().pane_records(PaneId(1)), 2);
+        // Contents routed by timestamp.
+        let p0 = c.read(&root().join("S1P0").unwrap()).unwrap();
+        assert_eq!(std::str::from_utf8(&p0).unwrap(), "3,a\n7,c\n");
+    }
+
+    #[test]
+    fn undersized_multi_pane_file_with_header() {
+        let c = cluster();
+        let plan = PartitionPlan { pane_ms: 10, panes_per_file: 3, subpanes: 1 };
+        let mut packer = DynamicDataPacker::new(&c, 2, root(), plan, ts_fn());
+        let lines = ["1,a", "11,b", "21,c", "22,d"];
+        let written = packer
+            .ingest_batch(lines.into_iter(), &TimeRange::new(EventTime(0), EventTime(30)))
+            .unwrap();
+        assert_eq!(written.len(), 1);
+        assert_eq!(written[0].file_name(), "S2P0_2");
+        let data = c.read(&written[0]).unwrap();
+        let text = std::str::from_utf8(&data).unwrap();
+        let header = text.lines().next().unwrap();
+        let entries = decode_pane_header(header).unwrap();
+        assert_eq!(
+            entries,
+            vec![(PaneId(0), 0, 1), (PaneId(1), 1, 1), (PaneId(2), 2, 2)]
+        );
+        // Manifest slices point into the shared file with absolute line
+        // numbers (header is line 0, body starts at line 1).
+        let s = packer.manifest().slices_of(PaneId(2));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].lines, 3..5);
+        assert_eq!(s[0].records, 2);
+    }
+
+    #[test]
+    fn subpane_files_under_adaptive_plan() {
+        let c = cluster();
+        let plan = PartitionPlan { pane_ms: 10, panes_per_file: 1, subpanes: 2 };
+        let mut packer = DynamicDataPacker::new(&c, 1, root(), plan, ts_fn());
+        let lines = ["1,a", "6,b", "9,c"];
+        let written = packer
+            .ingest_batch(lines.into_iter(), &TimeRange::new(EventTime(0), EventTime(10)))
+            .unwrap();
+        let names: Vec<&str> = written.iter().map(|p| p.file_name()).collect();
+        assert_eq!(names, vec!["S1P0s0", "S1P0s1"]);
+        let slices = packer.manifest().slices_of(PaneId(0));
+        assert_eq!(slices.len(), 2);
+        assert_eq!(slices[0].records, 1); // ts=1
+        assert_eq!(slices[1].records, 2); // ts=6, 9
+        // Sub-pane 0 is ready at its own close (5ms), before the pane ends.
+        assert_eq!(slices[0].ready_at, SimTime::from_millis(5));
+        assert_eq!(slices[1].ready_at, SimTime::from_millis(10));
+    }
+
+    #[test]
+    fn panes_seal_only_when_complete() {
+        let c = cluster();
+        let mut packer =
+            DynamicDataPacker::new(&c, 1, root(), PartitionPlan::simple(10), ts_fn());
+        // Batch covers [0, 15): pane 0 complete, pane 1 still open.
+        let w = packer
+            .ingest_batch(["2,a", "12,b"].into_iter(), &TimeRange::new(EventTime(0), EventTime(15)))
+            .unwrap();
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].file_name(), "S1P0");
+        // Next batch completes pane 1.
+        let w = packer
+            .ingest_batch(["17,c"].into_iter(), &TimeRange::new(EventTime(15), EventTime(20)))
+            .unwrap();
+        assert_eq!(w[0].file_name(), "S1P1");
+        assert_eq!(packer.manifest().pane_records(PaneId(1)), 2);
+    }
+
+    #[test]
+    fn empty_panes_are_materialized() {
+        let c = cluster();
+        let mut packer =
+            DynamicDataPacker::new(&c, 1, root(), PartitionPlan::simple(10), ts_fn());
+        let w = packer
+            .ingest_batch(["25,a"].into_iter(), &TimeRange::new(EventTime(0), EventTime(30)))
+            .unwrap();
+        let names: Vec<&str> = w.iter().map(|p| p.file_name()).collect();
+        assert_eq!(names, vec!["S1P0", "S1P1", "S1P2"]);
+        assert_eq!(packer.manifest().pane_records(PaneId(0)), 0);
+        assert_eq!(packer.manifest().pane_records(PaneId(2)), 1);
+    }
+
+    #[test]
+    fn rejects_records_outside_batch_and_late_records() {
+        let c = cluster();
+        let mut packer =
+            DynamicDataPacker::new(&c, 1, root(), PartitionPlan::simple(10), ts_fn());
+        let err = packer
+            .ingest_batch(["99,a"].into_iter(), &TimeRange::new(EventTime(0), EventTime(10)))
+            .unwrap_err();
+        assert!(matches!(err, RedoopError::BadRecord(_)));
+        packer
+            .ingest_batch(["5,a"].into_iter(), &TimeRange::new(EventTime(0), EventTime(10)))
+            .unwrap();
+        let err = packer
+            .ingest_batch(["5,late"].into_iter(), &TimeRange::new(EventTime(0), EventTime(20)))
+            .unwrap_err();
+        assert!(matches!(err, RedoopError::BadRecord(_)));
+    }
+
+    #[test]
+    fn unparsable_records_are_counted_not_fatal() {
+        let c = cluster();
+        let mut packer =
+            DynamicDataPacker::new(&c, 1, root(), PartitionPlan::simple(10), ts_fn());
+        packer
+            .ingest_batch(["garbage", "3,ok"].into_iter(), &TimeRange::new(EventTime(0), EventTime(10)))
+            .unwrap();
+        assert_eq!(packer.dropped_records(), 1);
+        assert_eq!(packer.manifest().pane_records(PaneId(0)), 1);
+    }
+
+    #[test]
+    fn finish_flushes_incomplete_panes() {
+        let c = cluster();
+        let mut packer =
+            DynamicDataPacker::new(&c, 1, root(), PartitionPlan::simple(10), ts_fn());
+        packer
+            .ingest_batch(["12,a"].into_iter(), &TimeRange::new(EventTime(0), EventTime(15)))
+            .unwrap();
+        let w = packer.finish().unwrap();
+        assert!(w.iter().any(|p| p.file_name() == "S1P1"));
+    }
+
+    #[test]
+    fn observed_stats_estimate_rate() {
+        let c = cluster();
+        let mut packer =
+            DynamicDataPacker::new(&c, 1, root(), PartitionPlan::simple(10), ts_fn());
+        packer
+            .ingest_batch(["1,aaaa", "2,bbbb"].into_iter(), &TimeRange::new(EventTime(0), EventTime(10)))
+            .unwrap();
+        let stats = packer.observed_stats();
+        assert!(stats.bytes_per_ms > 0.0);
+        // 2 lines x 7 bytes (incl newline) over 10 ms.
+        assert!((stats.bytes_per_ms - 1.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn header_roundtrip_rejects_garbage() {
+        let entries = vec![(PaneId(0), 0, 5), (PaneId(1), 5, 0)];
+        let line = encode_pane_header(&entries);
+        assert_eq!(decode_pane_header(&line).unwrap(), entries);
+        assert!(decode_pane_header("nope").is_err());
+        assert!(decode_pane_header("#panes x:y").is_err());
+    }
+}

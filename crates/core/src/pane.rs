@@ -1,0 +1,221 @@
+//! Pane math: the window-aware data unit (paper §3.1).
+//!
+//! The Semantic Analyzer slices each source's timeline into fixed panes of
+//! `gcd(win, slide)` milliseconds. Windows are then exact unions of panes,
+//! so pane-grained caches can be reused across overlapping windows with no
+//! re-reading of partial files (the paper's "redundant data loading"
+//! challenge).
+//!
+//! Pane ids are 0-based: `S1P0` is source 1's first pane. (The paper uses
+//! both 0- and 1-based examples; we standardize on 0-based.)
+
+use crate::query::WindowSpec;
+use crate::time::{EventTime, TimeRange};
+
+/// Greatest common divisor (Euclid).
+pub fn gcd(a: u64, b: u64) -> u64 {
+    let (mut a, mut b) = (a, b);
+    while b != 0 {
+        let t = b;
+        b = a % b;
+        a = t;
+    }
+    a
+}
+
+/// Pane identifier within one source (0-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PaneId(pub u64);
+
+/// Derived pane geometry of a window specification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PaneGeometry {
+    /// Pane length in event-time milliseconds: `gcd(win, slide)`.
+    pub pane_ms: u64,
+    /// Panes per window: `win / pane`.
+    pub panes_per_window: u64,
+    /// Panes per slide: `slide / pane`.
+    pub panes_per_slide: u64,
+}
+
+impl PaneGeometry {
+    /// Derives geometry from a window spec (Algorithm 1, line 1).
+    pub fn from_spec(spec: &WindowSpec) -> Self {
+        let pane_ms = gcd(spec.win, spec.slide);
+        PaneGeometry {
+            pane_ms,
+            panes_per_window: spec.win / pane_ms,
+            panes_per_slide: spec.slide / pane_ms,
+        }
+    }
+
+    /// Geometry with an explicit pane length — used when several queries
+    /// share a source and the pane is the GCD *across* queries, finer
+    /// than this query's own `gcd(win, slide)`. The pane must divide both
+    /// `win` and `slide` so windows stay exact pane unions.
+    pub fn with_pane(spec: &WindowSpec, pane_ms: u64) -> Option<Self> {
+        if pane_ms == 0 || !spec.win.is_multiple_of(pane_ms) || !spec.slide.is_multiple_of(pane_ms) {
+            return None;
+        }
+        Some(PaneGeometry {
+            pane_ms,
+            panes_per_window: spec.win / pane_ms,
+            panes_per_slide: spec.slide / pane_ms,
+        })
+    }
+
+    /// Event-time range covered by pane `p`.
+    pub fn pane_range(&self, p: PaneId) -> TimeRange {
+        TimeRange::new(
+            EventTime(p.0 * self.pane_ms),
+            EventTime((p.0 + 1) * self.pane_ms),
+        )
+    }
+
+    /// The pane containing event time `t`.
+    pub fn pane_of(&self, t: EventTime) -> PaneId {
+        PaneId(t.0 / self.pane_ms)
+    }
+
+    /// Panes composing recurrence `i`'s window: `[i*pps, i*pps + ppw)`.
+    pub fn window_panes(&self, recurrence: u64) -> std::ops::Range<u64> {
+        let lo = recurrence * self.panes_per_slide;
+        lo..lo + self.panes_per_window
+    }
+
+    /// Recurrence indices whose windows contain pane `p`.
+    pub fn windows_containing(&self, p: PaneId) -> std::ops::Range<u64> {
+        let pps = self.panes_per_slide;
+        let ppw = self.panes_per_window;
+        // k*pps <= p  and  p < k*pps + ppw
+        let k_max = p.0 / pps; // inclusive
+        let k_min = (p.0 + 1).saturating_sub(ppw).div_ceil(pps);
+        k_min..k_max + 1
+    }
+
+    /// The *lifespan* of pane `p` (paper §4.2): for a binary join where
+    /// both sources share this geometry, the range of partner panes `p`
+    /// must be joined with — the union of all windows containing `p`.
+    pub fn lifespan(&self, p: PaneId) -> std::ops::Range<u64> {
+        let windows = self.windows_containing(p);
+        let lo = windows.start * self.panes_per_slide;
+        let hi = (windows.end - 1) * self.panes_per_slide + self.panes_per_window;
+        lo..hi
+    }
+
+    /// Whether pane `p` has left the window by recurrence `after` — the
+    /// first of the two expiration conditions (paper Fig. 4 discussion).
+    pub fn pane_out_of_window(&self, p: PaneId, after: u64) -> bool {
+        self.windows_containing(p).end <= after + 1 && !self.window_panes(after).contains(&p.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom(win: u64, slide: u64) -> PaneGeometry {
+        PaneGeometry::from_spec(&WindowSpec::new(win, slide).unwrap())
+    }
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(gcd(60, 20), 20);
+        assert_eq!(gcd(40, 30), 10);
+        assert_eq!(gcd(7, 7), 7);
+        assert_eq!(gcd(9, 6), 3);
+    }
+
+    #[test]
+    fn paper_fig3_pane_size() {
+        // "The logical pane size is 2 minutes as a result of GCD(6, 2),
+        //  namely win = 6 minutes and slide = 2 minutes."
+        let g = geom(6 * 60_000, 2 * 60_000);
+        assert_eq!(g.pane_ms, 2 * 60_000);
+        assert_eq!(g.panes_per_window, 3);
+        assert_eq!(g.panes_per_slide, 1);
+    }
+
+    #[test]
+    fn pane_ranges_tile_the_timeline() {
+        let g = geom(40, 30); // pane 10
+        assert_eq!(g.pane_range(PaneId(0)).as_millis_range(), 0..10);
+        assert_eq!(g.pane_range(PaneId(3)).as_millis_range(), 30..40);
+        assert_eq!(g.pane_of(EventTime(0)), PaneId(0));
+        assert_eq!(g.pane_of(EventTime(9)), PaneId(0));
+        assert_eq!(g.pane_of(EventTime(10)), PaneId(1));
+    }
+
+    #[test]
+    fn window_panes_match_window_range() {
+        // win=4h slide=3h example from §3.1: pane = 1h, window = 4 panes,
+        // second window starts at pane 3.
+        let g = geom(4, 3);
+        assert_eq!(g.window_panes(0), 0..4);
+        assert_eq!(g.window_panes(1), 3..7);
+        // Only 1/4 of the first window's panes are reused — the exact
+        // inefficiency the paper describes for slide-sized partitioning.
+    }
+
+    #[test]
+    fn windows_containing_inverts_window_panes() {
+        let g = geom(30, 20); // ppw=3, pps=2 (paper Fig. 4 geometry)
+        for w in 0..5u64 {
+            for p in g.window_panes(w) {
+                assert!(
+                    g.windows_containing(PaneId(p)).contains(&w),
+                    "pane {p} should know it is in window {w}"
+                );
+            }
+        }
+        // And no false positives:
+        for p in 0..12u64 {
+            for w in g.windows_containing(PaneId(p)) {
+                assert!(g.window_panes(w).contains(&p));
+            }
+        }
+    }
+
+    #[test]
+    fn paper_fig4_lifespans() {
+        // win=30min, slide=20min -> pane=10, ppw=3, pps=2. The paper's
+        // example (1-based names): lifespan(S2P2)=3 panes,
+        // lifespan(S2P3)=5 panes. 0-based: pane 1 -> 3, pane 2 -> 5.
+        let g = geom(30, 20);
+        let l1 = g.lifespan(PaneId(1));
+        assert_eq!(l1.end - l1.start, 3);
+        assert_eq!(l1, 0..3);
+        let l2 = g.lifespan(PaneId(2));
+        assert_eq!(l2.end - l2.start, 5);
+        assert_eq!(l2, 0..5);
+        // "The pane S1P1 [first pane] expires once it completes joining
+        //  with ... S2P1 to S2P3" -> 0-based pane 0 partners 0..3.
+        assert_eq!(g.lifespan(PaneId(0)), 0..3);
+    }
+
+    #[test]
+    fn lifespan_is_symmetric() {
+        // If q is in lifespan(p) then p is in lifespan(q): they share a
+        // window, so both pairs must be joined exactly once.
+        let g = geom(50, 20);
+        for p in 0..20u64 {
+            for q in g.lifespan(PaneId(p)) {
+                assert!(
+                    g.lifespan(PaneId(q)).contains(&p),
+                    "lifespan must be symmetric: p={p}, q={q}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_window_tracks_expiry() {
+        let g = geom(30, 20); // ppw 3, pps 2
+        // Pane 0 is only in window 0.
+        assert!(!g.pane_out_of_window(PaneId(0), 0));
+        assert!(g.pane_out_of_window(PaneId(0), 1));
+        // Pane 2 is in windows 0 and 1.
+        assert!(!g.pane_out_of_window(PaneId(2), 1));
+        assert!(g.pane_out_of_window(PaneId(2), 2));
+    }
+}

@@ -1,0 +1,195 @@
+//! The Execution Profiler (paper §3.3).
+//!
+//! Collects per-recurrence execution statistics and produces forecasts of
+//! the next execution time via Holt's double exponential smoothing
+//! (paper Eqs. 1–3):
+//!
+//! ```text
+//! L_i = α·X_i + (1-α)(L_{i-1} + T_{i-1})      (1) level
+//! T_i = γ·(L_i - L_{i-1}) + (1-γ)·T_{i-1}     (2) trend
+//! X̂_{i+k} = L_i + k·T_i                       (3) k-step forecast
+//! ```
+
+use redoop_mapred::SimTime;
+
+/// One recurrence's observation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Observation {
+    /// Measured execution (response) time.
+    pub exec_time: SimTime,
+    /// Input bytes processed by the recurrence.
+    pub input_bytes: u64,
+}
+
+/// Holt double-exponential smoothing over execution times.
+#[derive(Debug, Clone)]
+pub struct ExecutionProfiler {
+    alpha: f64,
+    gamma: f64,
+    level: Option<f64>,
+    trend: f64,
+    /// Slow-moving long-run level, the denominator of the scale factor:
+    /// it reflects what execution times *usually* look like, so a spike
+    /// in the forecast stands out against it.
+    baseline: Option<f64>,
+    history: Vec<Observation>,
+}
+
+/// Smoothing constant of the long-run baseline (much slower than the
+/// Holt level so spikes do not immediately pull it up).
+const BASELINE_ALPHA: f64 = 0.15;
+
+impl ExecutionProfiler {
+    /// Profiler with smoothing parameters `alpha` (level) and `gamma`
+    /// (trend), both in `(0, 1]`. The paper selects them "by fitting
+    /// historical data"; defaults of 0.5/0.3 track workload doubling
+    /// within one observation without over-reacting to noise.
+    pub fn new(alpha: f64, gamma: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha in (0,1]");
+        assert!(gamma > 0.0 && gamma <= 1.0, "gamma in (0,1]");
+        ExecutionProfiler {
+            alpha,
+            gamma,
+            level: None,
+            trend: 0.0,
+            baseline: None,
+            history: Vec::new(),
+        }
+    }
+
+    /// Paper-ish defaults.
+    pub fn with_defaults() -> Self {
+        ExecutionProfiler::new(0.5, 0.3)
+    }
+
+    /// Records one completed recurrence (Eqs. 1 and 2).
+    pub fn record(&mut self, obs: Observation) {
+        let x = obs.exec_time.0 as f64;
+        match self.level {
+            None => {
+                self.level = Some(x);
+                self.trend = 0.0;
+            }
+            Some(prev_level) => {
+                let level = self.alpha * x + (1.0 - self.alpha) * (prev_level + self.trend);
+                self.trend = self.gamma * (level - prev_level) + (1.0 - self.gamma) * self.trend;
+                self.level = Some(level);
+            }
+        }
+        self.baseline = Some(match self.baseline {
+            None => x,
+            Some(b) => BASELINE_ALPHA * x + (1.0 - BASELINE_ALPHA) * b,
+        });
+        self.history.push(obs);
+    }
+
+    /// Eq. 3: forecast the execution time `k` recurrences ahead. `None`
+    /// until at least one observation exists.
+    pub fn forecast(&self, k: u64) -> Option<SimTime> {
+        self.level.map(|l| {
+            let v = l + k as f64 * self.trend;
+            SimTime(v.max(0.0).round() as u64)
+        })
+    }
+
+    /// The paper's *scale factor*: the ratio between the expected
+    /// execution time (1-step Holt forecast) and the usual one (the
+    /// slow-moving baseline level). `1.0` until data exists. Values above
+    /// 1 forecast a slowdown — the adaptive controller's trigger.
+    pub fn scale_factor(&self) -> f64 {
+        let (Some(forecast), Some(baseline)) = (self.forecast(1), self.baseline) else {
+            return 1.0;
+        };
+        if baseline <= 0.0 {
+            return 1.0;
+        }
+        forecast.0 as f64 / baseline
+    }
+
+    /// The most recent observation.
+    pub fn last(&self) -> Option<Observation> {
+        self.history.last().copied()
+    }
+
+    /// All observations so far.
+    pub fn history(&self) -> &[Observation] {
+        &self.history
+    }
+
+    /// Number of recorded recurrences.
+    pub fn len(&self) -> usize {
+        self.history.len()
+    }
+
+    /// Whether nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.history.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(secs: u64) -> Observation {
+        Observation { exec_time: SimTime::from_secs(secs), input_bytes: secs * 1_000 }
+    }
+
+    #[test]
+    fn constant_series_forecasts_constant() {
+        let mut p = ExecutionProfiler::with_defaults();
+        for _ in 0..10 {
+            p.record(obs(100));
+        }
+        let f = p.forecast(1).unwrap();
+        assert!((f.as_secs_f64() - 100.0).abs() < 1.0, "forecast {f}");
+        assert!((p.scale_factor() - 1.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn linear_growth_is_extrapolated() {
+        let mut p = ExecutionProfiler::new(0.8, 0.8);
+        for i in 1..=20u64 {
+            p.record(obs(10 * i));
+        }
+        // True next value would be 210s; Holt should land close.
+        let f = p.forecast(1).unwrap().as_secs_f64();
+        assert!((200.0..=225.0).contains(&f), "forecast {f}");
+        // Multi-step forecasts extend the trend.
+        let f3 = p.forecast(3).unwrap().as_secs_f64();
+        assert!(f3 > f);
+    }
+
+    #[test]
+    fn spike_raises_scale_factor() {
+        let mut p = ExecutionProfiler::with_defaults();
+        for _ in 0..5 {
+            p.record(obs(100));
+        }
+        p.record(obs(200)); // workload doubled
+        assert!(p.scale_factor() > 1.2, "scale {}", p.scale_factor());
+    }
+
+    #[test]
+    fn forecast_never_negative() {
+        let mut p = ExecutionProfiler::new(1.0, 1.0);
+        p.record(obs(100));
+        p.record(obs(1)); // crash in exec time -> steep negative trend
+        let f = p.forecast(10).unwrap();
+        assert!(f >= SimTime::ZERO);
+    }
+
+    #[test]
+    fn empty_profiler_behaves() {
+        let p = ExecutionProfiler::with_defaults();
+        assert!(p.is_empty());
+        assert_eq!(p.forecast(1), None);
+        assert_eq!(p.scale_factor(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn rejects_bad_alpha() {
+        let _ = ExecutionProfiler::new(0.0, 0.5);
+    }
+}

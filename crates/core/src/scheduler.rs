@@ -1,0 +1,281 @@
+//! Cache-aware task scheduling (paper §4.3, Eq. 4, Algorithm 2).
+//!
+//! The scheduler keeps two FIFO lists — `mapTaskList` and
+//! `reduceTaskList` — fed by ready-bit transitions in the window-aware
+//! cache controller, and places each task with
+//!
+//! ```text
+//! node = argmin_i ( Load_i + C_task,i )        (Eq. 4)
+//! ```
+//!
+//! where `Load_i` is the node's earliest free slot and `C_task,i` the
+//! task's I/O cost on node `i`: near zero where the needed caches live,
+//! and the full rebuild cost (HDFS re-read + re-shuffle + re-sort)
+//! anywhere else. Load balancing emerges naturally: a node hoarding every
+//! cache also accumulates `Load_i`, letting other nodes win.
+
+use std::collections::{HashSet, VecDeque};
+
+use redoop_dfs::NodeId;
+use redoop_mapred::{CostModel, Scheduler, SchedulerCtx, SimTime, TaskKind};
+
+use crate::cache::controller::CacheController;
+use crate::cache::CacheName;
+use crate::pane::PaneId;
+
+/// Eq. 4 as a [`redoop_mapred::Scheduler`]: honours the affinity signal
+/// for both maps and reduces (unlike plain Hadoop, which ignores it for
+/// reduces).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CacheAwareScheduler;
+
+impl Scheduler for CacheAwareScheduler {
+    fn pick_node(
+        &self,
+        _kind: TaskKind,
+        ctx: &SchedulerCtx<'_>,
+        affinity: &dyn Fn(NodeId) -> SimTime,
+    ) -> NodeId {
+        ctx.argmin(affinity)
+    }
+}
+
+/// Computes `C_task,i` for a task needing `caches`: zero-ish for caches
+/// resident on `node` (a local-disk read), and the estimated rebuild
+/// cost — remote HDFS read, shuffle transfer, and re-sort — for caches
+/// that would have to be reconstructed there.
+pub fn cache_affinity(
+    controller: &CacheController,
+    caches: &[CacheName],
+    node: NodeId,
+    cost: &CostModel,
+) -> SimTime {
+    let mut total = SimTime::ZERO;
+    for name in caches {
+        let Some(sig) = controller.signature(name) else {
+            continue;
+        };
+        if controller.location(name) == Some(node) {
+            total += cost.local_read(sig.bytes);
+        } else {
+            total += rebuild_cost(sig.rebuild_bytes.max(sig.bytes), cost);
+        }
+    }
+    total
+}
+
+/// Estimated cost of reconstructing a cache of `bytes` on a node that
+/// does not hold it: re-read the pane from HDFS (likely remote), re-run
+/// the map, re-shuffle, and re-sort.
+pub fn rebuild_cost(bytes: u64, cost: &CostModel) -> SimTime {
+    cost.hdfs_read(bytes, false)
+        + cost.shuffle(bytes)
+        + cost.map_task_startup
+        + cost.local_write(bytes)
+}
+
+/// One pending map-side task: build the reduce-input caches of a pane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MapTaskEntry {
+    /// Source of the pane.
+    pub source: u32,
+    /// Pane to load/shuffle.
+    pub pane: PaneId,
+    /// Sub-pane index.
+    pub sub: u32,
+}
+
+/// One pending reduce-side task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReduceTaskEntry {
+    /// Aggregate one pane (produce its reduce-output cache).
+    PaneReduce {
+        /// Source of the pane.
+        source: u32,
+        /// Pane to aggregate.
+        pane: PaneId,
+    },
+    /// Join one pane pair (produce its pair-output cache).
+    PairJoin {
+        /// Pane of source 0.
+        left: PaneId,
+        /// Pane of source 1.
+        right: PaneId,
+    },
+}
+
+/// The scheduler's two FIFO task lists (Algorithm 2). Entries are
+/// deduplicated: a pane whose data arrives in several batches is still
+/// one task.
+#[derive(Debug, Default)]
+pub struct TaskLists {
+    map_list: VecDeque<MapTaskEntry>,
+    map_seen: HashSet<MapTaskEntry>,
+    reduce_list: VecDeque<ReduceTaskEntry>,
+    reduce_seen: HashSet<ReduceTaskEntry>,
+}
+
+impl TaskLists {
+    /// Empty lists.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enqueues a map task once (ready bit 1: data in HDFS).
+    pub fn push_map(&mut self, entry: MapTaskEntry) -> bool {
+        if self.map_seen.insert(entry) {
+            self.map_list.push_back(entry);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Enqueues a reduce task once (ready bit 2: caches available).
+    pub fn push_reduce(&mut self, entry: ReduceTaskEntry) -> bool {
+        if self.reduce_seen.insert(entry) {
+            self.reduce_list.push_back(entry);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Dequeues the next map task (FIFO, Algorithm 2 lines 6–12).
+    pub fn pop_map(&mut self) -> Option<MapTaskEntry> {
+        self.map_list.pop_front()
+    }
+
+    /// Dequeues the next reduce task (Algorithm 2 lines 13–18).
+    pub fn pop_reduce(&mut self) -> Option<ReduceTaskEntry> {
+        self.reduce_list.pop_front()
+    }
+
+    /// Removes queued reduce tasks that depend on any of `lost` caches
+    /// (failure rollback, paper §5 item 3). Returns removed entries.
+    pub fn remove_reduces_using(
+        &mut self,
+        involves: impl Fn(&ReduceTaskEntry) -> bool,
+    ) -> Vec<ReduceTaskEntry> {
+        let mut removed = Vec::new();
+        self.reduce_list.retain(|e| {
+            if involves(e) {
+                removed.push(*e);
+                false
+            } else {
+                true
+            }
+        });
+        for e in &removed {
+            self.reduce_seen.remove(e);
+        }
+        removed
+    }
+
+    /// Allows a map task to be scheduled again (after its product was
+    /// lost to a failure).
+    pub fn reopen_map(&mut self, entry: MapTaskEntry) {
+        self.map_seen.remove(&entry);
+        self.push_map(entry);
+    }
+
+    /// Pending map tasks.
+    pub fn map_len(&self) -> usize {
+        self.map_list.len()
+    }
+
+    /// Pending reduce tasks.
+    pub fn reduce_len(&self) -> usize {
+        self.reduce_list.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CacheObject;
+
+    fn name(p: u64) -> CacheName {
+        CacheName::new(CacheObject::PaneInput { source: 0, pane: PaneId(p), sub: 0 }, 0)
+    }
+
+    #[test]
+    fn affinity_prefers_cache_holder() {
+        let mut ctl = CacheController::new(1);
+        ctl.register_cache(name(0), NodeId(1), 1_000_000, SimTime::ZERO);
+        let cost = CostModel::default();
+        let on_holder = cache_affinity(&ctl, &[name(0)], NodeId(1), &cost);
+        let elsewhere = cache_affinity(&ctl, &[name(0)], NodeId(0), &cost);
+        assert!(on_holder < elsewhere);
+        assert!(elsewhere >= rebuild_cost(1_000_000, &cost));
+    }
+
+    #[test]
+    fn unknown_caches_cost_nothing_extra() {
+        let ctl = CacheController::new(1);
+        let cost = CostModel::default();
+        assert_eq!(cache_affinity(&ctl, &[name(9)], NodeId(0), &cost), SimTime::ZERO);
+    }
+
+    #[test]
+    fn eq4_balances_load_against_cache_locality() {
+        // Paper: "if all task slots of a node have been taken ... the
+        //  scheduler assigns the new task to a different node even if a
+        //  fully loaded node has the desired cache available".
+        let mut ctl = CacheController::new(1);
+        ctl.register_cache(name(0), NodeId(0), 10_000, SimTime::ZERO); // small cache
+        let cost = CostModel::default();
+        let caches = [name(0)];
+        let affinity = |n: NodeId| cache_affinity(&ctl, &caches, n, &cost);
+
+        // Node 0 holds the cache but is loaded far beyond the rebuild cost.
+        let heavy = rebuild_cost(10_000, &cost) + SimTime::from_secs(60);
+        let loads = [heavy, SimTime::ZERO];
+        let alive = [true, true];
+        let ctx = SchedulerCtx { loads: &loads, alive: &alive };
+        let picked = CacheAwareScheduler.pick_node(TaskKind::Reduce, &ctx, &affinity);
+        assert_eq!(picked, NodeId(1), "overloaded cache holder must be bypassed");
+
+        // With balanced load, the cache holder wins.
+        let loads = [SimTime::ZERO, SimTime::ZERO];
+        let ctx = SchedulerCtx { loads: &loads, alive: &alive };
+        let picked = CacheAwareScheduler.pick_node(TaskKind::Reduce, &ctx, &affinity);
+        assert_eq!(picked, NodeId(0));
+    }
+
+    #[test]
+    fn task_lists_fifo_and_dedupe() {
+        let mut lists = TaskLists::new();
+        let a = MapTaskEntry { source: 0, pane: PaneId(0), sub: 0 };
+        let b = MapTaskEntry { source: 0, pane: PaneId(1), sub: 0 };
+        assert!(lists.push_map(a));
+        assert!(lists.push_map(b));
+        assert!(!lists.push_map(a), "duplicate rejected");
+        assert_eq!(lists.map_len(), 2);
+        assert_eq!(lists.pop_map(), Some(a));
+        assert_eq!(lists.pop_map(), Some(b));
+        assert_eq!(lists.pop_map(), None);
+    }
+
+    #[test]
+    fn rollback_removes_dependent_reduces_and_reopens_maps() {
+        let mut lists = TaskLists::new();
+        let pair = ReduceTaskEntry::PairJoin { left: PaneId(3), right: PaneId(4) };
+        let other = ReduceTaskEntry::PairJoin { left: PaneId(5), right: PaneId(6) };
+        lists.push_reduce(pair);
+        lists.push_reduce(other);
+        let removed = lists.remove_reduces_using(|e| {
+            matches!(e, ReduceTaskEntry::PairJoin { left, .. } if left.0 == 3)
+        });
+        assert_eq!(removed, vec![pair]);
+        assert_eq!(lists.reduce_len(), 1);
+        // The removed task can be re-enqueued after the cache is rebuilt.
+        assert!(lists.push_reduce(pair));
+
+        let m = MapTaskEntry { source: 0, pane: PaneId(3), sub: 0 };
+        lists.push_map(m);
+        lists.pop_map();
+        lists.reopen_map(m);
+        assert_eq!(lists.pop_map(), Some(m));
+    }
+}

@@ -1,0 +1,123 @@
+//! Event time: timestamps carried by data records.
+//!
+//! The paper's model (§2.1): data arrives as ordered batch files, each
+//! covering a half-open, non-overlapping time range; records within a file
+//! are unordered. Event time is milliseconds since the stream origin.
+
+use std::fmt;
+use std::ops::Range;
+
+/// A point in event time (milliseconds since stream origin).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct EventTime(pub u64);
+
+impl EventTime {
+    /// Zero / stream origin.
+    pub const ZERO: EventTime = EventTime(0);
+
+    /// Construct from milliseconds.
+    pub const fn millis(ms: u64) -> Self {
+        EventTime(ms)
+    }
+
+    /// Construct from seconds.
+    pub const fn secs(s: u64) -> Self {
+        EventTime(s * 1_000)
+    }
+
+    /// Construct from minutes.
+    pub const fn minutes(m: u64) -> Self {
+        EventTime(m * 60_000)
+    }
+
+    /// Raw milliseconds.
+    pub const fn as_millis(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for EventTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}ms", self.0)
+    }
+}
+
+/// A half-open event-time range `[start, end)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TimeRange {
+    /// Inclusive start.
+    pub start: EventTime,
+    /// Exclusive end.
+    pub end: EventTime,
+}
+
+impl TimeRange {
+    /// Constructs a validated range (`start <= end`).
+    pub fn new(start: EventTime, end: EventTime) -> Self {
+        assert!(start <= end, "TimeRange start must not exceed end");
+        TimeRange { start, end }
+    }
+
+    /// Whether `t` falls in `[start, end)`.
+    pub fn contains(&self, t: EventTime) -> bool {
+        self.start <= t && t < self.end
+    }
+
+    /// Length in milliseconds.
+    pub fn len_millis(&self) -> u64 {
+        self.end.0 - self.start.0
+    }
+
+    /// Whether two ranges overlap (non-empty intersection).
+    pub fn overlaps(&self, other: &TimeRange) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+
+    /// As a raw `Range<u64>` of milliseconds.
+    pub fn as_millis_range(&self) -> Range<u64> {
+        self.start.0..self.end.0
+    }
+}
+
+impl fmt::Display for TimeRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_convert_units() {
+        assert_eq!(EventTime::secs(2), EventTime::millis(2_000));
+        assert_eq!(EventTime::minutes(1), EventTime::millis(60_000));
+    }
+
+    #[test]
+    fn range_contains_is_half_open() {
+        let r = TimeRange::new(EventTime(10), EventTime(20));
+        assert!(!r.contains(EventTime(9)));
+        assert!(r.contains(EventTime(10)));
+        assert!(r.contains(EventTime(19)));
+        assert!(!r.contains(EventTime(20)));
+        assert_eq!(r.len_millis(), 10);
+    }
+
+    #[test]
+    fn overlap_semantics() {
+        let a = TimeRange::new(EventTime(0), EventTime(10));
+        let b = TimeRange::new(EventTime(10), EventTime(20));
+        let c = TimeRange::new(EventTime(5), EventTime(15));
+        assert!(!a.overlaps(&b), "adjacent ranges do not overlap");
+        assert!(a.overlaps(&c));
+        assert!(c.overlaps(&b));
+    }
+
+    #[test]
+    #[should_panic(expected = "start must not exceed")]
+    fn inverted_range_panics() {
+        let _ = TimeRange::new(EventTime(5), EventTime(1));
+    }
+}

@@ -1,0 +1,43 @@
+//! Block identifiers and block metadata.
+
+use crate::datanode::NodeId;
+
+/// Globally unique identifier of one DFS block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u64);
+
+/// Namenode-side metadata about a block: its length and replica locations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockInfo {
+    /// The block's identifier.
+    pub id: BlockId,
+    /// Length in bytes (the final block of a file may be short).
+    pub len: usize,
+    /// Datanodes holding a replica. Order is the placement order; readers
+    /// prefer a replica co-located with the reading node when one exists.
+    pub replicas: Vec<NodeId>,
+}
+
+impl BlockInfo {
+    /// True if `node` holds a replica of this block.
+    pub fn is_replica(&self, node: NodeId) -> bool {
+        self.replicas.contains(&node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replica_membership() {
+        let info = BlockInfo {
+            id: BlockId(7),
+            len: 128,
+            replicas: vec![NodeId(0), NodeId(2)],
+        };
+        assert!(info.is_replica(NodeId(0)));
+        assert!(info.is_replica(NodeId(2)));
+        assert!(!info.is_replica(NodeId(1)));
+    }
+}

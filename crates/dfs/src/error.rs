@@ -1,0 +1,67 @@
+//! Error type shared by all DFS operations.
+
+use std::fmt;
+
+use crate::datanode::NodeId;
+
+/// Result alias for DFS operations.
+pub type Result<T> = std::result::Result<T, DfsError>;
+
+/// Errors raised by the simulated distributed file system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DfsError {
+    /// The requested path does not exist in the namenode's file table.
+    FileNotFound(String),
+    /// A file already exists at the path (files are write-once).
+    FileExists(String),
+    /// Every replica of a block lives on a dead node.
+    BlockUnavailable { path: String, block_index: usize },
+    /// The addressed datanode does not exist.
+    NoSuchNode(NodeId),
+    /// The addressed datanode is marked dead.
+    NodeDead(NodeId),
+    /// A node-local object (cache file) was not found on the given node.
+    LocalObjectNotFound { node: NodeId, name: String },
+    /// The cluster cannot satisfy the requested replication factor.
+    InsufficientNodes { requested: usize, alive: usize },
+    /// The path failed validation (empty, or not absolute).
+    InvalidPath(String),
+}
+
+impl fmt::Display for DfsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DfsError::FileNotFound(p) => write!(f, "file not found: {p}"),
+            DfsError::FileExists(p) => write!(f, "file already exists: {p}"),
+            DfsError::BlockUnavailable { path, block_index } => {
+                write!(f, "block {block_index} of {path} has no live replica")
+            }
+            DfsError::NoSuchNode(n) => write!(f, "no such datanode: {n:?}"),
+            DfsError::NodeDead(n) => write!(f, "datanode is dead: {n:?}"),
+            DfsError::LocalObjectNotFound { node, name } => {
+                write!(f, "local object {name:?} not found on {node:?}")
+            }
+            DfsError::InsufficientNodes { requested, alive } => {
+                write!(f, "replication {requested} requested but only {alive} nodes alive")
+            }
+            DfsError::InvalidPath(p) => write!(f, "invalid path: {p:?}"),
+        }
+    }
+}
+
+impl std::error::Error for DfsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = DfsError::FileNotFound("/a/b".into());
+        assert!(e.to_string().contains("/a/b"));
+        let e = DfsError::BlockUnavailable { path: "/x".into(), block_index: 3 };
+        assert!(e.to_string().contains("block 3"));
+        let e = DfsError::InsufficientNodes { requested: 3, alive: 1 };
+        assert!(e.to_string().contains('3') && e.to_string().contains('1'));
+    }
+}

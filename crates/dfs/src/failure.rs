@@ -1,0 +1,117 @@
+//! Deterministic failure-injection plans for experiments.
+//!
+//! The paper's fault-tolerance experiment (Fig. 9) "injects cache removals
+//! at the beginning of each window". [`FailurePlan`] expresses such
+//! schedules declaratively so harness code and tests share one mechanism.
+
+use crate::cluster::Cluster;
+use crate::datanode::NodeId;
+use crate::error::Result;
+
+/// One scheduled failure event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailureEvent {
+    /// Kill the node (replicas unavailable, local caches wiped) and revive
+    /// it immediately after — models a transient task-node crash whose
+    /// caches are lost but which rejoins the cluster.
+    CrashAndRejoin(NodeId),
+    /// Kill the node permanently for the rest of the run.
+    Kill(NodeId),
+    /// Remove a single named local cache object from a node.
+    DropLocal(NodeId, String),
+}
+
+/// A schedule of failures keyed by window index (or any step counter).
+#[derive(Debug, Clone, Default)]
+pub struct FailurePlan {
+    events: Vec<(usize, FailureEvent)>,
+}
+
+impl FailurePlan {
+    /// An empty plan (no failures).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Adds an event to be applied at `step`.
+    pub fn at(mut self, step: usize, event: FailureEvent) -> Self {
+        self.events.push((step, event));
+        self
+    }
+
+    /// Crash-and-rejoin `node` at the start of every step in `steps`.
+    pub fn crash_each(mut self, node: NodeId, steps: impl IntoIterator<Item = usize>) -> Self {
+        for s in steps {
+            self.events.push((s, FailureEvent::CrashAndRejoin(node)));
+        }
+        self
+    }
+
+    /// True if any event is scheduled at `step`.
+    pub fn has_events(&self, step: usize) -> bool {
+        self.events.iter().any(|(s, _)| *s == step)
+    }
+
+    /// Applies every event scheduled at `step` to `cluster`.
+    pub fn apply(&self, step: usize, cluster: &Cluster) -> Result<Vec<FailureEvent>> {
+        let mut applied = Vec::new();
+        for (s, ev) in &self.events {
+            if *s != step {
+                continue;
+            }
+            match ev {
+                FailureEvent::CrashAndRejoin(node) => {
+                    cluster.kill_node(*node)?;
+                    cluster.revive_node(*node)?;
+                }
+                FailureEvent::Kill(node) => cluster.kill_node(*node)?,
+                FailureEvent::DropLocal(node, name) => {
+                    let _ = cluster.delete_local(*node, name)?;
+                }
+            }
+            applied.push(ev.clone());
+        }
+        Ok(applied)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    #[test]
+    fn crash_and_rejoin_wipes_caches_only() {
+        let c = Cluster::with_nodes(3);
+        c.put_local(NodeId(2), "cache", Bytes::from_static(b"x")).unwrap();
+        let plan = FailurePlan::none().crash_each(NodeId(2), [1, 3]);
+        assert!(!plan.has_events(0));
+        assert!(plan.has_events(1));
+        let applied = plan.apply(1, &c).unwrap();
+        assert_eq!(applied.len(), 1);
+        assert!(c.is_alive(NodeId(2)), "node rejoins immediately");
+        assert!(!c.has_local(NodeId(2), "cache"), "cache lost in the crash");
+    }
+
+    #[test]
+    fn kill_is_permanent_and_drop_local_is_targeted() {
+        let c = Cluster::with_nodes(3);
+        c.put_local(NodeId(0), "a", Bytes::from_static(b"1")).unwrap();
+        c.put_local(NodeId(0), "b", Bytes::from_static(b"2")).unwrap();
+        let plan = FailurePlan::none()
+            .at(0, FailureEvent::DropLocal(NodeId(0), "a".into()))
+            .at(2, FailureEvent::Kill(NodeId(1)));
+        plan.apply(0, &c).unwrap();
+        assert!(!c.has_local(NodeId(0), "a"));
+        assert!(c.has_local(NodeId(0), "b"));
+        plan.apply(2, &c).unwrap();
+        assert!(!c.is_alive(NodeId(1)));
+    }
+
+    #[test]
+    fn empty_plan_is_noop() {
+        let c = Cluster::with_nodes(2);
+        let applied = FailurePlan::none().apply(5, &c).unwrap();
+        assert!(applied.is_empty());
+    }
+}

@@ -1,0 +1,149 @@
+//! Buffered writer / reader convenience wrappers over [`Cluster`].
+//!
+//! `FileWriter` accumulates record-oriented appends in memory and commits a
+//! write-once DFS file on `close`, mirroring how a Hadoop client streams a
+//! file into HDFS and seals it. `FileReader` wraps a full-file read with a
+//! cursor for record readers.
+
+use bytes::{Bytes, BytesMut};
+
+use crate::cluster::Cluster;
+use crate::datanode::NodeId;
+use crate::error::Result;
+use crate::path::DfsPath;
+
+/// Buffered write-once file writer.
+#[derive(Debug)]
+pub struct FileWriter {
+    cluster: Cluster,
+    path: DfsPath,
+    buf: BytesMut,
+}
+
+impl FileWriter {
+    /// Starts a new file at `path` (committed on [`FileWriter::close`]).
+    pub fn new(cluster: &Cluster, path: DfsPath) -> Self {
+        FileWriter { cluster: cluster.clone(), path, buf: BytesMut::new() }
+    }
+
+    /// Appends raw bytes.
+    pub fn write(&mut self, data: &[u8]) {
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Appends one newline-terminated record line.
+    pub fn write_line(&mut self, line: &str) {
+        self.buf.extend_from_slice(line.as_bytes());
+        self.buf.extend_from_slice(b"\n");
+    }
+
+    /// Bytes buffered so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been buffered.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Seals the file into the DFS, consuming the writer.
+    pub fn close(self) -> Result<DfsPath> {
+        self.cluster.create(&self.path, self.buf.freeze())?;
+        Ok(self.path)
+    }
+}
+
+/// Cursor-based reader over a fully fetched file.
+#[derive(Debug)]
+pub struct FileReader {
+    data: Bytes,
+    pos: usize,
+}
+
+impl FileReader {
+    /// Opens `path`, fetching all blocks on behalf of `reader`.
+    pub fn open(cluster: &Cluster, path: &DfsPath, reader: NodeId) -> Result<Self> {
+        let outcome = cluster.read_from(path, reader)?;
+        Ok(FileReader { data: outcome.data, pos: 0 })
+    }
+
+    /// Wraps already-fetched bytes (e.g. a cache pane).
+    pub fn from_bytes(data: Bytes) -> Self {
+        FileReader { data, pos: 0 }
+    }
+
+    /// Entire contents.
+    pub fn bytes(&self) -> &Bytes {
+        &self.data
+    }
+
+    /// Remaining unread length.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Reads the next `\n`-terminated line (without the terminator);
+    /// `None` at end of file. A final unterminated line is returned as-is.
+    pub fn next_line(&mut self) -> Option<&str> {
+        if self.pos >= self.data.len() {
+            return None;
+        }
+        let rest = &self.data[self.pos..];
+        let (line, advance) = match rest.iter().position(|&b| b == b'\n') {
+            Some(idx) => (&rest[..idx], idx + 1),
+            None => (rest, rest.len()),
+        };
+        self.pos += advance;
+        // Input files are produced by our own writers and are valid UTF-8;
+        // tolerate foreign bytes by lossy-skipping invalid lines.
+        std::str::from_utf8(line).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterConfig;
+
+    fn cluster() -> Cluster {
+        Cluster::new(ClusterConfig { nodes: 3, block_size: 16, replication: 2, ..Default::default() })
+    }
+
+    #[test]
+    fn writer_reader_roundtrip() {
+        let c = cluster();
+        let path = DfsPath::new("/logs/b1").unwrap();
+        let mut w = FileWriter::new(&c, path.clone());
+        assert!(w.is_empty());
+        w.write_line("alpha,1");
+        w.write_line("beta,2");
+        w.write(b"gamma,3");
+        assert_eq!(w.len(), "alpha,1\nbeta,2\ngamma,3".len());
+        w.close().unwrap();
+
+        let mut r = FileReader::open(&c, &path, NodeId(0)).unwrap();
+        assert_eq!(r.next_line(), Some("alpha,1"));
+        assert_eq!(r.next_line(), Some("beta,2"));
+        assert_eq!(r.next_line(), Some("gamma,3"));
+        assert_eq!(r.next_line(), None);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn reader_from_bytes() {
+        let mut r = FileReader::from_bytes(Bytes::from_static(b"a\nb\n"));
+        assert_eq!(r.next_line(), Some("a"));
+        assert_eq!(r.next_line(), Some("b"));
+        assert_eq!(r.next_line(), None);
+    }
+
+    #[test]
+    fn empty_file_reads_no_lines() {
+        let c = cluster();
+        let path = DfsPath::new("/logs/empty").unwrap();
+        FileWriter::new(&c, path.clone()).close().unwrap();
+        let mut r = FileReader::open(&c, &path, NodeId(1)).unwrap();
+        assert_eq!(r.next_line(), None);
+    }
+}

@@ -1,0 +1,111 @@
+//! Absolute, normalized DFS paths.
+
+use std::borrow::Borrow;
+use std::fmt;
+
+use crate::error::{DfsError, Result};
+
+/// An absolute path inside the simulated DFS, e.g. `/redoop/wcc/S1P4`.
+///
+/// Paths are write-once file identifiers; there is no directory tree beyond
+/// prefix listing, mirroring how Hadoop jobs address HDFS files.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DfsPath(String);
+
+impl DfsPath {
+    /// Validates and normalizes a path: must be non-empty, absolute, and
+    /// free of empty or `.`/`..` segments. Trailing slashes are stripped.
+    pub fn new(raw: impl Into<String>) -> Result<Self> {
+        let raw = raw.into();
+        if !raw.starts_with('/') {
+            return Err(DfsError::InvalidPath(raw));
+        }
+        let trimmed = raw.trim_end_matches('/');
+        if trimmed.is_empty() {
+            return Err(DfsError::InvalidPath(raw));
+        }
+        for seg in trimmed[1..].split('/') {
+            if seg.is_empty() || seg == "." || seg == ".." {
+                return Err(DfsError::InvalidPath(raw));
+            }
+        }
+        Ok(DfsPath(trimmed.to_string()))
+    }
+
+    /// The path as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Final path segment (the "file name").
+    pub fn file_name(&self) -> &str {
+        self.0.rsplit('/').next().unwrap_or(&self.0)
+    }
+
+    /// Returns true if this path starts with `prefix` on a segment boundary.
+    pub fn has_prefix(&self, prefix: &str) -> bool {
+        let prefix = prefix.trim_end_matches('/');
+        self.0 == prefix
+            || (self.0.starts_with(prefix)
+                && self.0.as_bytes().get(prefix.len()) == Some(&b'/'))
+    }
+
+    /// Appends a child segment, producing a new path.
+    pub fn join(&self, segment: &str) -> Result<Self> {
+        DfsPath::new(format!("{}/{}", self.0, segment))
+    }
+}
+
+impl fmt::Display for DfsPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl Borrow<str> for DfsPath {
+    fn borrow(&self) -> &str {
+        &self.0
+    }
+}
+
+impl TryFrom<&str> for DfsPath {
+    type Error = DfsError;
+    fn try_from(s: &str) -> Result<Self> {
+        DfsPath::new(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_absolute_paths() {
+        assert_eq!(DfsPath::new("/a/b/c").unwrap().as_str(), "/a/b/c");
+        assert_eq!(DfsPath::new("/a/b/").unwrap().as_str(), "/a/b");
+    }
+
+    #[test]
+    fn rejects_bad_paths() {
+        for bad in ["", "a/b", "/", "//x", "/a//b", "/a/./b", "/a/../b"] {
+            assert!(DfsPath::new(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn file_name_and_join() {
+        let p = DfsPath::new("/redoop/wcc/S1P4").unwrap();
+        assert_eq!(p.file_name(), "S1P4");
+        assert_eq!(p.join("hdr").unwrap().as_str(), "/redoop/wcc/S1P4/hdr");
+    }
+
+    #[test]
+    fn prefix_respects_segment_boundaries() {
+        let p = DfsPath::new("/redoop/wcc/S1P4").unwrap();
+        assert!(p.has_prefix("/redoop"));
+        assert!(p.has_prefix("/redoop/wcc/"));
+        assert!(p.has_prefix("/redoop/wcc/S1P4"));
+        assert!(!p.has_prefix("/redoop/wc"));
+        assert!(!p.has_prefix("/other"));
+    }
+}

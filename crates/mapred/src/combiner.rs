@@ -1,0 +1,85 @@
+//! Optional map-side combiner.
+
+use crate::writable::Writable;
+
+/// Map-side pre-aggregation: folds a key's values into fewer values of the
+/// *same* type before the shuffle, exactly like a Hadoop combiner. Reduces
+/// shuffle bytes; must be algebraically safe (associative + commutative
+/// folding) — that is the user's contract, as in Hadoop.
+pub trait Combiner<K, V>: Send + Sync + 'static
+where
+    K: Writable + Ord + std::hash::Hash,
+    V: Writable,
+{
+    /// Combines one key group into (usually one) replacement values.
+    fn combine(&self, key: &K, values: &[V]) -> Vec<V>;
+}
+
+/// Combiner that sums numeric values (the common word-count shape).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SumCombiner;
+
+impl<K> Combiner<K, u64> for SumCombiner
+where
+    K: Writable + Ord + std::hash::Hash,
+{
+    fn combine(&self, _key: &K, values: &[u64]) -> Vec<u64> {
+        vec![values.iter().sum()]
+    }
+}
+
+impl<K> Combiner<K, f64> for SumCombiner
+where
+    K: Writable + Ord + std::hash::Hash,
+{
+    fn combine(&self, _key: &K, values: &[f64]) -> Vec<f64> {
+        vec![values.iter().sum()]
+    }
+}
+
+/// Closure adapter for combiners.
+pub struct ClosureCombiner<K, V, F> {
+    f: F,
+    _marker: std::marker::PhantomData<fn() -> (K, V)>,
+}
+
+impl<K, V, F> ClosureCombiner<K, V, F>
+where
+    K: Writable + Ord + std::hash::Hash,
+    V: Writable,
+    F: Fn(&K, &[V]) -> Vec<V> + Send + Sync + 'static,
+{
+    /// Wraps `f` as a combiner.
+    pub fn new(f: F) -> Self {
+        ClosureCombiner { f, _marker: std::marker::PhantomData }
+    }
+}
+
+impl<K, V, F> Combiner<K, V> for ClosureCombiner<K, V, F>
+where
+    K: Writable + Ord + std::hash::Hash,
+    V: Writable,
+    F: Fn(&K, &[V]) -> Vec<V> + Send + Sync + 'static,
+{
+    fn combine(&self, key: &K, values: &[V]) -> Vec<V> {
+        (self.f)(key, values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_combiner_collapses_group() {
+        let c = SumCombiner;
+        let out = Combiner::<String, u64>::combine(&c, &"k".to_string(), &[1, 2, 3]);
+        assert_eq!(out, vec![6]);
+    }
+
+    #[test]
+    fn closure_combiner_max() {
+        let c = ClosureCombiner::new(|_k: &u64, vs: &[u64]| vec![*vs.iter().max().unwrap()]);
+        assert_eq!(c.combine(&9, &[4, 7, 2]), vec![7]);
+    }
+}

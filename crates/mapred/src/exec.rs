@@ -1,0 +1,210 @@
+//! Real (non-simulated) execution helpers: run mappers/reducers over
+//! records, sort/group, combine, partition, and a small data-parallel
+//! runner used to execute many tasks on the host machine.
+//!
+//! These helpers are shared by the plain-Hadoop [`crate::JobRunner`] and
+//! by Redoop's window executor, which composes them differently (per-pane
+//! micro-tasks instead of one monolithic job).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::error::Result;
+use crate::mapper::{MapContext, Mapper};
+use crate::partitioner::Partitioner;
+use crate::reducer::{ReduceContext, Reducer};
+use crate::writable::Writable;
+
+/// Runs `mapper` over `lines`, returning the emitted pairs and the number
+/// of input records consumed.
+#[allow(clippy::type_complexity)]
+pub fn run_mapper<'a, M: Mapper>(
+    mapper: &M,
+    lines: impl Iterator<Item = &'a str>,
+) -> (Vec<(M::KOut, M::VOut)>, u64) {
+    let mut ctx = MapContext::new();
+    let mut records = 0u64;
+    for line in lines {
+        mapper.map(line, &mut ctx);
+        records += 1;
+    }
+    (ctx.into_pairs(), records)
+}
+
+/// Sorts pairs by key (stable, preserving per-producer value order, like
+/// Hadoop's merge) and groups equal keys.
+pub fn sort_group<K: Ord + Clone, V>(mut pairs: Vec<(K, V)>) -> Vec<(K, Vec<V>)> {
+    pairs.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut groups: Vec<(K, Vec<V>)> = Vec::new();
+    for (k, v) in pairs {
+        match groups.last_mut() {
+            Some((gk, vs)) if *gk == k => vs.push(v),
+            _ => groups.push((k, vec![v])),
+        }
+    }
+    groups
+}
+
+/// Applies a combiner to map output: group by key, fold each group.
+pub fn apply_combiner<K, V>(
+    pairs: Vec<(K, V)>,
+    combiner: &dyn crate::combiner::Combiner<K, V>,
+) -> Vec<(K, V)>
+where
+    K: Writable + Ord + std::hash::Hash,
+    V: Writable,
+{
+    let mut out = Vec::new();
+    for (key, values) in sort_group(pairs) {
+        for v in combiner.combine(&key, &values) {
+            out.push((key.clone(), v));
+        }
+    }
+    out
+}
+
+/// Splits pairs into `num_reducers` shuffle partitions.
+pub fn partition_pairs<K: 'static, V>(
+    pairs: Vec<(K, V)>,
+    partitioner: &dyn Partitioner<K>,
+    num_reducers: usize,
+) -> Vec<Vec<(K, V)>> {
+    let mut buckets: Vec<Vec<(K, V)>> = (0..num_reducers).map(|_| Vec::new()).collect();
+    for (k, v) in pairs {
+        let p = partitioner.partition(&k, num_reducers);
+        buckets[p].push((k, v));
+    }
+    buckets
+}
+
+/// Runs `reducer` over sorted groups, returning output pairs and the
+/// number of input records (values) consumed.
+#[allow(clippy::type_complexity)]
+pub fn run_reducer<R: Reducer>(
+    reducer: &R,
+    groups: &[(R::KIn, Vec<R::VIn>)],
+) -> (Vec<(R::KOut, R::VOut)>, u64) {
+    let mut ctx = ReduceContext::new();
+    let mut records = 0u64;
+    for (key, values) in groups {
+        records += values.len() as u64;
+        reducer.reduce(key, values, &mut ctx);
+    }
+    (ctx.into_pairs(), records)
+}
+
+/// Executes `f(i)` for `i in 0..n` on a bounded pool of host threads,
+/// returning results in index order. The virtual cluster's parallelism is
+/// simulated elsewhere; this only bounds *host* CPU usage.
+pub fn parallel_map<T, F>(n: usize, f: F) -> Result<Vec<T>>
+where
+    T: Send,
+    F: Fn(usize) -> Result<T> + Send + Sync,
+{
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(n);
+    if workers <= 1 {
+        return (0..n).map(&f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<Result<T>>>> = Mutex::new((0..n).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(i);
+                results.lock()[i] = Some(r);
+            });
+        }
+    });
+    results.into_inner().into_iter().map(|r| r.expect("worker filled every slot")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::combiner::SumCombiner;
+    use crate::mapper::ClosureMapper;
+    use crate::partitioner::HashPartitioner;
+    use crate::reducer::ClosureReducer;
+
+    #[test]
+    fn mapper_over_lines() {
+        let m = ClosureMapper::new(|line: &str, ctx: &mut MapContext<String, u64>| {
+            ctx.emit(line.to_string(), 1);
+        });
+        let (pairs, records) = run_mapper(&m, ["a", "b", "a"].into_iter());
+        assert_eq!(records, 3);
+        assert_eq!(pairs.len(), 3);
+    }
+
+    #[test]
+    fn sort_group_is_stable_within_keys() {
+        let pairs = vec![("b", 1), ("a", 2), ("b", 3), ("a", 4)];
+        let groups = sort_group(pairs);
+        assert_eq!(groups, vec![("a", vec![2, 4]), ("b", vec![1, 3])]);
+    }
+
+    #[test]
+    fn combiner_collapses_before_shuffle() {
+        let pairs: Vec<(String, u64)> =
+            vec![("x".into(), 1), ("y".into(), 2), ("x".into(), 3)];
+        let combined = apply_combiner(pairs, &SumCombiner);
+        assert_eq!(combined, vec![("x".to_string(), 4), ("y".to_string(), 2)]);
+    }
+
+    #[test]
+    fn partitioning_is_exhaustive_and_stable() {
+        let pairs: Vec<(u64, u64)> = (0..100).map(|i| (i, i)).collect();
+        let buckets = partition_pairs(pairs.clone(), &HashPartitioner, 4);
+        assert_eq!(buckets.iter().map(Vec::len).sum::<usize>(), 100);
+        let again = partition_pairs(pairs, &HashPartitioner, 4);
+        assert_eq!(buckets, again);
+    }
+
+    #[test]
+    fn reducer_counts_input_records() {
+        let r = ClosureReducer::new(
+            |k: &String, vs: &[u64], ctx: &mut ReduceContext<String, u64>| {
+                ctx.emit(k.clone(), vs.iter().sum());
+            },
+        );
+        let groups = vec![("a".to_string(), vec![1, 2]), ("b".to_string(), vec![3])];
+        let (out, records) = run_reducer(&r, &groups);
+        assert_eq!(records, 3);
+        assert_eq!(out, vec![("a".to_string(), 3), ("b".to_string(), 3)]);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let out = parallel_map(50, |i| Ok(i * 2)).unwrap();
+        assert_eq!(out, (0..50).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_propagates_errors() {
+        let out = parallel_map(10, |i| {
+            if i == 7 {
+                Err(crate::error::MrError::NoInput)
+            } else {
+                Ok(i)
+            }
+        });
+        assert!(out.is_err());
+    }
+
+    #[test]
+    fn parallel_map_empty() {
+        let out: Vec<usize> = parallel_map(0, |_| unreachable!()).unwrap();
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,83 @@
+//! Deterministic task-failure injection.
+//!
+//! Hadoop restarts a failed task attempt "some number of times before it
+//! causes the job to fail" (paper §5). The runtime consults a
+//! [`FaultInjector`] before each attempt; a failing attempt still occupies
+//! its slot for its full duration (the realistic worst case for a crash
+//! near completion), then the task is retried — on a node chosen afresh.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+use crate::task::TaskKind;
+
+/// Key identifying a task for injection purposes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct FaultKey {
+    job: String,
+    kind: TaskKind,
+    index: usize,
+}
+
+/// Deterministic plan of task-attempt failures.
+#[derive(Debug, Default)]
+pub struct FaultInjector {
+    // task -> number of leading attempts that fail
+    plans: Mutex<HashMap<FaultKey, u32>>,
+}
+
+impl FaultInjector {
+    /// No failures.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Makes the first `failures` attempts of `(job, kind, index)` fail.
+    pub fn fail_first_attempts(&self, job: &str, kind: TaskKind, index: usize, failures: u32) {
+        self.plans
+            .lock()
+            .insert(FaultKey { job: job.to_string(), kind, index }, failures);
+    }
+
+    /// Whether `attempt` (1-based) of the task should fail.
+    pub fn should_fail(&self, job: &str, kind: TaskKind, index: usize, attempt: u32) -> bool {
+        let key = FaultKey { job: job.to_string(), kind, index };
+        self.plans.lock().get(&key).is_some_and(|&n| attempt <= n)
+    }
+
+    /// Number of distinct tasks with planned failures.
+    pub fn planned_tasks(&self) -> usize {
+        self.plans.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fails_exactly_first_n_attempts() {
+        let f = FaultInjector::new();
+        f.fail_first_attempts("job1", TaskKind::Map, 3, 2);
+        assert!(f.should_fail("job1", TaskKind::Map, 3, 1));
+        assert!(f.should_fail("job1", TaskKind::Map, 3, 2));
+        assert!(!f.should_fail("job1", TaskKind::Map, 3, 3));
+    }
+
+    #[test]
+    fn keys_are_fully_discriminated() {
+        let f = FaultInjector::new();
+        f.fail_first_attempts("job1", TaskKind::Map, 0, 1);
+        assert!(!f.should_fail("job2", TaskKind::Map, 0, 1), "different job");
+        assert!(!f.should_fail("job1", TaskKind::Reduce, 0, 1), "different kind");
+        assert!(!f.should_fail("job1", TaskKind::Map, 1, 1), "different index");
+        assert_eq!(f.planned_tasks(), 1);
+    }
+
+    #[test]
+    fn empty_injector_never_fails() {
+        let f = FaultInjector::new();
+        assert!(!f.should_fail("j", TaskKind::Reduce, 9, 1));
+    }
+}

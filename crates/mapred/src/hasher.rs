@@ -1,0 +1,85 @@
+//! A stable, fast hasher for partitioning.
+//!
+//! `std::collections`' default `RandomState` is seeded per process, which
+//! would make shuffle partitioning non-deterministic across runs — fatal
+//! for Redoop, whose cache reuse depends on "the partitioning functions
+//! used between mappers and reducers are fixed" (paper §4.3). This module
+//! provides an FxHash-style multiply-xor hasher with a fixed seed.
+
+use std::hash::{BuildHasherDefault, Hash, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Deterministic multiply-xor hasher (FxHash construction).
+#[derive(Debug, Default, Clone)]
+pub struct StableHasher {
+    state: u64,
+}
+
+impl Hasher for StableHasher {
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u8(b);
+        }
+    }
+
+    fn write_u8(&mut self, b: u8) {
+        self.state = (self.state.rotate_left(5) ^ (b as u64)).wrapping_mul(SEED);
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        self.state = (self.state.rotate_left(5) ^ n).wrapping_mul(SEED);
+    }
+
+    fn write_u32(&mut self, n: u32) {
+        self.write_u64(n as u64);
+    }
+
+    fn write_usize(&mut self, n: usize) {
+        self.write_u64(n as u64);
+    }
+}
+
+/// `BuildHasher` for [`StableHasher`].
+pub type StableBuildHasher = BuildHasherDefault<StableHasher>;
+
+/// Hashes any `Hash` value deterministically.
+pub fn stable_hash<T: Hash + ?Sized>(value: &T) -> u64 {
+    let mut h = StableHasher::default();
+    value.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_calls() {
+        assert_eq!(stable_hash("player42"), stable_hash("player42"));
+        assert_eq!(stable_hash(&12345u64), stable_hash(&12345u64));
+    }
+
+    #[test]
+    fn distinguishes_values() {
+        assert_ne!(stable_hash("a"), stable_hash("b"));
+        assert_ne!(stable_hash(&1u64), stable_hash(&2u64));
+    }
+
+    #[test]
+    fn spreads_over_buckets() {
+        // 1000 sequential keys over 8 buckets: no bucket should be empty
+        // or hold more than half the keys.
+        let mut counts = [0usize; 8];
+        for i in 0..1000u64 {
+            counts[(stable_hash(&format!("key{i}")) % 8) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!(c > 0 && c < 500, "skewed bucket counts: {counts:?}");
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Line-oriented file handling and key/value text records.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+
+use crate::error::{MrError, Result};
+use crate::writable::Writable;
+
+/// An immutable text file fetched from the DFS, indexed by line.
+///
+/// Splitting a file into map splits, iterating records, and slicing line
+/// ranges all share this one zero-copy representation (`Arc<Bytes>` plus
+/// line offsets).
+#[derive(Debug, Clone)]
+pub struct LineFile {
+    data: Arc<Bytes>,
+    /// Start offset of each line (exclusive of the previous `\n`).
+    offsets: Arc<Vec<u32>>,
+}
+
+impl LineFile {
+    /// Indexes `data` by newline. Files larger than 4 GiB are not
+    /// supported (offsets are `u32`), far beyond this simulator's scale.
+    pub fn new(data: Bytes) -> Self {
+        assert!(data.len() < u32::MAX as usize, "LineFile capped at 4 GiB");
+        let mut offsets = Vec::with_capacity(data.len() / 32 + 1);
+        let mut start = 0u32;
+        let bytes = &data[..];
+        if !bytes.is_empty() {
+            offsets.push(0);
+        }
+        for (i, &b) in bytes.iter().enumerate() {
+            if b == b'\n' {
+                start = (i + 1) as u32;
+                if (start as usize) < bytes.len() {
+                    offsets.push(start);
+                }
+            }
+        }
+        let _ = start;
+        LineFile { data: Arc::new(data), offsets: Arc::new(offsets) }
+    }
+
+    /// Number of lines.
+    pub fn line_count(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// Total byte length, including newlines.
+    pub fn byte_len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// The `i`-th line, without its trailing newline. Panics out of range.
+    pub fn line(&self, i: usize) -> &str {
+        let start = self.offsets[i] as usize;
+        let end = self
+            .offsets
+            .get(i + 1)
+            .map(|&o| o as usize - 1) // strip the '\n' before the next line
+            .unwrap_or_else(|| {
+                let len = self.data.len();
+                if self.data[len - 1] == b'\n' {
+                    len - 1
+                } else {
+                    len
+                }
+            });
+        std::str::from_utf8(&self.data[start..end]).unwrap_or("")
+    }
+
+    /// Iterates lines in `range`.
+    pub fn lines(&self, range: std::ops::Range<usize>) -> impl Iterator<Item = &str> + '_ {
+        range.map(move |i| self.line(i))
+    }
+
+    /// Byte offset at which line `i` starts.
+    pub fn line_offset(&self, i: usize) -> usize {
+        self.offsets[i] as usize
+    }
+
+    /// Byte length of the lines in `range` (including newlines), used to
+    /// charge I/O for a split.
+    pub fn byte_len_of(&self, range: std::ops::Range<usize>) -> usize {
+        if range.is_empty() {
+            return 0;
+        }
+        let start = self.offsets[range.start] as usize;
+        let end = self
+            .offsets
+            .get(range.end)
+            .map(|&o| o as usize)
+            .unwrap_or(self.data.len());
+        end - start
+    }
+}
+
+/// Encodes one `(key, value)` pair as a `key\tvalue` text line into `out`.
+pub fn encode_kv<K: Writable, V: Writable>(key: &K, value: &V, out: &mut String) {
+    key.write(out);
+    out.push('\t');
+    value.write(out);
+    out.push('\n');
+}
+
+/// Decodes one `key\tvalue` line.
+pub fn decode_kv<K: Writable, V: Writable>(line: &str) -> Result<(K, V)> {
+    let (k, v) = line
+        .split_once('\t')
+        .ok_or_else(|| MrError::Codec(format!("missing tab in kv line {line:?}")))?;
+    Ok((K::read(k)?, V::read(v)?))
+}
+
+/// Encodes a whole pair list (sorted or not) into a text buffer.
+pub fn encode_kv_block<K: Writable, V: Writable>(pairs: &[(K, V)]) -> String {
+    // Rough pre-size: 24 bytes/pair is typical for our workloads.
+    let mut out = String::with_capacity(pairs.len() * 24);
+    for (k, v) in pairs {
+        encode_kv(k, v, &mut out);
+    }
+    out
+}
+
+/// Decodes a text buffer of `key\tvalue` lines.
+pub fn decode_kv_block<K: Writable, V: Writable>(text: &str) -> Result<Vec<(K, V)>> {
+    let mut pairs = Vec::new();
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        pairs.push(decode_kv(line)?);
+    }
+    Ok(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_indexing_with_trailing_newline() {
+        let f = LineFile::new(Bytes::from_static(b"a\nbb\nccc\n"));
+        assert_eq!(f.line_count(), 3);
+        assert_eq!(f.line(0), "a");
+        assert_eq!(f.line(1), "bb");
+        assert_eq!(f.line(2), "ccc");
+        assert_eq!(f.lines(0..3).collect::<Vec<_>>(), vec!["a", "bb", "ccc"]);
+    }
+
+    #[test]
+    fn line_indexing_without_trailing_newline() {
+        let f = LineFile::new(Bytes::from_static(b"a\nbb"));
+        assert_eq!(f.line_count(), 2);
+        assert_eq!(f.line(1), "bb");
+    }
+
+    #[test]
+    fn empty_file_has_no_lines() {
+        let f = LineFile::new(Bytes::new());
+        assert_eq!(f.line_count(), 0);
+        assert_eq!(f.byte_len_of(0..0), 0);
+    }
+
+    #[test]
+    fn byte_len_of_ranges() {
+        let f = LineFile::new(Bytes::from_static(b"a\nbb\nccc\n"));
+        assert_eq!(f.byte_len_of(0..1), 2); // "a\n"
+        assert_eq!(f.byte_len_of(1..3), 7); // "bb\nccc\n"
+        assert_eq!(f.byte_len_of(0..3), 9);
+    }
+
+    #[test]
+    fn kv_roundtrip() {
+        let pairs = vec![("alpha".to_string(), 1u64), ("beta".to_string(), 2u64)];
+        let text = encode_kv_block(&pairs);
+        assert_eq!(text, "alpha\t1\nbeta\t2\n");
+        let decoded: Vec<(String, u64)> = decode_kv_block(&text).unwrap();
+        assert_eq!(decoded, pairs);
+    }
+
+    #[test]
+    fn kv_decode_rejects_garbage() {
+        assert!(decode_kv::<String, u64>("no-tab-here").is_err());
+        assert!(decode_kv::<String, u64>("k\tnot-a-number").is_err());
+    }
+}

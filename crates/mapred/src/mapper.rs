@@ -1,0 +1,112 @@
+//! The map side of the programming model.
+
+use crate::writable::Writable;
+
+/// Collects key/value pairs emitted by a [`Mapper`].
+///
+/// Mirrors Hadoop's `Mapper.Context`: the framework owns the buffer and
+/// hands the mapper a context to `emit` into.
+#[derive(Debug)]
+pub struct MapContext<K, V> {
+    out: Vec<(K, V)>,
+}
+
+impl<K, V> MapContext<K, V> {
+    /// Fresh, empty context.
+    pub fn new() -> Self {
+        MapContext { out: Vec::new() }
+    }
+
+    /// Emits one intermediate pair.
+    pub fn emit(&mut self, key: K, value: V) {
+        self.out.push((key, value));
+    }
+
+    /// Number of pairs emitted so far.
+    pub fn emitted(&self) -> usize {
+        self.out.len()
+    }
+
+    /// Consumes the context, returning the emitted pairs.
+    pub fn into_pairs(self) -> Vec<(K, V)> {
+        self.out
+    }
+}
+
+impl<K, V> Default for MapContext<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// User map function: one input line (Hadoop `TextInputFormat` record) to
+/// zero or more intermediate `(key, value)` pairs.
+pub trait Mapper: Send + Sync + 'static {
+    /// Intermediate key type (must be shuffle-sortable).
+    type KOut: Writable + Ord + std::hash::Hash;
+    /// Intermediate value type.
+    type VOut: Writable;
+
+    /// Processes one record. Malformed records should simply emit nothing
+    /// (Hadoop jobs conventionally count and skip them).
+    fn map(&self, line: &str, ctx: &mut MapContext<Self::KOut, Self::VOut>);
+}
+
+/// Adapter turning a closure into a [`Mapper`].
+pub struct ClosureMapper<K, V, F> {
+    f: F,
+    _marker: std::marker::PhantomData<fn() -> (K, V)>,
+}
+
+impl<K, V, F> ClosureMapper<K, V, F>
+where
+    K: Writable + Ord + std::hash::Hash,
+    V: Writable,
+    F: Fn(&str, &mut MapContext<K, V>) + Send + Sync + 'static,
+{
+    /// Wraps `f` as a mapper.
+    pub fn new(f: F) -> Self {
+        ClosureMapper { f, _marker: std::marker::PhantomData }
+    }
+}
+
+impl<K, V, F> Mapper for ClosureMapper<K, V, F>
+where
+    K: Writable + Ord + std::hash::Hash,
+    V: Writable,
+    F: Fn(&str, &mut MapContext<K, V>) + Send + Sync + 'static,
+{
+    type KOut = K;
+    type VOut = V;
+
+    fn map(&self, line: &str, ctx: &mut MapContext<K, V>) {
+        (self.f)(line, ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closure_mapper_emits_pairs() {
+        let m = ClosureMapper::new(|line: &str, ctx: &mut MapContext<String, u64>| {
+            for word in line.split_whitespace() {
+                ctx.emit(word.to_string(), 1);
+            }
+        });
+        let mut ctx = MapContext::new();
+        m.map("a b a", &mut ctx);
+        assert_eq!(ctx.emitted(), 3);
+        let pairs = ctx.into_pairs();
+        assert_eq!(pairs[0], ("a".to_string(), 1));
+        assert_eq!(pairs[2], ("a".to_string(), 1));
+    }
+
+    #[test]
+    fn context_default_is_empty() {
+        let ctx: MapContext<String, u64> = MapContext::default();
+        assert_eq!(ctx.emitted(), 0);
+        assert!(ctx.into_pairs().is_empty());
+    }
+}

@@ -1,0 +1,115 @@
+//! The reduce side of the programming model.
+
+use crate::writable::Writable;
+
+/// Collects output pairs produced by a [`Reducer`].
+#[derive(Debug)]
+pub struct ReduceContext<K, V> {
+    out: Vec<(K, V)>,
+}
+
+impl<K, V> ReduceContext<K, V> {
+    /// Fresh, empty context.
+    pub fn new() -> Self {
+        ReduceContext { out: Vec::new() }
+    }
+
+    /// Emits one output pair.
+    pub fn emit(&mut self, key: K, value: V) {
+        self.out.push((key, value));
+    }
+
+    /// Number of pairs emitted so far.
+    pub fn emitted(&self) -> usize {
+        self.out.len()
+    }
+
+    /// Consumes the context, returning the emitted pairs.
+    pub fn into_pairs(self) -> Vec<(K, V)> {
+        self.out
+    }
+}
+
+impl<K, V> Default for ReduceContext<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// User reduce function: one key group to zero or more output pairs.
+pub trait Reducer: Send + Sync + 'static {
+    /// Intermediate key type (matches the mapper's `KOut`).
+    type KIn: Writable + Ord + std::hash::Hash;
+    /// Intermediate value type (matches the mapper's `VOut`).
+    type VIn: Writable;
+    /// Output key type.
+    type KOut: Writable;
+    /// Output value type.
+    type VOut: Writable;
+
+    /// Processes one `(key, [values])` group. Values arrive in shuffle
+    /// order (stable within a map task, unspecified across tasks), like
+    /// Hadoop.
+    fn reduce(
+        &self,
+        key: &Self::KIn,
+        values: &[Self::VIn],
+        ctx: &mut ReduceContext<Self::KOut, Self::VOut>,
+    );
+}
+
+/// Adapter turning a closure into a [`Reducer`].
+#[allow(clippy::type_complexity)]
+pub struct ClosureReducer<KI, VI, KO, VO, F> {
+    f: F,
+    _marker: std::marker::PhantomData<fn() -> (KI, VI, KO, VO)>,
+}
+
+impl<KI, VI, KO, VO, F> ClosureReducer<KI, VI, KO, VO, F>
+where
+    KI: Writable + Ord + std::hash::Hash,
+    VI: Writable,
+    KO: Writable,
+    VO: Writable,
+    F: Fn(&KI, &[VI], &mut ReduceContext<KO, VO>) + Send + Sync + 'static,
+{
+    /// Wraps `f` as a reducer.
+    pub fn new(f: F) -> Self {
+        ClosureReducer { f, _marker: std::marker::PhantomData }
+    }
+}
+
+impl<KI, VI, KO, VO, F> Reducer for ClosureReducer<KI, VI, KO, VO, F>
+where
+    KI: Writable + Ord + std::hash::Hash,
+    VI: Writable,
+    KO: Writable,
+    VO: Writable,
+    F: Fn(&KI, &[VI], &mut ReduceContext<KO, VO>) + Send + Sync + 'static,
+{
+    type KIn = KI;
+    type VIn = VI;
+    type KOut = KO;
+    type VOut = VO;
+
+    fn reduce(&self, key: &KI, values: &[VI], ctx: &mut ReduceContext<KO, VO>) {
+        (self.f)(key, values, ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closure_reducer_sums() {
+        let r = ClosureReducer::new(
+            |key: &String, values: &[u64], ctx: &mut ReduceContext<String, u64>| {
+                ctx.emit(key.clone(), values.iter().sum());
+            },
+        );
+        let mut ctx = ReduceContext::new();
+        r.reduce(&"k".to_string(), &[1, 2, 3], &mut ctx);
+        assert_eq!(ctx.into_pairs(), vec![("k".to_string(), 6)]);
+    }
+}

@@ -1,0 +1,215 @@
+//! Discrete-event simulation of cluster task slots.
+//!
+//! Reproduces the paper's testbed shape: each worker runs a fixed number
+//! of concurrent map and reduce slots (the paper configures 6 map + 2
+//! reduce per node). [`ClusterSim`] tracks, per node and slot, the virtual
+//! time at which the slot next becomes free; assigning a task claims the
+//! earliest-free slot at or after the task's ready time.
+//!
+//! `ClusterSim` persists across jobs and windows, so consecutive query
+//! recurrences share node availability exactly as on a long-lived cluster.
+
+use redoop_dfs::NodeId;
+
+use crate::simtime::{CostModel, SimTime};
+use crate::task::TaskKind;
+
+/// Map or reduce slot pools (alias of [`TaskKind`] for readability).
+pub type SlotKind = TaskKind;
+
+/// Where and when a task ran in virtual time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Placement {
+    /// Node the task ran on.
+    pub node: NodeId,
+    /// Virtual start time (slot acquired).
+    pub start: SimTime,
+    /// Virtual completion time.
+    pub end: SimTime,
+}
+
+impl Placement {
+    /// Task duration.
+    pub fn duration(&self) -> SimTime {
+        self.end - self.start
+    }
+}
+
+/// Slot-level simulation state of the whole cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterSim {
+    cost: CostModel,
+    map_slots: Vec<Vec<SimTime>>,
+    reduce_slots: Vec<Vec<SimTime>>,
+}
+
+impl ClusterSim {
+    /// A cluster of `nodes` workers with the given per-node slot counts.
+    pub fn new(nodes: usize, map_slots: usize, reduce_slots: usize, cost: CostModel) -> Self {
+        assert!(nodes > 0 && map_slots > 0 && reduce_slots > 0);
+        ClusterSim {
+            cost,
+            map_slots: vec![vec![SimTime::ZERO; map_slots]; nodes],
+            reduce_slots: vec![vec![SimTime::ZERO; reduce_slots]; nodes],
+        }
+    }
+
+    /// The paper's configuration: 6 map + 2 reduce slots per node.
+    pub fn paper_testbed(nodes: usize, cost: CostModel) -> Self {
+        ClusterSim::new(nodes, 6, 2, cost)
+    }
+
+    /// The cost model in force.
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.map_slots.len()
+    }
+
+    fn slots(&self, kind: SlotKind) -> &Vec<Vec<SimTime>> {
+        match kind {
+            TaskKind::Map => &self.map_slots,
+            TaskKind::Reduce => &self.reduce_slots,
+        }
+    }
+
+    fn slots_mut(&mut self, kind: SlotKind) -> &mut Vec<Vec<SimTime>> {
+        match kind {
+            TaskKind::Map => &mut self.map_slots,
+            TaskKind::Reduce => &mut self.reduce_slots,
+        }
+    }
+
+    /// Earliest time a `kind` slot frees up on `node` — the scheduler's
+    /// `Load_i` signal (paper Eq. 4).
+    pub fn node_load(&self, kind: SlotKind, node: NodeId) -> SimTime {
+        *self.slots(kind)[node.index()].iter().min().expect("slots non-empty")
+    }
+
+    /// `node_load` for every node, indexed by node id.
+    pub fn loads(&self, kind: SlotKind) -> Vec<SimTime> {
+        (0..self.node_count())
+            .map(|i| self.node_load(kind, NodeId(i as u32)))
+            .collect()
+    }
+
+    /// Claims the earliest-free `kind` slot on `node` for a task that is
+    /// ready at `ready_at` and runs for `duration`.
+    pub fn assign(
+        &mut self,
+        kind: SlotKind,
+        node: NodeId,
+        ready_at: SimTime,
+        duration: SimTime,
+    ) -> Placement {
+        self.assign_dynamic(kind, node, ready_at, |start| start + duration)
+    }
+
+    /// Like [`ClusterSim::assign`], but the completion time may depend on
+    /// the start time (e.g. a reduce task whose copy phase cannot end
+    /// before the last map finishes). `end_of(start)` must be `>= start`.
+    pub fn assign_dynamic(
+        &mut self,
+        kind: SlotKind,
+        node: NodeId,
+        ready_at: SimTime,
+        end_of: impl FnOnce(SimTime) -> SimTime,
+    ) -> Placement {
+        let slots = &mut self.slots_mut(kind)[node.index()];
+        let (slot_idx, &free_at) = slots
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &t)| t)
+            .expect("slots non-empty");
+        let start = free_at.max(ready_at);
+        let end = end_of(start);
+        debug_assert!(end >= start);
+        slots[slot_idx] = end;
+        Placement { node, start, end }
+    }
+
+    /// Pushes every slot on `node` to at least `until` — models the node
+    /// being unavailable (dead) until that virtual time.
+    pub fn block_node_until(&mut self, node: NodeId, until: SimTime) {
+        for kind in [TaskKind::Map, TaskKind::Reduce] {
+            for t in &mut self.slots_mut(kind)[node.index()] {
+                *t = (*t).max(until);
+            }
+        }
+    }
+
+    /// Latest completion time across all slots (cluster quiescent time).
+    pub fn horizon(&self) -> SimTime {
+        self.map_slots
+            .iter()
+            .chain(self.reduce_slots.iter())
+            .flatten()
+            .copied()
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim() -> ClusterSim {
+        ClusterSim::new(2, 2, 1, CostModel::default())
+    }
+
+    #[test]
+    fn slots_serialize_tasks_on_one_node() {
+        let mut s = sim();
+        let d = SimTime::from_secs(10);
+        let p1 = s.assign(TaskKind::Map, NodeId(0), SimTime::ZERO, d);
+        let p2 = s.assign(TaskKind::Map, NodeId(0), SimTime::ZERO, d);
+        let p3 = s.assign(TaskKind::Map, NodeId(0), SimTime::ZERO, d);
+        // Two slots: first two run in parallel, third queues.
+        assert_eq!(p1.start, SimTime::ZERO);
+        assert_eq!(p2.start, SimTime::ZERO);
+        assert_eq!(p3.start, d);
+        assert_eq!(p3.end, d + d);
+    }
+
+    #[test]
+    fn ready_time_delays_start() {
+        let mut s = sim();
+        let p = s.assign(TaskKind::Map, NodeId(1), SimTime::from_secs(5), SimTime::from_secs(1));
+        assert_eq!(p.start, SimTime::from_secs(5));
+        assert_eq!(p.duration(), SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn map_and_reduce_pools_are_independent() {
+        let mut s = sim();
+        s.assign(TaskKind::Map, NodeId(0), SimTime::ZERO, SimTime::from_secs(100));
+        assert_eq!(s.node_load(TaskKind::Reduce, NodeId(0)), SimTime::ZERO);
+        assert_eq!(s.node_load(TaskKind::Map, NodeId(0)), SimTime::ZERO, "second map slot free");
+        s.assign(TaskKind::Map, NodeId(0), SimTime::ZERO, SimTime::from_secs(100));
+        assert_eq!(s.node_load(TaskKind::Map, NodeId(0)), SimTime::from_secs(100));
+    }
+
+    #[test]
+    fn dynamic_end_respects_barrier() {
+        let mut s = sim();
+        let barrier = SimTime::from_secs(30);
+        let p = s.assign_dynamic(TaskKind::Reduce, NodeId(0), SimTime::ZERO, |start| {
+            (start + SimTime::from_secs(2)).max(barrier) + SimTime::from_secs(1)
+        });
+        assert_eq!(p.end, SimTime::from_secs(31));
+    }
+
+    #[test]
+    fn block_node_until_pushes_loads() {
+        let mut s = sim();
+        s.block_node_until(NodeId(0), SimTime::from_secs(50));
+        assert_eq!(s.node_load(TaskKind::Map, NodeId(0)), SimTime::from_secs(50));
+        assert_eq!(s.node_load(TaskKind::Reduce, NodeId(0)), SimTime::from_secs(50));
+        assert_eq!(s.node_load(TaskKind::Map, NodeId(1)), SimTime::ZERO);
+        assert_eq!(s.horizon(), SimTime::from_secs(50));
+    }
+}

@@ -1,0 +1,218 @@
+//! Speculative execution (Hadoop's straggler mitigation).
+//!
+//! The paper's testbed turns speculation *off* ("speculative execution
+//! was turned off so to boost performance"), but it is part of the Hadoop
+//! substrate being reproduced, so the runtime supports it as a
+//! [`crate::JobConf`] option. The policy follows Hadoop/LATE: a task
+//! whose estimated completion lags a full typical duration behind the
+//! pack gets a backup attempt on another node; the task finishes when
+//! either attempt does.
+
+use redoop_dfs::NodeId;
+
+use crate::schedule::{ClusterSim, Placement};
+use crate::scheduler::{Scheduler, SchedulerCtx};
+use crate::simtime::SimTime;
+use crate::task::TaskKind;
+
+/// Outcome of a speculation pass over one task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpeculationOutcome {
+    /// Task was not a straggler; nothing launched.
+    NotStraggler,
+    /// A backup was launched but the original finished first.
+    BackupLost {
+        /// The backup attempt's placement (its slot time is still spent).
+        backup: Placement,
+    },
+    /// The backup finished first; the task's effective end improves.
+    BackupWon {
+        /// The winning backup placement.
+        backup: Placement,
+    },
+}
+
+/// Median of a non-empty slice (lower median for even lengths).
+fn median(mut xs: Vec<SimTime>) -> SimTime {
+    xs.sort_unstable();
+    xs[(xs.len() - 1) / 2]
+}
+
+/// Identifies stragglers among `placements` and, for each, launches one
+/// backup attempt via `scheduler`. `backup_duration(node)` gives the
+/// task's duration if re-run on `node`. Returns the per-task outcomes;
+/// the caller updates effective ends for winners.
+///
+/// Straggler rule (LATE-style): `end > median_end + median_duration` —
+/// the task finishes a full typical duration after the pack, whether
+/// because it is slow or because it started late.
+pub fn speculate_stragglers(
+    sim: &mut ClusterSim,
+    alive: &[bool],
+    scheduler: &dyn Scheduler,
+    kind: TaskKind,
+    placements: &[Placement],
+    mut backup_duration: impl FnMut(usize, NodeId) -> SimTime,
+) -> Vec<SpeculationOutcome> {
+    if placements.len() < 3 {
+        return vec![SpeculationOutcome::NotStraggler; placements.len()];
+    }
+    let median_end = median(placements.iter().map(|p| p.end).collect());
+    let median_dur = median(placements.iter().map(|p| p.duration()).collect());
+    let threshold = median_end + median_dur;
+
+    placements
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            if p.end <= threshold {
+                return SpeculationOutcome::NotStraggler;
+            }
+            // The straggler is noticed once the pack has finished; the
+            // backup may start then, on any live node but the original.
+            let detect_at = median_end;
+            let mut mask = alive.to_vec();
+            if let Some(slot) = mask.get_mut(p.node.index()) {
+                *slot = false;
+            }
+            if !mask.iter().any(|&a| a) {
+                return SpeculationOutcome::NotStraggler;
+            }
+            let loads: Vec<SimTime> =
+                sim.loads(kind).into_iter().map(|l| l.max(detect_at)).collect();
+            let ctx = SchedulerCtx { loads: &loads, alive: &mask };
+            let node = scheduler.pick_node(kind, &ctx, &|_| SimTime::ZERO);
+            let dur = backup_duration(i, node);
+            let backup = sim.assign(kind, node, detect_at, dur);
+            if backup.end < p.end {
+                SpeculationOutcome::BackupWon { backup }
+            } else {
+                SpeculationOutcome::BackupLost { backup }
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::DefaultScheduler;
+    use crate::simtime::CostModel;
+
+    fn placement(node: u32, start: u64, end: u64) -> Placement {
+        Placement {
+            node: NodeId(node),
+            start: SimTime::from_secs(start),
+            end: SimTime::from_secs(end),
+        }
+    }
+
+    fn sim() -> ClusterSim {
+        ClusterSim::new(4, 2, 1, CostModel::default())
+    }
+
+    #[test]
+    fn homogeneous_tasks_spawn_no_backups() {
+        let mut s = sim();
+        let placements =
+            vec![placement(0, 0, 10), placement(1, 0, 10), placement(2, 0, 11)];
+        let outcomes = speculate_stragglers(
+            &mut s,
+            &[true; 4],
+            &DefaultScheduler,
+            TaskKind::Map,
+            &placements,
+            |_, _| SimTime::from_secs(10),
+        );
+        assert!(outcomes.iter().all(|o| *o == SpeculationOutcome::NotStraggler));
+    }
+
+    #[test]
+    fn straggler_is_rescued_by_a_faster_backup() {
+        let mut s = sim();
+        // Three tasks finish at 10s; the fourth would run until 60s.
+        let placements = vec![
+            placement(0, 0, 10),
+            placement(1, 0, 10),
+            placement(2, 0, 10),
+            placement(3, 0, 60),
+        ];
+        let outcomes = speculate_stragglers(
+            &mut s,
+            &[true; 4],
+            &DefaultScheduler,
+            TaskKind::Map,
+            &placements,
+            |_, _| SimTime::from_secs(10),
+        );
+        match outcomes[3] {
+            SpeculationOutcome::BackupWon { backup } => {
+                // Launched at the pack's completion (10s), done at 20s.
+                assert_eq!(backup.start, SimTime::from_secs(10));
+                assert_eq!(backup.end, SimTime::from_secs(20));
+                assert_ne!(backup.node, NodeId(3), "backup must avoid the straggling node");
+            }
+            other => panic!("expected a winning backup, got {other:?}"),
+        }
+        assert_eq!(outcomes[..3], vec![SpeculationOutcome::NotStraggler; 3][..]);
+    }
+
+    #[test]
+    fn backup_that_cannot_beat_the_original_loses() {
+        let mut s = sim();
+        let placements = vec![
+            placement(0, 0, 10),
+            placement(1, 0, 10),
+            placement(2, 0, 10),
+            placement(3, 0, 25),
+        ];
+        // Backup would take 40s — slower than just waiting for 25s.
+        let outcomes = speculate_stragglers(
+            &mut s,
+            &[true; 4],
+            &DefaultScheduler,
+            TaskKind::Map,
+            &placements,
+            |_, _| SimTime::from_secs(40),
+        );
+        assert!(matches!(outcomes[3], SpeculationOutcome::BackupLost { .. }));
+    }
+
+    #[test]
+    fn too_few_tasks_never_speculate() {
+        let mut s = sim();
+        let placements = vec![placement(0, 0, 10), placement(1, 0, 100)];
+        let outcomes = speculate_stragglers(
+            &mut s,
+            &[true; 4],
+            &DefaultScheduler,
+            TaskKind::Map,
+            &placements,
+            |_, _| SimTime::from_secs(1),
+        );
+        assert!(outcomes.iter().all(|o| *o == SpeculationOutcome::NotStraggler));
+    }
+
+    #[test]
+    fn dead_cluster_rest_means_no_backup() {
+        let mut s = sim();
+        let placements = vec![
+            placement(0, 0, 10),
+            placement(0, 0, 10),
+            placement(0, 0, 10),
+            placement(0, 0, 99),
+        ];
+        // Only the straggler's own node is alive.
+        let mut alive = vec![false; 4];
+        alive[0] = true;
+        let outcomes = speculate_stragglers(
+            &mut s,
+            &alive,
+            &DefaultScheduler,
+            TaskKind::Map,
+            &placements,
+            |_, _| SimTime::from_secs(1),
+        );
+        assert_eq!(outcomes[3], SpeculationOutcome::NotStraggler);
+    }
+}

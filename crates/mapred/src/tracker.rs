@@ -1,0 +1,239 @@
+//! The Job Tracker: the long-lived, centralized job service of the
+//! Hadoop architecture (paper §2.2: "A centralized component called Job
+//! Tracker is responsible for dividing a job into small tasks and
+//! assigning each task to a compute node").
+//!
+//! [`JobTracker`] owns the simulated cluster's slot state, the scheduling
+//! policy, and the fault plan, and runs submitted jobs in submission
+//! order on a shared virtual timeline — consecutive jobs contend for the
+//! same slots, exactly like a production cluster that never "resets"
+//! between jobs. Job ids and response history are tracked for reporting.
+
+use redoop_dfs::{Cluster, DfsPath};
+
+use crate::error::Result;
+use crate::fault::FaultInjector;
+use crate::job::{JobConf, JobSpec};
+use crate::mapper::Mapper;
+use crate::metrics::JobMetrics;
+use crate::reducer::Reducer;
+use crate::runtime::{JobResult, JobRunner};
+use crate::schedule::ClusterSim;
+use crate::scheduler::{DefaultScheduler, Scheduler};
+use crate::simtime::SimTime;
+
+/// Identifier of a submitted job (sequential, like `job_..._0001`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobId(pub u64);
+
+/// One completed job's ledger entry.
+#[derive(Debug, Clone)]
+pub struct JobHistoryEntry {
+    /// The tracker-assigned id.
+    pub id: JobId,
+    /// The submitted name.
+    pub name: String,
+    /// Virtual submission time.
+    pub submitted_at: SimTime,
+    /// Metrics of the completed run.
+    pub metrics: JobMetrics,
+}
+
+/// The centralized job service.
+pub struct JobTracker {
+    cluster: Cluster,
+    sim: ClusterSim,
+    scheduler: Box<dyn Scheduler>,
+    faults: FaultInjector,
+    next_id: u64,
+    history: Vec<JobHistoryEntry>,
+}
+
+impl JobTracker {
+    /// A tracker over `cluster` with the given slot simulation and the
+    /// default (locality-aware) scheduling policy.
+    pub fn new(cluster: &Cluster, sim: ClusterSim) -> Self {
+        JobTracker {
+            cluster: cluster.clone(),
+            sim,
+            scheduler: Box::new(DefaultScheduler),
+            faults: FaultInjector::new(),
+            next_id: 1,
+            history: Vec::new(),
+        }
+    }
+
+    /// Replaces the scheduling policy.
+    pub fn set_scheduler(&mut self, scheduler: impl Scheduler + 'static) {
+        self.scheduler = Box::new(scheduler);
+    }
+
+    /// The fault-injection plan (tasks addressed by the tracker-assigned
+    /// job name, `job_NNNN`).
+    pub fn faults(&self) -> &FaultInjector {
+        &self.faults
+    }
+
+    /// The tracker-assigned name the *next* submission will get.
+    pub fn next_job_name(&self) -> String {
+        format!("job_{:04}", self.next_id)
+    }
+
+    /// Submits and runs one job at virtual time `submit_at`. Tasks are
+    /// placed on the shared slot timeline, so a job submitted while a
+    /// previous one is still running queues behind it.
+    pub fn submit<M, R>(
+        &mut self,
+        mapper: &M,
+        reducer: &R,
+        inputs: Vec<DfsPath>,
+        output: DfsPath,
+        conf: &JobConf,
+        submit_at: SimTime,
+    ) -> Result<(JobId, JobResult)>
+    where
+        M: Mapper,
+        R: Reducer<KIn = M::KOut, VIn = M::VOut>,
+    {
+        let id = JobId(self.next_id);
+        let name = self.next_job_name();
+        self.next_id += 1;
+        let spec = JobSpec::new(name.clone(), inputs, output);
+        let runner = JobRunner::new(&self.cluster, mapper, reducer)
+            .with_scheduler(self.scheduler.as_ref())
+            .with_faults(&self.faults);
+        let result = runner.run(&mut self.sim, &spec, conf, submit_at)?;
+        self.history.push(JobHistoryEntry {
+            id,
+            name,
+            submitted_at: submit_at,
+            metrics: result.metrics.clone(),
+        });
+        Ok((id, result))
+    }
+
+    /// Completed jobs, in submission order.
+    pub fn history(&self) -> &[JobHistoryEntry] {
+        &self.history
+    }
+
+    /// Virtual time when the cluster last goes quiet.
+    pub fn horizon(&self) -> SimTime {
+        self.sim.horizon()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapper::{ClosureMapper, MapContext};
+    use crate::reducer::{ClosureReducer, ReduceContext};
+    use crate::simtime::CostModel;
+    use crate::task::TaskKind;
+    use bytes::Bytes;
+
+    #[allow(clippy::type_complexity)]
+    fn fixture() -> (
+        Cluster,
+        JobTracker,
+        ClosureMapper<String, u64, fn(&str, &mut MapContext<String, u64>)>,
+        ClosureReducer<String, u64, String, u64, fn(&String, &[u64], &mut ReduceContext<String, u64>)>,
+    ) {
+        fn map(line: &str, ctx: &mut MapContext<String, u64>) {
+            for w in line.split_whitespace() {
+                ctx.emit(w.to_string(), 1);
+            }
+        }
+        #[allow(clippy::ptr_arg)]
+        fn reduce(k: &String, vs: &[u64], ctx: &mut ReduceContext<String, u64>) {
+            ctx.emit(k.clone(), vs.iter().sum());
+        }
+        let cluster = Cluster::with_nodes(2);
+        cluster
+            .create(&DfsPath::new("/in/f").unwrap(), Bytes::from("a b\n".repeat(10)))
+            .unwrap();
+        let tracker =
+            JobTracker::new(&cluster, ClusterSim::paper_testbed(2, CostModel::default()));
+        (cluster, tracker, ClosureMapper::new(map), ClosureReducer::new(reduce))
+    }
+
+    #[test]
+    fn jobs_get_sequential_ids_and_history() {
+        let (_cluster, mut tracker, mapper, reducer) = fixture();
+        assert_eq!(tracker.next_job_name(), "job_0001");
+        let conf = JobConf { num_reducers: 2, ..Default::default() };
+        let (id1, _) = tracker
+            .submit(
+                &mapper,
+                &reducer,
+                vec![DfsPath::new("/in/f").unwrap()],
+                DfsPath::new("/out/1").unwrap(),
+                &conf,
+                SimTime::ZERO,
+            )
+            .unwrap();
+        let (id2, _) = tracker
+            .submit(
+                &mapper,
+                &reducer,
+                vec![DfsPath::new("/in/f").unwrap()],
+                DfsPath::new("/out/2").unwrap(),
+                &conf,
+                SimTime::ZERO,
+            )
+            .unwrap();
+        assert_eq!(id1, JobId(1));
+        assert_eq!(id2, JobId(2));
+        assert_eq!(tracker.history().len(), 2);
+        assert_eq!(tracker.history()[0].name, "job_0001");
+        assert!(tracker.horizon() > SimTime::ZERO);
+    }
+
+    #[test]
+    fn jobs_share_the_cluster_timeline() {
+        let (_cluster, mut tracker, mapper, reducer) = fixture();
+        let conf = JobConf { num_reducers: 4, ..Default::default() };
+        let (_, r1) = tracker
+            .submit(
+                &mapper,
+                &reducer,
+                vec![DfsPath::new("/in/f").unwrap()],
+                DfsPath::new("/out/a").unwrap(),
+                &conf,
+                SimTime::ZERO,
+            )
+            .unwrap();
+        // Second job submitted at the same instant contends for the same
+        // 2-node cluster and finishes no earlier than the first.
+        let (_, r2) = tracker
+            .submit(
+                &mapper,
+                &reducer,
+                vec![DfsPath::new("/in/f").unwrap()],
+                DfsPath::new("/out/b").unwrap(),
+                &conf,
+                SimTime::ZERO,
+            )
+            .unwrap();
+        assert!(r2.metrics.finished_at >= r1.metrics.finished_at);
+    }
+
+    #[test]
+    fn tracker_faults_use_tracker_names() {
+        let (_cluster, mut tracker, mapper, reducer) = fixture();
+        let name = tracker.next_job_name();
+        tracker.faults().fail_first_attempts(&name, TaskKind::Map, 0, 1);
+        let conf = JobConf { num_reducers: 1, ..Default::default() };
+        let (_, result) = tracker
+            .submit(
+                &mapper,
+                &reducer,
+                vec![DfsPath::new("/in/f").unwrap()],
+                DfsPath::new("/out/faulty").unwrap(),
+                &conf,
+                SimTime::ZERO,
+            )
+            .unwrap();
+        assert_eq!(result.metrics.counters.get("FAILED_MAP_ATTEMPTS"), 1);
+    }
+}

@@ -1,0 +1,161 @@
+//! Property-based tests for the MapReduce runtime's core data paths:
+//! Writable codecs, line files, shuffle sort/group, partitioning, and
+//! the cluster slot simulation.
+
+use proptest::prelude::*;
+
+use bytes::Bytes;
+use redoop_dfs::NodeId;
+use redoop_mapred::writable::Pair;
+use redoop_mapred::{exec, io, ClusterSim, CostModel, HashPartitioner, LineFile, SimTime,
+    TaskKind, Writable};
+
+/// Strings that are legal as Writable fields (no tabs/newlines, and no
+/// unit separator which composites reserve).
+fn field() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9 _.,:;|@#-]{0,24}"
+}
+
+proptest! {
+    #[test]
+    fn writable_string_roundtrips(s in field()) {
+        let text = s.to_text();
+        prop_assert_eq!(String::read(&text).unwrap(), s);
+    }
+
+    #[test]
+    fn writable_numbers_roundtrip(a in any::<u64>(), b in any::<i64>(), f in any::<f64>().prop_filter("finite", |f| f.is_finite())) {
+        prop_assert_eq!(u64::read(&a.to_text()).unwrap(), a);
+        prop_assert_eq!(i64::read(&b.to_text()).unwrap(), b);
+        prop_assert_eq!(f64::read(&f.to_text()).unwrap(), f);
+    }
+
+    #[test]
+    fn writable_pair_roundtrips(a in field(), b in any::<u32>()) {
+        let p = Pair(a, b);
+        let text = p.to_text();
+        prop_assert!(!text.contains('\t') && !text.contains('\n'));
+        prop_assert_eq!(Pair::<String, u32>::read(&text).unwrap(), p);
+    }
+
+    #[test]
+    fn kv_block_roundtrips(pairs in proptest::collection::vec((field(), any::<u64>()), 0..40)) {
+        let text = io::encode_kv_block(&pairs);
+        let decoded: Vec<(String, u64)> = io::decode_kv_block(&text).unwrap();
+        prop_assert_eq!(decoded, pairs);
+    }
+
+    #[test]
+    fn line_file_indexes_every_line(lines in proptest::collection::vec("[a-z0-9 ]{0,30}", 0..50)) {
+        let mut text = String::new();
+        for l in &lines {
+            text.push_str(l);
+            text.push('\n');
+        }
+        let f = LineFile::new(Bytes::from(text.clone()));
+        prop_assert_eq!(f.line_count(), lines.len());
+        for (i, l) in lines.iter().enumerate() {
+            prop_assert_eq!(f.line(i), l.as_str());
+        }
+        // Byte accounting: the full range covers the whole buffer.
+        prop_assert_eq!(f.byte_len_of(0..lines.len()), text.len());
+    }
+
+    #[test]
+    fn sort_group_preserves_multiset_and_sorts(
+        pairs in proptest::collection::vec((0u32..20, any::<u16>()), 0..100)
+    ) {
+        let groups = exec::sort_group(pairs.clone());
+        // Keys strictly increasing (grouped).
+        for w in groups.windows(2) {
+            prop_assert!(w[0].0 < w[1].0);
+        }
+        // Multiset preserved.
+        let mut flat: Vec<(u32, u16)> = groups
+            .iter()
+            .flat_map(|(k, vs)| vs.iter().map(move |v| (*k, *v)))
+            .collect();
+        let mut orig = pairs;
+        flat.sort_unstable();
+        orig.sort_unstable();
+        prop_assert_eq!(flat, orig);
+    }
+
+    #[test]
+    fn partitioning_is_exhaustive_and_deterministic(
+        keys in proptest::collection::vec(any::<u64>(), 1..200),
+        r in 1usize..9
+    ) {
+        let pairs: Vec<(u64, u64)> = keys.iter().map(|&k| (k, k)).collect();
+        let buckets = exec::partition_pairs(pairs.clone(), &HashPartitioner, r);
+        prop_assert_eq!(buckets.len(), r);
+        prop_assert_eq!(buckets.iter().map(Vec::len).sum::<usize>(), keys.len());
+        // Same key always lands in the same bucket.
+        let again = exec::partition_pairs(pairs, &HashPartitioner, r);
+        prop_assert_eq!(buckets, again);
+    }
+
+    #[test]
+    fn cluster_sim_never_overlaps_slots(
+        durations in proptest::collection::vec(1u64..50, 1..60),
+        nodes in 1usize..4,
+        slots in 1usize..3
+    ) {
+        let mut sim = ClusterSim::new(nodes, slots, 1, CostModel::default());
+        let mut placements = Vec::new();
+        for (i, d) in durations.iter().enumerate() {
+            let node = NodeId((i % nodes) as u32);
+            placements.push((node, sim.assign(
+                TaskKind::Map,
+                node,
+                SimTime::ZERO,
+                SimTime::from_secs(*d),
+            )));
+        }
+        // Per node, at any task start instant, at most `slots` tasks are
+        // running (instantaneous concurrency, not interval overlap).
+        for (node, p) in &placements {
+            let concurrent = placements
+                .iter()
+                .filter(|(n2, q)| n2 == node && q.start <= p.start && p.start < q.end)
+                .count();
+            prop_assert!(concurrent <= slots, "{concurrent} > {slots} slots");
+        }
+    }
+
+    #[test]
+    fn cost_model_is_monotone_in_bytes(a in 0u64..1_000_000, b in 0u64..1_000_000) {
+        let cost = CostModel::default();
+        let (lo, hi) = (a.min(b), a.max(b));
+        prop_assert!(cost.hdfs_read(lo, true) <= cost.hdfs_read(hi, true));
+        prop_assert!(cost.shuffle(lo) <= cost.shuffle(hi));
+        prop_assert!(cost.sort(lo) <= cost.sort(hi));
+        prop_assert!(cost.hdfs_write(lo) <= cost.hdfs_write(hi));
+    }
+}
+
+proptest! {
+    #[test]
+    fn scaled_cost_model_scales_work_not_startup(
+        factor in 1.0f64..10_000.0,
+        bytes in 1u64..1_000_000,
+        records in 1u64..100_000,
+    ) {
+        let base = CostModel::default();
+        let scaled = CostModel::scaled(factor);
+        // Bandwidth-derived times scale ~linearly with the factor.
+        let ratio = scaled.hdfs_read(bytes, true).0 as f64
+            / base.hdfs_read(bytes, true).0.max(1) as f64;
+        prop_assert!((ratio / factor - 1.0).abs() < 0.1 || bytes < 100,
+            "read ratio {ratio} vs factor {factor}");
+        // Per-record CPU scales too.
+        let cpu_ratio =
+            scaled.map_cpu(records).0 as f64 / base.map_cpu(records).0.max(1) as f64;
+        prop_assert!((cpu_ratio / factor - 1.0).abs() < 0.1);
+        // Start-up latencies are real constants.
+        prop_assert_eq!(scaled.map_task_startup, base.map_task_startup);
+        prop_assert_eq!(scaled.reduce_task_startup, base.reduce_task_startup);
+        // Aggregate-record CPU is never scaled.
+        prop_assert_eq!(scaled.aggregate_cpu(records), base.aggregate_cpu(records));
+    }
+}

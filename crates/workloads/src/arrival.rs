@@ -1,0 +1,207 @@
+//! Batch-arrival simulation with workload spikes (paper §6.3).
+//!
+//! Data arrives as ordered, non-overlapping batch files, one per slide
+//! interval. Fig. 8's fluctuation experiment doubles the workload of
+//! selected windows; here a spike on window `w` multiplies the arrival
+//! rate of `w`'s *fresh* event region (the data no earlier window has
+//! seen).
+
+use std::collections::BTreeMap;
+
+use bytes::Bytes;
+use redoop_core::baseline::BatchFile;
+use redoop_core::query::WindowSpec;
+use redoop_core::time::{EventTime, TimeRange};
+use redoop_dfs::{Cluster, DfsPath};
+
+/// One generated batch: its event range, rate multiplier, and records.
+#[derive(Debug, Clone)]
+pub struct GeneratedBatch {
+    /// Event-time range covered.
+    pub range: TimeRange,
+    /// Rate multiplier applied (1.0 = normal).
+    pub multiplier: f64,
+    /// Record lines.
+    pub lines: Vec<String>,
+}
+
+/// Arrival schedule for an experiment of `windows` recurrences.
+#[derive(Debug, Clone)]
+pub struct ArrivalPlan {
+    /// Window constraints driving batch granularity.
+    pub spec: WindowSpec,
+    /// Number of recurrences to cover.
+    pub windows: u64,
+    spikes: BTreeMap<u64, f64>,
+}
+
+impl ArrivalPlan {
+    /// Plan with no spikes.
+    pub fn new(spec: WindowSpec, windows: u64) -> Self {
+        assert!(windows >= 1);
+        ArrivalPlan { spec, windows, spikes: BTreeMap::new() }
+    }
+
+    /// Multiplies the arrival rate of each listed window's fresh region
+    /// by `factor`. The paper's Fig. 8 doubles windows 2, 3, 5, 6, 8, 9
+    /// (1-based: all but 1, 4, 7, 10).
+    pub fn with_spikes(mut self, windows: impl IntoIterator<Item = u64>, factor: f64) -> Self {
+        for w in windows {
+            self.spikes.insert(w, factor);
+        }
+        self
+    }
+
+    /// The paper's Fig. 8 schedule: "windows 1, 4, 7, and 10 have the
+    /// normal workloads; the workloads of the rest are doubled"
+    /// (0-based: spike every window except 0, 3, 6, 9).
+    pub fn paper_fluctuation(spec: WindowSpec, windows: u64) -> Self {
+        let spiked = (0..windows).filter(|w| w % 3 != 0);
+        ArrivalPlan::new(spec, windows).with_spikes(spiked, 2.0)
+    }
+
+    /// The event region first seen by window `w` (its fresh data).
+    pub fn fresh_region(&self, w: u64) -> TimeRange {
+        if w == 0 {
+            return self.spec.window_range(0);
+        }
+        TimeRange::new(self.spec.fire_time(w - 1), self.spec.fire_time(w))
+    }
+
+    /// Total event span covered by the plan.
+    pub fn span(&self) -> u64 {
+        self.spec.span_for(self.windows)
+    }
+
+    /// Batch ranges: one per slide interval, covering the whole span
+    /// (the final batch may be shorter).
+    pub fn batch_ranges(&self) -> Vec<TimeRange> {
+        let span = self.span();
+        let slide = self.spec.slide;
+        let mut ranges = Vec::new();
+        let mut start = 0;
+        while start < span {
+            let end = (start + slide).min(span);
+            ranges.push(TimeRange::new(EventTime(start), EventTime(end)));
+            start = end;
+        }
+        ranges
+    }
+
+    /// Rate multiplier for a batch: the maximum spike factor of any
+    /// spiked window whose fresh region overlaps the batch.
+    pub fn multiplier_for(&self, range: &TimeRange) -> f64 {
+        let mut m = 1.0f64;
+        for (&w, &f) in &self.spikes {
+            if w < self.windows && self.fresh_region(w).overlaps(range) {
+                m = m.max(f);
+            }
+        }
+        m
+    }
+
+    /// Generates every batch using `gen(range, multiplier)`.
+    pub fn generate(
+        &self,
+        mut generate: impl FnMut(&TimeRange, f64) -> Vec<String>,
+    ) -> Vec<GeneratedBatch> {
+        self.batch_ranges()
+            .into_iter()
+            .map(|range| {
+                let multiplier = self.multiplier_for(&range);
+                let lines = generate(&range, multiplier);
+                GeneratedBatch { range, multiplier, lines }
+            })
+            .collect()
+    }
+}
+
+/// Writes generated batches as DFS files under `dir` (named `batch-NNN`),
+/// returning [`BatchFile`] descriptors for the baseline driver.
+pub fn write_batches(
+    cluster: &Cluster,
+    dir: &DfsPath,
+    batches: &[GeneratedBatch],
+) -> redoop_core::Result<Vec<BatchFile>> {
+    let mut files = Vec::with_capacity(batches.len());
+    for (i, b) in batches.iter().enumerate() {
+        let path = dir.join(&format!("batch-{i:03}"))?;
+        let mut text = String::with_capacity(b.lines.iter().map(|l| l.len() + 1).sum());
+        for line in &b.lines {
+            text.push_str(line);
+            text.push('\n');
+        }
+        cluster.create(&path, Bytes::from(text))?;
+        files.push(BatchFile { path, range: b.range.clone() });
+    }
+    Ok(files)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> WindowSpec {
+        WindowSpec::new(100, 20).unwrap()
+    }
+
+    #[test]
+    fn batches_tile_the_span() {
+        let plan = ArrivalPlan::new(spec(), 5);
+        assert_eq!(plan.span(), 100 + 4 * 20);
+        let ranges = plan.batch_ranges();
+        assert_eq!(ranges[0].as_millis_range(), 0..20);
+        assert_eq!(ranges.last().unwrap().end.0, 180);
+        // Contiguous, non-overlapping.
+        for w in ranges.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+    }
+
+    #[test]
+    fn fresh_regions_partition_the_timeline() {
+        let plan = ArrivalPlan::new(spec(), 3);
+        assert_eq!(plan.fresh_region(0).as_millis_range(), 0..100);
+        assert_eq!(plan.fresh_region(1).as_millis_range(), 100..120);
+        assert_eq!(plan.fresh_region(2).as_millis_range(), 120..140);
+    }
+
+    #[test]
+    fn spikes_hit_only_their_fresh_batches() {
+        let plan = ArrivalPlan::new(spec(), 5).with_spikes([2], 2.0);
+        // Window 2's fresh region is [120, 140).
+        for r in plan.batch_ranges() {
+            let m = plan.multiplier_for(&r);
+            if r.overlaps(&TimeRange::new(EventTime(120), EventTime(140))) {
+                assert_eq!(m, 2.0, "batch {r} must be doubled");
+            } else {
+                assert_eq!(m, 1.0, "batch {r} must be normal");
+            }
+        }
+    }
+
+    #[test]
+    fn paper_fluctuation_schedule() {
+        let plan = ArrivalPlan::paper_fluctuation(spec(), 10);
+        assert_eq!(plan.multiplier_for(&plan.fresh_region(0)), 1.0);
+        assert_eq!(plan.multiplier_for(&plan.fresh_region(1)), 2.0);
+        assert_eq!(plan.multiplier_for(&plan.fresh_region(2)), 2.0);
+        assert_eq!(plan.multiplier_for(&plan.fresh_region(3)), 1.0);
+        assert_eq!(plan.multiplier_for(&plan.fresh_region(9)), 1.0);
+    }
+
+    #[test]
+    fn generate_and_write_roundtrip() {
+        let plan = ArrivalPlan::new(WindowSpec::new(40, 20).unwrap(), 2);
+        let batches = plan.generate(|range, m| {
+            vec![format!("{},m{}", range.start.0, m)]
+        });
+        assert_eq!(batches.len(), 3); // span 60 / slide 20
+        let cluster = Cluster::with_nodes(3);
+        let dir = DfsPath::new("/batches").unwrap();
+        let files = write_batches(&cluster, &dir, &batches).unwrap();
+        assert_eq!(files.len(), 3);
+        let data = cluster.read(&files[0].path).unwrap();
+        assert_eq!(std::str::from_utf8(&data).unwrap(), "0,m1\n");
+    }
+}

@@ -1,0 +1,25 @@
+//! # redoop-workloads
+//!
+//! Synthetic datasets and canonical recurring queries for the Redoop
+//! reproduction.
+//!
+//! The paper evaluates on two real datasets we cannot redistribute:
+//!
+//! * **WCC** — the 1998 WorldCup click log (236 GB, 1.3 B requests),
+//! * **FFG** — football-field sensor data from the Nuremberg stadium.
+//!
+//! This crate generates scaled-down synthetic equivalents with the same
+//! schema and skew characteristics ([`wcc`], [`ffg`]), an arrival
+//! simulator with workload spikes ([`arrival`]), and the two query
+//! workloads the evaluation runs ([`queries`]): the player-movement /
+//! click aggregation (Fig. 6) and the binary sensor join (Fig. 7).
+
+pub mod arrival;
+pub mod ffg;
+pub mod queries;
+pub mod wcc;
+
+pub use arrival::{ArrivalPlan, GeneratedBatch};
+pub use ffg::FfgGenerator;
+pub use queries::{agg_merger, aggregation_mapper, aggregation_reducer, join_mapper, join_reducer, DimensionMapper};
+pub use wcc::WccGenerator;

@@ -1,0 +1,260 @@
+//! The evaluation's two recurring queries.
+//!
+//! * **Aggregation** (Fig. 6): count clicks per object over the window —
+//!   the shape of the paper's "rank the movements of players" query:
+//!   group by key, aggregate, merge pane partials by summation.
+//! * **Binary join** (Fig. 7): position ⋈ speed per player and time
+//!   bucket — the sensor-correlation join: readings match when they
+//!   belong to the same player within the same [`JOIN_BUCKET_MS`]
+//!   interval. The mapper tags each record with its source stream; the
+//!   reducer emits the cross product of position × speed values per key
+//!   (bounded by the bucket width, so output stays linear in the input).
+
+use redoop_mapred::writable::Pair;
+use redoop_mapred::{MapContext, Mapper, ReduceContext, Reducer};
+
+use redoop_core::api::SumMerger;
+
+/// Tag for join values: which stream a payload came from.
+pub const TAG_POSITION: u8 = 0;
+/// Tag for the speed stream.
+pub const TAG_SPEED: u8 = 1;
+
+/// Tagged join value: `(stream tag, payload)`.
+pub type JoinValue = Pair<u8, String>;
+
+/// Time-bucket width of the sensor join key: readings of the same
+/// player within the same 10-second interval are correlated.
+pub const JOIN_BUCKET_MS: u64 = 10_000;
+
+/// Mapper of the aggregation query: WCC line → `(object, 1)`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AggMapper;
+
+impl Mapper for AggMapper {
+    type KOut = String;
+    type VOut = u64;
+
+    fn map(&self, line: &str, ctx: &mut MapContext<String, u64>) {
+        // ts,client,object,region,bytes
+        if let Some(obj) = line.split(',').nth(2) {
+            if !obj.is_empty() {
+                ctx.emit(obj.to_string(), 1);
+            }
+        }
+    }
+}
+
+/// Reducer of the aggregation query: sums counts per object. Emits the
+/// same key type it consumes, so per-pane partials merge by summation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AggReducer;
+
+impl Reducer for AggReducer {
+    type KIn = String;
+    type VIn = u64;
+    type KOut = String;
+    type VOut = u64;
+
+    fn reduce(&self, key: &String, values: &[u64], ctx: &mut ReduceContext<String, u64>) {
+        ctx.emit(key.clone(), values.iter().sum());
+    }
+}
+
+/// Mapper of the join query: self-describing FFG lines from either
+/// stream → `(player, (tag, payload))`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JoinMapper;
+
+impl Mapper for JoinMapper {
+    type KOut = String;
+    type VOut = JoinValue;
+
+    fn map(&self, line: &str, ctx: &mut MapContext<String, JoinValue>) {
+        let mut fields = line.splitn(4, ',');
+        let (ts, player, kind, rest) =
+            match (fields.next(), fields.next(), fields.next(), fields.next()) {
+                (Some(t), Some(p), Some(k), Some(r)) => (t, p, k, r),
+                _ => return, // malformed record: skip, like a Hadoop job would
+            };
+        let Ok(ts) = ts.parse::<u64>() else { return };
+        let key = format!("{player}@{}", ts / JOIN_BUCKET_MS);
+        match kind {
+            "pos" => ctx.emit(key, Pair(TAG_POSITION, rest.replace(',', ";"))),
+            "spd" => ctx.emit(key, Pair(TAG_SPEED, rest.to_string())),
+            _ => {}
+        }
+    }
+}
+
+/// Reducer of the join query: per player, joins every position reading
+/// with every speed reading (equi-join cross product within the key
+/// group), emitting `(player, "pos|spd")` tuples.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JoinReducer;
+
+impl Reducer for JoinReducer {
+    type KIn = String;
+    type VIn = JoinValue;
+    type KOut = String;
+    type VOut = String;
+
+    fn reduce(&self, key: &String, values: &[JoinValue], ctx: &mut ReduceContext<String, String>) {
+        let mut positions: Vec<&str> = Vec::new();
+        let mut speeds: Vec<&str> = Vec::new();
+        for Pair(tag, payload) in values {
+            match *tag {
+                TAG_POSITION => positions.push(payload),
+                TAG_SPEED => speeds.push(payload),
+                _ => {}
+            }
+        }
+        // Deterministic output order regardless of shuffle arrival order.
+        positions.sort_unstable();
+        speeds.sort_unstable();
+        for pos in &positions {
+            for spd in &speeds {
+                ctx.emit(key.clone(), format!("{pos}|{spd}"));
+            }
+        }
+    }
+}
+
+/// The aggregation mapper instance.
+pub fn aggregation_mapper() -> AggMapper {
+    AggMapper
+}
+
+/// The aggregation reducer instance.
+pub fn aggregation_reducer() -> AggReducer {
+    AggReducer
+}
+
+/// The aggregation finalization function: pane partials sum to window
+/// totals.
+pub fn agg_merger() -> SumMerger {
+    SumMerger
+}
+
+/// The join mapper instance.
+pub fn join_mapper() -> JoinMapper {
+    JoinMapper
+}
+
+/// The join reducer instance.
+pub fn join_reducer() -> JoinReducer {
+    JoinReducer
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn agg_mapper_extracts_object() {
+        let mut ctx = MapContext::new();
+        AggMapper.map("123,c4,obj7,europe,9000", &mut ctx);
+        AggMapper.map("junk", &mut ctx);
+        let pairs = ctx.into_pairs();
+        assert_eq!(pairs, vec![("obj7".to_string(), 1)]);
+    }
+
+    #[test]
+    fn agg_reducer_sums() {
+        let mut ctx = ReduceContext::new();
+        AggReducer.reduce(&"obj1".to_string(), &[1, 1, 1], &mut ctx);
+        assert_eq!(ctx.into_pairs(), vec![("obj1".to_string(), 3)]);
+    }
+
+    #[test]
+    fn join_mapper_tags_streams() {
+        let mut ctx = MapContext::new();
+        JoinMapper.map("5,p3,pos,100,200", &mut ctx);
+        JoinMapper.map("6,p3,spd,440", &mut ctx);
+        JoinMapper.map("7,p3,unknown,1", &mut ctx);
+        JoinMapper.map("11000,p3,spd,7", &mut ctx); // next time bucket
+        JoinMapper.map("nope", &mut ctx);
+        let pairs = ctx.into_pairs();
+        assert_eq!(pairs.len(), 3);
+        assert_eq!(pairs[0], ("p3@0".to_string(), Pair(TAG_POSITION, "100;200".to_string())));
+        assert_eq!(pairs[1], ("p3@0".to_string(), Pair(TAG_SPEED, "440".to_string())));
+        assert_eq!(pairs[2], ("p3@1".to_string(), Pair(TAG_SPEED, "7".to_string())));
+    }
+
+    #[test]
+    fn join_reducer_cross_product() {
+        let mut ctx = ReduceContext::new();
+        let values = vec![
+            Pair(TAG_POSITION, "1;2".to_string()),
+            Pair(TAG_SPEED, "10".to_string()),
+            Pair(TAG_POSITION, "3;4".to_string()),
+            Pair(TAG_SPEED, "20".to_string()),
+        ];
+        JoinReducer.reduce(&"p1".to_string(), &values, &mut ctx);
+        let out = ctx.into_pairs();
+        assert_eq!(out.len(), 4, "2 positions x 2 speeds");
+        assert!(out.contains(&("p1".to_string(), "1;2|10".to_string())));
+        assert!(out.contains(&("p1".to_string(), "3;4|20".to_string())));
+    }
+
+    #[test]
+    fn join_reducer_no_match_emits_nothing() {
+        let mut ctx = ReduceContext::new();
+        JoinReducer.reduce(
+            &"p1".to_string(),
+            &[Pair(TAG_POSITION, "1;2".to_string())],
+            &mut ctx,
+        );
+        assert_eq!(ctx.emitted(), 0);
+    }
+
+    #[test]
+    fn join_values_roundtrip_through_text() {
+        use redoop_mapred::Writable;
+        let v = Pair(TAG_POSITION, "100;200".to_string());
+        let text = v.to_text();
+        assert_eq!(JoinValue::read(&text).unwrap(), v);
+    }
+}
+
+/// Generic group-by mapper over one CSV field — paper Example 1's
+/// "aggregate the log data ... over different dimensions, e.g., age,
+/// gender, or country". For WCC lines (`ts,client,object,region,bytes`)
+/// field 3 groups by region, field 1 by client, etc.
+#[derive(Debug, Clone, Copy)]
+pub struct DimensionMapper {
+    /// 0-based CSV field index to group by.
+    pub field: usize,
+}
+
+impl Mapper for DimensionMapper {
+    type KOut = String;
+    type VOut = u64;
+
+    fn map(&self, line: &str, ctx: &mut MapContext<String, u64>) {
+        if let Some(key) = line.split(',').nth(self.field) {
+            if !key.is_empty() {
+                ctx.emit(key.to_string(), 1);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod dimension_tests {
+    use super::*;
+
+    #[test]
+    fn dimension_mapper_selects_any_field() {
+        let line = "123,c4,obj7,europe,9000";
+        for (field, expect) in [(1usize, "c4"), (2, "obj7"), (3, "europe")] {
+            let mut ctx = MapContext::new();
+            DimensionMapper { field }.map(line, &mut ctx);
+            assert_eq!(ctx.into_pairs(), vec![(expect.to_string(), 1)]);
+        }
+        // Out-of-range fields emit nothing.
+        let mut ctx = MapContext::new();
+        DimensionMapper { field: 9 }.map(line, &mut ctx);
+        assert_eq!(ctx.emitted(), 0);
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests for the workload generators and arrival plans.
+
+use proptest::prelude::*;
+
+use redoop_core::query::WindowSpec;
+use redoop_core::time::{EventTime, TimeRange};
+use redoop_workloads::arrival::ArrivalPlan;
+use redoop_workloads::ffg::{FfgGenerator, Stream};
+use redoop_workloads::queries::JOIN_BUCKET_MS;
+use redoop_workloads::wcc::WccGenerator;
+
+proptest! {
+    #[test]
+    fn wcc_records_stay_in_range(
+        seed in any::<u64>(),
+        start in 0u64..1_000_000,
+        span in 1u64..5_000,
+    ) {
+        let mut generator = WccGenerator::new(seed, 50, 100, 0.5);
+        let range = TimeRange::new(EventTime(start), EventTime(start + span));
+        for line in generator.batch(&range, 1.0) {
+            let ts: u64 = line.split(',').next().unwrap().parse().unwrap();
+            prop_assert!(range.contains(EventTime(ts)));
+            prop_assert_eq!(line.split(',').count(), 5);
+        }
+    }
+
+    #[test]
+    fn ffg_records_parse_for_the_join(seed in any::<u64>(), span in 1u64..3_000) {
+        let mut generator = FfgGenerator::new(seed, 8, 0.5);
+        let range = TimeRange::new(EventTime(0), EventTime(span));
+        for stream in [Stream::Position, Stream::Speed] {
+            for line in generator.batch(stream, &range, 1.0) {
+                let mut f = line.splitn(4, ',');
+                let ts: u64 = f.next().unwrap().parse().unwrap();
+                prop_assert!(ts < span);
+                prop_assert!(f.next().unwrap().starts_with('p'));
+                let kind = f.next().unwrap();
+                prop_assert!(kind == "pos" || kind == "spd");
+                prop_assert!(f.next().is_some());
+                // And the bucketed key is well-formed.
+                prop_assert!(ts / JOIN_BUCKET_MS < u64::MAX);
+            }
+        }
+    }
+
+    #[test]
+    fn arrival_batches_partition_the_span(
+        win_u in 1u64..50,
+        slide_u in 1u64..50,
+        windows in 1u64..12,
+    ) {
+        let (win, slide) = (win_u.max(slide_u) * 100, win_u.min(slide_u) * 100);
+        let spec = WindowSpec::new(win, slide).unwrap();
+        let plan = ArrivalPlan::new(spec, windows);
+        let ranges = plan.batch_ranges();
+        // Contiguous tiling of [0, span).
+        prop_assert_eq!(ranges[0].start, EventTime(0));
+        prop_assert_eq!(ranges.last().unwrap().end.0, plan.span());
+        for w in ranges.windows(2) {
+            prop_assert_eq!(w[0].end, w[1].start);
+        }
+        // Every window's data is covered by the batches.
+        for w in 0..windows {
+            let wr = spec.window_range(w);
+            prop_assert!(wr.end.0 <= plan.span());
+        }
+    }
+
+    #[test]
+    fn fresh_regions_tile_without_overlap(
+        win_u in 2u64..40,
+        slide_u in 1u64..40,
+        windows in 2u64..10,
+    ) {
+        let (win, slide) = (win_u.max(slide_u) * 100, win_u.min(slide_u) * 100);
+        let spec = WindowSpec::new(win, slide).unwrap();
+        let plan = ArrivalPlan::new(spec, windows);
+        // Fresh regions are disjoint and cover [0, span) exactly.
+        let mut cursor = 0;
+        for w in 0..windows {
+            let fr = plan.fresh_region(w);
+            prop_assert_eq!(fr.start.0, cursor);
+            cursor = fr.end.0;
+        }
+        prop_assert_eq!(cursor, plan.span());
+    }
+
+    #[test]
+    fn spike_multiplier_is_max_of_overlapping_spikes(
+        spiked in proptest::collection::btree_set(0u64..8, 0..6),
+    ) {
+        let spec = WindowSpec::new(400, 200).unwrap();
+        let plan = ArrivalPlan::new(spec, 8).with_spikes(spiked.iter().copied(), 2.0);
+        for r in plan.batch_ranges() {
+            let expected = spiked
+                .iter()
+                .any(|&w| plan.fresh_region(w).overlaps(&r));
+            prop_assert_eq!(plan.multiplier_for(&r) > 1.0, expected);
+        }
+    }
+}

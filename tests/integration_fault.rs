@@ -1,0 +1,151 @@
+//! Fault-tolerance reproduction (paper §6.4, Fig. 9): cache losses are
+//! injected at the beginning of windows; Redoop must (a) still produce
+//! correct results by re-executing the producing tasks, and (b) retain
+//! most of its advantage because pane-grained caching loses only the
+//! panes on the failed node.
+
+#[path = "common/mod.rs"]
+mod common;
+
+use std::sync::Arc;
+
+use common::*;
+use redoop_core::prelude::*;
+use redoop_dfs::failure::FailurePlan;
+use redoop_dfs::NodeId;
+use redoop_mapred::SimTime;
+use redoop_workloads::arrival::ArrivalPlan;
+use redoop_workloads::queries::{AggMapper, AggReducer};
+
+const WINDOWS: u64 = 8;
+
+/// Runs the aggregation at overlap .5 with an optional per-window
+/// crash-and-rejoin plan. Returns (responses, outputs checked).
+fn run_redoop(failures: Option<FailurePlan>, seed: u64) -> (Vec<SimTime>, Vec<SimTime>) {
+    let spec = spec_with_overlap(0.5);
+    let plan = ArrivalPlan::new(spec, WINDOWS);
+    let batches = wcc_batches(&plan, seed, 1.0);
+    let cluster = test_cluster();
+    let tag = if failures.is_some() { "fault-f" } else { "fault-clean" };
+    let mut exec = agg_executor(&cluster, spec, tag, batch_adaptive(&cluster, &spec));
+    ingest_all(&mut exec, 0, &batches);
+    let files = baseline_inputs(&cluster, &format!("/batches/{tag}"), &batches);
+
+    let mut sim = test_sim(&cluster);
+    let mapper = Arc::new(AggMapper);
+    let out_root = redoop_dfs::DfsPath::new(format!("/out/{tag}-base")).unwrap();
+
+    let mut redoop_times = Vec::new();
+    let mut hadoop_times = Vec::new();
+    for w in 0..WINDOWS {
+        if let Some(f) = &failures {
+            f.apply(w as usize, &cluster).unwrap();
+        }
+        let report = exec.run_window(w).unwrap();
+        let baseline = redoop_core::run_baseline_window(
+            &cluster,
+            &mut sim,
+            mapper.clone(),
+            &AggReducer,
+            leading_ts_fn(),
+            &spec,
+            w,
+            &files,
+            4,
+            &out_root,
+        )
+        .unwrap();
+        let redoop_out: Vec<(String, u64)> =
+            read_window_output(&cluster, &report.outputs).unwrap();
+        let hadoop_out: Vec<(String, u64)> =
+            read_window_output(&cluster, &baseline.outputs).unwrap();
+        assert_eq!(redoop_out, hadoop_out, "window {w}: failures must not corrupt results");
+        redoop_times.push(report.response);
+        hadoop_times.push(response(&baseline));
+    }
+    (redoop_times, hadoop_times)
+}
+
+fn total(times: &[SimTime]) -> f64 {
+    times.iter().map(|t| t.as_secs_f64()).sum()
+}
+
+#[test]
+fn cache_loss_is_recovered_correctly_and_cheaply() {
+    // Crash node 0 (and 3) at the start of several windows; their caches
+    // vanish, the audit rolls the controller back, and the lost pane
+    // products get rebuilt.
+    let failures = FailurePlan::none()
+        .crash_each(NodeId(0), [1, 3, 5, 7])
+        .crash_each(NodeId(3), [2, 4, 6]);
+    let (faulty, hadoop) = run_redoop(Some(failures), 55);
+    let (clean, _) = run_redoop(None, 55);
+
+    // Paper Fig. 9: Redoop(f) is slower than Redoop but still much
+    // faster than Hadoop cumulatively.
+    let steady_faulty = total(&faulty[1..]);
+    let steady_clean = total(&clean[1..]);
+    let steady_hadoop = total(&hadoop[1..]);
+    assert!(
+        steady_faulty >= steady_clean,
+        "failures cannot speed Redoop up: {steady_faulty} vs {steady_clean}"
+    );
+    assert!(
+        steady_faulty < steady_hadoop,
+        "pane-grained caching must retain the advantage under failures: \
+         faulty {steady_faulty} vs hadoop {steady_hadoop}"
+    );
+}
+
+#[test]
+fn audit_detects_and_heals_lost_caches() {
+    let spec = spec_with_overlap(0.5);
+    let plan = ArrivalPlan::new(spec, 3);
+    let batches = wcc_batches(&plan, 66, 1.0);
+    let cluster = test_cluster();
+    let mut exec = agg_executor(&cluster, spec, "audit", batch_adaptive(&cluster, &spec));
+    ingest_all(&mut exec, 0, &batches);
+    exec.run_window(0).unwrap();
+    assert_eq!(exec.audit_caches(), 0, "no failures yet");
+
+    // Wipe every node's local store.
+    for n in 0..cluster.node_count() as u32 {
+        cluster.kill_node(NodeId(n)).unwrap();
+        cluster.revive_node(NodeId(n)).unwrap();
+    }
+    let lost = exec.audit_caches();
+    assert!(lost > 0, "all caches were wiped; audit must notice");
+
+    // The next window rebuilds everything and still answers correctly.
+    let report = exec.run_window(1).unwrap();
+    let out: Vec<(String, u64)> = read_window_output(&cluster, &report.outputs).unwrap();
+    assert!(!out.is_empty());
+    assert_eq!(report.reused_caches, 0, "nothing left to reuse after total loss");
+}
+
+#[test]
+fn total_cache_loss_degrades_toward_cold_start() {
+    // With every cache wiped before each window, Redoop's response should
+    // be near its window-0 (cold) response, not near its warm response.
+    let spec = spec_with_overlap(0.5);
+    let plan = ArrivalPlan::new(spec, 4);
+    let batches = wcc_batches(&plan, 67, 1.0);
+    let cluster = test_cluster();
+    let mut exec = agg_executor(&cluster, spec, "coldloss", batch_adaptive(&cluster, &spec));
+    ingest_all(&mut exec, 0, &batches);
+    let cold = exec.run_window(0).unwrap().response;
+    for n in 0..cluster.node_count() as u32 {
+        cluster.kill_node(NodeId(n)).unwrap();
+        cluster.revive_node(NodeId(n)).unwrap();
+    }
+    let rebuilt = exec.run_window(1).unwrap().response;
+    let warm = exec.run_window(2).unwrap().response;
+    assert!(
+        rebuilt.as_secs_f64() > warm.as_secs_f64() * 1.5,
+        "full rebuild ({rebuilt}) must cost much more than warm ({warm})"
+    );
+    assert!(
+        rebuilt.as_secs_f64() > cold.as_secs_f64() * 0.5,
+        "full rebuild ({rebuilt}) should approach cold start ({cold})"
+    );
+}

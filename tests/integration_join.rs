@@ -1,0 +1,159 @@
+//! End-to-end reproduction of the join experiment (paper §6.2.2, Fig. 7):
+//! a binary join of two FFG sensor streams on player id, Redoop vs.
+//! plain Hadoop, validated for output equality and win shape.
+
+#[path = "common/mod.rs"]
+mod common;
+
+use std::sync::Arc;
+
+use common::*;
+use redoop_core::prelude::*;
+use redoop_mapred::SimTime;
+use redoop_workloads::arrival::ArrivalPlan;
+use redoop_workloads::ffg::Stream;
+use redoop_workloads::queries::{JoinMapper, JoinReducer};
+
+const WINDOWS: u64 = 6;
+
+struct JoinRun {
+    redoop: Vec<SimTime>,
+    hadoop: Vec<SimTime>,
+}
+
+fn run_both(overlap: f64, seed: u64) -> JoinRun {
+    let spec = spec_with_overlap(overlap);
+    let plan = ArrivalPlan::new(spec, WINDOWS);
+    let pos = ffg_batches(&plan, Stream::Position, seed, 1.0);
+    let spd = ffg_batches(&plan, Stream::Speed, seed + 1, 1.0);
+
+    let cluster = test_cluster();
+    let tag = format!("join{}s{seed}", (overlap * 100.0) as u32);
+    let mut exec = join_executor(&cluster, spec, &tag, batch_adaptive(&cluster, &spec));
+    ingest_all(&mut exec, 0, &pos);
+    ingest_all(&mut exec, 1, &spd);
+
+    // The baseline reads both streams' batch files in one job (the join
+    // mapper distinguishes the self-describing records).
+    let mut files = baseline_inputs(&cluster, &format!("/batches/{tag}-pos"), &pos);
+    files.extend(baseline_inputs(&cluster, &format!("/batches/{tag}-spd"), &spd));
+
+    let mut sim = test_sim(&cluster);
+    let mapper = Arc::new(JoinMapper);
+    let out_root = redoop_dfs::DfsPath::new(format!("/out/{tag}-base")).unwrap();
+
+    let mut run = JoinRun { redoop: Vec::new(), hadoop: Vec::new() };
+    for w in 0..WINDOWS {
+        let report = exec.run_window(w).unwrap();
+        let baseline = redoop_core::run_baseline_window(
+            &cluster,
+            &mut sim,
+            mapper.clone(),
+            &JoinReducer,
+            leading_ts_fn(),
+            &spec,
+            w,
+            &files,
+            4,
+            &out_root,
+        )
+        .unwrap();
+
+        let mut redoop_out: Vec<(String, String)> =
+            read_window_output(&cluster, &report.outputs).unwrap();
+        let mut hadoop_out: Vec<(String, String)> =
+            read_window_output(&cluster, &baseline.outputs).unwrap();
+        redoop_out.sort();
+        hadoop_out.sort();
+        assert_eq!(
+            redoop_out.len(),
+            hadoop_out.len(),
+            "window {w}: join cardinality must match"
+        );
+        assert_eq!(redoop_out, hadoop_out, "window {w}: join tuples must match");
+        assert!(!redoop_out.is_empty(), "window {w}: join should produce matches");
+
+        run.redoop.push(report.response);
+        run.hadoop.push(response(&baseline));
+    }
+    run
+}
+
+fn steady_speedup(run: &JoinRun) -> f64 {
+    let h: f64 = run.hadoop[1..].iter().map(|t| t.as_secs_f64()).sum();
+    let r: f64 = run.redoop[1..].iter().map(|t| t.as_secs_f64()).sum();
+    h / r
+}
+
+#[test]
+fn join_overlap_90_correct_and_fast() {
+    let run = run_both(0.9, 31);
+    let w0_ratio = run.redoop[0].as_secs_f64() / run.hadoop[0].as_secs_f64();
+    assert!((0.4..=2.0).contains(&w0_ratio), "cold-start ratio {w0_ratio}");
+    let s = steady_speedup(&run);
+    assert!(s > 2.0, "join overlap .9 speedup {s}: {:?}", run.redoop);
+}
+
+#[test]
+fn join_overlap_50_moderate_win() {
+    let run = run_both(0.5, 32);
+    let s = steady_speedup(&run);
+    assert!(s > 1.2, "join overlap .5 speedup {s}");
+}
+
+#[test]
+fn join_speedup_grows_with_overlap() {
+    let s90 = steady_speedup(&run_both(0.9, 41));
+    let s10 = steady_speedup(&run_both(0.1, 41));
+    assert!(s90 > s10, "join speedups ordered: {s90} vs {s10}");
+}
+
+#[test]
+fn join_output_matches_brute_force() {
+    // Window 2's join recomputed by brute force over the raw records.
+    let spec = spec_with_overlap(0.5);
+    let plan = ArrivalPlan::new(spec, 4);
+    let pos = ffg_batches(&plan, Stream::Position, 77, 0.5);
+    let spd = ffg_batches(&plan, Stream::Speed, 78, 0.5);
+    let cluster = test_cluster();
+    let mut exec = join_executor(&cluster, spec, "joracle", batch_adaptive(&cluster, &spec));
+    ingest_all(&mut exec, 0, &pos);
+    ingest_all(&mut exec, 1, &spd);
+    for w in 0..2 {
+        exec.run_window(w).unwrap();
+    }
+    let report = exec.run_window(2).unwrap();
+    let mut got: Vec<(String, String)> = read_window_output(&cluster, &report.outputs).unwrap();
+    got.sort();
+
+    let window = spec.window_range(2);
+    let in_window = |lines: &[redoop_workloads::arrival::GeneratedBatch]| -> Vec<(String, String)> {
+        let mut v = Vec::new();
+        for b in lines {
+            for l in &b.lines {
+                let mut f = l.splitn(4, ',');
+                let ts: u64 = f.next().unwrap().parse().unwrap();
+                let player = f.next().unwrap().to_string();
+                let _kind = f.next().unwrap();
+                let rest = f.next().unwrap().to_string();
+                if window.contains(EventTime(ts)) {
+                    let bucket = ts / redoop_workloads::queries::JOIN_BUCKET_MS;
+                    v.push((format!("{player}@{bucket}"), rest));
+                }
+            }
+        }
+        v
+    };
+    let positions = in_window(&pos);
+    let speeds = in_window(&spd);
+    let mut expect = Vec::new();
+    for (p, xy) in &positions {
+        for (q, v) in &speeds {
+            if p == q {
+                expect.push((p.clone(), format!("{}|{v}", xy.replace(',', ";"))));
+            }
+        }
+    }
+    expect.sort();
+    assert_eq!(got, expect);
+}

@@ -1,0 +1,251 @@
+//! Cross-crate integration of the substrate layers: the MapReduce
+//! runtime over the simulated DFS — multi-file jobs, replica failures
+//! with re-replication, scheduler comparisons, and determinism.
+
+#[path = "common/mod.rs"]
+mod common;
+
+use bytes::Bytes;
+use common::test_cluster;
+use redoop_dfs::{DfsPath, NodeId};
+use redoop_mapred::scheduler::AffinityScheduler;
+use redoop_mapred::{
+    ClosureMapper, ClosureReducer, ClusterSim, CostModel, JobConf, JobRunner, JobSpec,
+    MapContext, ReduceContext, SimTime,
+};
+
+type WcMapper = ClosureMapper<String, u64, fn(&str, &mut MapContext<String, u64>)>;
+type WcReducer =
+    ClosureReducer<String, u64, String, u64, fn(&String, &[u64], &mut ReduceContext<String, u64>)>;
+
+#[allow(clippy::ptr_arg)] // the Reducer trait takes &KIn == &String
+fn word_count() -> (WcMapper, WcReducer) {
+    fn map(line: &str, ctx: &mut MapContext<String, u64>) {
+        for w in line.split_whitespace() {
+            ctx.emit(w.to_string(), 1);
+        }
+    }
+    fn reduce(k: &String, vs: &[u64], ctx: &mut ReduceContext<String, u64>) {
+        ctx.emit(k.clone(), vs.iter().sum());
+    }
+    (ClosureMapper::new(map), ClosureReducer::new(reduce))
+}
+
+fn read_counts(cluster: &redoop_dfs::Cluster, outputs: &[DfsPath]) -> Vec<(String, u64)> {
+    let mut all = Vec::new();
+    for p in outputs {
+        let data = cluster.read(p).unwrap();
+        all.extend(
+            redoop_mapred::io::decode_kv_block::<String, u64>(
+                std::str::from_utf8(&data).unwrap(),
+            )
+            .unwrap(),
+        );
+    }
+    all.sort();
+    all
+}
+
+#[test]
+fn multi_file_word_count_over_dfs() {
+    let cluster = test_cluster();
+    for (i, text) in ["apple banana apple\n", "banana cherry\n", "apple\n"].iter().enumerate() {
+        cluster
+            .create(&DfsPath::new(format!("/in/f{i}")).unwrap(), Bytes::from(text.to_string()))
+            .unwrap();
+    }
+    let (mapper, reducer) = word_count();
+    let mut sim = ClusterSim::paper_testbed(8, CostModel::default());
+    let spec = JobSpec::new(
+        "wc",
+        (0..3).map(|i| DfsPath::new(format!("/in/f{i}")).unwrap()).collect(),
+        DfsPath::new("/out/wc").unwrap(),
+    );
+    let result = JobRunner::new(&cluster, &mapper, &reducer)
+        .run(&mut sim, &spec, &JobConf { num_reducers: 3, ..Default::default() }, SimTime::ZERO)
+        .unwrap();
+    assert_eq!(
+        read_counts(&cluster, &result.outputs),
+        vec![
+            ("apple".to_string(), 3),
+            ("banana".to_string(), 2),
+            ("cherry".to_string(), 1)
+        ]
+    );
+    assert_eq!(result.metrics.map_tasks, 3);
+    assert_eq!(result.metrics.reduce_tasks, 3);
+}
+
+#[test]
+fn job_survives_replica_loss_after_re_replication() {
+    let cluster = test_cluster();
+    let big_line = "tok ".repeat(2_000);
+    cluster
+        .create(&DfsPath::new("/in/big").unwrap(), Bytes::from(format!("{big_line}\n").repeat(8)))
+        .unwrap();
+    // Kill a node, restore replication, and keep it dead during the job.
+    cluster.kill_node(NodeId(2)).unwrap();
+    cluster.re_replicate().unwrap();
+
+    let (mapper, reducer) = word_count();
+    let mut sim = ClusterSim::paper_testbed(8, CostModel::default());
+    let spec = JobSpec::new(
+        "wc-faulty",
+        vec![DfsPath::new("/in/big").unwrap()],
+        DfsPath::new("/out/wc-faulty").unwrap(),
+    );
+    let result = JobRunner::new(&cluster, &mapper, &reducer)
+        .run(&mut sim, &spec, &JobConf::default(), SimTime::ZERO)
+        .unwrap();
+    let counts = read_counts(&cluster, &result.outputs);
+    assert_eq!(counts, vec![("tok".to_string(), 16_000)]);
+}
+
+#[test]
+fn virtual_times_are_deterministic() {
+    let run = || {
+        let cluster = test_cluster();
+        cluster
+            .create(
+                &DfsPath::new("/in/f").unwrap(),
+                Bytes::from("a b c d e\n".repeat(500)),
+            )
+            .unwrap();
+        let (mapper, reducer) = word_count();
+        let mut sim = ClusterSim::paper_testbed(8, CostModel::default());
+        let spec = JobSpec::new(
+            "det",
+            vec![DfsPath::new("/in/f").unwrap()],
+            DfsPath::new("/out/det").unwrap(),
+        );
+        JobRunner::new(&cluster, &mapper, &reducer)
+            .run(&mut sim, &spec, &JobConf::default(), SimTime::ZERO)
+            .unwrap()
+            .metrics
+            .response_time()
+    };
+    assert_eq!(run(), run(), "same input + seedless pipeline must be reproducible");
+}
+
+#[test]
+fn affinity_scheduler_is_interchangeable() {
+    let cluster = test_cluster();
+    cluster
+        .create(&DfsPath::new("/in/f").unwrap(), Bytes::from("x y z\n".repeat(100)))
+        .unwrap();
+    let (mapper, reducer) = word_count();
+    let spec = JobSpec::new(
+        "aff",
+        vec![DfsPath::new("/in/f").unwrap()],
+        DfsPath::new("/out/aff").unwrap(),
+    );
+    let mut sim = ClusterSim::paper_testbed(8, CostModel::default());
+    let scheduler = AffinityScheduler;
+    let result = JobRunner::new(&cluster, &mapper, &reducer)
+        .with_scheduler(&scheduler)
+        .run(&mut sim, &spec, &JobConf::default(), SimTime::ZERO)
+        .unwrap();
+    let counts = read_counts(&cluster, &result.outputs);
+    assert_eq!(counts.len(), 3);
+    assert!(counts.iter().all(|(_, c)| *c == 100));
+}
+
+#[test]
+fn consecutive_jobs_share_the_simulated_cluster() {
+    // Two jobs on one ClusterSim: the second queues behind the first when
+    // submitted at the same instant, and both produce correct output.
+    // A single worker forces slot contention.
+    let cluster = redoop_dfs::Cluster::new(redoop_dfs::ClusterConfig {
+        nodes: 1,
+        block_size: 16 * 1024,
+        replication: 1,
+        ..Default::default()
+    });
+    cluster
+        .create(&DfsPath::new("/in/f").unwrap(), Bytes::from("m n\n".repeat(50)))
+        .unwrap();
+    let (mapper, reducer) = word_count();
+    let mut sim = ClusterSim::paper_testbed(1, CostModel::default());
+    let conf = JobConf { num_reducers: 2, ..Default::default() };
+    let r1 = JobRunner::new(&cluster, &mapper, &reducer)
+        .run(
+            &mut sim,
+            &JobSpec::new("j1", vec![DfsPath::new("/in/f").unwrap()], DfsPath::new("/out/j1").unwrap()),
+            &conf,
+            SimTime::ZERO,
+        )
+        .unwrap();
+    let r2 = JobRunner::new(&cluster, &mapper, &reducer)
+        .run(
+            &mut sim,
+            &JobSpec::new("j2", vec![DfsPath::new("/in/f").unwrap()], DfsPath::new("/out/j2").unwrap()),
+            &conf,
+            SimTime::ZERO,
+        )
+        .unwrap();
+    assert_eq!(read_counts(&cluster, &r1.outputs), read_counts(&cluster, &r2.outputs));
+    assert!(
+        r2.metrics.finished_at > r1.metrics.finished_at,
+        "second job must queue behind the first on shared slots"
+    );
+}
+
+#[test]
+fn speculative_execution_is_safe_and_counts_attempts() {
+    // A heterogeneous job: three small files plus one large one whose map
+    // finishes far behind the pack. With speculation on, a backup attempt
+    // launches for the straggler; results are identical and the response
+    // never regresses (the effective end is the min of the attempts).
+    let cluster = test_cluster();
+    for i in 0..12 {
+        cluster
+            .create(
+                &DfsPath::new(format!("/spec/small{i}")).unwrap(),
+                Bytes::from("w x\n".repeat(20)),
+            )
+            .unwrap();
+    }
+    // One record-dense file that still fits one block: its single map
+    // task is CPU-bound and lags far behind the twelve quick ones.
+    cluster
+        .create(&DfsPath::new("/spec/large").unwrap(), Bytes::from("w\n".repeat(7_000)))
+        .unwrap();
+    let inputs: Vec<DfsPath> = (0..12)
+        .map(|i| DfsPath::new(format!("/spec/small{i}")).unwrap())
+        .chain([DfsPath::new("/spec/large").unwrap()])
+        .collect();
+
+    let (mapper, reducer) = word_count();
+    let run = |speculative: bool| {
+        let mut sim = ClusterSim::paper_testbed(8, CostModel::scaled(2_000.0));
+        let spec = JobSpec::new(
+            format!("spec-{speculative}"),
+            inputs.clone(),
+            DfsPath::new(format!("/out/spec-{speculative}")).unwrap(),
+        );
+        JobRunner::new(&cluster, &mapper, &reducer)
+            .run(
+                &mut sim,
+                &spec,
+                &JobConf { num_reducers: 2, speculative, ..Default::default() },
+                SimTime::ZERO,
+            )
+            .unwrap()
+    };
+    let plain = run(false);
+    let spec = run(true);
+    assert_eq!(
+        read_counts(&cluster, &plain.outputs),
+        read_counts(&cluster, &spec.outputs),
+        "speculation must not change results"
+    );
+    assert!(
+        spec.metrics.response_time() <= plain.metrics.response_time(),
+        "backups can only help the critical path"
+    );
+    assert!(
+        spec.metrics.counters.get("SPECULATIVE_MAP_ATTEMPTS") > 0,
+        "the large file's maps lag the pack and should be speculated"
+    );
+    assert_eq!(plain.metrics.counters.get("SPECULATIVE_MAP_ATTEMPTS"), 0);
+}

@@ -1,0 +1,196 @@
+//! Multi-query deployments (paper §3.1): several recurring queries with
+//! different window constraints share one data source. The Semantic
+//! Analyzer's multi-query pane (GCD over all constraints) lets every
+//! query's windows resolve as unions of the *same* pane files — the
+//! source is ingested and stored once.
+
+#[path = "common/mod.rs"]
+mod common;
+
+use std::sync::Arc;
+
+use common::*;
+use redoop_core::prelude::*;
+use redoop_core::{RecurringExecutor, SharedSource};
+use redoop_dfs::DfsPath;
+use redoop_workloads::arrival::ArrivalPlan;
+use redoop_workloads::queries::{AggMapper, AggReducer};
+use redoop_workloads::wcc::WccGenerator;
+
+fn shared_executor(
+    cluster: &redoop_dfs::Cluster,
+    shared: &SharedSource,
+    spec: WindowSpec,
+    name: &str,
+) -> RecurringExecutor<AggMapper, AggReducer> {
+    let conf = QueryConf::new(name, 4, DfsPath::new(format!("/out/{name}")).unwrap()).unwrap();
+    RecurringExecutor::aggregation_shared(
+        cluster,
+        test_sim(cluster),
+        conf,
+        shared,
+        spec,
+        Arc::new(AggMapper),
+        Arc::new(AggReducer),
+        Arc::new(SumMerger),
+        batch_adaptive(cluster, &spec),
+    )
+    .unwrap()
+}
+
+#[test]
+fn two_queries_share_one_sources_pane_files() {
+    let cluster = test_cluster();
+    // Q1: win 2000s / slide 1000s; Q2: win 4000s / slide 1000s.
+    // Shared pane = gcd = 1000s.
+    let q1 = WindowSpec::new(2_000_000, 1_000_000).unwrap();
+    let q2 = WindowSpec::new(4_000_000, 1_000_000).unwrap();
+    let shared = SharedSource::new(
+        &cluster,
+        0,
+        "wcc",
+        DfsPath::new("/panes/shared-wcc").unwrap(),
+        &[q1, q2],
+        leading_ts_fn(),
+    )
+    .unwrap();
+    assert_eq!(shared.pane_ms(), 1_000_000);
+
+    // Generate enough data for 3 recurrences of the longer query.
+    let plan = ArrivalPlan::new(q2, 3);
+    let mut generator = WccGenerator::new(33, 80, 200, 0.002);
+    let batches = plan.generate(|range, m| generator.batch(range, m));
+    for b in &batches {
+        shared.ingest_batch(b.lines.iter().map(String::as_str), &b.range).unwrap();
+    }
+
+    let mut exec1 = shared_executor(&cluster, &shared, q1, "mq-q1");
+    let mut exec2 = shared_executor(&cluster, &shared, q2, "mq-q2");
+
+    // The source's pane files exist exactly once, regardless of readers.
+    let pane_files_before = cluster.list("/panes/shared-wcc").len();
+    assert!(pane_files_before > 0);
+
+    // Oracle per query/window from the raw records.
+    let oracle = |spec: &WindowSpec, w: u64| {
+        let window = spec.window_range(w);
+        let mut expect: std::collections::BTreeMap<String, u64> = Default::default();
+        for b in &batches {
+            for line in &b.lines {
+                let mut f = line.split(',');
+                let ts: u64 = f.next().unwrap().parse().unwrap();
+                let obj = f.nth(1).unwrap();
+                if window.contains(EventTime(ts)) {
+                    *expect.entry(obj.to_string()).or_insert(0) += 1;
+                }
+            }
+        }
+        expect.into_iter().collect::<Vec<(String, u64)>>()
+    };
+
+    // Q1 runs 5 windows (its slide is shorter); Q2 runs 3.
+    for w in 0..5 {
+        let report = exec1.run_window(w).unwrap();
+        let got: Vec<(String, u64)> = read_window_output(&cluster, &report.outputs).unwrap();
+        assert_eq!(got, oracle(&q1, w), "q1 window {w}");
+    }
+    for w in 0..3 {
+        let report = exec2.run_window(w).unwrap();
+        let got: Vec<(String, u64)> = read_window_output(&cluster, &report.outputs).unwrap();
+        assert_eq!(got, oracle(&q2, w), "q2 window {w}");
+    }
+
+    // No duplicate pane files were created by the second query.
+    assert_eq!(cluster.list("/panes/shared-wcc").len(), pane_files_before);
+    // Both queries reused their own caches across windows.
+    assert!(exec1.reports()[1..].iter().all(|r| r.reused_caches > 0));
+    assert!(exec2.reports()[1..].iter().all(|r| r.reused_caches > 0));
+}
+
+#[test]
+fn incompatible_window_constraints_are_rejected_at_attach() {
+    let cluster = test_cluster();
+    let q1 = WindowSpec::new(2_000_000, 1_000_000).unwrap();
+    let shared = SharedSource::new(
+        &cluster,
+        0,
+        "wcc",
+        DfsPath::new("/panes/reject").unwrap(),
+        &[q1],
+        leading_ts_fn(),
+    )
+    .unwrap();
+    // pane 700_000 does not match the shared 1_000_000.
+    let bad = WindowSpec::new(2_100_000, 700_000).unwrap();
+    let conf = QueryConf::new("bad", 2, DfsPath::new("/out/bad").unwrap()).unwrap();
+    let err = RecurringExecutor::aggregation_shared(
+        &cluster,
+        test_sim(&cluster),
+        conf,
+        &shared,
+        bad,
+        Arc::new(AggMapper),
+        Arc::new(AggReducer),
+        Arc::new(SumMerger),
+        batch_adaptive(&cluster, &bad),
+    );
+    assert!(err.is_err(), "incompatible pane geometry must be rejected");
+}
+
+#[test]
+fn shared_pane_finer_than_either_querys_own_gcd() {
+    // q1's own pane is 1000s, q2's is 1500s; the shared pane is their
+    // GCD, 500s — finer than both. Each executor runs on the shared
+    // geometry (windows = unions of 500s panes) and stays exact.
+    let cluster = test_cluster();
+    let q1 = WindowSpec::new(2_000_000, 1_000_000).unwrap();
+    let q2 = WindowSpec::new(4_500_000, 1_500_000).unwrap();
+    let shared = SharedSource::new(
+        &cluster,
+        0,
+        "wcc",
+        DfsPath::new("/panes/fine-shared").unwrap(),
+        &[q1, q2],
+        leading_ts_fn(),
+    )
+    .unwrap();
+    assert_eq!(shared.pane_ms(), 500_000);
+
+    let plan = ArrivalPlan::new(q2, 2);
+    let mut generator = WccGenerator::new(44, 60, 150, 0.002);
+    let batches = plan.generate(|range, m| generator.batch(range, m));
+    for b in &batches {
+        shared.ingest_batch(b.lines.iter().map(String::as_str), &b.range).unwrap();
+    }
+
+    let mut exec1 = shared_executor(&cluster, &shared, q1, "fine-q1");
+    let mut exec2 = shared_executor(&cluster, &shared, q2, "fine-q2");
+
+    let oracle = |spec: &WindowSpec, w: u64| {
+        let window = spec.window_range(w);
+        let mut expect: std::collections::BTreeMap<String, u64> = Default::default();
+        for b in &batches {
+            for line in &b.lines {
+                let mut f = line.split(',');
+                let ts: u64 = f.next().unwrap().parse().unwrap();
+                let obj = f.nth(1).unwrap();
+                if window.contains(EventTime(ts)) {
+                    *expect.entry(obj.to_string()).or_insert(0) += 1;
+                }
+            }
+        }
+        expect.into_iter().collect::<Vec<(String, u64)>>()
+    };
+
+    // q1 can run 5 windows within q2's 2-recurrence span; q2 runs 2.
+    for w in 0..4 {
+        let report = exec1.run_window(w).unwrap();
+        let got: Vec<(String, u64)> = read_window_output(&cluster, &report.outputs).unwrap();
+        assert_eq!(got, oracle(&q1, w), "q1 window {w} on shared fine panes");
+    }
+    for w in 0..2 {
+        let report = exec2.run_window(w).unwrap();
+        let got: Vec<(String, u64)> = read_window_output(&cluster, &report.outputs).unwrap();
+        assert_eq!(got, oracle(&q2, w), "q2 window {w} on shared fine panes");
+    }
+}

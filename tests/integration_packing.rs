@@ -1,0 +1,135 @@
+//! End-to-end coverage of the Semantic Analyzer's *undersized* case:
+//! when the source trickles, several panes share one physical file
+//! (`S#P#_#` with a locator header), and the executor must still resolve,
+//! map, and cache each logical pane correctly.
+
+#[path = "common/mod.rs"]
+mod common;
+
+
+use common::*;
+use redoop_core::packer::{decode_pane_header, DynamicDataPacker};
+use redoop_core::prelude::*;
+use redoop_core::{PartitionPlan, SemanticAnalyzer, SourceStats};
+use redoop_dfs::DfsPath;
+use redoop_workloads::arrival::ArrivalPlan;
+use redoop_workloads::queries::{AggMapper, AggReducer};
+use redoop_workloads::wcc::WccGenerator;
+
+#[test]
+fn undersized_panes_share_files_with_headers() {
+    let cluster = test_cluster(); // 16 KiB blocks
+    let spec = spec_with_overlap(0.1); // pane = 200s, 9 panes per slide
+    let geom = PaneGeometry::from_spec(&spec);
+
+    // A trickle source: ~50 records (~1.5 KB) per pane, far below the
+    // block size -> Algorithm 1 chooses several panes per file.
+    let analyzer = SemanticAnalyzer::new(cluster.config().block_size as u64);
+    let stats = SourceStats { bytes_per_ms: 0.0015 };
+    let plan = analyzer.plan(&spec, &stats);
+    assert!(plan.panes_per_file > 1, "trickle source must take the undersized path: {plan:?}");
+
+    let mut packer = DynamicDataPacker::new(
+        &cluster,
+        0,
+        DfsPath::new("/panes/undersized").unwrap(),
+        plan,
+        leading_ts_fn(),
+    );
+    let arrival = ArrivalPlan::new(spec, 4);
+    let mut generator = WccGenerator::new(8, 50, 100, 0.00005);
+    for range in arrival.batch_ranges() {
+        let lines = generator.batch(&range, 1.0);
+        packer.ingest_batch(lines.iter().map(String::as_str), &range).unwrap();
+    }
+    packer.finish().unwrap();
+
+    // Multi-pane files exist, named S0P<lo>_<hi>, each starting with a
+    // parsable header that indexes its panes.
+    let files = cluster.list("/panes/undersized");
+    assert!(!files.is_empty());
+    let mut multi_pane_files = 0;
+    for f in &files {
+        let name = f.file_name();
+        if name.contains('_') {
+            multi_pane_files += 1;
+            let data = cluster.read(f).unwrap();
+            let text = std::str::from_utf8(&data).unwrap();
+            let header = text.lines().next().unwrap();
+            let entries = decode_pane_header(header).unwrap();
+            assert!(entries.len() > 1, "{name} should hold several panes");
+            // Header line counts sum to the file body length.
+            let body_lines = text.lines().count() - 1;
+            let counted: usize = entries.iter().map(|(_, _, c)| c).sum();
+            assert_eq!(counted, body_lines, "{name} header must index the body");
+        }
+    }
+    assert!(multi_pane_files > 0, "undersized plan must produce shared files");
+
+    // Manifest slices point at the right records: per-pane totals match
+    // a direct scan.
+    for p in geom.window_panes(0) {
+        let slices = packer.manifest().slices_of(PaneId(p));
+        assert!(!slices.is_empty(), "pane {p} must be manifest-resolvable");
+    }
+}
+
+#[test]
+fn executor_is_correct_under_undersized_packing() {
+    // Run the full recurring pipeline with a trickle source whose base
+    // plan packs panes_per_file > 1, and verify outputs against direct
+    // recomputation.
+    let cluster = test_cluster();
+    // Overlap 0.1: pane = win/10, slide = 9 panes — multiple panes
+    // complete per slide, so they share files.
+    let spec = spec_with_overlap(0.1);
+    let geom = PaneGeometry::from_spec(&spec);
+    let analyzer = SemanticAnalyzer::new(cluster.config().block_size as u64);
+    let plan = analyzer.plan(&spec, &SourceStats { bytes_per_ms: 0.0015 });
+    assert!(plan.panes_per_file > 1);
+
+    let controller = redoop_core::AdaptiveController::disabled(
+        SemanticAnalyzer::new(cluster.config().block_size as u64),
+        PartitionPlan { pane_ms: geom.pane_ms, ..plan },
+    );
+    let mut exec = agg_executor(&cluster, spec, "undersized-e2e", controller);
+
+    let arrival = ArrivalPlan::new(spec, 4);
+    let mut generator = WccGenerator::new(8, 50, 100, 0.0015);
+    let mut all_batches = Vec::new();
+    for range in arrival.batch_ranges() {
+        let lines = generator.batch(&range, 1.0);
+        exec.ingest(0, lines.iter().map(String::as_str), &range).unwrap();
+        all_batches.push((range, lines));
+    }
+
+    for w in 0..4 {
+        let report = exec.run_window(w).unwrap();
+        let got: Vec<(String, u64)> = read_window_output(&cluster, &report.outputs).unwrap();
+
+        // Direct oracle.
+        let window = spec.window_range(w);
+        let mut expect: std::collections::BTreeMap<String, u64> = Default::default();
+        for (_, lines) in &all_batches {
+            for line in lines {
+                let mut f = line.split(',');
+                let ts: u64 = f.next().unwrap().parse().unwrap();
+                let obj = f.nth(1).unwrap();
+                if window.contains(EventTime(ts)) {
+                    *expect.entry(obj.to_string()).or_insert(0) += 1;
+                }
+            }
+        }
+        let expect: Vec<(String, u64)> = expect.into_iter().collect();
+        assert_eq!(got, expect, "window {w} must be exact under shared pane files");
+        if w > 0 {
+            assert!(report.reused_caches > 0, "window {w} should reuse pane caches");
+        }
+    }
+}
+
+// Uses the AggMapper/AggReducer types via common::agg_executor.
+#[allow(unused_imports)]
+use redoop_workloads::queries as _queries_used;
+#[allow(dead_code)]
+fn _types(_: AggMapper, _: AggReducer) {}
