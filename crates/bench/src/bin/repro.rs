@@ -8,12 +8,24 @@
 //!
 //! Subcommands: `fig3`, `fig6`, `fig7`, `fig8`, `fig9`, `headline`,
 //! `ablations`, `all`. Times are simulated seconds (see DESIGN.md).
+//!
+//! Besides the human-readable tables, every run writes
+//! `BENCH_repro.json` to the working directory: the per-figure
+//! virtual-time series plus the host wall-clock each figure took, in a
+//! stable hand-rolled JSON shape (no serde in the workspace).
+
+use std::time::Instant;
 
 use redoop_bench::experiments;
+use redoop_bench::json::Json;
 use redoop_mapred::SimTime;
 
 const WINDOWS: u64 = 10;
 const SEED: u64 = 2014; // EDBT 2014
+
+fn secs(times: &[SimTime]) -> Vec<f64> {
+    times.iter().map(|t| t.as_secs_f64()).collect()
+}
 
 fn print_series_table(title: &str, redoop: &[SimTime], hadoop: &[SimTime]) {
     println!("\n=== {title} ===");
@@ -44,16 +56,35 @@ fn print_phases(label: &str, s: &experiments::QuerySeries) {
     );
 }
 
-fn fig3() {
+/// JSON fragment shared by the Fig. 6 / Fig. 7 overlap sweeps.
+fn series_json(overlap: f64, s: &experiments::QuerySeries) -> Json {
+    Json::obj(vec![
+        ("overlap", Json::Num(overlap)),
+        ("hadoop_secs", Json::nums(secs(&s.hadoop))),
+        ("redoop_secs", Json::nums(secs(&s.redoop))),
+        ("steady_speedup", Json::Num(s.steady_speedup())),
+        ("outputs_match", Json::Bool(s.outputs_match)),
+    ])
+}
+
+fn fig3() -> Json {
     println!("\n=== Fig. 3 / Algorithm 1: partition plans (win=6min, slide=2min, 64MB blocks) ===");
     println!(" source                 | pane (min) | panes per file");
     println!(" -----------------------+------------+---------------");
+    let mut rows = Vec::new();
     for (label, pane_min, ppf) in experiments::fig3() {
         println!(" {label:<22} | {pane_min:>10} | {ppf:>14}");
+        rows.push(Json::obj(vec![
+            ("source", Json::str(label)),
+            ("pane_minutes", Json::Num(pane_min as f64)),
+            ("panes_per_file", Json::Num(ppf as f64)),
+        ]));
     }
+    Json::obj(vec![("plans", Json::Arr(rows))])
 }
 
-fn fig6() {
+fn fig6() -> Json {
+    let mut sweeps = Vec::new();
     for overlap in [0.9, 0.5, 0.1] {
         let s = experiments::fig6(overlap, WINDOWS, SEED);
         assert!(s.outputs_match, "outputs must match the oracle");
@@ -67,10 +98,13 @@ fn fig6() {
             " steady-state speedup (windows 2..): {:.2}x  [outputs verified]",
             s.steady_speedup()
         );
+        sweeps.push(series_json(overlap, &s));
     }
+    Json::obj(vec![("overlaps", Json::Arr(sweeps))])
 }
 
-fn fig7() {
+fn fig7() -> Json {
+    let mut sweeps = Vec::new();
     for overlap in [0.9, 0.5, 0.1] {
         let s = experiments::fig7(overlap, WINDOWS.min(6), SEED);
         assert!(s.outputs_match, "outputs must match the oracle");
@@ -84,10 +118,13 @@ fn fig7() {
             " steady-state speedup (windows 2..): {:.2}x  [outputs verified]",
             s.steady_speedup()
         );
+        sweeps.push(series_json(overlap, &s));
     }
+    Json::obj(vec![("overlaps", Json::Arr(sweeps))])
 }
 
-fn fig8() {
+fn fig8() -> Json {
+    let mut sweeps = Vec::new();
     for overlap in [0.9, 0.5, 0.1] {
         let s = experiments::fig8(overlap, WINDOWS, SEED);
         assert!(s.outputs_match, "outputs must match across systems");
@@ -113,10 +150,22 @@ fn fig8() {
             r / a,
             h / a
         );
+        sweeps.push(Json::obj(vec![
+            ("overlap", Json::Num(overlap)),
+            ("hadoop_secs", Json::nums(secs(&s.hadoop))),
+            ("redoop_secs", Json::nums(secs(&s.redoop))),
+            ("adaptive_secs", Json::nums(secs(&s.adaptive))),
+            (
+                "modes",
+                Json::Arr(s.modes.iter().map(|m| Json::str(format!("{m:?}"))).collect()),
+            ),
+            ("outputs_match", Json::Bool(s.outputs_match)),
+        ]));
     }
+    Json::obj(vec![("overlaps", Json::Arr(sweeps))])
 }
 
-fn fig9() {
+fn fig9() -> Json {
     let s = experiments::fig9(WINDOWS, SEED);
     assert!(s.outputs_match, "failures must not corrupt outputs");
     println!("\n=== Fig. 9: fault tolerance (aggregation, overlap 0.5, cache loss each window) ===");
@@ -141,43 +190,89 @@ fn fig9() {
          — redoop(f) retains {:.2}x over hadoop  [outputs verified]",
         ch / cf
     );
+    Json::obj(vec![
+        ("hadoop_secs", Json::nums(secs(&s.hadoop))),
+        ("redoop_secs", Json::nums(secs(&s.redoop))),
+        ("redoop_faulty_secs", Json::nums(secs(&s.redoop_faulty))),
+        ("faulty_retained_speedup", Json::Num(ch / cf)),
+        ("outputs_match", Json::Bool(s.outputs_match)),
+    ])
 }
 
-fn headline() {
+fn headline() -> Json {
     let (agg, join) = experiments::headline(WINDOWS, SEED);
     println!("\n=== Headline: steady-state speedup at overlap 0.9 ===");
     println!(" aggregation (Fig. 6a): {agg:.2}x");
     println!(" binary join (Fig. 7a): {join:.2}x");
     println!(" (paper reports up to 9x on its 30-node testbed; see EXPERIMENTS.md)");
+    Json::obj(vec![
+        ("aggregation_speedup", Json::Num(agg)),
+        ("join_speedup", Json::Num(join)),
+    ])
 }
 
-fn ablations() {
+fn ablations() -> Json {
     let a = experiments::ablations(8, SEED);
     println!("\n=== Ablations: aggregation, overlap 0.9, steady-state cumulative (s) ===");
     println!(" full redoop                      : {:>8.1}", a.full);
     println!(" - without cache-aware scheduling : {:>8.1}", a.no_cache_aware_scheduling);
     println!(" - without caching                : {:>8.1}", a.no_caching);
     println!(" plain hadoop                     : {:>8.1}", a.hadoop);
+    Json::obj(vec![
+        ("full_secs", Json::Num(a.full)),
+        ("no_cache_aware_scheduling_secs", Json::Num(a.no_cache_aware_scheduling)),
+        ("no_caching_secs", Json::Num(a.no_caching)),
+        ("hadoop_secs", Json::Num(a.hadoop)),
+    ])
+}
+
+/// Runs one figure, timing its host wall-clock, and appends the
+/// `{series, wall_clock_secs}` entry under `name`.
+fn run_figure(figures: &mut Vec<(String, Json)>, name: &str, f: fn() -> Json) {
+    let start = Instant::now();
+    let series = f();
+    let wall = start.elapsed().as_secs_f64();
+    figures.push((
+        name.to_string(),
+        Json::obj(vec![("wall_clock_secs", Json::Num(wall)), ("series", series)]),
+    ));
+}
+
+fn write_report(command: &str, figures: Vec<(String, Json)>) {
+    let report = Json::obj(vec![
+        ("schema", Json::str("redoop-repro/1")),
+        ("command", Json::str(command)),
+        ("windows", Json::Num(WINDOWS as f64)),
+        ("seed", Json::Num(SEED as f64)),
+        ("simulated_times_note", Json::str("series values are simulated seconds; wall_clock_secs is host time")),
+        ("figures", Json::Obj(figures)),
+    ]);
+    let path = "BENCH_repro.json";
+    match std::fs::write(path, report.render()) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("warning: could not write {path}: {e}"),
+    }
 }
 
 fn main() {
     let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let mut figures: Vec<(String, Json)> = Vec::new();
     match arg.as_str() {
-        "fig3" => fig3(),
-        "fig6" => fig6(),
-        "fig7" => fig7(),
-        "fig8" => fig8(),
-        "fig9" => fig9(),
-        "headline" => headline(),
-        "ablations" => ablations(),
+        "fig3" => run_figure(&mut figures, "fig3", fig3),
+        "fig6" => run_figure(&mut figures, "fig6", fig6),
+        "fig7" => run_figure(&mut figures, "fig7", fig7),
+        "fig8" => run_figure(&mut figures, "fig8", fig8),
+        "fig9" => run_figure(&mut figures, "fig9", fig9),
+        "headline" => run_figure(&mut figures, "headline", headline),
+        "ablations" => run_figure(&mut figures, "ablations", ablations),
         "all" => {
-            fig3();
-            fig6();
-            fig7();
-            fig8();
-            fig9();
-            ablations();
-            headline();
+            run_figure(&mut figures, "fig3", fig3);
+            run_figure(&mut figures, "fig6", fig6);
+            run_figure(&mut figures, "fig7", fig7);
+            run_figure(&mut figures, "fig8", fig8);
+            run_figure(&mut figures, "fig9", fig9);
+            run_figure(&mut figures, "ablations", ablations);
+            run_figure(&mut figures, "headline", headline);
         }
         other => {
             eprintln!(
@@ -186,4 +281,5 @@ fn main() {
             std::process::exit(2);
         }
     }
+    write_report(&arg, figures);
 }

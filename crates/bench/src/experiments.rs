@@ -11,7 +11,7 @@ use redoop_core::executor::ExecutorOptions;
 use redoop_core::run_baseline_window;
 use redoop_dfs::failure::FailurePlan;
 use redoop_dfs::{DfsPath, NodeId};
-use redoop_mapred::{PhaseTimes, SimTime};
+use redoop_mapred::{MapMemo, PhaseTimes, SimTime};
 use redoop_workloads::arrival::ArrivalPlan;
 use redoop_workloads::ffg::Stream;
 use redoop_workloads::queries::{AggMapper, AggReducer, JoinMapper, JoinReducer};
@@ -62,6 +62,7 @@ pub fn fig6(overlap: f64, windows: u64, seed: u64) -> QuerySeries {
     let files = baseline_files(&cluster, &format!("/batches/{tag}"), &batches);
 
     let mut base_sim = sim(&cluster);
+    let mut base_memo = MapMemo::default();
     let mapper = Arc::new(AggMapper);
     let out_root = DfsPath::new(format!("/out/{tag}-base")).unwrap();
 
@@ -86,6 +87,7 @@ pub fn fig6(overlap: f64, windows: u64, seed: u64) -> QuerySeries {
             &files,
             NUM_REDUCERS,
             &out_root,
+            Some(&mut base_memo),
         )
         .expect("baseline window");
         let a: Vec<(String, u64)> = read_window_output(&cluster, &report.outputs).unwrap();
@@ -115,6 +117,7 @@ pub fn fig7(overlap: f64, windows: u64, seed: u64) -> QuerySeries {
     files.extend(baseline_files(&cluster, &format!("/batches/{tag}-spd"), &spd));
 
     let mut base_sim = sim(&cluster);
+    let mut base_memo = MapMemo::default();
     let mapper = Arc::new(JoinMapper);
     let out_root = DfsPath::new(format!("/out/{tag}-base")).unwrap();
 
@@ -139,6 +142,7 @@ pub fn fig7(overlap: f64, windows: u64, seed: u64) -> QuerySeries {
             &files,
             NUM_REDUCERS,
             &out_root,
+            Some(&mut base_memo),
         )
         .expect("baseline window");
         let mut a: Vec<(String, String)> = read_window_output(&cluster, &report.outputs).unwrap();
@@ -206,6 +210,7 @@ pub fn fig8(overlap: f64, windows: u64, seed: u64) -> AdaptiveSeries {
     let tag = format!("f8h-{}-{seed}", (overlap * 100.0) as u32);
     let files = baseline_files(&cluster, &format!("/batches/{tag}"), &batches);
     let mut base_sim = sim(&cluster);
+    let mut base_memo = MapMemo::default();
     let mapper = Arc::new(AggMapper);
     let out_root = DfsPath::new(format!("/out/{tag}-base")).unwrap();
     let mut hadoop = Vec::new();
@@ -222,6 +227,7 @@ pub fn fig8(overlap: f64, windows: u64, seed: u64) -> AdaptiveSeries {
             &files,
             NUM_REDUCERS,
             &out_root,
+            Some(&mut base_memo),
         )
         .expect("baseline window");
         hadoop.push(baseline.metrics.response_time());
@@ -292,6 +298,7 @@ pub fn fig9(windows: u64, seed: u64) -> FaultSeries {
     let cluster = cluster();
     let files = baseline_files(&cluster, &format!("/batches/f9h-{seed}"), &batches);
     let mut base_sim = sim(&cluster);
+    let mut base_memo = MapMemo::default();
     let mapper = Arc::new(AggMapper);
     let out_root = DfsPath::new(format!("/out/f9h-{seed}-base")).unwrap();
     let mut hadoop = Vec::new();
@@ -308,6 +315,7 @@ pub fn fig9(windows: u64, seed: u64) -> FaultSeries {
             &files,
             NUM_REDUCERS,
             &out_root,
+            Some(&mut base_memo),
         )
         .expect("baseline window");
         hadoop.push(baseline.metrics.response_time());
@@ -390,6 +398,7 @@ pub fn ablations(windows: u64, seed: u64) -> AblationReport {
     let cluster = cluster();
     let files = baseline_files(&cluster, &format!("/batches/abh-{seed}"), &batches);
     let mut base_sim = sim(&cluster);
+    let mut base_memo = MapMemo::default();
     let mapper = Arc::new(AggMapper);
     let out_root = DfsPath::new(format!("/out/abh-{seed}-base")).unwrap();
     let mut hadoop_times = Vec::new();
@@ -405,6 +414,7 @@ pub fn ablations(windows: u64, seed: u64) -> AblationReport {
             &files,
             NUM_REDUCERS,
             &out_root,
+            Some(&mut base_memo),
         )
         .unwrap();
         hadoop_times.push(baseline.metrics.response_time());

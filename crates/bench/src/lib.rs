@@ -19,6 +19,7 @@
 //! window outputs against the plain-recomputation baseline.
 
 pub mod experiments;
+pub mod json;
 pub mod setup;
 
 pub use experiments::{

@@ -11,7 +11,7 @@ use std::sync::Arc;
 
 use redoop_dfs::{Cluster, DfsPath};
 use redoop_mapred::{
-    ClusterSim, JobConf, JobResult, JobRunner, MapContext, Mapper, Reducer, SimTime,
+    ClusterSim, JobConf, JobResult, JobRunner, MapContext, MapMemo, Mapper, Reducer, SimTime,
 };
 
 use crate::error::Result;
@@ -71,6 +71,14 @@ pub fn batches_for_window(batches: &[BatchFile], spec: &WindowSpec, rec: u64) ->
 /// fresh job over every batch overlapping the window, submitted at the
 /// window's fire time. Returns the job result (response time is
 /// `metrics.response_time()`).
+///
+/// When `memo` is given, split plans and the map output of batches
+/// *fully contained* in the window are reused across recurrences — for
+/// a contained batch the window filter passes every record, so its map
+/// output is identical in every window that contains it. Virtual-time
+/// charging is unaffected (the job still schedules and charges every
+/// split), so simulated results are bit-identical with or without the
+/// memo; only redundant host work is skipped.
 #[allow(clippy::too_many_arguments)]
 pub fn run_baseline_window<M, R>(
     cluster: &Cluster,
@@ -83,6 +91,7 @@ pub fn run_baseline_window<M, R>(
     batches: &[BatchFile],
     num_reducers: usize,
     output_root: &DfsPath,
+    memo: Option<&mut MapMemo>,
 ) -> Result<JobResult>
 where
     M: Mapper,
@@ -91,7 +100,7 @@ where
     let window = spec.window_range(rec);
     let fire = SimTime::from_millis(spec.fire_time(rec).as_millis());
     let inputs = batches_for_window(batches, spec, rec);
-    let filter = WindowFilterMapper::new(mapper, window, ts_fn);
+    let filter = WindowFilterMapper::new(mapper, window.clone(), ts_fn);
     let runner = JobRunner::new(cluster, &filter, reducer);
     let spec_job = redoop_mapred::JobSpec::new(
         format!("baseline-w{rec}"),
@@ -99,7 +108,19 @@ where
         output_root.join(&format!("w{rec}"))?,
     );
     let conf = JobConf { num_reducers, ..Default::default() };
-    Ok(runner.run(sim, &spec_job, &conf, fire)?)
+    match memo {
+        Some(m) => {
+            // A batch is reusable iff the window covers its whole range.
+            let contained: std::collections::HashSet<DfsPath> = batches
+                .iter()
+                .filter(|b| window.start <= b.range.start && b.range.end <= window.end)
+                .map(|b| b.path.clone())
+                .collect();
+            let reuse = |p: &DfsPath| contained.contains(p);
+            Ok(runner.run_memoized(sim, &spec_job, &conf, fire, Some((m, &reuse)))?)
+        }
+        None => Ok(runner.run(sim, &spec_job, &conf, fire)?),
+    }
 }
 
 #[cfg(test)]

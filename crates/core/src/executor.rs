@@ -149,12 +149,38 @@ fn subpane_charges(slices: &[SliceMapInfo], r: usize) -> Vec<SubpaneCharge> {
     by_slice.into_values().collect()
 }
 
-/// Transient real map output of one pane: encoded shuffle buckets, one
+/// Transient real map output of one pane: binary shuffle buckets, one
 /// per reduce partition, plus the virtual time each became available.
-struct MappedPane {
+struct MappedPane<K, V> {
     ready: SimTime,
-    buckets: Vec<String>,
+    buckets: Vec<mrio::ShuffleBucket>,
     slices: Vec<SliceMapInfo>,
+    /// Decoded shuffle pairs per partition, kept until the partition's
+    /// first cache build consumes them (the bucket is its encoded twin,
+    /// so a build that finds `None` decodes the bucket instead — same
+    /// pairs either way, by codec round-trip). Cleared after each
+    /// window; purely a host-side decode saving.
+    raw: Vec<std::sync::Mutex<Option<Vec<(K, V)>>>>,
+}
+
+/// Pure real-side output of one map split, produced on a worker thread
+/// before any virtual-time accounting happens.
+struct SplitMapOut<K, V> {
+    buckets: Vec<mrio::ShuffleBucket>,
+    parts: Vec<Vec<(K, V)>>,
+    work: MapWork,
+    replicas: Vec<NodeId>,
+}
+
+/// Pure real-side output of one cache build (pane output, input cache,
+/// or pair output), produced on a worker thread. `cache_text_bytes` is
+/// the text-equivalent size the cost model charges and the registry
+/// records, independent of the stored encoding.
+struct BuiltCache {
+    input_records: u64,
+    shuffle_text_bytes: u64,
+    cache_text_bytes: u64,
+    blob: Bytes,
 }
 
 /// The recurring-query executor. See module docs.
@@ -179,7 +205,7 @@ where
     lists: TaskLists,
     adaptive: AdaptiveController,
     scheduler: CacheAwareScheduler,
-    mapped: HashMap<(u32, u64), MappedPane>,
+    mapped: HashMap<(u32, u64), MappedPane<M::KOut, M::VOut>>,
     built_panes: BTreeSet<(u32, u64)>,
     built_pairs: BTreeSet<(u64, u64)>,
     window_built: usize,
@@ -533,7 +559,8 @@ where
             .to_vec();
         let num_reducers = self.conf.num_reducers;
         let block_size = self.cluster.config().block_size.max(1);
-        let mut buckets: Vec<String> = vec![String::new(); num_reducers];
+        let mut buckets: Vec<mrio::ShuffleBucket> =
+            vec![mrio::ShuffleBucket::default(); num_reducers];
         let mut ready = floor;
         // One map task per DFS block of each slice, like Hadoop's
         // block-aligned input splits.
@@ -556,50 +583,90 @@ where
                 tasks.push((slice_idx, slice.clone(), lines, 0));
             }
         }
+        // Real execution: map every split in parallel on host threads.
+        // This is pure compute over immutable inputs (pane files, mapper,
+        // combiner, partitioner); all virtual-time accounting happens in
+        // the sequential apply loop below, in split order, so simulated
+        // results are identical to a single-threaded run.
+        // Fetch and line-index each slice file once, up front — splits of
+        // the same slice share the index instead of re-reading the file.
+        let slice_files: Vec<Result<redoop_mapred::LineFile>> = {
+            let cluster = &self.cluster;
+            exec::parallel_map(slices.len(), |i| {
+                Ok(cluster
+                    .read(&slices[i].path)
+                    .map(redoop_mapred::LineFile::new)
+                    .map_err(RedoopError::from))
+            })?
+        };
+        let slice_files: Vec<redoop_mapred::LineFile> =
+            slice_files.into_iter().collect::<Result<_>>()?;
+        let computed: Vec<Result<SplitMapOut<M::KOut, M::VOut>>> = {
+            let cluster = &self.cluster;
+            let mapper = &*self.mapper;
+            let combiner = self.combiner.as_deref();
+            let partitioner = &self.partitioner;
+            let slice_files = &slice_files;
+            exec::parallel_map(tasks.len(), |i| {
+                let (slice_idx, slice, line_range, split_bytes) = &tasks[i];
+                let compute = || -> Result<SplitMapOut<M::KOut, M::VOut>> {
+                    let file = &slice_files[*slice_idx];
+                    let (pairs, input_records) =
+                        exec::run_mapper(mapper, file.lines(line_range.clone()));
+                    let pairs = match combiner {
+                        Some(c) => exec::apply_combiner(pairs, c),
+                        None => pairs,
+                    };
+                    let parts = exec::partition_pairs(pairs, partitioner, num_reducers);
+                    let buckets: Vec<mrio::ShuffleBucket> =
+                        parts.iter().map(|b| mrio::ShuffleBucket::encode(b)).collect();
+                    let output_records: u64 = buckets.iter().map(|b| b.records).sum();
+                    // Charged bytes stay text-equivalent regardless of the
+                    // binary shuffle encoding.
+                    let output_bytes: u64 = buckets.iter().map(|b| b.text_bytes).sum();
+                    let replicas = cluster
+                        .namenode()
+                        .get_file(&slice.path)
+                        .map(|m| {
+                            m.blocks.first().map(|b| b.replicas.clone()).unwrap_or_default()
+                        })
+                        .unwrap_or_default();
+                    let work = MapWork {
+                        split_bytes: *split_bytes,
+                        input_records,
+                        output_records,
+                        output_bytes,
+                    };
+                    Ok(SplitMapOut { buckets, parts, work, replicas })
+                };
+                Ok(compute())
+            })?
+        };
         let mut slice_infos: Vec<SliceMapInfo> = Vec::with_capacity(tasks.len());
-        for (slice_idx, slice, line_range, split_bytes) in &tasks {
-            // Real execution: map this split's lines.
-            let data = self.cluster.read(&slice.path)?;
-            let file = redoop_mapred::LineFile::new(data);
-            let (pairs, input_records) =
-                exec::run_mapper(&*self.mapper, file.lines(line_range.clone()));
-            let pairs = match &self.combiner {
-                Some(c) => exec::apply_combiner(pairs, c.as_ref()),
-                None => pairs,
-            };
-            let parts = exec::partition_pairs(pairs, &self.partitioner, num_reducers);
-            let mut output_bytes = 0u64;
-            let mut output_records = 0u64;
+        let mut raw: Vec<Vec<(M::KOut, M::VOut)>> =
+            (0..num_reducers).map(|_| Vec::new()).collect();
+        for ((slice_idx, slice, _line_range, _split_bytes), out) in
+            tasks.iter().zip(computed)
+        {
+            let SplitMapOut { buckets: split_buckets, parts, work, replicas } = out?;
             let mut bucket_bytes = vec![0u64; num_reducers];
             let mut bucket_records = vec![0u64; num_reducers];
-            for (r, bucket) in parts.into_iter().enumerate() {
-                output_records += bucket.len() as u64;
-                bucket_records[r] = bucket.len() as u64;
-                let text = mrio::encode_kv_block(&bucket);
-                output_bytes += text.len() as u64;
-                bucket_bytes[r] = text.len() as u64;
-                buckets[r].push_str(&text);
+            for (r, bucket) in split_buckets.iter().enumerate() {
+                bucket_bytes[r] = bucket.text_bytes;
+                bucket_records[r] = bucket.records;
+                buckets[r].extend(bucket);
             }
-            let work = MapWork {
-                split_bytes: *split_bytes,
-                input_records,
-                output_records,
-                output_bytes,
-            };
+            for (r, part) in parts.into_iter().enumerate() {
+                raw[r].extend(part);
+            }
             // Virtual: place on a map slot with HDFS locality affinity.
-            let replicas = self
-                .cluster
-                .namenode()
-                .get_file(&slice.path)
-                .map(|m| m.blocks.first().map(|b| b.replicas.clone()).unwrap_or_default())
-                .unwrap_or_default();
             let cost = self.sim.cost().clone();
             let task_ready = floor.max(slice.ready_at);
             let loads: Vec<SimTime> =
                 self.sim.loads(TaskKind::Map).into_iter().map(|l| l.max(task_ready)).collect();
             let alive = self.alive_vec();
             let ctx = SchedulerCtx { loads: &loads, alive: &alive };
-            let bytes = *split_bytes;
+            let bytes = work.split_bytes;
             let reps = replicas.clone();
             let node = self.scheduler.pick_node(TaskKind::Map, &ctx, &move |n| {
                 let local = reps.contains(&n);
@@ -615,8 +682,11 @@ where
             });
             ready = ready.max(placement.end);
         }
-        self.mapped
-            .insert((source, pane.0), MappedPane { ready, buckets, slices: slice_infos });
+        let raw = raw.into_iter().map(|p| std::sync::Mutex::new(Some(p))).collect();
+        self.mapped.insert(
+            (source, pane.0),
+            MappedPane { ready, buckets, slices: slice_infos, raw },
+        );
         Ok(ready)
     }
 
@@ -677,10 +747,177 @@ where
         }
     }
 
-    /// Builds the sorted reduce-input cache of `(source, pane)` partition
-    /// `r` on `node`, *real side only* (no virtual charge — the caller
-    /// folds the bytes into its window reduce task). Returns
-    /// `(input_records, shuffle_bytes, cache_file_bytes)`.
+    /// Pure compute of a reduce-input cache: sort/group the pane's binary
+    /// shuffle bucket for one partition and encode the sorted run as a
+    /// grouped block, so later incremental merges consume it without
+    /// re-parsing or re-sorting. No executor state is touched.
+    fn input_cache_compute(
+        bucket: &mrio::ShuffleBucket,
+        raw: Option<Vec<(M::KOut, M::VOut)>>,
+    ) -> Result<BuiltCache> {
+        let pairs: Vec<(M::KOut, M::VOut)> = match raw {
+            Some(p) => p,
+            None => bucket.decode()?,
+        };
+        let input_records = pairs.len() as u64;
+        let groups = exec::sort_group(pairs);
+        let blob = Bytes::from(mrio::encode_grouped_block(&groups));
+        // Sorting permutes lines, not bytes: the cache file's
+        // text-equivalent size equals the bucket's.
+        Ok(BuiltCache {
+            input_records,
+            shuffle_text_bytes: bucket.text_bytes,
+            cache_text_bytes: bucket.text_bytes,
+            blob,
+        })
+    }
+
+    /// Pure compute of a per-pane partial aggregate (reduce-output
+    /// cache): sort/group the bucket, run the reducer, and encode the
+    /// partial result as a grouped block. No executor state is touched.
+    fn pane_output_compute(
+        bucket: &mrio::ShuffleBucket,
+        raw: Option<Vec<(M::KOut, M::VOut)>>,
+        reducer: &R,
+    ) -> Result<BuiltCache> {
+        let pairs: Vec<(M::KOut, M::VOut)> = match raw {
+            Some(p) => p,
+            None => bucket.decode()?,
+        };
+        let input_records = pairs.len() as u64;
+        let groups = exec::sort_group(pairs);
+        let (out_pairs, _) = exec::run_reducer(reducer, &groups);
+        let cache_text_bytes = mrio::kv_block_text_bytes(&out_pairs);
+        // Merged partials are re-read under the mapper's key type (see
+        // module docs: the reducer's output key must share its textual
+        // form). When the reducer's key type *is* the mapper's — true for
+        // every aggregation whose partials merge by key — the conversion
+        // is the identity (Writable round-trip), so skip the text trip.
+        let rekeyed: Vec<(M::KOut, R::VOut)> = {
+            let any: Box<dyn std::any::Any> = Box::new(out_pairs);
+            match any.downcast::<Vec<(M::KOut, R::VOut)>>() {
+                Ok(same) => *same,
+                Err(any) => {
+                    let out_pairs = *any
+                        .downcast::<Vec<(R::KOut, R::VOut)>>()
+                        .expect("restores the original type");
+                    let mut rekeyed: Vec<(M::KOut, R::VOut)> =
+                        Vec::with_capacity(out_pairs.len());
+                    for (k, v) in out_pairs {
+                        rekeyed.push((M::KOut::read(&k.to_text())?, v));
+                    }
+                    rekeyed
+                }
+            }
+        };
+        let blob = Bytes::from(mrio::encode_grouped_block(&mrio::group_consecutive(rekeyed)));
+        Ok(BuiltCache {
+            input_records,
+            shuffle_text_bytes: bucket.text_bytes,
+            cache_text_bytes,
+            blob,
+        })
+    }
+
+    /// Pure compute of a pane-pair join: merge the two cached sorted
+    /// input runs (linear merge; falls back to a full sort if a stored
+    /// run is unsorted), reduce, and encode the pair output as text —
+    /// pair outputs concatenate byte-for-byte into the DFS-visible
+    /// window output, which stays in the text format.
+    fn pair_output_compute(
+        cluster: &Cluster,
+        node: NodeId,
+        left: PaneId,
+        right: PaneId,
+        r: usize,
+        reducer: &R,
+    ) -> Result<BuiltCache> {
+        let lt = cluster.get_local(node, &Self::input_name(0, left, r).store_name())?;
+        let rt = cluster.get_local(node, &Self::input_name(1, right, r).store_name())?;
+        let lb: mrio::GroupedBlock<M::KOut, M::VOut> = mrio::decode_grouped_block(&lt)?;
+        let rb: mrio::GroupedBlock<M::KOut, M::VOut> = mrio::decode_grouped_block(&rt)?;
+        let input_records = lb.records + rb.records;
+        let read_text_bytes = lb.text_bytes + rb.text_bytes;
+        let groups = if lb.sorted && rb.sorted {
+            exec::merge_sorted_groups(vec![lb.groups, rb.groups])
+        } else {
+            let flat: Vec<(M::KOut, M::VOut)> = [lb.groups, rb.groups]
+                .into_iter()
+                .flatten()
+                .flat_map(|(k, vs)| vs.into_iter().map(move |v| (k.clone(), v)))
+                .collect();
+            exec::sort_group(flat)
+        };
+        let (out_pairs, _) = exec::run_reducer(reducer, &groups);
+        let text = mrio::encode_kv_block(&out_pairs);
+        let cache_text_bytes = text.len() as u64;
+        Ok(BuiltCache {
+            input_records,
+            shuffle_text_bytes: read_text_bytes,
+            cache_text_bytes,
+            blob: Bytes::from(text),
+        })
+    }
+
+    /// Stores a computed reduce-input cache on `node` and records the
+    /// build, *real side only* (no virtual charge — the caller folds the
+    /// bytes into its window reduce task).
+    fn apply_input_cache(
+        &mut self,
+        source: u32,
+        pane: PaneId,
+        r: usize,
+        node: NodeId,
+        built: &BuiltCache,
+    ) -> Result<()> {
+        let name = Self::input_name(source, pane, r);
+        self.cluster.put_local(node, name.store_name(), built.blob.clone())?;
+        self.built_panes.insert((source, pane.0));
+        self.window_built += 1;
+        Ok(())
+    }
+
+    /// Stores a computed pane-output cache on `node` and records the
+    /// build, real side only.
+    fn apply_pane_output(
+        &mut self,
+        source: u32,
+        pane: PaneId,
+        r: usize,
+        node: NodeId,
+        built: &BuiltCache,
+    ) -> Result<()> {
+        let name = Self::output_name(source, pane, r);
+        self.cluster.put_local(node, name.store_name(), built.blob.clone())?;
+        if r == self.conf.num_reducers - 1 {
+            self.matrix.mark_done(&[pane]);
+        }
+        self.built_panes.insert((source, pane.0));
+        self.window_built += 1;
+        Ok(())
+    }
+
+    /// Stores a computed pair-output cache on `node` and records the
+    /// build, real side only.
+    fn apply_pair_output(
+        &mut self,
+        left: PaneId,
+        right: PaneId,
+        r: usize,
+        node: NodeId,
+        built: &BuiltCache,
+    ) -> Result<()> {
+        let name = Self::pair_name(left, right, r);
+        self.cluster.put_local(node, name.store_name(), built.blob.clone())?;
+        self.matrix.mark_done(&[left, right]);
+        self.built_pairs.insert((left.0, right.0));
+        self.window_built += 1;
+        Ok(())
+    }
+
+    /// Compute + apply of one reduce-input cache (proactive mode builds
+    /// panes one at a time as their data arrives). Returns
+    /// `(input_records, shuffle_bytes, cache_text_bytes)`.
     fn build_input_cache_real(
         &mut self,
         source: u32,
@@ -688,33 +925,17 @@ where
         r: usize,
         node: NodeId,
     ) -> Result<(u64, u64, u64)> {
-        let name = Self::input_name(source, pane, r);
-        let bucket_len;
-        let text = {
+        let built = {
             let m = self.mapped.get(&(source, pane.0)).expect("pane mapped before build");
-            let bucket = &m.buckets[r];
-            bucket_len = bucket.len() as u64;
-            let pairs: Vec<(M::KOut, M::VOut)> = mrio::decode_kv_block(bucket)?;
-            let groups = exec::sort_group(pairs);
-            let mut text = String::with_capacity(bucket.len());
-            for (k, vs) in &groups {
-                for v in vs {
-                    mrio::encode_kv(k, v, &mut text);
-                }
-            }
-            text
+            let raw = m.raw[r].lock().expect("raw pairs lock").take();
+            Self::input_cache_compute(&m.buckets[r], raw)?
         };
-        let records = text.lines().count() as u64;
-        let bytes = text.len() as u64;
-        self.cluster.put_local(node, name.store_name(), Bytes::from(text))?;
-        self.built_panes.insert((source, pane.0));
-        self.window_built += 1;
-        Ok((records, bucket_len, bytes))
+        self.apply_input_cache(source, pane, r, node, &built)?;
+        Ok((built.input_records, built.shuffle_text_bytes, built.cache_text_bytes))
     }
 
-    /// Builds the per-pane partial aggregate (reduce-output cache) of
-    /// `(source, pane)` partition `r` on `node`, real side only. Returns
-    /// `(input_records, shuffle_bytes, cache_file_bytes)`.
+    /// Compute + apply of one pane-output cache (proactive mode).
+    /// Returns `(input_records, shuffle_bytes, cache_text_bytes)`.
     fn build_pane_output_real(
         &mut self,
         source: u32,
@@ -722,29 +943,17 @@ where
         r: usize,
         node: NodeId,
     ) -> Result<(u64, u64, u64)> {
-        let name = Self::output_name(source, pane, r);
-        let (input_records, bucket_len, text) = {
+        let built = {
             let m = self.mapped.get(&(source, pane.0)).expect("pane mapped before build");
-            let bucket = &m.buckets[r];
-            let pairs: Vec<(M::KOut, M::VOut)> = mrio::decode_kv_block(bucket)?;
-            let input_records = pairs.len() as u64;
-            let groups = exec::sort_group(pairs);
-            let (out_pairs, _) = exec::run_reducer(&*self.reducer, &groups);
-            (input_records, bucket.len() as u64, mrio::encode_kv_block(&out_pairs))
+            let raw = m.raw[r].lock().expect("raw pairs lock").take();
+            Self::pane_output_compute(&m.buckets[r], raw, &*self.reducer)?
         };
-        let bytes = text.len() as u64;
-        self.cluster.put_local(node, name.store_name(), Bytes::from(text))?;
-        if r == self.conf.num_reducers - 1 {
-            self.matrix.mark_done(&[pane]);
-        }
-        self.built_panes.insert((source, pane.0));
-        self.window_built += 1;
-        Ok((input_records, bucket_len, bytes))
+        self.apply_pane_output(source, pane, r, node, &built)?;
+        Ok((built.input_records, built.shuffle_text_bytes, built.cache_text_bytes))
     }
 
-    /// Joins the cached inputs of `(left, right)` partition `r` on
-    /// `node`, storing the pair-output cache, real side only. Returns
-    /// `(input_records, pair_cache_bytes, inputs_read_bytes)`.
+    /// Compute + apply of one pair-output cache (proactive mode).
+    /// Returns `(input_records, pair_cache_bytes, inputs_read_bytes)`.
     fn build_pair_output_real(
         &mut self,
         left: PaneId,
@@ -752,25 +961,10 @@ where
         r: usize,
         node: NodeId,
     ) -> Result<(u64, u64, u64)> {
-        let name = Self::pair_name(left, right, r);
-        let lt = self.cluster.get_local(node, &Self::input_name(0, left, r).store_name())?;
-        let rt = self.cluster.get_local(node, &Self::input_name(1, right, r).store_name())?;
-        let read_bytes = (lt.len() + rt.len()) as u64;
-        let mut pairs: Vec<(M::KOut, M::VOut)> =
-            mrio::decode_kv_block(std::str::from_utf8(&lt).unwrap_or(""))?;
-        pairs.extend(mrio::decode_kv_block::<M::KOut, M::VOut>(
-            std::str::from_utf8(&rt).unwrap_or(""),
-        )?);
-        let input_records = pairs.len() as u64;
-        let groups = exec::sort_group(pairs);
-        let (out_pairs, _) = exec::run_reducer(&*self.reducer, &groups);
-        let text = mrio::encode_kv_block(&out_pairs);
-        let bytes = text.len() as u64;
-        self.cluster.put_local(node, name.store_name(), Bytes::from(text))?;
-        self.matrix.mark_done(&[left, right]);
-        self.built_pairs.insert((left.0, right.0));
-        self.window_built += 1;
-        Ok((input_records, bytes, read_bytes))
+        let built =
+            Self::pair_output_compute(&self.cluster, node, left, right, r, &*self.reducer)?;
+        self.apply_pair_output(left, right, r, node, &built)?;
+        Ok((built.input_records, built.cache_text_bytes, built.shuffle_text_bytes))
     }
 
     // ------------------------------------------------------------------
@@ -797,8 +991,10 @@ where
 
         // Feed the fresh-volume signal, then take the adaptive decision.
         let geom0 = self.sources[0].geom;
-        let prev_panes: Vec<u64> =
-            if rec == 0 { Vec::new() } else { geom0.window_panes(rec - 1).collect() };
+        // Window pane indices are a contiguous range, so "was this pane
+        // in the previous window" is a range check, not a scan.
+        let prev_panes: std::ops::Range<u64> =
+            if rec == 0 { 0..0 } else { geom0.window_panes(rec - 1) };
         let mut fresh_bytes = 0u64;
         let mut fresh_panes = 0u64;
         for st in &self.sources {
@@ -833,7 +1029,7 @@ where
             let sealed = st.packer.lock().manifest().max_sealed_pane();
             if sealed.map(|p| p < last_needed).unwrap_or(true) {
                 return Err(RedoopError::InvalidQuery(format!(
-                    "window {rec} needs pane {} of source {:?} but ingestion only sealed                      through {:?}",
+                    "window {rec} needs pane {} of source {:?} but ingestion only sealed through {:?}",
                     last_needed.0, st.conf.name, sealed
                 )));
             }
@@ -919,13 +1115,30 @@ where
         let mut new_records = 0u64;
         let mut local_out = 0u64;
         let mut early_done = SimTime::ZERO;
+        let mut batch_registrations: Vec<(CacheName, u64)> = Vec::new();
         match mode {
             ExecMode::Batch => {
-                for &p in &missing {
-                    let (recs, shuffled, bytes) = self.build_pane_output_real(0, p, r, node)?;
-                    new_records += recs;
-                    shuffle_bytes += shuffled;
-                    local_out += bytes;
+                // Pure per-pane compute in parallel; state-mutating apply
+                // and byte accounting stay sequential, in pane order.
+                let computed: Vec<Result<BuiltCache>> = {
+                    let mapped = &self.mapped;
+                    let reducer = &*self.reducer;
+                    exec::parallel_map(missing.len(), |i| {
+                        let m = mapped
+                            .get(&(0, missing[i].0))
+                            .expect("pane mapped before build");
+                        let raw = m.raw[r].lock().expect("raw pairs lock").take();
+                        Ok(Self::pane_output_compute(&m.buckets[r], raw, reducer))
+                    })?
+                };
+                for (&p, built) in missing.iter().zip(computed) {
+                    let built = built?;
+                    self.apply_pane_output(0, p, r, node, &built)?;
+                    new_records += built.input_records;
+                    shuffle_bytes += built.shuffle_text_bytes;
+                    local_out += built.cache_text_bytes;
+                    batch_registrations
+                        .push((Self::output_name(0, p, r), built.cache_text_bytes));
                 }
             }
             ExecMode::Proactive => {
@@ -959,9 +1172,14 @@ where
         }
 
         // Merge every pane output (cache reads for reused panes) into the
-        // window result.
+        // window result. Cached partials are pre-grouped sorted runs, so
+        // the incremental merge is a linear k-way pass — no re-parsing,
+        // no re-sorting (unless a reducer emitted out of key order, in
+        // which case its run is flagged unsorted and we fall back).
         let mut cache_bytes = 0u64;
-        let mut partials: Vec<(M::KOut, R::VOut)> = Vec::new();
+        let mut partial_records = 0u64;
+        let mut runs: Vec<Vec<(M::KOut, Vec<R::VOut>)>> = Vec::with_capacity(panes.len());
+        let mut all_sorted = true;
         for &p in panes {
             let name = Self::output_name(0, p, r);
             if let Some(sig) = self.controller.signature(&name) {
@@ -971,12 +1189,22 @@ where
                 cache_bytes += sig.bytes;
             }
             let data = self.cluster.get_local(node, &name.store_name())?;
-            partials.extend(mrio::decode_kv_block::<M::KOut, R::VOut>(
-                std::str::from_utf8(&data).unwrap_or(""),
-            )?);
+            let block: mrio::GroupedBlock<M::KOut, R::VOut> =
+                mrio::decode_grouped_block(&data)?;
+            partial_records += block.records;
+            all_sorted &= block.sorted;
+            runs.push(block.groups);
         }
-        let partial_records = partials.len() as u64;
-        let groups = exec::sort_group(partials);
+        let groups = if all_sorted {
+            exec::merge_sorted_groups(runs)
+        } else {
+            let flat: Vec<(M::KOut, R::VOut)> = runs
+                .into_iter()
+                .flatten()
+                .flat_map(|(k, vs)| vs.into_iter().map(move |v| (k.clone(), v)))
+                .collect();
+            exec::sort_group(flat)
+        };
         let merger = self.merger.as_ref().expect("aggregation has a merger").clone();
         let mut out = String::new();
         let mut output_records = 0u64;
@@ -1003,16 +1231,8 @@ where
         };
         self.cluster.create(&path, Bytes::from(out))?;
         let placement = self.charge_reduce(node, ready.max(early_done), &work, metrics);
-        if mode == ExecMode::Batch {
-            for &p in &missing {
-                let name = Self::output_name(0, p, r);
-                let bytes = self
-                    .cluster
-                    .get_local(node, &name.store_name())
-                    .map(|b| b.len() as u64)
-                    .unwrap_or(0);
-                self.register(name, node, bytes, placement.end);
-            }
+        for (name, bytes) in batch_registrations {
+            self.register(name, node, bytes, placement.end);
         }
         Ok(path)
     }
@@ -1139,24 +1359,46 @@ where
         }
         match mode {
             ExecMode::Batch => {
-                for &(s, p) in &missing {
-                    let (recs, shuffled, bytes) = self.build_input_cache_real(s, p, r, node)?;
-                    new_input_records += recs;
-                    shuffle_bytes += shuffled;
-                    local_out += bytes;
-                    batch_registrations.push((Self::input_name(s, p, r), bytes));
+                // Sort the missing panes' buckets into input caches, in
+                // parallel; apply sequentially in pane order.
+                let computed: Vec<Result<BuiltCache>> = {
+                    let mapped = &self.mapped;
+                    exec::parallel_map(missing.len(), |i| {
+                        let (s, p) = missing[i];
+                        let m =
+                            mapped.get(&(s, p.0)).expect("pane mapped before build");
+                        let raw = m.raw[r].lock().expect("raw pairs lock").take();
+                        Ok(Self::input_cache_compute(&m.buckets[r], raw))
+                    })?
+                };
+                for (&(s, p), built) in missing.iter().zip(computed) {
+                    let built = built?;
+                    self.apply_input_cache(s, p, r, node, &built)?;
+                    new_input_records += built.input_records;
+                    shuffle_bytes += built.shuffle_text_bytes;
+                    local_out += built.cache_text_bytes;
+                    batch_registrations
+                        .push((Self::input_name(s, p, r), built.cache_text_bytes));
                 }
-                for &(p, q) in &todo_pairs {
-                    let (_recs, bytes, _read) = self.build_pair_output_real(p, q, r, node)?;
-                    local_out += bytes;
-                    pair_output_records += self
-                        .cluster
-                        .get_local(node, &Self::pair_name(p, q, r).store_name())
-                        .map(|b| {
-                            std::str::from_utf8(&b).map(|t| t.lines().count() as u64).unwrap_or(0)
-                        })
+                // Every input cache this window needs is now on `node`:
+                // join the outstanding pane pairs in parallel.
+                let computed: Vec<Result<BuiltCache>> = {
+                    let cluster = &self.cluster;
+                    let reducer = &*self.reducer;
+                    exec::parallel_map(todo_pairs.len(), |i| {
+                        let (p, q) = todo_pairs[i];
+                        Ok(Self::pair_output_compute(cluster, node, p, q, r, reducer))
+                    })?
+                };
+                for (&(p, q), built) in todo_pairs.iter().zip(computed) {
+                    let built = built?;
+                    self.apply_pair_output(p, q, r, node, &built)?;
+                    local_out += built.cache_text_bytes;
+                    pair_output_records += std::str::from_utf8(&built.blob)
+                        .map(|t| t.lines().count() as u64)
                         .unwrap_or(0);
-                    batch_registrations.push((Self::pair_name(p, q, r), bytes));
+                    batch_registrations
+                        .push((Self::pair_name(p, q, r), built.cache_text_bytes));
                 }
             }
             ExecMode::Proactive => {

@@ -209,6 +209,14 @@ impl DynamicDataPacker {
         SourceStats { bytes_per_ms: self.observed_bytes as f64 / self.observed_span_ms as f64 }
     }
 
+    /// Folds a batch's per-key line buffers into the pending map,
+    /// preserving per-key arrival order.
+    fn merge_pending(&mut self, local: Vec<((u64, u32), Vec<String>)>) {
+        for (key, mut lines) in local {
+            self.pending.entry(key).or_default().append(&mut lines);
+        }
+    }
+
     fn locate(&self, line: &str) -> Option<((u64, u32), EventTime)> {
         let ts = (self.ts_fn)(line)?;
         let pane = ts.0 / self.plan.pane_ms;
@@ -226,26 +234,37 @@ impl DynamicDataPacker {
         lines: impl Iterator<Item = &'l str>,
         batch_range: &TimeRange,
     ) -> Result<Vec<DfsPath>> {
+        // A batch covers few (sub-)panes, so buffer per batch in a small
+        // list (linear key scan) and merge into `pending` once per key
+        // instead of paying a tree lookup per line. Per-key line order is
+        // arrival order either way.
+        let mut local: Vec<((u64, u32), Vec<String>)> = Vec::new();
         for line in lines {
             match self.locate(line) {
                 Some((key, ts)) => {
                     if !batch_range.contains(ts) {
+                        self.merge_pending(local);
                         return Err(RedoopError::BadRecord(format!(
                             "record at {ts} outside batch range {batch_range}"
                         )));
                     }
                     if self.sealed_through.is_some_and(|s| key.0 <= s) {
+                        self.merge_pending(local);
                         return Err(RedoopError::BadRecord(format!(
                             "late record at {ts}: pane {} already sealed",
                             key.0
                         )));
                     }
                     self.observed_bytes += line.len() as u64 + 1;
-                    self.pending.entry(key).or_default().push(line.to_string());
+                    match local.iter_mut().find(|(k, _)| *k == key) {
+                        Some((_, v)) => v.push(line.to_string()),
+                        None => local.push((key, vec![line.to_string()])),
+                    }
                 }
                 None => self.dropped_records += 1,
             }
         }
+        self.merge_pending(local);
         self.observed_span_ms = self.observed_span_ms.max(batch_range.end.0);
         self.seal_until(batch_range.end)
     }

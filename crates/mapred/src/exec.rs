@@ -23,7 +23,7 @@ pub fn run_mapper<'a, M: Mapper>(
     mapper: &M,
     lines: impl Iterator<Item = &'a str>,
 ) -> (Vec<(M::KOut, M::VOut)>, u64) {
-    let mut ctx = MapContext::new();
+    let mut ctx = MapContext::with_capacity(lines.size_hint().0);
     let mut records = 0u64;
     for line in lines {
         mapper.map(line, &mut ctx);
@@ -94,6 +94,61 @@ pub fn run_reducer<R: Reducer>(
     (ctx.into_pairs(), records)
 }
 
+/// Merges sorted grouped runs (each with strictly increasing keys) into
+/// one grouped list. For keys present in several runs, values concatenate
+/// in run order — exactly the order a stable `sort_group` over the
+/// concatenated flat pairs would produce, so cached pre-grouped runs can
+/// be merged without re-sorting.
+pub fn merge_sorted_groups<K: Ord, V>(runs: Vec<Vec<(K, Vec<V>)>>) -> Vec<(K, Vec<V>)> {
+    let mut stacks: Vec<Vec<(K, Vec<V>)>> = runs
+        .into_iter()
+        .map(|mut r| {
+            r.reverse(); // consume from the front via pop()
+            r
+        })
+        .collect();
+    let mut out: Vec<(K, Vec<V>)> = Vec::with_capacity(stacks.iter().map(Vec::len).sum());
+    loop {
+        // Earliest run wins ties, preserving stable-sort value order.
+        let mut min: Option<usize> = None;
+        for (i, s) in stacks.iter().enumerate() {
+            if let Some((k, _)) = s.last() {
+                min = match min {
+                    Some(m) if stacks[m].last().unwrap().0 <= *k => Some(m),
+                    _ => Some(i),
+                };
+            }
+        }
+        let Some(first) = min else { break };
+        let (key, mut vals) = stacks[first].pop().unwrap();
+        for s in &mut stacks {
+            while s.last().is_some_and(|(k, _)| *k == key) {
+                vals.extend(s.pop().unwrap().1);
+            }
+        }
+        out.push((key, vals));
+    }
+    out
+}
+
+/// Host worker-count override: 0 means "use available parallelism".
+static HOST_PARALLELISM: AtomicUsize = AtomicUsize::new(0);
+
+/// Forces [`parallel_map`] onto exactly `n` host threads (`None` restores
+/// auto-detection). Worker count never affects results — this exists so
+/// tests can compare parallel runs against a forced single-worker run,
+/// and so benchmarks can pin the pool size.
+pub fn set_host_parallelism(n: Option<usize>) {
+    HOST_PARALLELISM.store(n.unwrap_or(0).max(0), Ordering::Relaxed);
+}
+
+fn host_parallelism() -> usize {
+    match HOST_PARALLELISM.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4),
+        n => n,
+    }
+}
+
 /// Executes `f(i)` for `i in 0..n` on a bounded pool of host threads,
 /// returning results in index order. The virtual cluster's parallelism is
 /// simulated elsewhere; this only bounds *host* CPU usage.
@@ -105,10 +160,7 @@ where
     if n == 0 {
         return Ok(Vec::new());
     }
-    let workers = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4)
-        .min(n);
+    let workers = host_parallelism().min(n);
     if workers <= 1 {
         return (0..n).map(&f).collect();
     }
@@ -206,5 +258,42 @@ mod tests {
     fn parallel_map_empty() {
         let out: Vec<usize> = parallel_map(0, |_| unreachable!()).unwrap();
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn merge_sorted_groups_matches_stable_sort_group() {
+        // Runs as produced by sort_group on per-pane pairs.
+        let run0 = sort_group(vec![("b", 1), ("a", 2), ("b", 3)]);
+        let run1 = sort_group(vec![("a", 4), ("c", 5)]);
+        let run2 = sort_group(vec![("b", 6), ("a", 7)]);
+        let merged = merge_sorted_groups(vec![run0, run1, run2]);
+        // Old path: concatenate flat pairs in run order, stable sort_group.
+        let expected = sort_group(vec![
+            ("b", 1),
+            ("a", 2),
+            ("b", 3),
+            ("a", 4),
+            ("c", 5),
+            ("b", 6),
+            ("a", 7),
+        ]);
+        assert_eq!(merged, expected);
+    }
+
+    #[test]
+    fn merge_sorted_groups_handles_empty_runs() {
+        let merged: Vec<(u32, Vec<u32>)> =
+            merge_sorted_groups(vec![vec![], vec![(1, vec![9])], vec![]]);
+        assert_eq!(merged, vec![(1, vec![9])]);
+        assert!(merge_sorted_groups::<u32, u32>(vec![]).is_empty());
+    }
+
+    #[test]
+    fn forced_single_worker_gives_same_results() {
+        set_host_parallelism(Some(1));
+        let single = parallel_map(20, |i| Ok(i * 3)).unwrap();
+        set_host_parallelism(None);
+        let auto = parallel_map(20, |i| Ok(i * 3)).unwrap();
+        assert_eq!(single, auto);
     }
 }

@@ -17,6 +17,11 @@ pub struct LineFile {
     data: Arc<Bytes>,
     /// Start offset of each line (exclusive of the previous `\n`).
     offsets: Arc<Vec<u32>>,
+    /// Whole file validated as UTF-8 at construction. Line accesses on a
+    /// valid file skip per-line validation (lines sit on char boundaries
+    /// because `\n` is a single-byte char); an invalid file falls back to
+    /// checking each line, as before.
+    valid_utf8: bool,
 }
 
 impl LineFile {
@@ -27,6 +32,7 @@ impl LineFile {
         let mut offsets = Vec::with_capacity(data.len() / 32 + 1);
         let mut start = 0u32;
         let bytes = &data[..];
+        let valid_utf8 = std::str::from_utf8(bytes).is_ok();
         if !bytes.is_empty() {
             offsets.push(0);
         }
@@ -39,7 +45,7 @@ impl LineFile {
             }
         }
         let _ = start;
-        LineFile { data: Arc::new(data), offsets: Arc::new(offsets) }
+        LineFile { data: Arc::new(data), offsets: Arc::new(offsets), valid_utf8 }
     }
 
     /// Number of lines.
@@ -67,7 +73,17 @@ impl LineFile {
                     len
                 }
             });
-        std::str::from_utf8(&self.data[start..end]).unwrap_or("")
+        let bytes = &self.data[start..end];
+        if self.valid_utf8 {
+            // SAFETY: the whole file was validated as UTF-8 in `new` and
+            // `data` is immutable. `start` is 0 or the byte after a
+            // `\n`, `end` is the byte of a `\n` or end-of-file; `\n` is
+            // a single-byte char, so both are char boundaries and the
+            // slice is valid UTF-8.
+            unsafe { std::str::from_utf8_unchecked(bytes) }
+        } else {
+            std::str::from_utf8(bytes).unwrap_or("")
+        }
     }
 
     /// Iterates lines in `range`.
@@ -134,6 +150,198 @@ pub fn decode_kv_block<K: Writable, V: Writable>(text: &str) -> Result<Vec<(K, V
     Ok(pairs)
 }
 
+// ---- Binary block codec ------------------------------------------------
+//
+// Shuffle buckets and node-local cache blocks use binary records instead
+// of `key\tvalue` text: no number formatting on write, no parsing on
+// read. Two layouts exist:
+//
+//  * **flat streams** (shuffle buckets): back-to-back `write_bin` records
+//    with no header, so buckets from different map tasks concatenate.
+//  * **grouped blocks** (cached sorted runs): framed, pre-grouped
+//    `(key, [values])` entries plus a sorted flag, so incremental merges
+//    consume runs directly without re-sorting or re-parsing.
+//
+// The simulated cost model keeps charging **text-equivalent** bytes (see
+// [`Writable::text_len`]); the binary layout changes host time only.
+
+/// Text-equivalent byte count of a pair list: exactly
+/// `encode_kv_block(pairs).len()`, without materialising the text.
+pub fn kv_block_text_bytes<K: Writable, V: Writable>(pairs: &[(K, V)]) -> u64 {
+    pairs.iter().map(|(k, v)| k.text_len() + 1 + v.text_len() + 1).sum()
+}
+
+/// Encodes a pair list as a headerless binary record stream. Streams
+/// are concatenatable: appending two encodings yields the encoding of
+/// the concatenated pair lists.
+pub fn encode_bin_kv_block<K: Writable, V: Writable>(pairs: &[(K, V)]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(pairs.len() * 16);
+    for (k, v) in pairs {
+        k.write_bin(&mut out);
+        v.write_bin(&mut out);
+    }
+    out
+}
+
+/// Decodes a headerless binary record stream.
+pub fn decode_bin_kv_block<K: Writable, V: Writable>(buf: &[u8]) -> Result<Vec<(K, V)>> {
+    let mut pairs = Vec::new();
+    decode_bin_kv_into(buf, &mut pairs)?;
+    Ok(pairs)
+}
+
+/// Decodes a headerless binary record stream, appending to `out`.
+pub fn decode_bin_kv_into<K: Writable, V: Writable>(
+    buf: &[u8],
+    out: &mut Vec<(K, V)>,
+) -> Result<()> {
+    let mut rest = buf;
+    while !rest.is_empty() {
+        let (k, used_k) = K::read_bin(rest)?;
+        rest = &rest[used_k..];
+        let (v, used_v) = V::read_bin(rest)?;
+        rest = &rest[used_v..];
+        out.push((k, v));
+    }
+    Ok(())
+}
+
+/// One shuffle bucket in binary form, carrying the text-equivalent byte
+/// count the cost model charges and the record count.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ShuffleBucket {
+    /// Headerless binary record stream (see [`encode_bin_kv_block`]).
+    pub data: Vec<u8>,
+    /// Byte length the equivalent `key\tvalue` text would have.
+    pub text_bytes: u64,
+    /// Number of key/value records.
+    pub records: u64,
+}
+
+impl ShuffleBucket {
+    /// Encodes `pairs` into a bucket.
+    pub fn encode<K: Writable, V: Writable>(pairs: &[(K, V)]) -> Self {
+        ShuffleBucket {
+            data: encode_bin_kv_block(pairs),
+            text_bytes: kv_block_text_bytes(pairs),
+            records: pairs.len() as u64,
+        }
+    }
+
+    /// Appends `other`'s records (streams concatenate).
+    pub fn extend(&mut self, other: &ShuffleBucket) {
+        self.data.extend_from_slice(&other.data);
+        self.text_bytes += other.text_bytes;
+        self.records += other.records;
+    }
+
+    /// Decodes the bucket back into pairs.
+    pub fn decode<K: Writable, V: Writable>(&self) -> Result<Vec<(K, V)>> {
+        let mut pairs = Vec::with_capacity(self.records as usize);
+        decode_bin_kv_into(&self.data, &mut pairs)?;
+        Ok(pairs)
+    }
+
+    /// Decodes the bucket's records, appending to `out` (pre-reserving
+    /// from the record count — shuffle merges decode many buckets into
+    /// one pair list).
+    pub fn decode_into<K: Writable, V: Writable>(&self, out: &mut Vec<(K, V)>) -> Result<()> {
+        out.reserve(self.records as usize);
+        decode_bin_kv_into(&self.data, out)
+    }
+}
+
+/// Magic + version prefix of a grouped binary block.
+const GROUPED_MAGIC: &[u8; 4] = b"RGB1";
+
+/// A decoded grouped block: pre-grouped `(key, values)` runs plus the
+/// bookkeeping the cost model and cache registry need.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupedBlock<K, V> {
+    /// Groups in stored order; consecutive equal keys were merged.
+    pub groups: Vec<(K, Vec<V>)>,
+    /// True if keys are strictly increasing (a sorted run, mergeable
+    /// without re-sorting).
+    pub sorted: bool,
+    /// Total record (key, value-instance) count.
+    pub records: u64,
+    /// Text-equivalent byte count of the flat pair list.
+    pub text_bytes: u64,
+}
+
+/// Groups consecutive pairs with equal keys, preserving order. Applied
+/// to `sort_group` output this is the identity reshaping; applied to
+/// arbitrary output it never reorders records.
+pub fn group_consecutive<K: Writable + PartialEq, V>(pairs: Vec<(K, V)>) -> Vec<(K, Vec<V>)> {
+    let mut groups: Vec<(K, Vec<V>)> = Vec::new();
+    for (k, v) in pairs {
+        match groups.last_mut() {
+            Some((last, vals)) if *last == k => vals.push(v),
+            _ => groups.push((k, vec![v])),
+        }
+    }
+    groups
+}
+
+/// Encodes pre-grouped `(key, values)` runs as a framed grouped block.
+pub fn encode_grouped_block<K: Writable + Ord, V: Writable>(groups: &[(K, Vec<V>)]) -> Vec<u8> {
+    let sorted = groups.windows(2).all(|w| w[0].0 < w[1].0);
+    let records: u64 = groups.iter().map(|(_, vs)| vs.len() as u64).sum();
+    let text_bytes: u64 = groups
+        .iter()
+        .map(|(k, vs)| vs.iter().map(|v| k.text_len() + 1 + v.text_len() + 1).sum::<u64>())
+        .sum();
+    let mut out = Vec::with_capacity(groups.len() * 24 + 16);
+    out.extend_from_slice(GROUPED_MAGIC);
+    out.push(sorted as u8);
+    crate::writable::write_varint(&mut out, records);
+    crate::writable::write_varint(&mut out, text_bytes);
+    crate::writable::write_varint(&mut out, groups.len() as u64);
+    for (k, vs) in groups {
+        k.write_bin(&mut out);
+        crate::writable::write_varint(&mut out, vs.len() as u64);
+        for v in vs {
+            v.write_bin(&mut out);
+        }
+    }
+    out
+}
+
+/// Decodes a framed grouped block.
+pub fn decode_grouped_block<K: Writable, V: Writable>(buf: &[u8]) -> Result<GroupedBlock<K, V>> {
+    let rest = buf
+        .strip_prefix(&GROUPED_MAGIC[..])
+        .ok_or_else(|| MrError::Codec("not a grouped block (bad magic)".into()))?;
+    let (&sorted_byte, mut rest) = rest
+        .split_first()
+        .ok_or_else(|| MrError::Codec("grouped block truncated at flags".into()))?;
+    let varint = |rest: &mut &[u8]| -> Result<u64> {
+        let (v, used) = crate::writable::read_varint(rest)?;
+        *rest = &rest[used..];
+        Ok(v)
+    };
+    let records = varint(&mut rest)?;
+    let text_bytes = varint(&mut rest)?;
+    let group_count = varint(&mut rest)?;
+    let mut groups = Vec::with_capacity(group_count as usize);
+    for _ in 0..group_count {
+        let (k, used) = K::read_bin(rest)?;
+        rest = &rest[used..];
+        let nvals = varint(&mut rest)?;
+        let mut vals = Vec::with_capacity(nvals as usize);
+        for _ in 0..nvals {
+            let (v, used) = V::read_bin(rest)?;
+            rest = &rest[used..];
+            vals.push(v);
+        }
+        groups.push((k, vals));
+    }
+    if !rest.is_empty() {
+        return Err(MrError::Codec(format!("{} trailing bytes after grouped block", rest.len())));
+    }
+    Ok(GroupedBlock { groups, sorted: sorted_byte != 0, records, text_bytes })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -183,5 +391,80 @@ mod tests {
     fn kv_decode_rejects_garbage() {
         assert!(decode_kv::<String, u64>("no-tab-here").is_err());
         assert!(decode_kv::<String, u64>("k\tnot-a-number").is_err());
+    }
+
+    #[test]
+    fn bin_block_roundtrips_and_concatenates() {
+        let a = vec![("alpha".to_string(), 1u64), ("beta".to_string(), 2u64)];
+        let b = vec![("gamma".to_string(), 3u64)];
+        let mut joined = encode_bin_kv_block(&a);
+        joined.extend_from_slice(&encode_bin_kv_block(&b));
+        let decoded: Vec<(String, u64)> = decode_bin_kv_block(&joined).unwrap();
+        assert_eq!(decoded, [a.clone(), b].concat());
+        // Text-equivalent accounting matches the text codec exactly.
+        assert_eq!(kv_block_text_bytes(&a), encode_kv_block(&a).len() as u64);
+        assert_eq!(kv_block_text_bytes::<String, u64>(&[]), 0);
+    }
+
+    #[test]
+    fn bin_block_rejects_truncation() {
+        let pairs = vec![("k".to_string(), 9u64)];
+        let buf = encode_bin_kv_block(&pairs);
+        assert!(decode_bin_kv_block::<String, u64>(&buf[..buf.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn grouped_block_roundtrips_with_bookkeeping() {
+        let groups = vec![
+            ("a".to_string(), vec![1u64, 2]),
+            ("b".to_string(), vec![3]),
+            ("c".to_string(), vec![4, 5, 6]),
+        ];
+        let buf = encode_grouped_block(&groups);
+        let block: GroupedBlock<String, u64> = decode_grouped_block(&buf).unwrap();
+        assert_eq!(block.groups, groups);
+        assert!(block.sorted);
+        assert_eq!(block.records, 6);
+        // Text-equivalent bytes match the flat text encoding.
+        let flat: Vec<(String, u64)> = groups
+            .iter()
+            .flat_map(|(k, vs)| vs.iter().map(move |v| (k.clone(), *v)))
+            .collect();
+        assert_eq!(block.text_bytes, encode_kv_block(&flat).len() as u64);
+    }
+
+    #[test]
+    fn grouped_block_marks_unsorted_runs() {
+        let groups = vec![("b".to_string(), vec![1u64]), ("a".to_string(), vec![2])];
+        let block: GroupedBlock<String, u64> =
+            decode_grouped_block(&encode_grouped_block(&groups)).unwrap();
+        assert!(!block.sorted);
+        assert_eq!(block.groups, groups);
+    }
+
+    #[test]
+    fn grouped_block_rejects_bad_magic_and_trailing_bytes() {
+        assert!(decode_grouped_block::<String, u64>(b"nope").is_err());
+        let mut buf = encode_grouped_block(&[("a".to_string(), vec![1u64])]);
+        buf.push(0);
+        assert!(decode_grouped_block::<String, u64>(&buf).is_err());
+    }
+
+    #[test]
+    fn group_consecutive_preserves_order() {
+        let pairs = vec![
+            ("a".to_string(), 1u64),
+            ("a".to_string(), 2),
+            ("b".to_string(), 3),
+            ("a".to_string(), 4),
+        ];
+        assert_eq!(
+            group_consecutive(pairs),
+            vec![
+                ("a".to_string(), vec![1, 2]),
+                ("b".to_string(), vec![3]),
+                ("a".to_string(), vec![4]),
+            ]
+        );
     }
 }

@@ -58,7 +58,7 @@ pub use mapper::{ClosureMapper, MapContext, Mapper};
 pub use metrics::{JobMetrics, PhaseTimes};
 pub use partitioner::{HashPartitioner, Partitioner};
 pub use reducer::{ClosureReducer, ReduceContext, Reducer};
-pub use runtime::{JobResult, JobRunner};
+pub use runtime::{JobResult, JobRunner, MapMemo};
 pub use schedule::{ClusterSim, Placement, SlotKind};
 pub use scheduler::{DefaultScheduler, Scheduler, SchedulerCtx};
 pub use simtime::{CostModel, SimTime};

@@ -17,6 +17,12 @@ impl<K, V> MapContext<K, V> {
         MapContext { out: Vec::new() }
     }
 
+    /// Fresh context pre-sized for about `n` emissions (mappers commonly
+    /// emit one pair per record, so the runtime passes the record count).
+    pub fn with_capacity(n: usize) -> Self {
+        MapContext { out: Vec::with_capacity(n) }
+    }
+
     /// Emits one intermediate pair.
     pub fn emit(&mut self, key: K, value: V) {
         self.out.push((key, value));

@@ -28,8 +28,36 @@ use crate::reducer::Reducer;
 use crate::schedule::{ClusterSim, Placement};
 use crate::scheduler::{DefaultScheduler, Scheduler, SchedulerCtx};
 use crate::simtime::SimTime;
-use crate::split::{plan_splits, InputSplit};
+use crate::split::{plan_splits, plan_splits_file, InputSplit};
 use crate::task::{MapWork, ReduceWork, TaskKind};
+
+/// Host-side memo shared across the jobs of one recurring query.
+///
+/// Split plans of immutable input files are stable, and for files the
+/// caller marks *reusable* (e.g. a batch fully inside the window, where
+/// the window filter passes every record) the map output is identical
+/// from one recurrence to the next — the mapper and partitioner are
+/// deterministic. Reusing both avoids redundant host work without
+/// touching the virtual layer: every job still schedules and charges
+/// every split exactly as if it had been computed fresh.
+#[derive(Default)]
+pub struct MapMemo {
+    splits: std::collections::HashMap<DfsPath, std::sync::Arc<Vec<InputSplit>>>,
+    /// Keyed by `(path, first line, num_reducers)` — the first line
+    /// identifies the split within its file.
+    #[allow(clippy::type_complexity)]
+    maps: std::collections::HashMap<
+        (DfsPath, usize, usize),
+        std::sync::Arc<(Vec<io::ShuffleBucket>, MapWork)>,
+    >,
+    /// Per-`(path, first line, num_reducers, partition)` sorted run of a
+    /// reusable split's shuffle bucket, as an encoded grouped block.
+    /// Reduces over a recurring window then *merge* the cached runs
+    /// (exactly reproducing the stable full sort, see
+    /// [`exec::merge_sorted_groups`]) instead of re-sorting the whole
+    /// window every recurrence.
+    reduce_runs: std::collections::HashMap<(DfsPath, usize, usize, usize), Vec<u8>>,
+}
 
 /// Outcome of a job run: where the output landed plus metrics.
 #[derive(Debug, Clone)]
@@ -109,15 +137,98 @@ where
         conf: &JobConf,
         submit_at: SimTime,
     ) -> Result<JobResult> {
+        self.run_memoized(sim, spec, conf, submit_at, None)
+    }
+
+    /// Like [`JobRunner::run`], but sharing `memo` across the jobs of a
+    /// recurring query. `reuse(path)` must return `true` only when the
+    /// file's map output is recurrence-independent for this job (the
+    /// mapper treats its records the same in every window). Results are
+    /// bit-identical to an unmemoized run.
+    pub fn run_memoized(
+        &self,
+        sim: &mut ClusterSim,
+        spec: &JobSpec,
+        conf: &JobConf,
+        submit_at: SimTime,
+        mut memo: Option<(&mut MapMemo, &dyn Fn(&DfsPath) -> bool)>,
+    ) -> Result<JobResult> {
         conf.validate()?;
-        let splits = plan_splits(self.cluster, &spec.inputs)?;
         let num_reducers = conf.num_reducers;
+        let splits: Vec<InputSplit> = match &mut memo {
+            Some((m, _)) => {
+                let mut all = Vec::new();
+                for path in &spec.inputs {
+                    let planned = match m.splits.get(path) {
+                        Some(s) => s.clone(),
+                        None => {
+                            let s = std::sync::Arc::new(plan_splits_file(self.cluster, path)?);
+                            m.splits.insert(path.clone(), s.clone());
+                            s
+                        }
+                    };
+                    all.extend(planned.iter().cloned());
+                }
+                if all.is_empty() {
+                    return Err(MrError::NoInput);
+                }
+                all
+            }
+            None => plan_splits(self.cluster, &spec.inputs)?,
+        };
 
         // ---- Real map execution (host parallelism) -------------------
-        let map_outs = exec::parallel_map(splits.len(), |i| self.execute_map(&splits[i], num_reducers))?;
+        // Memo hits resolve instantly; misses fan out on host threads.
+        type MapOut = std::sync::Arc<(Vec<io::ShuffleBucket>, MapWork)>;
+        // Raw pre-encoding pairs of splits mapped in THIS job (memo hits
+        // have none); each (split, partition) slot is taken once by the
+        // reduce phase, which otherwise decodes the encoded bucket.
+        let mut raw_parts: Vec<Option<Vec<Vec<(M::KOut, M::VOut)>>>> =
+            (0..splits.len()).map(|_| None).collect();
+        let map_outs: Vec<MapOut> = match &mut memo {
+            Some((m, reuse)) => {
+                let mut out: Vec<Option<MapOut>> = (0..splits.len()).map(|_| None).collect();
+                let mut miss: Vec<usize> = Vec::new();
+                for (i, s) in splits.iter().enumerate() {
+                    let hit = reuse(&s.path)
+                        .then(|| m.maps.get(&(s.path.clone(), s.lines.start, num_reducers)))
+                        .flatten();
+                    match hit {
+                        Some(cached) => out[i] = Some(cached.clone()),
+                        None => miss.push(i),
+                    }
+                }
+                let computed = exec::parallel_map(miss.len(), |j| {
+                    self.execute_map(&splits[miss[j]], num_reducers)
+                })?;
+                for (&i, (enc, parts, work)) in miss.iter().zip(computed) {
+                    let mo = std::sync::Arc::new((enc, work));
+                    let s = &splits[i];
+                    if reuse(&s.path) {
+                        m.maps
+                            .insert((s.path.clone(), s.lines.start, num_reducers), mo.clone());
+                    }
+                    out[i] = Some(mo);
+                    raw_parts[i] = Some(parts);
+                }
+                out.into_iter().map(|o| o.expect("every split mapped")).collect()
+            }
+            None => {
+                let computed = exec::parallel_map(splits.len(), |i| {
+                    self.execute_map(&splits[i], num_reducers)
+                })?;
+                let mut outs = Vec::with_capacity(computed.len());
+                for (i, (enc, parts, work)) in computed.into_iter().enumerate() {
+                    outs.push(std::sync::Arc::new((enc, work)));
+                    raw_parts[i] = Some(parts);
+                }
+                outs
+            }
+        };
 
         let mut metrics = JobMetrics { submitted_at: submit_at, ..Default::default() };
-        for (_, work) in &map_outs {
+        for mo in &map_outs {
+            let work = &mo.1;
             metrics.counters.add(names::MAP_INPUT_RECORDS, work.input_records);
             metrics.counters.add(names::MAP_OUTPUT_RECORDS, work.output_records);
             metrics.counters.add(names::HDFS_BYTES_READ, work.split_bytes);
@@ -128,7 +239,8 @@ where
         let cost = sim.cost().clone();
         let mut map_ends: Vec<SimTime> = Vec::with_capacity(splits.len());
         let mut map_placements: Vec<Placement> = Vec::with_capacity(splits.len());
-        for (i, (split, (_, work))) in splits.iter().zip(&map_outs).enumerate() {
+        for (i, (split, mo)) in splits.iter().zip(&map_outs).enumerate() {
+            let work = &mo.1;
             let placement = self.schedule_task(
                 sim,
                 &alive,
@@ -161,7 +273,7 @@ where
                 TaskKind::Map,
                 &placements,
                 |i, node| {
-                    let (split, (_, work)) = (&splits[i], &map_outs[i]);
+                    let (split, work) = (&splits[i], &map_outs[i].1);
                     work.duration(&cost, split.is_local_to(node))
                 },
             );
@@ -186,9 +298,32 @@ where
         let last_map_end = map_ends.iter().copied().max().unwrap_or(submit_at);
 
         // ---- Real reduce execution -------------------------------------
-        let reduce_outs = exec::parallel_map(num_reducers, |r| {
-            self.execute_reduce(spec, &map_outs, r)
-        })?;
+        // With a memo, cached sorted runs are merged sequentially (the
+        // memo is updated in place); otherwise partitions fan out.
+        let reduce_outs = match &mut memo {
+            Some((m, reuse)) => {
+                let reuse_keys: Vec<Option<(DfsPath, usize)>> = splits
+                    .iter()
+                    .map(|s| reuse(&s.path).then(|| (s.path.clone(), s.lines.start)))
+                    .collect();
+                let mut outs = Vec::with_capacity(num_reducers);
+                for r in 0..num_reducers {
+                    outs.push(self.execute_reduce_memoized(
+                        spec,
+                        &map_outs,
+                        &mut raw_parts,
+                        r,
+                        num_reducers,
+                        m,
+                        &reuse_keys,
+                    )?);
+                }
+                outs
+            }
+            None => {
+                exec::parallel_map(num_reducers, |r| self.execute_reduce(spec, &map_outs, r))?
+            }
+        };
         for work in &reduce_outs {
             metrics.counters.add(names::SHUFFLE_BYTES, work.shuffle_bytes);
             metrics.counters.add(names::REDUCE_INPUT_RECORDS, work.input_records);
@@ -232,14 +367,18 @@ where
         Ok(JobResult { outputs, metrics })
     }
 
-    /// Real execution of one map task: returns the encoded shuffle
-    /// buckets (one text blob per reduce partition) and the work stats.
+    /// Real execution of one map task: returns the shuffle buckets (one
+    /// binary record stream per reduce partition), the raw pre-encoding
+    /// pairs per partition (the bucket's decoded twin, handed to the
+    /// reduce phase of the same job so it can skip the decode), and the
+    /// work stats. Work is charged in text-equivalent bytes, so
+    /// simulated times do not depend on the shuffle codec.
     #[allow(clippy::type_complexity)]
     fn execute_map(
         &self,
         split: &InputSplit,
         num_reducers: usize,
-    ) -> Result<(Vec<String>, MapWork)> {
+    ) -> Result<(Vec<io::ShuffleBucket>, Vec<Vec<(M::KOut, M::VOut)>>, MapWork)> {
         let (pairs, input_records) =
             exec::run_mapper(self.mapper, split.file.lines(split.lines.clone()));
         let pairs = match self.combiner {
@@ -248,15 +387,16 @@ where
         };
         let output_records = pairs.len() as u64;
         let buckets = exec::partition_pairs(pairs, self.partitioner, num_reducers);
-        let encoded: Vec<String> = buckets.iter().map(|b| io::encode_kv_block(b)).collect();
-        let output_bytes: u64 = encoded.iter().map(|s| s.len() as u64).sum();
+        let encoded: Vec<io::ShuffleBucket> =
+            buckets.iter().map(|b| io::ShuffleBucket::encode(b)).collect();
+        let output_bytes: u64 = encoded.iter().map(|b| b.text_bytes).sum();
         let work = MapWork {
             split_bytes: split.bytes,
             input_records,
             output_records,
             output_bytes,
         };
-        Ok((encoded, work))
+        Ok((encoded, buckets, work))
     }
 
     /// Real execution of one reduce task: shuffle-in partition `r` from
@@ -265,18 +405,80 @@ where
     fn execute_reduce(
         &self,
         spec: &JobSpec,
-        map_outs: &[(Vec<String>, MapWork)],
+        map_outs: &[std::sync::Arc<(Vec<io::ShuffleBucket>, MapWork)>],
         r: usize,
     ) -> Result<ReduceWork> {
-        let mut pairs: Vec<(M::KOut, M::VOut)> = Vec::new();
+        let total: usize = map_outs.iter().map(|mo| mo.0[r].records as usize).sum();
+        let mut pairs: Vec<(M::KOut, M::VOut)> = Vec::with_capacity(total);
         let mut shuffle_bytes = 0u64;
-        for (buckets, _) in map_outs {
-            let text = &buckets[r];
-            shuffle_bytes += text.len() as u64;
-            pairs.extend(io::decode_kv_block::<M::KOut, M::VOut>(text)?);
+        for mo in map_outs {
+            let bucket = &mo.0[r];
+            shuffle_bytes += bucket.text_bytes;
+            bucket.decode_into::<M::KOut, M::VOut>(&mut pairs)?;
         }
         let groups = exec::sort_group(pairs);
-        let (out_pairs, input_records) = exec::run_reducer(self.reducer, &groups);
+        self.finish_reduce(spec, r, shuffle_bytes, &groups)
+    }
+
+    /// Memoized variant of [`Self::execute_reduce`]: each reusable
+    /// split's bucket is sorted once ever (cached as an encoded grouped
+    /// block) and recurrences merge the sorted runs, which reproduces
+    /// the stable full sort exactly (see [`exec::merge_sorted_groups`]).
+    fn execute_reduce_memoized(
+        &self,
+        spec: &JobSpec,
+        map_outs: &[std::sync::Arc<(Vec<io::ShuffleBucket>, MapWork)>],
+        raw_parts: &mut [Option<Vec<Vec<(M::KOut, M::VOut)>>>],
+        r: usize,
+        num_reducers: usize,
+        memo: &mut MapMemo,
+        reuse_keys: &[Option<(DfsPath, usize)>],
+    ) -> Result<ReduceWork> {
+        let mut shuffle_bytes = 0u64;
+        let mut runs: Vec<Vec<(M::KOut, Vec<M::VOut>)>> = Vec::with_capacity(map_outs.len());
+        for (i, (mo, key)) in map_outs.iter().zip(reuse_keys).enumerate() {
+            let bucket = &mo.0[r];
+            shuffle_bytes += bucket.text_bytes;
+            // This job's fresh map outputs still have their pre-encoding
+            // pairs; decode the bucket only for memo-cached outputs.
+            let mut take_pairs = || -> Result<Vec<(M::KOut, M::VOut)>> {
+                match &mut raw_parts[i] {
+                    Some(parts) => Ok(std::mem::take(&mut parts[r])),
+                    None => bucket.decode(),
+                }
+            };
+            let groups = match key {
+                Some((path, start)) => {
+                    let mk = (path.clone(), *start, num_reducers, r);
+                    match memo.reduce_runs.get(&mk) {
+                        Some(blob) => {
+                            io::decode_grouped_block::<M::KOut, M::VOut>(blob)?.groups
+                        }
+                        None => {
+                            let groups = exec::sort_group(take_pairs()?);
+                            memo.reduce_runs.insert(mk, io::encode_grouped_block(&groups));
+                            groups
+                        }
+                    }
+                }
+                None => exec::sort_group(take_pairs()?),
+            };
+            runs.push(groups);
+        }
+        let groups = exec::merge_sorted_groups(runs);
+        self.finish_reduce(spec, r, shuffle_bytes, &groups)
+    }
+
+    /// Shared tail of the reduce task: run the reducer over the sorted
+    /// groups and write the text part file.
+    fn finish_reduce(
+        &self,
+        spec: &JobSpec,
+        r: usize,
+        shuffle_bytes: u64,
+        groups: &[(M::KOut, Vec<M::VOut>)],
+    ) -> Result<ReduceWork> {
+        let (out_pairs, input_records) = exec::run_reducer(self.reducer, groups);
         let output_records = out_pairs.len() as u64;
         let text = io::encode_kv_block(&out_pairs);
         let output_bytes = text.len() as u64;

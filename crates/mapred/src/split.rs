@@ -47,45 +47,55 @@ impl InputSplit {
 /// misconfigured window paths early).
 pub fn plan_splits(cluster: &Cluster, inputs: &[DfsPath]) -> Result<Vec<InputSplit>> {
     let mut splits = Vec::new();
-    let block_size = cluster.config().block_size;
     for path in inputs {
-        let meta = cluster.namenode().get_file(path)?;
-        if meta.len == 0 {
-            continue;
-        }
-        // Fetch once; block reads are charged per split at schedule time.
-        let data = cluster.read(path)?;
-        let file = LineFile::new(data);
-        let n_lines = file.line_count();
-        if n_lines == 0 {
-            continue;
-        }
-        let n_blocks = meta.block_count().max(1);
-        let mut line = 0usize;
-        for (bi, block) in meta.blocks.iter().enumerate() {
-            let block_end = if bi + 1 == n_blocks { usize::MAX } else { (bi + 1) * block_size };
-            let start_line = line;
-            while line < n_lines && file.line_offset(line) < block_end {
-                line += 1;
-            }
-            if line == start_line {
-                continue; // block contains no line starts (mid-line block)
-            }
-            let range = start_line..line;
-            let bytes = file.byte_len_of(range.clone()) as u64;
-            splits.push(InputSplit {
-                path: path.clone(),
-                file: file.clone(),
-                lines: range,
-                bytes,
-                replicas: block.replicas.clone(),
-            });
-        }
-        debug_assert_eq!(line, n_lines, "every line must land in exactly one split");
+        splits.extend(plan_splits_file(cluster, path)?);
     }
     if splits.is_empty() {
         return Err(MrError::NoInput);
     }
+    Ok(splits)
+}
+
+/// Plans the splits of a single file (empty for an empty file). Split
+/// plans of immutable files are stable, so recurring queries can plan a
+/// file once and reuse the result across jobs (see
+/// [`crate::runtime::MapMemo`]).
+pub fn plan_splits_file(cluster: &Cluster, path: &DfsPath) -> Result<Vec<InputSplit>> {
+    let mut splits = Vec::new();
+    let block_size = cluster.config().block_size;
+    let meta = cluster.namenode().get_file(path)?;
+    if meta.len == 0 {
+        return Ok(splits);
+    }
+    // Fetch once; block reads are charged per split at schedule time.
+    let data = cluster.read(path)?;
+    let file = LineFile::new(data);
+    let n_lines = file.line_count();
+    if n_lines == 0 {
+        return Ok(splits);
+    }
+    let n_blocks = meta.block_count().max(1);
+    let mut line = 0usize;
+    for (bi, block) in meta.blocks.iter().enumerate() {
+        let block_end = if bi + 1 == n_blocks { usize::MAX } else { (bi + 1) * block_size };
+        let start_line = line;
+        while line < n_lines && file.line_offset(line) < block_end {
+            line += 1;
+        }
+        if line == start_line {
+            continue; // block contains no line starts (mid-line block)
+        }
+        let range = start_line..line;
+        let bytes = file.byte_len_of(range.clone()) as u64;
+        splits.push(InputSplit {
+            path: path.clone(),
+            file: file.clone(),
+            lines: range,
+            bytes,
+            replicas: block.replicas.clone(),
+        });
+    }
+    debug_assert_eq!(line, n_lines, "every line must land in exactly one split");
     Ok(splits)
 }
 

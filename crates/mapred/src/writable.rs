@@ -1,15 +1,58 @@
-//! Hadoop-style text serialization for keys and values.
+//! Hadoop-style serialization for keys and values.
 //!
-//! Intermediate and cached data are stored as text lines `key\tvalue`, the
+//! DFS-visible final outputs are stored as text lines `key\tvalue`, the
 //! way Hadoop Streaming and `TextOutputFormat` do. Types that flow through
 //! the shuffle or into Redoop caches implement [`Writable`].
 //!
 //! Encoded fields must not contain `\t` or `\n`; composite types use the
 //! ASCII unit separator `\x1f` internally so they can nest inside a field.
+//!
+//! Shuffle buckets and node-local cache blocks additionally use the
+//! length-prefixed *binary* form (`write_bin`/`read_bin`), which skips
+//! text formatting and parsing on the hot path. The simulated cost model
+//! still charges the **text-equivalent** byte count ([`Writable::text_len`])
+//! so virtual-time results are independent of the on-host codec.
 
 use crate::error::{MrError, Result};
 
-/// Text codec for shuffle keys/values and cache records.
+/// Appends `v` as a LEB128 varint.
+pub fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads a LEB128 varint, returning the value and bytes consumed.
+pub fn read_varint(buf: &[u8]) -> Result<(u64, usize)> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    for (i, &byte) in buf.iter().enumerate() {
+        if shift >= 64 {
+            break;
+        }
+        v |= ((byte & 0x7f) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Ok((v, i + 1));
+        }
+        shift += 7;
+    }
+    Err(MrError::Codec("truncated or oversized varint".into()))
+}
+
+fn take<'a>(buf: &'a [u8], n: usize) -> Result<&'a [u8]> {
+    buf.get(..n)
+        .ok_or_else(|| MrError::Codec(format!("record truncated: need {n} bytes, have {}", buf.len())))
+}
+
+/// Codec for shuffle keys/values and cache records: a text form (for
+/// final outputs and debugging) and a binary form (for shuffle and
+/// cache blocks).
 pub trait Writable: Sized + Clone + Send + Sync + 'static {
     /// Appends the encoded form to `out`. Must not emit `\t` or `\n`.
     fn write(&self, out: &mut String);
@@ -22,6 +65,32 @@ pub trait Writable: Sized + Clone + Send + Sync + 'static {
         let mut s = String::new();
         self.write(&mut s);
         s
+    }
+
+    /// Appends the self-delimiting binary form to `out`. The default
+    /// frames the text encoding with a varint length; scalar impls
+    /// override with native fixed/varint layouts.
+    fn write_bin(&self, out: &mut Vec<u8>) {
+        let text = self.to_text();
+        write_varint(out, text.len() as u64);
+        out.extend_from_slice(text.as_bytes());
+    }
+
+    /// Parses one binary value from the front of `buf`, returning the
+    /// value and the number of bytes consumed.
+    fn read_bin(buf: &[u8]) -> Result<(Self, usize)> {
+        let (len, header) = read_varint(buf)?;
+        let body = take(&buf[header..], len as usize)?;
+        let s = std::str::from_utf8(body)
+            .map_err(|_| MrError::Codec("binary text field is not UTF-8".into()))?;
+        Ok((Self::read(s)?, header + len as usize))
+    }
+
+    /// Length in bytes of the **text** encoding, without materialising
+    /// it. This is what the simulated cost model charges for binary
+    /// blocks, keeping virtual times codec-independent.
+    fn text_len(&self) -> u64 {
+        self.to_text().len() as u64
     }
 }
 
@@ -36,9 +105,33 @@ impl Writable for String {
     fn read(s: &str) -> Result<Self> {
         Ok(s.to_string())
     }
+    fn write_bin(&self, out: &mut Vec<u8>) {
+        write_varint(out, self.len() as u64);
+        out.extend_from_slice(self.as_bytes());
+    }
+    fn read_bin(buf: &[u8]) -> Result<(Self, usize)> {
+        let (len, header) = read_varint(buf)?;
+        let body = take(&buf[header..], len as usize)?;
+        let s = std::str::from_utf8(body)
+            .map_err(|_| MrError::Codec("binary string is not UTF-8".into()))?;
+        Ok((s.to_string(), header + len as usize))
+    }
+    fn text_len(&self) -> u64 {
+        self.len() as u64
+    }
 }
 
-macro_rules! impl_writable_num {
+/// Decimal digit count of `v` (text length of its unsigned rendering).
+fn decimal_len(mut v: u64) -> u64 {
+    let mut n = 1;
+    while v >= 10 {
+        v /= 10;
+        n += 1;
+    }
+    n
+}
+
+macro_rules! impl_writable_uint {
     ($($t:ty),*) => {$(
         impl Writable for $t {
             fn write(&self, out: &mut String) {
@@ -48,11 +141,59 @@ macro_rules! impl_writable_num {
             fn read(s: &str) -> Result<Self> {
                 s.parse::<$t>().or_else(|_| parse_err(stringify!($t), s))
             }
+            fn write_bin(&self, out: &mut Vec<u8>) {
+                write_varint(out, *self as u64);
+            }
+            fn read_bin(buf: &[u8]) -> Result<(Self, usize)> {
+                let (v, used) = read_varint(buf)?;
+                let v = <$t>::try_from(v)
+                    .map_err(|_| MrError::Codec(format!("{v} overflows {}", stringify!($t))))?;
+                Ok((v, used))
+            }
+            fn text_len(&self) -> u64 {
+                decimal_len(*self as u64)
+            }
         }
     )*};
 }
 
-impl_writable_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+impl_writable_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_writable_int {
+    ($($t:ty),*) => {$(
+        impl Writable for $t {
+            fn write(&self, out: &mut String) {
+                use std::fmt::Write as _;
+                let _ = write!(out, "{self}");
+            }
+            fn read(s: &str) -> Result<Self> {
+                s.parse::<$t>().or_else(|_| parse_err(stringify!($t), s))
+            }
+            fn write_bin(&self, out: &mut Vec<u8>) {
+                // Zigzag so small negatives stay short.
+                let v = *self as i64;
+                write_varint(out, ((v << 1) ^ (v >> 63)) as u64);
+            }
+            fn read_bin(buf: &[u8]) -> Result<(Self, usize)> {
+                let (z, used) = read_varint(buf)?;
+                let v = ((z >> 1) as i64) ^ -((z & 1) as i64);
+                let v = <$t>::try_from(v)
+                    .map_err(|_| MrError::Codec(format!("{v} overflows {}", stringify!($t))))?;
+                Ok((v, used))
+            }
+            fn text_len(&self) -> u64 {
+                let v = *self as i64;
+                if v < 0 {
+                    1 + decimal_len(v.unsigned_abs())
+                } else {
+                    decimal_len(v as u64)
+                }
+            }
+        }
+    )*};
+}
+
+impl_writable_int!(i8, i16, i32, i64, isize);
 
 impl Writable for f64 {
     fn write(&self, out: &mut String) {
@@ -63,6 +204,13 @@ impl Writable for f64 {
     fn read(s: &str) -> Result<Self> {
         s.parse::<f64>().or_else(|_| parse_err("f64", s))
     }
+    fn write_bin(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_bits().to_le_bytes());
+    }
+    fn read_bin(buf: &[u8]) -> Result<(Self, usize)> {
+        let body = take(buf, 8)?;
+        Ok((f64::from_bits(u64::from_le_bytes(body.try_into().unwrap())), 8))
+    }
 }
 
 impl Writable for f32 {
@@ -72,6 +220,13 @@ impl Writable for f32 {
     }
     fn read(s: &str) -> Result<Self> {
         s.parse::<f32>().or_else(|_| parse_err("f32", s))
+    }
+    fn write_bin(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_bits().to_le_bytes());
+    }
+    fn read_bin(buf: &[u8]) -> Result<(Self, usize)> {
+        let body = take(buf, 4)?;
+        Ok((f32::from_bits(u32::from_le_bytes(body.try_into().unwrap())), 4))
     }
 }
 
@@ -85,6 +240,19 @@ impl Writable for bool {
             "0" => Ok(false),
             _ => parse_err("bool", s),
         }
+    }
+    fn write_bin(&self, out: &mut Vec<u8>) {
+        out.push(*self as u8);
+    }
+    fn read_bin(buf: &[u8]) -> Result<(Self, usize)> {
+        match take(buf, 1)?[0] {
+            1 => Ok((true, 1)),
+            0 => Ok((false, 1)),
+            b => Err(MrError::Codec(format!("invalid bool byte {b}"))),
+        }
+    }
+    fn text_len(&self) -> u64 {
+        1
     }
 }
 
@@ -108,6 +276,19 @@ impl<A: Writable, B: Writable> Writable for Pair<A, B> {
             .split_once(FIELD_SEP)
             .ok_or_else(|| MrError::Codec(format!("Pair missing separator in {s:?}")))?;
         Ok(Pair(A::read(a)?, B::read(b)?))
+    }
+    fn write_bin(&self, out: &mut Vec<u8>) {
+        self.0.write_bin(out);
+        self.1.write_bin(out);
+    }
+    fn read_bin(buf: &[u8]) -> Result<(Self, usize)> {
+        let (a, used_a) = A::read_bin(buf)?;
+        let (b, used_b) = B::read_bin(&buf[used_a..])?;
+        Ok((Pair(a, b), used_a + used_b))
+    }
+    fn text_len(&self) -> u64 {
+        // FIELD_SEP is one byte in UTF-8 (U+001F).
+        self.0.text_len() + 1 + self.1.text_len()
     }
 }
 
@@ -147,5 +328,56 @@ mod tests {
         assert!(u64::read("abc").is_err());
         assert!(bool::read("2").is_err());
         assert!(Pair::<u64, u64>::read("12").is_err());
+    }
+
+    fn roundtrip_bin<T: Writable + PartialEq + std::fmt::Debug>(v: T) {
+        let mut buf = Vec::new();
+        v.write_bin(&mut buf);
+        let (back, used) = T::read_bin(&buf).unwrap();
+        assert_eq!(back, v);
+        assert_eq!(used, buf.len(), "must consume the whole encoding");
+        assert_eq!(v.text_len(), v.to_text().len() as u64, "text_len must match text codec");
+    }
+
+    #[test]
+    fn binary_roundtrips_and_text_len_agree() {
+        roundtrip_bin(String::from("hello world"));
+        roundtrip_bin(String::new());
+        roundtrip_bin(0u64);
+        roundtrip_bin(u64::MAX);
+        roundtrip_bin(usize::MAX);
+        roundtrip_bin(127u8);
+        roundtrip_bin(-42i64);
+        roundtrip_bin(i64::MIN);
+        roundtrip_bin(i64::MAX);
+        roundtrip_bin(-1i32);
+        roundtrip_bin(3.5f64);
+        roundtrip_bin(0.1f64);
+        roundtrip_bin(-0.0f64);
+        roundtrip_bin(2.25f32);
+        roundtrip_bin(true);
+        roundtrip_bin(false);
+        roundtrip_bin(Pair(String::from("k"), 7u64));
+        roundtrip_bin(Pair(Pair(1u32, 2u32), String::from("v")));
+    }
+
+    #[test]
+    fn varint_edge_values() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v);
+            assert_eq!(read_varint(&buf).unwrap(), (v, buf.len()));
+        }
+        assert!(read_varint(&[]).is_err());
+        assert!(read_varint(&[0x80]).is_err());
+    }
+
+    #[test]
+    fn truncated_binary_reads_fail() {
+        let mut buf = Vec::new();
+        String::from("hello").write_bin(&mut buf);
+        assert!(String::read_bin(&buf[..buf.len() - 1]).is_err());
+        assert!(f64::read_bin(&[0u8; 7]).is_err());
+        assert!(bool::read_bin(&[]).is_err());
     }
 }

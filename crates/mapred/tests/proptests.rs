@@ -134,6 +134,99 @@ proptest! {
     }
 }
 
+/// Checks every invariant tying the binary shuffle/cache codec to the
+/// text codec: exact round-trip, agreement with the text path, and the
+/// text-equivalent byte accounting the cost model charges.
+fn check_bin_vs_text_codec<K, V>(pairs: Vec<(K, V)>)
+where
+    K: Writable + Clone + PartialEq + std::fmt::Debug,
+    V: Writable + Clone + PartialEq + std::fmt::Debug,
+{
+    // Binary block round-trips exactly.
+    let bin = io::encode_bin_kv_block(&pairs);
+    let back: Vec<(K, V)> = io::decode_bin_kv_block(&bin).unwrap();
+    assert_eq!(back, pairs, "binary block must round-trip exactly");
+    // ... and agrees with the text codec on the same input.
+    let text = io::encode_kv_block(&pairs);
+    let via_text: Vec<(K, V)> = io::decode_kv_block(&text).unwrap();
+    assert_eq!(via_text, back, "binary and text codecs must agree");
+    // ShuffleBucket wraps the binary form but charges text bytes, so
+    // simulated times cannot depend on the shuffle codec.
+    let bucket = io::ShuffleBucket::encode(&pairs);
+    let decoded: Vec<(K, V)> = bucket.decode().unwrap();
+    assert_eq!(decoded, pairs, "shuffle bucket must round-trip exactly");
+    assert_eq!(bucket.records, pairs.len() as u64);
+    assert_eq!(bucket.text_bytes, io::kv_block_text_bytes(&pairs));
+    assert_eq!(
+        bucket.text_bytes,
+        text.len() as u64,
+        "charged bytes must equal the real text encoding's length"
+    );
+}
+
+proptest! {
+    #[test]
+    fn bin_codec_matches_text_for_string_u64(
+        pairs in proptest::collection::vec((field(), any::<u64>()), 0..40)
+    ) {
+        check_bin_vs_text_codec(pairs);
+    }
+
+    #[test]
+    fn bin_codec_matches_text_for_signed_and_floats(
+        pairs in proptest::collection::vec(
+            (any::<i64>(), any::<f64>().prop_filter("finite", |f| f.is_finite())),
+            0..40
+        )
+    ) {
+        check_bin_vs_text_codec(pairs);
+    }
+
+    #[test]
+    fn bin_codec_matches_text_for_small_ints_and_bool(
+        a in proptest::collection::vec((any::<u8>(), any::<bool>()), 0..20),
+        b in proptest::collection::vec((any::<i16>(), any::<u32>()), 0..20),
+        c in proptest::collection::vec(
+            (any::<f32>().prop_filter("finite", |f| f.is_finite()), any::<i8>()),
+            0..20
+        )
+    ) {
+        check_bin_vs_text_codec(a);
+        check_bin_vs_text_codec(b);
+        check_bin_vs_text_codec(c);
+    }
+
+    #[test]
+    fn bin_codec_matches_text_for_pairs(
+        pairs in proptest::collection::vec(
+            ((field(), any::<u32>()), (any::<u16>(), field())),
+            0..30
+        )
+    ) {
+        let pairs: Vec<(Pair<String, u32>, Pair<u16, String>)> = pairs
+            .into_iter()
+            .map(|((a, b), (c, d))| (Pair(a, b), Pair(c, d)))
+            .collect();
+        check_bin_vs_text_codec(pairs);
+    }
+
+    #[test]
+    fn grouped_block_roundtrips_and_detects_sortedness(
+        pairs in proptest::collection::vec((field(), any::<u64>()), 0..60)
+    ) {
+        let flat_text_bytes = io::kv_block_text_bytes(&pairs);
+        let groups = exec::sort_group(pairs);
+        let records: u64 = groups.iter().map(|(_, vs)| vs.len() as u64).sum();
+        let blob = io::encode_grouped_block(&groups);
+        let block: io::GroupedBlock<String, u64> = io::decode_grouped_block(&blob).unwrap();
+        prop_assert_eq!(block.groups, groups);
+        prop_assert!(block.sorted, "sort_group output is a sorted run");
+        prop_assert_eq!(block.records, records);
+        // Byte accounting survives the grouped reshaping.
+        prop_assert_eq!(block.text_bytes, flat_text_bytes);
+    }
+}
+
 proptest! {
     #[test]
     fn scaled_cost_model_scales_work_not_startup(

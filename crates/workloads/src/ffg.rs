@@ -16,6 +16,8 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use redoop_core::time::TimeRange;
 
+use crate::wcc::push_u64;
+
 /// Which of the two sensor streams to generate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Stream {
@@ -60,17 +62,26 @@ impl FfgGenerator {
         for _ in 0..count {
             let ts = range.start.0 + self.rng.random_range(0..span.max(1));
             let player = self.rng.random_range(0..self.players);
+            let mut line = String::with_capacity(32);
+            push_u64(&mut line, ts);
+            line.push_str(",p");
+            push_u64(&mut line, player as u64);
             match stream {
                 Stream::Position => {
                     let x: u32 = self.rng.random_range(0..10_500); // cm
                     let y: u32 = self.rng.random_range(0..6_800);
-                    lines.push(format!("{ts},p{player},pos,{x},{y}"));
+                    line.push_str(",pos,");
+                    push_u64(&mut line, x as u64);
+                    line.push(',');
+                    push_u64(&mut line, y as u64);
                 }
                 Stream::Speed => {
                     let v: u32 = self.rng.random_range(0..1_200); // cm/s
-                    lines.push(format!("{ts},p{player},spd,{v}"));
+                    line.push_str(",spd,");
+                    push_u64(&mut line, v as u64);
                 }
             }
+            lines.push(line);
         }
         lines
     }

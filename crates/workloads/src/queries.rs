@@ -37,7 +37,7 @@ impl Mapper for AggMapper {
 
     fn map(&self, line: &str, ctx: &mut MapContext<String, u64>) {
         // ts,client,object,region,bytes
-        if let Some(obj) = line.split(',').nth(2) {
+        if let Some(obj) = redoop_core::api::csv_field(line, 2) {
             if !obj.is_empty() {
                 ctx.emit(obj.to_string(), 1);
             }
@@ -232,7 +232,7 @@ impl Mapper for DimensionMapper {
     type VOut = u64;
 
     fn map(&self, line: &str, ctx: &mut MapContext<String, u64>) {
-        if let Some(key) = line.split(',').nth(self.field) {
+        if let Some(key) = redoop_core::api::csv_field(line, self.field) {
             if !key.is_empty() {
                 ctx.emit(key.to_string(), 1);
             }

@@ -13,11 +13,19 @@ use rand::{RngExt, SeedableRng};
 use redoop_core::time::TimeRange;
 
 /// Zipf sampler over ranks `0..n` with exponent `theta`, via a
-/// precomputed CDF and binary search.
+/// precomputed CDF, a guide table, and binary search within the guide
+/// cell (same rank for a given draw as a plain full-range search, at a
+/// fraction of the lookup cost).
 #[derive(Debug, Clone)]
 pub struct ZipfSampler {
     cdf: Vec<f64>,
+    /// `guide[j] = partition_point(cdf, < j/GUIDE_N)`: for any `u` in
+    /// `[j/N, (j+1)/N)` the answer lies in `guide[j]..=guide[j+1]` by
+    /// monotonicity, so the search runs over that slice only.
+    guide: Vec<u32>,
 }
+
+const GUIDE_N: usize = 2048;
 
 impl ZipfSampler {
     /// Builds the sampler (`n >= 1`, `theta >= 0`; `theta = 0` is
@@ -34,13 +42,20 @@ impl ZipfSampler {
         for v in &mut cdf {
             *v /= total;
         }
-        ZipfSampler { cdf }
+        let guide = (0..=GUIDE_N)
+            .map(|j| cdf.partition_point(|&c| c < j as f64 / GUIDE_N as f64) as u32)
+            .collect();
+        ZipfSampler { cdf, guide }
     }
 
     /// Samples a rank in `0..n`.
     pub fn sample(&self, rng: &mut impl RngExt) -> usize {
         let u: f64 = rng.random();
-        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+        let j = ((u * GUIDE_N as f64) as usize).min(GUIDE_N - 1);
+        let lo = self.guide[j] as usize;
+        let hi = (self.guide[j + 1] as usize + 1).min(self.cdf.len());
+        let off = self.cdf[lo..hi].partition_point(|&c| c < u);
+        (lo + off).min(self.cdf.len() - 1)
     }
 }
 
@@ -56,6 +71,23 @@ pub struct WccGenerator {
 }
 
 const REGIONS: [&str; 4] = ["europe", "usa", "asia", "samerica"];
+
+/// Appends `v` in decimal without going through `core::fmt` (the
+/// formatting machinery dominates generation cost at benchmark rates).
+pub(crate) fn push_u64(out: &mut String, v: u64) {
+    let mut buf = [0u8; 20];
+    let mut i = buf.len();
+    let mut v = v;
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    out.push_str(std::str::from_utf8(&buf[i..]).unwrap());
+}
 
 impl WccGenerator {
     /// Generator with `num_objects` distinct objects (Zipf 0.9 skew) and
@@ -94,7 +126,17 @@ impl WccGenerator {
             let obj = self.objects.sample(&mut self.rng);
             let region = REGIONS[self.rng.random_range(0..REGIONS.len())];
             let bytes: u32 = self.rng.random_range(200..20_000);
-            lines.push(format!("{ts},c{client},obj{obj},{region},{bytes}"));
+            let mut line = String::with_capacity(40);
+            push_u64(&mut line, ts);
+            line.push_str(",c");
+            push_u64(&mut line, client);
+            line.push_str(",obj");
+            push_u64(&mut line, obj as u64);
+            line.push(',');
+            line.push_str(region);
+            line.push(',');
+            push_u64(&mut line, bytes as u64);
+            lines.push(line);
         }
         lines
     }

@@ -99,6 +99,7 @@ fn main() {
             &files,
             4,
             &DfsPath::new("/out/logproc-base").unwrap(),
+            None,
         )
         .unwrap();
         let (r, h) = (report.response.as_secs_f64(), baseline.metrics.response_time().as_secs_f64());

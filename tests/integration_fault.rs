@@ -53,6 +53,7 @@ fn run_redoop(failures: Option<FailurePlan>, seed: u64) -> (Vec<SimTime>, Vec<Si
             &files,
             4,
             &out_root,
+            None,
         )
         .unwrap();
         let redoop_out: Vec<(String, u64)> =

@@ -56,6 +56,7 @@ fn run_both(overlap: f64, seed: u64) -> JoinRun {
             &files,
             4,
             &out_root,
+            None,
         )
         .unwrap();
 

@@ -1,0 +1,96 @@
+//! Host parallelism must never change results: map splits and reduce
+//! partitions fan out across host threads purely as an optimization,
+//! with state application and virtual-time charging kept on the
+//! deterministic single-threaded apply step. These tests run the same
+//! workload with the pool forced to one worker and with auto-detected
+//! parallelism and require bit-identical window reports and outputs.
+
+#[path = "common/mod.rs"]
+mod common;
+
+use common::*;
+use redoop_core::prelude::*;
+use redoop_mapred::exec;
+use redoop_workloads::arrival::ArrivalPlan;
+use redoop_workloads::ffg::Stream;
+
+const WINDOWS: u64 = 4;
+
+/// Runs the WCC aggregation for a few windows under `tag`, returning
+/// the Debug rendering of every report plus the sorted window outputs
+/// (together these capture timings, metrics, cache hits, and results).
+fn run_agg(tag: &str) -> (Vec<String>, Vec<Vec<(String, u64)>>) {
+    let spec = spec_with_overlap(0.75);
+    let plan = ArrivalPlan::new(spec, WINDOWS);
+    let batches = wcc_batches(&plan, 11, 1.0);
+
+    let cluster = test_cluster();
+    let mut exec = agg_executor(&cluster, spec, tag, adaptive_on(&cluster, &spec));
+    ingest_all(&mut exec, 0, &batches);
+
+    let mut reports = Vec::new();
+    let mut outputs = Vec::new();
+    for w in 0..WINDOWS {
+        let report = exec.run_window(w).unwrap();
+        let mut out: Vec<(String, u64)> =
+            read_window_output(&cluster, &report.outputs).unwrap();
+        out.sort();
+        reports.push(format!("{report:?}"));
+        outputs.push(out);
+    }
+    (reports, outputs)
+}
+
+/// Same shape for the binary join over the two FFG streams.
+fn run_join(tag: &str) -> (Vec<String>, Vec<Vec<(String, String)>>) {
+    let spec = spec_with_overlap(0.5);
+    let plan = ArrivalPlan::new(spec, WINDOWS);
+    let pos = ffg_batches(&plan, Stream::Position, 5, 1.0);
+    let spd = ffg_batches(&plan, Stream::Speed, 6, 1.0);
+
+    let cluster = test_cluster();
+    let mut exec = join_executor(&cluster, spec, tag, batch_adaptive(&cluster, &spec));
+    ingest_all(&mut exec, 0, &pos);
+    ingest_all(&mut exec, 1, &spd);
+
+    let mut reports = Vec::new();
+    let mut outputs = Vec::new();
+    for w in 0..WINDOWS {
+        let report = exec.run_window(w).unwrap();
+        let mut out: Vec<(String, String)> =
+            read_window_output(&cluster, &report.outputs).unwrap();
+        out.sort();
+        reports.push(format!("{report:?}"));
+        outputs.push(out);
+    }
+    (reports, outputs)
+}
+
+/// `set_host_parallelism` is process-global, so this binary holds its
+/// single test: everything that must run under a forced pool size.
+#[test]
+fn parallel_execution_is_bit_identical_to_single_worker() {
+    // Each run builds its own cluster, so the same tag (and hence the
+    // same DFS paths, making reports string-comparable) is safe.
+    exec::set_host_parallelism(Some(1));
+    let agg_single = run_agg("par-agg");
+    let join_single = run_join("par-join");
+
+    exec::set_host_parallelism(None);
+    let agg_auto = run_agg("par-agg");
+    let join_auto = run_join("par-join");
+
+    for w in 0..WINDOWS as usize {
+        assert_eq!(
+            agg_single.0[w], agg_auto.0[w],
+            "agg window {w} report must not depend on worker count"
+        );
+        assert_eq!(agg_single.1[w], agg_auto.1[w], "agg window {w} outputs");
+        assert!(!agg_auto.1[w].is_empty(), "agg window {w} should produce output");
+        assert_eq!(
+            join_single.0[w], join_auto.0[w],
+            "join window {w} report must not depend on worker count"
+        );
+        assert_eq!(join_single.1[w], join_auto.1[w], "join window {w} outputs");
+    }
+}

@@ -59,6 +59,7 @@ fn run_both(overlap: f64, seed: u64) -> AggRun {
             &files,
             4,
             &out_root,
+            None,
         )
         .unwrap();
 

@@ -1,0 +1,229 @@
+//! Offline, dependency-free subset of the `criterion` benchmarking API
+//! used by this workspace's `[[bench]]` targets. It runs each benchmark
+//! for a configurable number of samples, prints mean/min/max per
+//! iteration, and skips statistical analysis — enough to compare runs
+//! by eye without the real crate's dependency tree.
+
+use std::time::{Duration, Instant};
+
+/// Number of samples per benchmark unless overridden by
+/// [`BenchmarkGroup::sample_size`] (env `CRITERION_SAMPLES` wins).
+fn default_samples() -> usize {
+    std::env::var("CRITERION_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10)
+}
+
+/// Hint about per-iteration setup cost for [`Bencher::iter_batched`].
+/// The simplified runner treats all sizes the same.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: batch many iterations per setup in real criterion.
+    SmallInput,
+    /// Large inputs: one setup per iteration.
+    LargeInput,
+    /// Per-iteration setup.
+    PerIteration,
+}
+
+/// Identifier combining a function name and a parameter label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing harness handed to each benchmark closure. One call to an
+/// `iter*` method performs the measurement for a single sample.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    fn new(iters: u64) -> Self {
+        Bencher { elapsed: Duration::ZERO, iters }
+    }
+
+    /// Times `iters` back-to-back calls of `routine`.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Lets the routine measure itself: it receives the iteration count
+    /// and returns the total elapsed time (real or simulated).
+    pub fn iter_custom(&mut self, mut routine: impl FnMut(u64) -> Duration) {
+        self.elapsed = routine(self.iters);
+    }
+
+    /// Times `routine` over inputs produced by `setup`, excluding the
+    /// setup cost from the measurement.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+fn run_samples(id: &str, samples: usize, mut sample: impl FnMut(&mut Bencher)) {
+    // Match real criterion's floor of 10 samples so run-to-run noise
+    // stays comparable even when callers ask for fewer.
+    let samples = samples.max(10);
+    let mut per_iter: Vec<Duration> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher::new(1);
+        sample(&mut b);
+        per_iter.push(b.elapsed / b.iters.max(1) as u32);
+    }
+    per_iter.sort_unstable();
+    let mean = per_iter.iter().sum::<Duration>() / per_iter.len() as u32;
+    println!(
+        "{id:<44} mean {mean:>12.3?}   min {:>12.3?}   max {:>12.3?}   ({samples} samples)",
+        per_iter[0],
+        per_iter[per_iter.len() - 1],
+    );
+}
+
+/// A named collection of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n;
+        self
+    }
+
+    /// Runs `routine` with a [`Bencher`] and a borrowed input value.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_samples(&full, self.samples, |b| routine(b, input));
+        self
+    }
+
+    /// Runs `routine` with a [`Bencher`].
+    pub fn bench_function(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut routine: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_samples(&full, self.samples, |b| routine(b));
+        self
+    }
+
+    /// Ends the group (reporting is already done per benchmark).
+    pub fn finish(self) {}
+}
+
+/// Benchmark driver. One instance is threaded through every registered
+/// benchmark function by [`criterion_main!`].
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named group with its own sample-size configuration.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), samples: default_samples(), _criterion: self }
+    }
+
+    /// Runs a standalone benchmark with default settings.
+    pub fn bench_function(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut routine: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_samples(&id.to_string(), default_samples(), |b| routine(b));
+        self
+    }
+}
+
+/// Prevents the optimizer from eliding a value computation.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Bundles benchmark functions under a single group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($function:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $function(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_modes_measure() {
+        let mut b = Bencher::new(3);
+        b.iter(|| 1 + 1);
+        b.iter_custom(|iters| Duration::from_millis(iters));
+        assert_eq!(b.elapsed, Duration::from_millis(3));
+        b.iter_batched(|| vec![1, 2, 3], |v| v.len(), BatchSize::SmallInput);
+    }
+
+    #[test]
+    fn groups_run_benchmarks() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        let mut runs = 0;
+        group.bench_function("f", |b| {
+            runs += 1;
+            b.iter(|| ());
+        });
+        group.finish();
+        assert!(runs >= 10);
+    }
+}

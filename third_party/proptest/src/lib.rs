@@ -1,0 +1,560 @@
+//! Offline, dependency-free subset of the `proptest` property-testing
+//! API used by this workspace: the `proptest!` macro, `Strategy` with
+//! `prop_map`/`prop_filter`, `any::<T>()`, integer/float range and
+//! character-class string strategies, tuple composition, and
+//! `collection::{vec, btree_set}`.
+//!
+//! Differences from upstream: no shrinking (failing inputs are reported
+//! as generated) and a fixed deterministic seed schedule per test name,
+//! so failures reproduce exactly across runs.
+
+use std::fmt::Debug;
+use std::ops::Range;
+
+/// Deterministic generator driving all strategies (xoshiro256++).
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Expands `seed` into a full state via SplitMix64.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        TestRng { s: [next(), next(), next(), next()] }
+    }
+
+    /// Next uniform 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[lo, hi)` (as u64 arithmetic).
+    fn below(&mut self, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        self.next_u64() % span
+    }
+}
+
+/// A generator of test inputs.
+///
+/// Unlike upstream there is no shrinking tree: `generate` produces the
+/// value directly.
+pub trait Strategy {
+    /// The value this strategy produces.
+    type Value: Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keeps only values satisfying `pred`, retrying generation.
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        reason: impl Into<String>,
+        pred: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter { inner: self, reason: reason.into(), pred }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    reason: String,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1_000 {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter({:?}) rejected 1000 consecutive values", self.reason);
+    }
+}
+
+// ---- Range strategies -------------------------------------------------
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+// ---- any::<T>() -------------------------------------------------------
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized + Debug {
+    /// Draws an arbitrary value, biased towards edge cases.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                // 1-in-8 draws pick an edge value.
+                if rng.below(8) == 0 {
+                    const EDGES: [$t; 3] = [0 as $t, 1 as $t, <$t>::MAX];
+                    EDGES[rng.below(3) as usize]
+                } else {
+                    rng.next_u64() as $t
+                }
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        match rng.below(8) {
+            // Occasional special values, including non-finite ones so
+            // that `prop_filter("finite", ...)` is actually exercised.
+            0 => {
+                const EDGES: [f64; 8] = [
+                    0.0,
+                    -0.0,
+                    1.0,
+                    -1.0,
+                    f64::MIN_POSITIVE,
+                    f64::MAX,
+                    f64::INFINITY,
+                    f64::NAN,
+                ];
+                EDGES[rng.below(8) as usize]
+            }
+            // Arbitrary bit patterns cover the exponent range.
+            1 | 2 => f64::from_bits(rng.next_u64()),
+            // The rest: moderate magnitudes around zero.
+            _ => (rng.next_f64() - 0.5) * 2e6,
+        }
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        f64::arbitrary(rng) as f32
+    }
+}
+
+/// Strategy over a type's full domain. See [`any`].
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T`'s whole domain.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+// ---- String strategies from character-class patterns ------------------
+
+/// `&'static str` patterns of the form `"[chars]{m,n}"` act as string
+/// strategies (the only regex subset this workspace uses).
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (chars, min, max) = parse_class_pattern(self)
+            .unwrap_or_else(|| panic!("unsupported string strategy pattern: {self:?}"));
+        let len = min + rng.below((max - min + 1) as u64) as usize;
+        (0..len).map(|_| chars[rng.below(chars.len() as u64) as usize]).collect()
+    }
+}
+
+/// Parses `[class]{m,n}` / `[class]{n}` into (alphabet, min, max).
+fn parse_class_pattern(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = pattern.strip_prefix('[')?;
+    let close = rest.find(']')?;
+    let class: Vec<char> = rest[..close].chars().collect();
+    let mut chars = Vec::new();
+    let mut i = 0;
+    while i < class.len() {
+        // `a-z` is a range unless the '-' is the final character.
+        if i + 2 < class.len() && class[i + 1] == '-' {
+            let (lo, hi) = (class[i] as u32, class[i + 2] as u32);
+            for c in lo..=hi {
+                chars.push(char::from_u32(c)?);
+            }
+            i += 3;
+        } else {
+            chars.push(class[i]);
+            i += 1;
+        }
+    }
+    if chars.is_empty() {
+        return None;
+    }
+    let reps = rest[close + 1..].strip_prefix('{')?.strip_suffix('}')?;
+    let (min, max) = match reps.split_once(',') {
+        Some((m, n)) => (m.trim().parse().ok()?, n.trim().parse().ok()?),
+        None => {
+            let n = reps.trim().parse().ok()?;
+            (n, n)
+        }
+    };
+    if min > max {
+        return None;
+    }
+    Some((chars, min, max))
+}
+
+// ---- Tuple strategies -------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+// ---- Collections ------------------------------------------------------
+
+/// Strategies for container types.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::collections::BTreeSet;
+    use std::ops::Range;
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + rng.below(span.max(1)) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `Vec`s of `element` values with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec size range");
+        VecStrategy { element, size }
+    }
+
+    /// See [`btree_set`].
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let target = self.size.start + rng.below(span.max(1)) as usize;
+            let mut set = BTreeSet::new();
+            // Duplicates collapse, so over-draw until the target (or the
+            // minimum) is met; give up growing after a bounded effort.
+            let mut attempts = 0;
+            while set.len() < target && attempts < 20 * (target + 1) {
+                set.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            while set.len() < self.size.start {
+                set.insert(self.element.generate(rng));
+                attempts += 1;
+                assert!(attempts < 10_000, "btree_set element space too small for minimum size");
+            }
+            set
+        }
+    }
+
+    /// `BTreeSet`s of `element` values with target sizes drawn from
+    /// `size` (actual size may be smaller if duplicates collapse, but
+    /// never below `size.start`).
+    pub fn btree_set<S: Strategy>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        assert!(size.start < size.end, "empty btree_set size range");
+        BTreeSetStrategy { element, size }
+    }
+}
+
+// ---- Runner -----------------------------------------------------------
+
+/// The case-execution machinery used by the [`proptest!`] macro.
+pub mod test_runner {
+    use super::{Strategy, TestRng};
+
+    /// Why a single case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// Assertion failure: the property is violated.
+        Fail(String),
+        /// `prop_assume!` rejected the inputs; try another case.
+        Reject,
+    }
+
+    /// Number of cases per property (`PROPTEST_CASES` overrides).
+    fn cases() -> u64 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(256)
+    }
+
+    fn seed_for(name: &str, case: u64) -> u64 {
+        // FNV-1a over the test name, mixed with the case index.
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in name.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+        }
+        h ^ case.wrapping_mul(0x9E3779B97F4A7C15)
+    }
+
+    /// Runs `test` against `cases()` generated inputs, panicking (with
+    /// the offending input) on the first failure.
+    pub fn run<S: Strategy>(
+        name: &str,
+        strategy: S,
+        test: impl Fn(S::Value) -> Result<(), TestCaseError>,
+    ) {
+        let cases = cases();
+        let mut rejects = 0u64;
+        let mut case = 0u64;
+        let mut executed = 0u64;
+        while executed < cases {
+            let mut rng = TestRng::from_seed(seed_for(name, case));
+            case += 1;
+            let value = strategy.generate(&mut rng);
+            let shown = format!("{value:?}");
+            match test(value) {
+                Ok(()) => executed += 1,
+                Err(TestCaseError::Reject) => {
+                    rejects += 1;
+                    assert!(
+                        rejects < cases * 10,
+                        "{name}: too many prop_assume! rejections ({rejects})"
+                    );
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!("{name}: property failed: {msg}\n  input: {shown}");
+                }
+            }
+        }
+    }
+}
+
+// ---- Macros -----------------------------------------------------------
+
+/// Declares property tests: `fn name(arg in strategy, ...) { body }`.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::test_runner::run(
+                    stringify!($name),
+                    ($($strat,)+),
+                    |($($arg,)+)| {
+                        $body
+                        Ok(())
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property, failing the case (not the
+/// whole process) so the runner can report the generated input.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Equality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!(
+                    "assertion failed: `{}` == `{}`\n  left: {:?}\n right: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    left,
+                    right
+                ),
+            ));
+        }
+    }};
+}
+
+/// Skips the current case when its inputs don't meet a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// The glob-imported API surface.
+pub mod prelude {
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assume, proptest, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn string_pattern_parses_ranges_and_literals() {
+        let (chars, min, max) = super::parse_class_pattern("[a-c0-1 _.-]{2,5}").unwrap();
+        assert_eq!(chars, vec!['a', 'b', 'c', '0', '1', ' ', '_', '.', '-']);
+        assert_eq!((min, max), (2, 5));
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..9, y in -5i64..5, f in 0.0f64..2.0) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((-5..5).contains(&y));
+            prop_assert!((0.0..2.0).contains(&f));
+        }
+
+        #[test]
+        fn strings_match_their_class(s in "[ab]{1,4}") {
+            prop_assert!(!s.is_empty() && s.len() <= 4);
+            prop_assert!(s.chars().all(|c| c == 'a' || c == 'b'));
+        }
+
+        #[test]
+        fn collections_respect_sizes(
+            v in crate::collection::vec(0u32..10, 2..6),
+            s in crate::collection::btree_set(0u64..50, 1..10),
+        ) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(!s.is_empty());
+        }
+
+        #[test]
+        fn map_and_filter_compose(x in (0u64..100).prop_map(|v| v * 2)
+            .prop_filter("nonzero", |v| *v > 0))
+        {
+            prop_assert!(x % 2 == 0);
+            prop_assert!(x > 0);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(a in 0u32..4, b in 0u32..4) {
+            prop_assume!(a != b);
+            prop_assert!(a != b);
+        }
+    }
+}
