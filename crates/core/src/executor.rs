@@ -149,6 +149,10 @@ fn subpane_charges(slices: &[SliceMapInfo], r: usize) -> Vec<SubpaneCharge> {
     by_slice.into_values().collect()
 }
 
+/// One partition's decoded shuffle pairs, taken once by the first cache
+/// build that needs them.
+type RawSlot<K, V> = std::sync::Mutex<Option<Vec<(K, V)>>>;
+
 /// Transient real map output of one pane: binary shuffle buckets, one
 /// per reduce partition, plus the virtual time each became available.
 struct MappedPane<K, V> {
@@ -160,7 +164,7 @@ struct MappedPane<K, V> {
     /// so a build that finds `None` decodes the bucket instead — same
     /// pairs either way, by codec round-trip). Cleared after each
     /// window; purely a host-side decode saving.
-    raw: Vec<std::sync::Mutex<Option<Vec<(K, V)>>>>,
+    raw: Vec<RawSlot<K, V>>,
 }
 
 /// Pure real-side output of one map split, produced on a worker thread
@@ -607,17 +611,28 @@ where
             let combiner = self.combiner.as_deref();
             let partitioner = &self.partitioner;
             let slice_files = &slice_files;
-            exec::parallel_map(tasks.len(), |i| {
+            exec::parallel_map_scratch(
+                tasks.len(),
+                redoop_mapred::MapContext::<M::KOut, M::VOut>::new,
+                |scratch, i| {
                 let (slice_idx, slice, line_range, split_bytes) = &tasks[i];
-                let compute = || -> Result<SplitMapOut<M::KOut, M::VOut>> {
+                let mut compute = || -> Result<SplitMapOut<M::KOut, M::VOut>> {
                     let file = &slice_files[*slice_idx];
-                    let (pairs, input_records) =
-                        exec::run_mapper(mapper, file.lines(line_range.clone()));
-                    let pairs = match combiner {
-                        Some(c) => exec::apply_combiner(pairs, c),
-                        None => pairs,
-                    };
-                    let parts = exec::partition_pairs(pairs, partitioner, num_reducers);
+                    // Partition-first: pairs are hashed once at emit time
+                    // into per-reducer buckets (via the worker's reused
+                    // scratch context); the combiner folds each bucket.
+                    let (mut parts, input_records) = exec::run_mapper_partitioned(
+                        mapper,
+                        file.lines(line_range.clone()),
+                        partitioner,
+                        num_reducers,
+                        scratch,
+                    );
+                    if let Some(c) = combiner {
+                        for b in parts.iter_mut() {
+                            *b = exec::apply_combiner(std::mem::take(b), c);
+                        }
+                    }
                     let buckets: Vec<mrio::ShuffleBucket> =
                         parts.iter().map(|b| mrio::ShuffleBucket::encode(b)).collect();
                     let output_records: u64 = buckets.iter().map(|b| b.records).sum();
@@ -640,7 +655,8 @@ where
                     Ok(SplitMapOut { buckets, parts, work, replicas })
                 };
                 Ok(compute())
-            })?
+            },
+            )?
         };
         let mut slice_infos: Vec<SliceMapInfo> = Vec::with_capacity(tasks.len());
         let mut raw: Vec<Vec<(M::KOut, M::VOut)>> =
@@ -810,7 +826,7 @@ where
                 }
             }
         };
-        let blob = Bytes::from(mrio::encode_grouped_block(&mrio::group_consecutive(rekeyed)));
+        let blob = Bytes::from(mrio::encode_grouped_block(&exec::group_consecutive(rekeyed)));
         Ok(BuiltCache {
             input_records,
             shuffle_text_bytes: bucket.text_bytes,
@@ -839,13 +855,10 @@ where
         let input_records = lb.records + rb.records;
         let read_text_bytes = lb.text_bytes + rb.text_bytes;
         let groups = if lb.sorted && rb.sorted {
-            exec::merge_sorted_groups(vec![lb.groups, rb.groups])
+            exec::merge_sorted_groups(vec![lb.grouped, rb.grouped])
         } else {
-            let flat: Vec<(M::KOut, M::VOut)> = [lb.groups, rb.groups]
-                .into_iter()
-                .flatten()
-                .flat_map(|(k, vs)| vs.into_iter().map(move |v| (k.clone(), v)))
-                .collect();
+            let mut flat = lb.grouped.into_pairs();
+            flat.extend(rb.grouped.into_pairs());
             exec::sort_group(flat)
         };
         let (out_pairs, _) = exec::run_reducer(reducer, &groups);
@@ -1178,7 +1191,8 @@ where
         // which case its run is flagged unsorted and we fall back).
         let mut cache_bytes = 0u64;
         let mut partial_records = 0u64;
-        let mut runs: Vec<Vec<(M::KOut, Vec<R::VOut>)>> = Vec::with_capacity(panes.len());
+        let mut runs: Vec<redoop_mapred::Grouped<M::KOut, R::VOut>> =
+            Vec::with_capacity(panes.len());
         let mut all_sorted = true;
         for &p in panes {
             let name = Self::output_name(0, p, r);
@@ -1193,22 +1207,21 @@ where
                 mrio::decode_grouped_block(&data)?;
             partial_records += block.records;
             all_sorted &= block.sorted;
-            runs.push(block.groups);
+            runs.push(block.grouped);
         }
         let groups = if all_sorted {
             exec::merge_sorted_groups(runs)
         } else {
-            let flat: Vec<(M::KOut, R::VOut)> = runs
-                .into_iter()
-                .flatten()
-                .flat_map(|(k, vs)| vs.into_iter().map(move |v| (k.clone(), v)))
-                .collect();
+            let mut flat: Vec<(M::KOut, R::VOut)> = Vec::new();
+            for run in runs {
+                flat.extend(run.into_pairs());
+            }
             exec::sort_group(flat)
         };
         let merger = self.merger.as_ref().expect("aggregation has a merger").clone();
         let mut out = String::new();
         let mut output_records = 0u64;
-        for (k, vs) in &groups {
+        for (k, vs) in groups.iter() {
             let merged = merger.merge(k, vs);
             k.write(&mut out);
             out.push('\t');

@@ -125,6 +125,24 @@ pub fn decode_pane_header(line: &str) -> Result<Vec<(PaneId, usize, usize)>> {
     Ok(out)
 }
 
+/// Buffered records of one (pane, sub) awaiting seal: newline-terminated
+/// text plus the record count. Appending straight to one text buffer
+/// avoids a per-record `String` allocation and a second copy at seal
+/// time (`text` is already the file body).
+#[derive(Debug, Default)]
+struct PaneBuffer {
+    text: String,
+    records: u64,
+}
+
+impl PaneBuffer {
+    fn push_line(&mut self, line: &str) {
+        self.text.push_str(line);
+        self.text.push('\n');
+        self.records += 1;
+    }
+}
+
 /// The Dynamic Data Packer for one data source.
 pub struct DynamicDataPacker {
     cluster: Cluster,
@@ -133,8 +151,8 @@ pub struct DynamicDataPacker {
     plan: PartitionPlan,
     ts_fn: TsFn,
     manifest: PaneManifest,
-    /// Buffered lines per (pane, sub) awaiting seal.
-    pending: BTreeMap<(u64, u32), Vec<String>>,
+    /// Buffered records per (pane, sub) awaiting seal.
+    pending: BTreeMap<(u64, u32), PaneBuffer>,
     /// Panes already sealed (records arriving late for them are errors).
     sealed_through: Option<u64>,
     /// Observed arrival volume for rate estimation.
@@ -178,12 +196,13 @@ impl DynamicDataPacker {
     /// re-bucketed.
     pub fn set_plan(&mut self, plan: PartitionPlan) {
         if plan.subpanes != self.plan.subpanes {
-            let old: Vec<String> =
-                std::mem::take(&mut self.pending).into_values().flatten().collect();
+            let old = std::mem::take(&mut self.pending);
             self.plan = plan;
-            for line in old {
-                if let Some((key, _)) = self.locate(&line) {
-                    self.pending.entry(key).or_default().push(line);
+            for buf in old.into_values() {
+                for line in buf.text.lines() {
+                    if let Some((key, _)) = self.locate(line) {
+                        self.pending.entry(key).or_default().push_line(line);
+                    }
                 }
             }
         } else {
@@ -209,11 +228,19 @@ impl DynamicDataPacker {
         SourceStats { bytes_per_ms: self.observed_bytes as f64 / self.observed_span_ms as f64 }
     }
 
-    /// Folds a batch's per-key line buffers into the pending map,
-    /// preserving per-key arrival order.
-    fn merge_pending(&mut self, local: Vec<((u64, u32), Vec<String>)>) {
-        for (key, mut lines) in local {
-            self.pending.entry(key).or_default().append(&mut lines);
+    /// Folds a batch's per-key buffers into the pending map, preserving
+    /// per-key arrival order.
+    fn merge_pending(&mut self, local: Vec<((u64, u32), PaneBuffer)>) {
+        for (key, buf) in local {
+            match self.pending.entry(key) {
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(buf);
+                }
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    e.get_mut().text.push_str(&buf.text);
+                    e.get_mut().records += buf.records;
+                }
+            }
         }
     }
 
@@ -238,7 +265,7 @@ impl DynamicDataPacker {
         // list (linear key scan) and merge into `pending` once per key
         // instead of paying a tree lookup per line. Per-key line order is
         // arrival order either way.
-        let mut local: Vec<((u64, u32), Vec<String>)> = Vec::new();
+        let mut local: Vec<((u64, u32), PaneBuffer)> = Vec::new();
         for line in lines {
             match self.locate(line) {
                 Some((key, ts)) => {
@@ -257,8 +284,12 @@ impl DynamicDataPacker {
                     }
                     self.observed_bytes += line.len() as u64 + 1;
                     match local.iter_mut().find(|(k, _)| *k == key) {
-                        Some((_, v)) => v.push(line.to_string()),
-                        None => local.push((key, vec![line.to_string()])),
+                        Some((_, buf)) => buf.push_line(line),
+                        None => {
+                            let mut buf = PaneBuffer::default();
+                            buf.push_line(line);
+                            local.push((key, buf));
+                        }
                     }
                 }
                 None => self.dropped_records += 1,
@@ -326,11 +357,11 @@ impl DynamicDataPacker {
             // Sub-pane files: one file per (pane, sub).
             for p in lo..=hi {
                 for sub in 0..self.plan.subpanes as u32 {
-                    let lines = self.pending.remove(&(p, sub)).unwrap_or_default();
+                    let buf = self.pending.remove(&(p, sub)).unwrap_or_default();
                     let name = format!("S{sid}P{p}s{sub}");
                     let path = self.root.join(&name)?;
-                    let (bytes, records, text) = join_lines(&lines);
-                    self.cluster.create(&path, Bytes::from(text))?;
+                    let (bytes, records) = (buf.text.len() as u64, buf.records);
+                    self.cluster.create(&path, Bytes::from(buf.text))?;
                     let ready_ms = p * pane_ms + (sub as u64 + 1) * sub_ms;
                     self.manifest.push(PaneSlice {
                         pane: PaneId(p),
@@ -357,15 +388,15 @@ impl DynamicDataPacker {
             let mut per_pane: Vec<(u64, Range<usize>, u64, u64)> = Vec::new();
             let mut line_cursor = 0usize;
             for p in lo..=hi {
-                let lines = self.pending.remove(&(p, 0)).unwrap_or_default();
-                let (bytes, records, text) = join_lines(&lines);
+                let buf = self.pending.remove(&(p, 0)).unwrap_or_default();
+                let (bytes, records) = (buf.text.len() as u64, buf.records);
                 header_entries.push((PaneId(p), line_cursor, records as usize));
                 // Manifest line ranges are absolute file lines: the header
                 // occupies line 0, so the body starts at line 1.
                 let abs = line_cursor + 1;
                 per_pane.push((p, abs..abs + records as usize, bytes, records));
                 line_cursor += records as usize;
-                body.push_str(&text);
+                body.push_str(&buf.text);
             }
             let mut file_text = encode_pane_header(&header_entries);
             file_text.push('\n');
@@ -388,11 +419,11 @@ impl DynamicDataPacker {
         } else {
             // Oversize: one pane per file.
             for p in lo..=hi {
-                let lines = self.pending.remove(&(p, 0)).unwrap_or_default();
+                let buf = self.pending.remove(&(p, 0)).unwrap_or_default();
                 let name = format!("S{sid}P{p}");
                 let path = self.root.join(&name)?;
-                let (bytes, records, text) = join_lines(&lines);
-                self.cluster.create(&path, Bytes::from(text))?;
+                let (bytes, records) = (buf.text.len() as u64, buf.records);
+                self.cluster.create(&path, Bytes::from(buf.text))?;
                 self.manifest.push(PaneSlice {
                     pane: PaneId(p),
                     sub: 0,
@@ -407,15 +438,6 @@ impl DynamicDataPacker {
         }
         Ok(written)
     }
-}
-
-fn join_lines(lines: &[String]) -> (u64, u64, String) {
-    let mut text = String::with_capacity(lines.iter().map(|l| l.len() + 1).sum());
-    for l in lines {
-        text.push_str(l);
-        text.push('\n');
-    }
-    (text.len() as u64, lines.len() as u64, text)
 }
 
 #[cfg(test)]

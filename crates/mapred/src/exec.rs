@@ -5,12 +5,18 @@
 //! These helpers are shared by the plain-Hadoop [`crate::JobRunner`] and
 //! by Redoop's window executor, which composes them differently (per-pane
 //! micro-tasks instead of one monolithic job).
+//!
+//! Sorted records flow as [`Grouped`] runs — one shared values vector
+//! plus `(key, offset, len)` run entries — so grouping and merging
+//! allocate nothing per distinct key (see [`crate::grouped`]).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use parking_lot::Mutex;
 
 use crate::error::Result;
+pub use crate::grouped::{group_consecutive, merge_sorted_group_refs, merge_sorted_groups, sort_group};
+use crate::grouped::Grouped;
 use crate::mapper::{MapContext, Mapper};
 use crate::partitioner::Partitioner;
 use crate::reducer::{ReduceContext, Reducer};
@@ -32,21 +38,45 @@ pub fn run_mapper<'a, M: Mapper>(
     (ctx.into_pairs(), records)
 }
 
-/// Sorts pairs by key (stable, preserving per-producer value order, like
-/// Hadoop's merge) and groups equal keys.
-pub fn sort_group<K: Ord + Clone, V>(mut pairs: Vec<(K, V)>) -> Vec<(K, Vec<V>)> {
-    pairs.sort_by(|a, b| a.0.cmp(&b.0));
-    let mut groups: Vec<(K, Vec<V>)> = Vec::new();
-    for (k, v) in pairs {
-        match groups.last_mut() {
-            Some((gk, vs)) if *gk == k => vs.push(v),
-            _ => groups.push((k, vec![v])),
+/// Runs `mapper` over `lines`, routing each emitted pair straight into
+/// its reduce partition. Pairs are hashed exactly once, at emit time,
+/// replacing the flat-output-then-[`partition_pairs`] second pass, and
+/// each bucket is later sorted independently (narrower sorts than one
+/// global sort over the whole split).
+///
+/// `scratch` is a reusable emit buffer — typically one per host worker
+/// via [`parallel_map_scratch`] — drained after every record, so steady
+/// state allocates nothing on the emit path. Equivalent to
+/// [`run_mapper`] + [`partition_pairs`]: all pairs of a key share a
+/// partition and emit order is preserved within each bucket.
+#[allow(clippy::type_complexity)]
+pub fn run_mapper_partitioned<'a, M: Mapper>(
+    mapper: &M,
+    lines: impl Iterator<Item = &'a str>,
+    partitioner: &dyn Partitioner<M::KOut>,
+    num_reducers: usize,
+    scratch: &mut MapContext<M::KOut, M::VOut>,
+) -> (Vec<Vec<(M::KOut, M::VOut)>>, u64) {
+    let mut buckets: Vec<Vec<(M::KOut, M::VOut)>> =
+        (0..num_reducers).map(|_| Vec::new()).collect();
+    let mut records = 0u64;
+    for line in lines {
+        mapper.map(line, scratch);
+        records += 1;
+        for (k, v) in scratch.drain() {
+            // A single reducer needs no hash: everything lands in bucket 0
+            // (a partitioner is a pure function of (key, R), and R == 1
+            // always yields 0).
+            let p = if num_reducers > 1 { partitioner.partition(&k, num_reducers) } else { 0 };
+            buckets[p].push((k, v));
         }
     }
-    groups
+    (buckets, records)
 }
 
 /// Applies a combiner to map output: group by key, fold each group.
+/// Grouping uses the run-length [`Grouped`] form, so the combine path
+/// allocates no per-key values vector.
 pub fn apply_combiner<K, V>(
     pairs: Vec<(K, V)>,
     combiner: &dyn crate::combiner::Combiner<K, V>,
@@ -55,9 +85,10 @@ where
     K: Writable + Ord + std::hash::Hash,
     V: Writable,
 {
-    let mut out = Vec::new();
-    for (key, values) in sort_group(pairs) {
-        for v in combiner.combine(&key, &values) {
+    let grouped = sort_group(pairs);
+    let mut out = Vec::with_capacity(grouped.group_count());
+    for (key, values) in grouped.iter() {
+        for v in combiner.combine(key, values) {
             out.push((key.clone(), v));
         }
     }
@@ -78,57 +109,19 @@ pub fn partition_pairs<K: 'static, V>(
     buckets
 }
 
-/// Runs `reducer` over sorted groups, returning output pairs and the
-/// number of input records (values) consumed.
+/// Runs `reducer` over a sorted run, returning output pairs and the
+/// number of input records (values) consumed. Each group is handed to
+/// the reducer as a slice of the run's shared values vector.
 #[allow(clippy::type_complexity)]
 pub fn run_reducer<R: Reducer>(
     reducer: &R,
-    groups: &[(R::KIn, Vec<R::VIn>)],
+    groups: &Grouped<R::KIn, R::VIn>,
 ) -> (Vec<(R::KOut, R::VOut)>, u64) {
     let mut ctx = ReduceContext::new();
-    let mut records = 0u64;
-    for (key, values) in groups {
-        records += values.len() as u64;
+    for (key, values) in groups.iter() {
         reducer.reduce(key, values, &mut ctx);
     }
-    (ctx.into_pairs(), records)
-}
-
-/// Merges sorted grouped runs (each with strictly increasing keys) into
-/// one grouped list. For keys present in several runs, values concatenate
-/// in run order — exactly the order a stable `sort_group` over the
-/// concatenated flat pairs would produce, so cached pre-grouped runs can
-/// be merged without re-sorting.
-pub fn merge_sorted_groups<K: Ord, V>(runs: Vec<Vec<(K, Vec<V>)>>) -> Vec<(K, Vec<V>)> {
-    let mut stacks: Vec<Vec<(K, Vec<V>)>> = runs
-        .into_iter()
-        .map(|mut r| {
-            r.reverse(); // consume from the front via pop()
-            r
-        })
-        .collect();
-    let mut out: Vec<(K, Vec<V>)> = Vec::with_capacity(stacks.iter().map(Vec::len).sum());
-    loop {
-        // Earliest run wins ties, preserving stable-sort value order.
-        let mut min: Option<usize> = None;
-        for (i, s) in stacks.iter().enumerate() {
-            if let Some((k, _)) = s.last() {
-                min = match min {
-                    Some(m) if stacks[m].last().unwrap().0 <= *k => Some(m),
-                    _ => Some(i),
-                };
-            }
-        }
-        let Some(first) = min else { break };
-        let (key, mut vals) = stacks[first].pop().unwrap();
-        for s in &mut stacks {
-            while s.last().is_some_and(|(k, _)| *k == key) {
-                vals.extend(s.pop().unwrap().1);
-            }
-        }
-        out.push((key, vals));
-    }
-    out
+    (ctx.into_pairs(), groups.records())
 }
 
 /// Host worker-count override: 0 means "use available parallelism".
@@ -139,7 +132,7 @@ static HOST_PARALLELISM: AtomicUsize = AtomicUsize::new(0);
 /// tests can compare parallel runs against a forced single-worker run,
 /// and so benchmarks can pin the pool size.
 pub fn set_host_parallelism(n: Option<usize>) {
-    HOST_PARALLELISM.store(n.unwrap_or(0).max(0), Ordering::Relaxed);
+    HOST_PARALLELISM.store(n.unwrap_or(0), Ordering::Relaxed);
 }
 
 fn host_parallelism() -> usize {
@@ -152,29 +145,49 @@ fn host_parallelism() -> usize {
 /// Executes `f(i)` for `i in 0..n` on a bounded pool of host threads,
 /// returning results in index order. The virtual cluster's parallelism is
 /// simulated elsewhere; this only bounds *host* CPU usage.
+///
+/// A panicking task propagates at scope join: the call panics rather than
+/// deadlocking or silently dropping results.
 pub fn parallel_map<T, F>(n: usize, f: F) -> Result<Vec<T>>
 where
     T: Send,
     F: Fn(usize) -> Result<T> + Send + Sync,
+{
+    parallel_map_scratch(n, || (), |_scratch, i| f(i))
+}
+
+/// Like [`parallel_map`], but each worker owns a reusable scratch value
+/// built by `init` — the per-worker arena of the partition-first map
+/// path. Scratch never crosses threads, so buffers (emit contexts, pair
+/// vectors) amortize across every task a worker executes.
+pub fn parallel_map_scratch<T, S, F, I>(n: usize, init: I, f: F) -> Result<Vec<T>>
+where
+    T: Send,
+    I: Fn() -> S + Send + Sync,
+    F: Fn(&mut S, usize) -> Result<T> + Send + Sync,
 {
     if n == 0 {
         return Ok(Vec::new());
     }
     let workers = host_parallelism().min(n);
     if workers <= 1 {
-        return (0..n).map(&f).collect();
+        let mut scratch = init();
+        return (0..n).map(|i| f(&mut scratch, i)).collect();
     }
     let next = AtomicUsize::new(0);
     let results: Mutex<Vec<Option<Result<T>>>> = Mutex::new((0..n).map(|_| None).collect());
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
+            scope.spawn(|| {
+                let mut scratch = init();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let r = f(&mut scratch, i);
+                    results.lock()[i] = Some(r);
                 }
-                let r = f(i);
-                results.lock()[i] = Some(r);
             });
         }
     });
@@ -203,7 +216,8 @@ mod tests {
     fn sort_group_is_stable_within_keys() {
         let pairs = vec![("b", 1), ("a", 2), ("b", 3), ("a", 4)];
         let groups = sort_group(pairs);
-        assert_eq!(groups, vec![("a", vec![2, 4]), ("b", vec![1, 3])]);
+        let nested: Vec<(&&str, &[i32])> = groups.iter().collect();
+        assert_eq!(nested, vec![(&"a", &[2, 4][..]), (&"b", &[1, 3][..])]);
     }
 
     #[test]
@@ -224,13 +238,37 @@ mod tests {
     }
 
     #[test]
+    fn partitioned_mapper_matches_map_then_partition() {
+        let m = ClosureMapper::new(|line: &str, ctx: &mut MapContext<String, u64>| {
+            for w in line.split_whitespace() {
+                ctx.emit(w.to_string(), 1);
+            }
+        });
+        let lines = ["a b c d", "b c a", "e f a b"];
+        for r in [1usize, 3, 8] {
+            let (flat, n1) = run_mapper(&m, lines.iter().copied());
+            let expected = partition_pairs(flat, &HashPartitioner, r);
+            let mut scratch = MapContext::new();
+            let (buckets, n2) =
+                run_mapper_partitioned(&m, lines.iter().copied(), &HashPartitioner, r, &mut scratch);
+            assert_eq!(n1, n2);
+            assert_eq!(buckets, expected, "partition-first must match two-pass for R={r}");
+            assert_eq!(scratch.emitted(), 0, "scratch drained after every record");
+        }
+    }
+
+    #[test]
     fn reducer_counts_input_records() {
         let r = ClosureReducer::new(
             |k: &String, vs: &[u64], ctx: &mut ReduceContext<String, u64>| {
                 ctx.emit(k.clone(), vs.iter().sum());
             },
         );
-        let groups = vec![("a".to_string(), vec![1, 2]), ("b".to_string(), vec![3])];
+        let groups = sort_group(vec![
+            ("a".to_string(), 1u64),
+            ("a".to_string(), 2),
+            ("b".to_string(), 3),
+        ]);
         let (out, records) = run_reducer(&r, &groups);
         assert_eq!(records, 3);
         assert_eq!(out, vec![("a".to_string(), 3), ("b".to_string(), 3)]);
@@ -261,6 +299,44 @@ mod tests {
     }
 
     #[test]
+    fn parallel_map_propagates_panics_without_deadlock() {
+        // A worker panic must surface as a panic at the join (not hang
+        // the pool, not return a partial result set).
+        for forced in [Some(1), None] {
+            set_host_parallelism(forced);
+            let r = std::panic::catch_unwind(|| {
+                parallel_map(16, |i| {
+                    if i == 5 {
+                        panic!("task 5 exploded");
+                    }
+                    Ok(i)
+                })
+            });
+            assert!(r.is_err(), "panic must propagate (workers={forced:?})");
+        }
+        set_host_parallelism(None);
+    }
+
+    #[test]
+    fn parallel_map_scratch_reuses_per_worker_state() {
+        set_host_parallelism(Some(2));
+        // Each worker counts how many tasks it ran in its own scratch; the
+        // per-task results must still come back in index order.
+        let out = parallel_map_scratch(
+            40,
+            || 0usize,
+            |seen, i| {
+                *seen += 1;
+                assert!(*seen <= 40, "scratch is per-worker, not shared");
+                Ok(i)
+            },
+        )
+        .unwrap();
+        set_host_parallelism(None);
+        assert_eq!(out, (0..40).collect::<Vec<_>>());
+    }
+
+    #[test]
     fn merge_sorted_groups_matches_stable_sort_group() {
         // Runs as produced by sort_group on per-pane pairs.
         let run0 = sort_group(vec![("b", 1), ("a", 2), ("b", 3)]);
@@ -282,10 +358,29 @@ mod tests {
 
     #[test]
     fn merge_sorted_groups_handles_empty_runs() {
-        let merged: Vec<(u32, Vec<u32>)> =
-            merge_sorted_groups(vec![vec![], vec![(1, vec![9])], vec![]]);
-        assert_eq!(merged, vec![(1, vec![9])]);
+        let merged: Grouped<u32, u32> = merge_sorted_groups(vec![
+            Grouped::new(),
+            sort_group(vec![(1, 9)]),
+            Grouped::new(),
+        ]);
+        assert_eq!(merged.iter().collect::<Vec<_>>(), vec![(&1, &[9][..])]);
         assert!(merge_sorted_groups::<u32, u32>(vec![]).is_empty());
+    }
+
+    #[test]
+    fn merge_sorted_groups_single_run_is_identity() {
+        let one = sort_group(vec![("a", 1), ("b", 2), ("a", 3)]);
+        assert_eq!(merge_sorted_groups(vec![one.clone()]), one);
+    }
+
+    #[test]
+    fn merge_sorted_groups_duplicate_keys_across_runs_concatenate_in_run_order() {
+        let run0 = sort_group(vec![("k", 1), ("k", 2)]);
+        let run1 = sort_group(vec![("k", 3)]);
+        let run2 = sort_group(vec![("k", 4), ("z", 5)]);
+        let merged = merge_sorted_groups(vec![run0, run1, run2]);
+        let groups: Vec<(&&str, &[i32])> = merged.iter().collect();
+        assert_eq!(groups, vec![(&"k", &[1, 2, 3, 4][..]), (&"z", &[5][..])]);
     }
 
     #[test]

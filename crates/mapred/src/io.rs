@@ -5,6 +5,7 @@ use std::sync::Arc;
 use bytes::Bytes;
 
 use crate::error::{MrError, Result};
+use crate::grouped::Grouped;
 use crate::writable::Writable;
 
 /// An immutable text file fetched from the DFS, indexed by line.
@@ -254,12 +255,12 @@ impl ShuffleBucket {
 /// Magic + version prefix of a grouped binary block.
 const GROUPED_MAGIC: &[u8; 4] = b"RGB1";
 
-/// A decoded grouped block: pre-grouped `(key, values)` runs plus the
+/// A decoded grouped block: a run-length [`Grouped`] run plus the
 /// bookkeeping the cost model and cache registry need.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GroupedBlock<K, V> {
     /// Groups in stored order; consecutive equal keys were merged.
-    pub groups: Vec<(K, Vec<V>)>,
+    pub grouped: Grouped<K, V>,
     /// True if keys are strictly increasing (a sorted run, mergeable
     /// without re-sorting).
     pub sorted: bool,
@@ -269,35 +270,20 @@ pub struct GroupedBlock<K, V> {
     pub text_bytes: u64,
 }
 
-/// Groups consecutive pairs with equal keys, preserving order. Applied
-/// to `sort_group` output this is the identity reshaping; applied to
-/// arbitrary output it never reorders records.
-pub fn group_consecutive<K: Writable + PartialEq, V>(pairs: Vec<(K, V)>) -> Vec<(K, Vec<V>)> {
-    let mut groups: Vec<(K, Vec<V>)> = Vec::new();
-    for (k, v) in pairs {
-        match groups.last_mut() {
-            Some((last, vals)) if *last == k => vals.push(v),
-            _ => groups.push((k, vec![v])),
-        }
-    }
-    groups
-}
-
-/// Encodes pre-grouped `(key, values)` runs as a framed grouped block.
-pub fn encode_grouped_block<K: Writable + Ord, V: Writable>(groups: &[(K, Vec<V>)]) -> Vec<u8> {
-    let sorted = groups.windows(2).all(|w| w[0].0 < w[1].0);
-    let records: u64 = groups.iter().map(|(_, vs)| vs.len() as u64).sum();
-    let text_bytes: u64 = groups
-        .iter()
-        .map(|(k, vs)| vs.iter().map(|v| k.text_len() + 1 + v.text_len() + 1).sum::<u64>())
-        .sum();
-    let mut out = Vec::with_capacity(groups.len() * 24 + 16);
+/// Encodes a grouped run as a framed grouped block. The byte layout is
+/// unchanged from the nested-vector era: per-group key, value count,
+/// values — the run-length representation is a host-memory layout only.
+pub fn encode_grouped_block<K: Writable + Ord, V: Writable>(groups: &Grouped<K, V>) -> Vec<u8> {
+    let sorted = groups.is_strictly_sorted();
+    let records = groups.records();
+    let text_bytes = groups.text_bytes();
+    let mut out = Vec::with_capacity(groups.group_count() * 24 + 16);
     out.extend_from_slice(GROUPED_MAGIC);
     out.push(sorted as u8);
     crate::writable::write_varint(&mut out, records);
     crate::writable::write_varint(&mut out, text_bytes);
-    crate::writable::write_varint(&mut out, groups.len() as u64);
-    for (k, vs) in groups {
+    crate::writable::write_varint(&mut out, groups.group_count() as u64);
+    for (k, vs) in groups.iter() {
         k.write_bin(&mut out);
         crate::writable::write_varint(&mut out, vs.len() as u64);
         for v in vs {
@@ -307,7 +293,9 @@ pub fn encode_grouped_block<K: Writable + Ord, V: Writable>(groups: &[(K, Vec<V>
     out
 }
 
-/// Decodes a framed grouped block.
+/// Decodes a framed grouped block straight into the run-length form:
+/// one values vector sized from the record count, no per-group
+/// allocation.
 pub fn decode_grouped_block<K: Writable, V: Writable>(buf: &[u8]) -> Result<GroupedBlock<K, V>> {
     let rest = buf
         .strip_prefix(&GROUPED_MAGIC[..])
@@ -323,23 +311,26 @@ pub fn decode_grouped_block<K: Writable, V: Writable>(buf: &[u8]) -> Result<Grou
     let records = varint(&mut rest)?;
     let text_bytes = varint(&mut rest)?;
     let group_count = varint(&mut rest)?;
-    let mut groups = Vec::with_capacity(group_count as usize);
+    let mut grouped: Grouped<K, V> = Grouped {
+        runs: Vec::with_capacity(group_count as usize),
+        values: Vec::with_capacity(records as usize),
+    };
     for _ in 0..group_count {
         let (k, used) = K::read_bin(rest)?;
         rest = &rest[used..];
         let nvals = varint(&mut rest)?;
-        let mut vals = Vec::with_capacity(nvals as usize);
+        let off = grouped.values.len() as u32;
         for _ in 0..nvals {
             let (v, used) = V::read_bin(rest)?;
             rest = &rest[used..];
-            vals.push(v);
+            grouped.values.push(v);
         }
-        groups.push((k, vals));
+        grouped.runs.push((k, off, nvals as u32));
     }
     if !rest.is_empty() {
         return Err(MrError::Codec(format!("{} trailing bytes after grouped block", rest.len())));
     }
-    Ok(GroupedBlock { groups, sorted: sorted_byte != 0, records, text_bytes })
+    Ok(GroupedBlock { grouped, sorted: sorted_byte != 0, records, text_bytes })
 }
 
 #[cfg(test)]
@@ -415,56 +406,42 @@ mod tests {
 
     #[test]
     fn grouped_block_roundtrips_with_bookkeeping() {
-        let groups = vec![
-            ("a".to_string(), vec![1u64, 2]),
-            ("b".to_string(), vec![3]),
-            ("c".to_string(), vec![4, 5, 6]),
+        let flat: Vec<(String, u64)> = vec![
+            ("a".to_string(), 1),
+            ("a".to_string(), 2),
+            ("b".to_string(), 3),
+            ("c".to_string(), 4),
+            ("c".to_string(), 5),
+            ("c".to_string(), 6),
         ];
+        let groups = crate::grouped::sort_group(flat.clone());
         let buf = encode_grouped_block(&groups);
         let block: GroupedBlock<String, u64> = decode_grouped_block(&buf).unwrap();
-        assert_eq!(block.groups, groups);
+        assert_eq!(block.grouped, groups);
         assert!(block.sorted);
         assert_eq!(block.records, 6);
         // Text-equivalent bytes match the flat text encoding.
-        let flat: Vec<(String, u64)> = groups
-            .iter()
-            .flat_map(|(k, vs)| vs.iter().map(move |v| (k.clone(), *v)))
-            .collect();
         assert_eq!(block.text_bytes, encode_kv_block(&flat).len() as u64);
     }
 
     #[test]
     fn grouped_block_marks_unsorted_runs() {
-        let groups = vec![("b".to_string(), vec![1u64]), ("a".to_string(), vec![2])];
+        let groups = crate::grouped::group_consecutive(vec![
+            ("b".to_string(), 1u64),
+            ("a".to_string(), 2),
+        ]);
         let block: GroupedBlock<String, u64> =
             decode_grouped_block(&encode_grouped_block(&groups)).unwrap();
         assert!(!block.sorted);
-        assert_eq!(block.groups, groups);
+        assert_eq!(block.grouped, groups);
     }
 
     #[test]
     fn grouped_block_rejects_bad_magic_and_trailing_bytes() {
         assert!(decode_grouped_block::<String, u64>(b"nope").is_err());
-        let mut buf = encode_grouped_block(&[("a".to_string(), vec![1u64])]);
+        let mut buf =
+            encode_grouped_block(&crate::grouped::sort_group(vec![("a".to_string(), 1u64)]));
         buf.push(0);
         assert!(decode_grouped_block::<String, u64>(&buf).is_err());
-    }
-
-    #[test]
-    fn group_consecutive_preserves_order() {
-        let pairs = vec![
-            ("a".to_string(), 1u64),
-            ("a".to_string(), 2),
-            ("b".to_string(), 3),
-            ("a".to_string(), 4),
-        ];
-        assert_eq!(
-            group_consecutive(pairs),
-            vec![
-                ("a".to_string(), vec![1, 2]),
-                ("b".to_string(), vec![3]),
-                ("a".to_string(), vec![4]),
-            ]
-        );
     }
 }

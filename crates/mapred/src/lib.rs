@@ -31,8 +31,10 @@ pub mod counters;
 pub mod error;
 pub mod exec;
 pub mod fault;
+pub mod grouped;
 pub mod hasher;
 pub mod io;
+pub mod key;
 pub mod job;
 pub mod mapper;
 pub mod metrics;
@@ -52,7 +54,9 @@ pub use combiner::Combiner;
 pub use counters::CounterSet;
 pub use error::{MrError, Result};
 pub use fault::FaultInjector;
+pub use grouped::Grouped;
 pub use io::LineFile;
+pub use key::{SmallKey, SmallKeyBuilder};
 pub use job::{JobConf, JobSpec};
 pub use mapper::{ClosureMapper, MapContext, Mapper};
 pub use metrics::{JobMetrics, PhaseTimes};

@@ -37,6 +37,14 @@ impl<K, V> MapContext<K, V> {
     pub fn into_pairs(self) -> Vec<(K, V)> {
         self.out
     }
+
+    /// Drains the emitted pairs, leaving the buffer empty but with its
+    /// capacity intact. The partition-first map path calls this once per
+    /// input record, so one scratch context serves a whole split (and,
+    /// via [`crate::exec::parallel_map_scratch`], a whole worker).
+    pub fn drain(&mut self) -> std::vec::Drain<'_, (K, V)> {
+        self.out.drain(..)
+    }
 }
 
 impl<K, V> Default for MapContext<K, V> {

@@ -51,13 +51,25 @@ pub struct MapMemo {
         std::sync::Arc<(Vec<io::ShuffleBucket>, MapWork)>,
     >,
     /// Per-`(path, first line, num_reducers, partition)` sorted run of a
-    /// reusable split's shuffle bucket, as an encoded grouped block.
-    /// Reduces over a recurring window then *merge* the cached runs
-    /// (exactly reproducing the stable full sort, see
-    /// [`exec::merge_sorted_groups`]) instead of re-sorting the whole
-    /// window every recurrence.
-    reduce_runs: std::collections::HashMap<(DfsPath, usize, usize, usize), Vec<u8>>,
+    /// reusable split's shuffle bucket, kept resident as a type-erased
+    /// [`crate::grouped::Grouped`] (`MapMemo` is not generic over the
+    /// job's key/value types). Reduces over a recurring window then
+    /// *merge* the cached runs (exactly reproducing the stable full
+    /// sort, see [`exec::merge_sorted_groups`]) instead of re-sorting —
+    /// or re-decoding — the whole window every recurrence.
+    reduce_runs: std::collections::HashMap<
+        (DfsPath, usize, usize, usize),
+        std::sync::Arc<dyn std::any::Any + Send + Sync>,
+    >,
 }
+
+/// Memo handle passed to [`JobRunner::run_memoized`]: the shared memo
+/// plus the per-file reuse predicate.
+pub type MemoHandle<'m> = (&'m mut MapMemo, &'m dyn Fn(&DfsPath) -> bool);
+
+/// Per-split raw (pre-encoding) map output, one pair list per reduce
+/// partition.
+type RawParts<K, V> = Vec<Vec<(K, V)>>;
 
 /// Outcome of a job run: where the output landed plus metrics.
 #[derive(Debug, Clone)]
@@ -151,7 +163,7 @@ where
         spec: &JobSpec,
         conf: &JobConf,
         submit_at: SimTime,
-        mut memo: Option<(&mut MapMemo, &dyn Fn(&DfsPath) -> bool)>,
+        mut memo: Option<MemoHandle<'_>>,
     ) -> Result<JobResult> {
         conf.validate()?;
         let num_reducers = conf.num_reducers;
@@ -183,7 +195,7 @@ where
         // Raw pre-encoding pairs of splits mapped in THIS job (memo hits
         // have none); each (split, partition) slot is taken once by the
         // reduce phase, which otherwise decodes the encoded bucket.
-        let mut raw_parts: Vec<Option<Vec<Vec<(M::KOut, M::VOut)>>>> =
+        let mut raw_parts: Vec<Option<RawParts<M::KOut, M::VOut>>> =
             (0..splits.len()).map(|_| None).collect();
         let map_outs: Vec<MapOut> = match &mut memo {
             Some((m, reuse)) => {
@@ -198,9 +210,11 @@ where
                         None => miss.push(i),
                     }
                 }
-                let computed = exec::parallel_map(miss.len(), |j| {
-                    self.execute_map(&splits[miss[j]], num_reducers)
-                })?;
+                let computed = exec::parallel_map_scratch(
+                    miss.len(),
+                    crate::mapper::MapContext::new,
+                    |scratch, j| self.execute_map(&splits[miss[j]], num_reducers, scratch),
+                )?;
                 for (&i, (enc, parts, work)) in miss.iter().zip(computed) {
                     let mo = std::sync::Arc::new((enc, work));
                     let s = &splits[i];
@@ -214,9 +228,11 @@ where
                 out.into_iter().map(|o| o.expect("every split mapped")).collect()
             }
             None => {
-                let computed = exec::parallel_map(splits.len(), |i| {
-                    self.execute_map(&splits[i], num_reducers)
-                })?;
+                let computed = exec::parallel_map_scratch(
+                    splits.len(),
+                    crate::mapper::MapContext::new,
+                    |scratch, i| self.execute_map(&splits[i], num_reducers, scratch),
+                )?;
                 let mut outs = Vec::with_capacity(computed.len());
                 for (i, (enc, parts, work)) in computed.into_iter().enumerate() {
                     outs.push(std::sync::Arc::new((enc, work)));
@@ -373,20 +389,31 @@ where
     /// reduce phase of the same job so it can skip the decode), and the
     /// work stats. Work is charged in text-equivalent bytes, so
     /// simulated times do not depend on the shuffle codec.
+    ///
+    /// Pairs are bucketed by partition *at emit time* (hashed once, via
+    /// the per-worker `scratch` context) and the combiner folds each
+    /// bucket independently — equivalent to the combine-then-partition
+    /// pipeline because all pairs of a key share a partition.
     #[allow(clippy::type_complexity)]
     fn execute_map(
         &self,
         split: &InputSplit,
         num_reducers: usize,
+        scratch: &mut crate::mapper::MapContext<M::KOut, M::VOut>,
     ) -> Result<(Vec<io::ShuffleBucket>, Vec<Vec<(M::KOut, M::VOut)>>, MapWork)> {
-        let (pairs, input_records) =
-            exec::run_mapper(self.mapper, split.file.lines(split.lines.clone()));
-        let pairs = match self.combiner {
-            Some(c) => exec::apply_combiner(pairs, c),
-            None => pairs,
-        };
-        let output_records = pairs.len() as u64;
-        let buckets = exec::partition_pairs(pairs, self.partitioner, num_reducers);
+        let (mut buckets, input_records) = exec::run_mapper_partitioned(
+            self.mapper,
+            split.file.lines(split.lines.clone()),
+            self.partitioner,
+            num_reducers,
+            scratch,
+        );
+        if let Some(c) = self.combiner {
+            for b in buckets.iter_mut() {
+                *b = exec::apply_combiner(std::mem::take(b), c);
+            }
+        }
+        let output_records = buckets.iter().map(Vec::len).sum::<usize>() as u64;
         let encoded: Vec<io::ShuffleBucket> =
             buckets.iter().map(|b| io::ShuffleBucket::encode(b)).collect();
         let output_bytes: u64 = encoded.iter().map(|b| b.text_bytes).sum();
@@ -421,21 +448,25 @@ where
     }
 
     /// Memoized variant of [`Self::execute_reduce`]: each reusable
-    /// split's bucket is sorted once ever (cached as an encoded grouped
-    /// block) and recurrences merge the sorted runs, which reproduces
-    /// the stable full sort exactly (see [`exec::merge_sorted_groups`]).
+    /// split's bucket is sorted once ever (cached as a resident
+    /// [`crate::grouped::Grouped`] run) and recurrences merge the sorted
+    /// runs by reference, which reproduces the stable full sort exactly
+    /// (see [`exec::merge_sorted_groups`]) without re-sorting — or even
+    /// re-decoding — the cached majority of the window.
+    #[allow(clippy::too_many_arguments)]
     fn execute_reduce_memoized(
         &self,
         spec: &JobSpec,
         map_outs: &[std::sync::Arc<(Vec<io::ShuffleBucket>, MapWork)>],
-        raw_parts: &mut [Option<Vec<Vec<(M::KOut, M::VOut)>>>],
+        raw_parts: &mut [Option<RawParts<M::KOut, M::VOut>>],
         r: usize,
         num_reducers: usize,
         memo: &mut MapMemo,
         reuse_keys: &[Option<(DfsPath, usize)>],
     ) -> Result<ReduceWork> {
+        type Run<K, V> = std::sync::Arc<crate::grouped::Grouped<K, V>>;
         let mut shuffle_bytes = 0u64;
-        let mut runs: Vec<Vec<(M::KOut, Vec<M::VOut>)>> = Vec::with_capacity(map_outs.len());
+        let mut runs: Vec<Run<M::KOut, M::VOut>> = Vec::with_capacity(map_outs.len());
         for (i, (mo, key)) in map_outs.iter().zip(reuse_keys).enumerate() {
             let bucket = &mo.0[r];
             shuffle_bytes += bucket.text_bytes;
@@ -447,26 +478,41 @@ where
                     None => bucket.decode(),
                 }
             };
-            let groups = match key {
+            let run = match key {
                 Some((path, start)) => {
                     let mk = (path.clone(), *start, num_reducers, r);
                     match memo.reduce_runs.get(&mk) {
-                        Some(blob) => {
-                            io::decode_grouped_block::<M::KOut, M::VOut>(blob)?.groups
-                        }
+                        Some(cached) => cached
+                            .clone()
+                            .downcast::<crate::grouped::Grouped<M::KOut, M::VOut>>()
+                            .map_err(|_| {
+                                MrError::InvalidConf(
+                                    "MapMemo shared across jobs with different key/value types"
+                                        .into(),
+                                )
+                            })?,
                         None => {
-                            let groups = exec::sort_group(take_pairs()?);
-                            memo.reduce_runs.insert(mk, io::encode_grouped_block(&groups));
-                            groups
+                            let run = std::sync::Arc::new(exec::sort_group(take_pairs()?));
+                            memo.reduce_runs.insert(mk, run.clone());
+                            run
                         }
                     }
                 }
-                None => exec::sort_group(take_pairs()?),
+                None => std::sync::Arc::new(exec::sort_group(take_pairs()?)),
             };
-            runs.push(groups);
+            runs.push(run);
         }
-        let groups = exec::merge_sorted_groups(runs);
-        self.finish_reduce(spec, r, shuffle_bytes, &groups)
+        // A single run (or a window of one split) needs no merge at all.
+        let merged;
+        let groups: &crate::grouped::Grouped<M::KOut, M::VOut> = if runs.len() == 1 {
+            &runs[0]
+        } else {
+            let refs: Vec<&crate::grouped::Grouped<M::KOut, M::VOut>> =
+                runs.iter().map(|a| a.as_ref()).collect();
+            merged = exec::merge_sorted_group_refs(&refs);
+            &merged
+        };
+        self.finish_reduce(spec, r, shuffle_bytes, groups)
     }
 
     /// Shared tail of the reduce task: run the reducer over the sorted
@@ -476,7 +522,7 @@ where
         spec: &JobSpec,
         r: usize,
         shuffle_bytes: u64,
-        groups: &[(M::KOut, Vec<M::VOut>)],
+        groups: &crate::grouped::Grouped<M::KOut, M::VOut>,
     ) -> Result<ReduceWork> {
         let (out_pairs, input_records) = exec::run_reducer(self.reducer, groups);
         let output_records = out_pairs.len() as u64;

@@ -45,7 +45,7 @@ pub fn read_varint(buf: &[u8]) -> Result<(u64, usize)> {
     Err(MrError::Codec("truncated or oversized varint".into()))
 }
 
-fn take<'a>(buf: &'a [u8], n: usize) -> Result<&'a [u8]> {
+fn take(buf: &[u8], n: usize) -> Result<&[u8]> {
     buf.get(..n)
         .ok_or_else(|| MrError::Codec(format!("record truncated: need {n} bytes, have {}", buf.len())))
 }

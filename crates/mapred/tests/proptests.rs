@@ -66,10 +66,12 @@ proptest! {
         pairs in proptest::collection::vec((0u32..20, any::<u16>()), 0..100)
     ) {
         let groups = exec::sort_group(pairs.clone());
-        // Keys strictly increasing (grouped).
-        for w in groups.windows(2) {
+        // Keys strictly increasing (grouped), runs cover all values.
+        prop_assert!(groups.is_strictly_sorted());
+        for w in groups.runs.windows(2) {
             prop_assert!(w[0].0 < w[1].0);
         }
+        prop_assert_eq!(groups.records() as usize, groups.values.len());
         // Multiset preserved.
         let mut flat: Vec<(u32, u16)> = groups
             .iter()
@@ -216,10 +218,10 @@ proptest! {
     ) {
         let flat_text_bytes = io::kv_block_text_bytes(&pairs);
         let groups = exec::sort_group(pairs);
-        let records: u64 = groups.iter().map(|(_, vs)| vs.len() as u64).sum();
+        let records: u64 = groups.records();
         let blob = io::encode_grouped_block(&groups);
         let block: io::GroupedBlock<String, u64> = io::decode_grouped_block(&blob).unwrap();
-        prop_assert_eq!(block.groups, groups);
+        prop_assert_eq!(block.grouped, groups);
         prop_assert!(block.sorted, "sort_group output is a sorted run");
         prop_assert_eq!(block.records, records);
         // Byte accounting survives the grouped reshaping.
@@ -228,6 +230,47 @@ proptest! {
 }
 
 proptest! {
+    /// `SmallKey` must be indistinguishable from `String` everywhere the
+    /// runtime can observe a key: text/binary codecs, ordering, and the
+    /// stable hash that drives partition assignment.
+    #[test]
+    fn small_key_is_representation_transparent(a in field(), b in field(), r in 1usize..9) {
+        use redoop_mapred::hasher::stable_hash;
+        use redoop_mapred::{Partitioner, SmallKey};
+        let (ka, kb) = (SmallKey::from(a.as_str()), SmallKey::from(b.as_str()));
+        prop_assert_eq!(ka.to_text(), a.to_text());
+        let mut bin_k = Vec::new();
+        let mut bin_s = Vec::new();
+        ka.write_bin(&mut bin_k);
+        a.write_bin(&mut bin_s);
+        prop_assert_eq!(bin_k, bin_s);
+        prop_assert_eq!(ka.text_len(), a.text_len());
+        prop_assert_eq!(ka.cmp(&kb), a.cmp(&b));
+        prop_assert_eq!(stable_hash(&ka), stable_hash(&a));
+        prop_assert_eq!(
+            HashPartitioner.partition(&ka, r),
+            HashPartitioner.partition(&a, r)
+        );
+    }
+
+    /// Pushing a `SmallKey` through the shuffle codec alongside values
+    /// matches the `String`-keyed encoding byte for byte.
+    #[test]
+    fn small_key_shuffle_bucket_matches_string(
+        pairs in proptest::collection::vec((field(), any::<u64>()), 0..40)
+    ) {
+        use redoop_mapred::SmallKey;
+        let as_small: Vec<(SmallKey, u64)> =
+            pairs.iter().map(|(k, v)| (SmallKey::from(k.as_str()), *v)).collect();
+        let b_small = io::ShuffleBucket::encode(&as_small);
+        let b_string = io::ShuffleBucket::encode(&pairs);
+        prop_assert_eq!(&b_small.data, &b_string.data);
+        prop_assert_eq!(b_small.text_bytes, b_string.text_bytes);
+        prop_assert_eq!(b_small.records, b_string.records);
+        let back: Vec<(String, u64)> = b_small.decode().unwrap();
+        prop_assert_eq!(back, pairs);
+    }
+
     #[test]
     fn scaled_cost_model_scales_work_not_startup(
         factor in 1.0f64..10_000.0,

@@ -9,9 +9,14 @@
 //!   interval. The mapper tags each record with its source stream; the
 //!   reducer emits the cross product of position × speed values per key
 //!   (bounded by the bucket width, so output stays linear in the input).
+//!
+//! Keys (and short join payloads) are emitted as [`SmallKey`] — stored
+//! inline up to 22 bytes, no heap allocation per record — with text and
+//! binary codecs identical to `String`, so outputs and simulated byte
+//! accounting are unchanged.
 
 use redoop_mapred::writable::Pair;
-use redoop_mapred::{MapContext, Mapper, ReduceContext, Reducer};
+use redoop_mapred::{MapContext, Mapper, ReduceContext, Reducer, SmallKey, SmallKeyBuilder};
 
 use redoop_core::api::SumMerger;
 
@@ -21,7 +26,7 @@ pub const TAG_POSITION: u8 = 0;
 pub const TAG_SPEED: u8 = 1;
 
 /// Tagged join value: `(stream tag, payload)`.
-pub type JoinValue = Pair<u8, String>;
+pub type JoinValue = Pair<u8, SmallKey>;
 
 /// Time-bucket width of the sensor join key: readings of the same
 /// player within the same 10-second interval are correlated.
@@ -32,14 +37,14 @@ pub const JOIN_BUCKET_MS: u64 = 10_000;
 pub struct AggMapper;
 
 impl Mapper for AggMapper {
-    type KOut = String;
+    type KOut = SmallKey;
     type VOut = u64;
 
-    fn map(&self, line: &str, ctx: &mut MapContext<String, u64>) {
+    fn map(&self, line: &str, ctx: &mut MapContext<SmallKey, u64>) {
         // ts,client,object,region,bytes
         if let Some(obj) = redoop_core::api::csv_field(line, 2) {
             if !obj.is_empty() {
-                ctx.emit(obj.to_string(), 1);
+                ctx.emit(SmallKey::from(obj), 1);
             }
         }
     }
@@ -51,12 +56,12 @@ impl Mapper for AggMapper {
 pub struct AggReducer;
 
 impl Reducer for AggReducer {
-    type KIn = String;
+    type KIn = SmallKey;
     type VIn = u64;
-    type KOut = String;
+    type KOut = SmallKey;
     type VOut = u64;
 
-    fn reduce(&self, key: &String, values: &[u64], ctx: &mut ReduceContext<String, u64>) {
+    fn reduce(&self, key: &SmallKey, values: &[u64], ctx: &mut ReduceContext<SmallKey, u64>) {
         ctx.emit(key.clone(), values.iter().sum());
     }
 }
@@ -67,10 +72,10 @@ impl Reducer for AggReducer {
 pub struct JoinMapper;
 
 impl Mapper for JoinMapper {
-    type KOut = String;
+    type KOut = SmallKey;
     type VOut = JoinValue;
 
-    fn map(&self, line: &str, ctx: &mut MapContext<String, JoinValue>) {
+    fn map(&self, line: &str, ctx: &mut MapContext<SmallKey, JoinValue>) {
         let mut fields = line.splitn(4, ',');
         let (ts, player, kind, rest) =
             match (fields.next(), fields.next(), fields.next(), fields.next()) {
@@ -78,10 +83,23 @@ impl Mapper for JoinMapper {
                 _ => return, // malformed record: skip, like a Hadoop job would
             };
         let Ok(ts) = ts.parse::<u64>() else { return };
-        let key = format!("{player}@{}", ts / JOIN_BUCKET_MS);
+        let key = SmallKey::from_fmt(format_args!("{player}@{}", ts / JOIN_BUCKET_MS));
         match kind {
-            "pos" => ctx.emit(key, Pair(TAG_POSITION, rest.replace(',', ";"))),
-            "spd" => ctx.emit(key, Pair(TAG_SPEED, rest.to_string())),
+            "pos" => {
+                // Positions hold commas (CSV coordinates); swap them for
+                // ';' so the payload nests in one CSV-free field. Built
+                // segment-wise into the inline key buffer — no
+                // intermediate `String`.
+                let mut payload = SmallKeyBuilder::new();
+                for (i, seg) in rest.split(',').enumerate() {
+                    if i > 0 {
+                        payload.push_char(';');
+                    }
+                    payload.push_str(seg);
+                }
+                ctx.emit(key, Pair(TAG_POSITION, payload.finish()));
+            }
+            "spd" => ctx.emit(key, Pair(TAG_SPEED, SmallKey::from(rest))),
             _ => {}
         }
     }
@@ -94,12 +112,12 @@ impl Mapper for JoinMapper {
 pub struct JoinReducer;
 
 impl Reducer for JoinReducer {
-    type KIn = String;
+    type KIn = SmallKey;
     type VIn = JoinValue;
-    type KOut = String;
+    type KOut = SmallKey;
     type VOut = String;
 
-    fn reduce(&self, key: &String, values: &[JoinValue], ctx: &mut ReduceContext<String, String>) {
+    fn reduce(&self, key: &SmallKey, values: &[JoinValue], ctx: &mut ReduceContext<SmallKey, String>) {
         let mut positions: Vec<&str> = Vec::new();
         let mut speeds: Vec<&str> = Vec::new();
         for Pair(tag, payload) in values {
@@ -156,14 +174,15 @@ mod tests {
         AggMapper.map("123,c4,obj7,europe,9000", &mut ctx);
         AggMapper.map("junk", &mut ctx);
         let pairs = ctx.into_pairs();
-        assert_eq!(pairs, vec![("obj7".to_string(), 1)]);
+        assert_eq!(pairs, vec![(SmallKey::from("obj7"), 1)]);
+        assert!(pairs[0].0.is_inline(), "short object ids stay inline");
     }
 
     #[test]
     fn agg_reducer_sums() {
         let mut ctx = ReduceContext::new();
-        AggReducer.reduce(&"obj1".to_string(), &[1, 1, 1], &mut ctx);
-        assert_eq!(ctx.into_pairs(), vec![("obj1".to_string(), 3)]);
+        AggReducer.reduce(&SmallKey::from("obj1"), &[1, 1, 1], &mut ctx);
+        assert_eq!(ctx.into_pairs(), vec![(SmallKey::from("obj1"), 3)]);
     }
 
     #[test]
@@ -176,33 +195,33 @@ mod tests {
         JoinMapper.map("nope", &mut ctx);
         let pairs = ctx.into_pairs();
         assert_eq!(pairs.len(), 3);
-        assert_eq!(pairs[0], ("p3@0".to_string(), Pair(TAG_POSITION, "100;200".to_string())));
-        assert_eq!(pairs[1], ("p3@0".to_string(), Pair(TAG_SPEED, "440".to_string())));
-        assert_eq!(pairs[2], ("p3@1".to_string(), Pair(TAG_SPEED, "7".to_string())));
+        assert_eq!(pairs[0], (SmallKey::from("p3@0"), Pair(TAG_POSITION, SmallKey::from("100;200"))));
+        assert_eq!(pairs[1], (SmallKey::from("p3@0"), Pair(TAG_SPEED, SmallKey::from("440"))));
+        assert_eq!(pairs[2], (SmallKey::from("p3@1"), Pair(TAG_SPEED, SmallKey::from("7"))));
     }
 
     #[test]
     fn join_reducer_cross_product() {
         let mut ctx = ReduceContext::new();
         let values = vec![
-            Pair(TAG_POSITION, "1;2".to_string()),
-            Pair(TAG_SPEED, "10".to_string()),
-            Pair(TAG_POSITION, "3;4".to_string()),
-            Pair(TAG_SPEED, "20".to_string()),
+            Pair(TAG_POSITION, SmallKey::from("1;2")),
+            Pair(TAG_SPEED, SmallKey::from("10")),
+            Pair(TAG_POSITION, SmallKey::from("3;4")),
+            Pair(TAG_SPEED, SmallKey::from("20")),
         ];
-        JoinReducer.reduce(&"p1".to_string(), &values, &mut ctx);
+        JoinReducer.reduce(&SmallKey::from("p1"), &values, &mut ctx);
         let out = ctx.into_pairs();
         assert_eq!(out.len(), 4, "2 positions x 2 speeds");
-        assert!(out.contains(&("p1".to_string(), "1;2|10".to_string())));
-        assert!(out.contains(&("p1".to_string(), "3;4|20".to_string())));
+        assert!(out.contains(&(SmallKey::from("p1"), "1;2|10".to_string())));
+        assert!(out.contains(&(SmallKey::from("p1"), "3;4|20".to_string())));
     }
 
     #[test]
     fn join_reducer_no_match_emits_nothing() {
         let mut ctx = ReduceContext::new();
         JoinReducer.reduce(
-            &"p1".to_string(),
-            &[Pair(TAG_POSITION, "1;2".to_string())],
+            &SmallKey::from("p1"),
+            &[Pair(TAG_POSITION, SmallKey::from("1;2"))],
             &mut ctx,
         );
         assert_eq!(ctx.emitted(), 0);
@@ -211,9 +230,11 @@ mod tests {
     #[test]
     fn join_values_roundtrip_through_text() {
         use redoop_mapred::Writable;
-        let v = Pair(TAG_POSITION, "100;200".to_string());
+        let v = Pair(TAG_POSITION, SmallKey::from("100;200"));
         let text = v.to_text();
         assert_eq!(JoinValue::read(&text).unwrap(), v);
+        // Wire-compatible with the String-payload encoding.
+        assert_eq!(text, Pair(TAG_POSITION, "100;200".to_string()).to_text());
     }
 }
 
@@ -228,13 +249,13 @@ pub struct DimensionMapper {
 }
 
 impl Mapper for DimensionMapper {
-    type KOut = String;
+    type KOut = SmallKey;
     type VOut = u64;
 
-    fn map(&self, line: &str, ctx: &mut MapContext<String, u64>) {
+    fn map(&self, line: &str, ctx: &mut MapContext<SmallKey, u64>) {
         if let Some(key) = redoop_core::api::csv_field(line, self.field) {
             if !key.is_empty() {
-                ctx.emit(key.to_string(), 1);
+                ctx.emit(SmallKey::from(key), 1);
             }
         }
     }
@@ -250,7 +271,7 @@ mod dimension_tests {
         for (field, expect) in [(1usize, "c4"), (2, "obj7"), (3, "europe")] {
             let mut ctx = MapContext::new();
             DimensionMapper { field }.map(line, &mut ctx);
-            assert_eq!(ctx.into_pairs(), vec![(expect.to_string(), 1)]);
+            assert_eq!(ctx.into_pairs(), vec![(SmallKey::from(expect), 1)]);
         }
         // Out-of-range fields emit nothing.
         let mut ctx = MapContext::new();

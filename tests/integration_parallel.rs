@@ -80,6 +80,21 @@ fn parallel_execution_is_bit_identical_to_single_worker() {
     let agg_auto = run_agg("par-agg");
     let join_auto = run_join("par-join");
 
+    // A fixed odd worker count exercises the per-worker map scratch
+    // pool and bucket-partitioned sort with tasks unevenly spread over
+    // reused `MapContext` buffers — results must still be identical.
+    exec::set_host_parallelism(Some(3));
+    let agg_three = run_agg("par-agg");
+    exec::set_host_parallelism(None);
+
+    for w in 0..WINDOWS as usize {
+        assert_eq!(
+            agg_single.0[w], agg_three.0[w],
+            "agg window {w} report must not depend on scratch-pool shape"
+        );
+        assert_eq!(agg_single.1[w], agg_three.1[w], "agg window {w} outputs (3 workers)");
+    }
+
     for w in 0..WINDOWS as usize {
         assert_eq!(
             agg_single.0[w], agg_auto.0[w],
