@@ -9,6 +9,11 @@
 //! Subcommands: `fig3`, `fig6`, `fig7`, `fig8`, `fig9`, `headline`,
 //! `ablations`, `all`. Times are simulated seconds (see DESIGN.md).
 //!
+//! Pass `--trace <path>` to record the cluster's structured trace
+//! journal (placement decisions with per-node Eq. 4 scores, cache
+//! lifecycle events, per-phase task spans) and write it to `<path>` as
+//! JSON after the figures finish.
+//!
 //! Besides the human-readable tables, every run writes
 //! `BENCH_repro.json` to the working directory: the per-figure
 //! virtual-time series plus the host wall-clock each figure took, in a
@@ -18,6 +23,7 @@ use std::time::Instant;
 
 use redoop_bench::experiments;
 use redoop_bench::json::Json;
+use redoop_mapred::trace::TraceSink;
 use redoop_mapred::SimTime;
 
 const WINDOWS: u64 = 10;
@@ -255,7 +261,33 @@ fn write_report(command: &str, figures: Vec<(String, Json)>) {
 }
 
 fn main() {
-    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    // Tiny hand-rolled CLI: the subcommand is the first non-flag
+    // argument; `--trace <path>` may appear anywhere.
+    let mut trace_path: Option<String> = None;
+    let mut subcommand: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--trace" {
+            match args.next() {
+                Some(p) => trace_path = Some(p),
+                None => {
+                    eprintln!("--trace requires a path argument");
+                    std::process::exit(2);
+                }
+            }
+        } else if subcommand.is_none() {
+            subcommand = Some(a);
+        } else {
+            eprintln!("unexpected argument {a:?}");
+            std::process::exit(2);
+        }
+    }
+    let arg = subcommand.unwrap_or_else(|| "all".to_string());
+    if trace_path.is_some() {
+        // Installed before any simulator is built, so every component
+        // constructed by the figures picks it up.
+        redoop_mapred::trace::set_global_sink(Some(TraceSink::with_capacity(1 << 17)));
+    }
     let mut figures: Vec<(String, Json)> = Vec::new();
     match arg.as_str() {
         "fig3" => run_figure(&mut figures, "fig3", fig3),
@@ -282,4 +314,15 @@ fn main() {
         }
     }
     write_report(&arg, figures);
+    if let Some(path) = trace_path {
+        let journal = redoop_mapred::trace::global_sink().render_json();
+        match std::fs::write(&path, journal) {
+            Ok(()) => println!("wrote trace journal to {path}"),
+            Err(e) => {
+                eprintln!("error: could not write trace journal {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+        redoop_mapred::trace::set_global_sink(None);
+    }
 }

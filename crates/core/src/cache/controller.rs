@@ -9,6 +9,7 @@
 use std::collections::BTreeMap;
 
 use redoop_dfs::NodeId;
+use redoop_mapred::trace::{self, CacheAction, TraceEvent, TraceSink};
 use redoop_mapred::SimTime;
 
 use super::CacheName;
@@ -61,14 +62,26 @@ pub struct CacheController {
     query_count: usize,
     full_mask: u64,
     sigs: BTreeMap<CacheName, CacheSignature>,
+    trace: TraceSink,
 }
 
 impl CacheController {
-    /// Controller for `query_count` registered queries (1..=64).
+    /// Controller for `query_count` registered queries (1..=64). Picks up
+    /// the process-wide trace sink, if one is installed.
     pub fn new(query_count: usize) -> Self {
         assert!((1..=64).contains(&query_count));
         let full_mask = if query_count == 64 { u64::MAX } else { (1u64 << query_count) - 1 };
-        CacheController { query_count, full_mask, sigs: BTreeMap::new() }
+        CacheController { query_count, full_mask, sigs: BTreeMap::new(), trace: trace::global_sink() }
+    }
+
+    /// Routes this controller's cache lifecycle events to an explicit sink.
+    pub fn set_trace_sink(&mut self, sink: TraceSink) {
+        self.trace = sink;
+    }
+
+    /// The trace sink in force.
+    pub fn trace(&self) -> &TraceSink {
+        &self.trace
     }
 
     /// Number of registered queries.
@@ -123,6 +136,13 @@ impl CacheController {
         sig.bytes = bytes;
         sig.rebuild_bytes = rebuild_bytes.max(bytes);
         sig.available_at = at;
+        self.trace.emit(|| TraceEvent::Cache {
+            at,
+            action: CacheAction::Register,
+            name: name.store_name(),
+            node: Some(node),
+            bytes,
+        });
     }
 
     /// Invalidates a single cache whose file was found missing (targeted
@@ -131,8 +151,16 @@ impl CacheController {
     pub fn invalidate(&mut self, name: &CacheName) -> bool {
         match self.sigs.get_mut(name) {
             Some(sig) if sig.ready == Ready::CacheAvailable => {
+                let (node, bytes) = (sig.node, sig.bytes);
                 sig.ready = Ready::HdfsAvailable;
                 sig.node = None;
+                self.trace.emit(|| TraceEvent::Cache {
+                    at: self.trace.now(),
+                    action: CacheAction::Invalidate,
+                    name: name.store_name(),
+                    node,
+                    bytes,
+                });
                 true
             }
             _ => false,
@@ -165,8 +193,19 @@ impl CacheController {
         let sig = self.sigs.get_mut(&name).ok_or_else(|| {
             RedoopError::CacheInconsistency(format!("mark_query_done on unknown cache {name:?}"))
         })?;
+        let was_full = sig.done_query_mask == self.full_mask;
         sig.done_query_mask |= 1 << q;
         if sig.done_query_mask == self.full_mask {
+            if !was_full {
+                let (node, bytes) = (sig.node, sig.bytes);
+                self.trace.emit(|| TraceEvent::Cache {
+                    at: self.trace.now(),
+                    action: CacheAction::Expire,
+                    name: name.store_name(),
+                    node,
+                    bytes,
+                });
+            }
             if let (Ready::CacheAvailable, Some(node)) = (sig.ready, sig.node) {
                 return Ok(Some(PurgeNotification { node, name }));
             }
@@ -193,12 +232,34 @@ impl CacheController {
                 lost.push(*name);
             }
         }
+        if !lost.is_empty() {
+            self.trace.emit(|| TraceEvent::Rollback {
+                at: self.trace.now(),
+                node,
+                lost: lost.iter().map(|n| n.store_name()).collect(),
+            });
+        }
         lost
     }
 
     /// Drops an expired signature after its purge completed.
     pub fn forget(&mut self, name: &CacheName) {
-        self.sigs.remove(name);
+        if let Some(sig) = self.sigs.remove(name) {
+            self.trace.emit(|| TraceEvent::Cache {
+                at: self.trace.now(),
+                action: CacheAction::Forget,
+                name: name.store_name(),
+                node: sig.node,
+                bytes: sig.bytes,
+            });
+        }
+    }
+
+    /// Names of every tracked signature (any readiness) matching `pred` —
+    /// used by expiry sweeps that must catch sub-pane variants without
+    /// enumerating them.
+    pub fn names_matching(&self, mut pred: impl FnMut(&CacheName) -> bool) -> Vec<CacheName> {
+        self.sigs.keys().filter(|n| pred(n)).copied().collect()
     }
 
     /// Number of tracked signatures.

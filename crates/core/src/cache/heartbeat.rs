@@ -10,7 +10,10 @@
 //! node but absent from the heartbeat is rolled back to HDFS-available —
 //! the paper's §5 recovery trigger.
 
+use std::collections::HashSet;
+
 use redoop_dfs::{Cluster, NodeId};
+use redoop_mapred::trace::TraceEvent;
 
 use super::controller::CacheController;
 use super::registry::LocalCacheRegistry;
@@ -61,16 +64,29 @@ impl CacheController {
     /// (ready 2 → 1). Returns the invalidated names so the scheduler can
     /// queue rebuilds.
     pub fn apply_heartbeat(&mut self, hb: &RegistryHeartbeat) -> Vec<CacheName> {
-        if !hb.alive {
-            return self.rollback_node(hb.node);
-        }
-        let mut lost = Vec::new();
-        for name in self.all_cached() {
-            if self.location(&name) == Some(hb.node) && !hb.held.contains(&name) {
-                self.invalidate(&name);
-                lost.push(name);
+        let lost = if !hb.alive {
+            self.rollback_node(hb.node)
+        } else {
+            // Hash the report once: a linear `held.contains` per cache
+            // made reconciliation O(caches × held) per heartbeat.
+            let held: HashSet<CacheName> = hb.held.iter().copied().collect();
+            let mut lost = Vec::new();
+            for name in self.all_cached() {
+                if self.location(&name) == Some(hb.node) && !held.contains(&name) {
+                    self.invalidate(&name);
+                    lost.push(name);
+                }
             }
-        }
+            lost
+        };
+        let trace = self.trace();
+        trace.emit(|| TraceEvent::Heartbeat {
+            at: trace.now(),
+            node: hb.node,
+            alive: hb.alive,
+            held: hb.held.len(),
+            lost: lost.len(),
+        });
         lost
     }
 }
@@ -135,6 +151,33 @@ mod tests {
         assert_eq!(lost, vec![name(1)]);
         assert_eq!(ctl.location(&name(0)), Some(NodeId(1)));
         assert!(ctl.location(&name(1)).is_none());
+    }
+
+    #[test]
+    fn large_reconciliation_invalidates_exactly_the_missing_names() {
+        let mut ctl = CacheController::new(1);
+        // 1000 caches on one node; the heartbeat reports only the even
+        // panes. Reconciliation must invalidate the odd ones, precisely.
+        let mut held = Vec::new();
+        let mut expected_lost = Vec::new();
+        for p in 0..1000u64 {
+            ctl.register_cache(name(p), NodeId(0), 1, SimTime::ZERO);
+            if p % 2 == 0 {
+                held.push(name(p));
+            } else {
+                expected_lost.push(name(p));
+            }
+        }
+        let hb = RegistryHeartbeat { node: NodeId(0), alive: true, held };
+        let lost = ctl.apply_heartbeat(&hb);
+        assert_eq!(lost, expected_lost);
+        for p in 0..1000u64 {
+            if p % 2 == 0 {
+                assert_eq!(ctl.location(&name(p)), Some(NodeId(0)));
+            } else {
+                assert!(ctl.location(&name(p)).is_none());
+            }
+        }
     }
 
     #[test]

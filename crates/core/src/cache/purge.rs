@@ -32,6 +32,19 @@ impl PurgePolicy {
     pub fn on_demand_due(&self, store_bytes: u64) -> bool {
         store_bytes > self.on_demand_capacity
     }
+
+    /// Which mechanism (if any) fires after completing `recurrence` with
+    /// `store_bytes` on the local store. Periodic scans take precedence
+    /// over on-demand ones; the name feeds the trace journal.
+    pub fn trigger(&self, recurrence: u64, store_bytes: u64) -> Option<&'static str> {
+        if self.periodic_due(recurrence) {
+            Some("periodic")
+        } else if self.on_demand_due(store_bytes) {
+            Some("on-demand")
+        } else {
+            None
+        }
+    }
 }
 
 #[cfg(test)]
@@ -67,5 +80,14 @@ mod tests {
         let p = PurgePolicy { on_demand_capacity: 100, ..Default::default() };
         assert!(!p.on_demand_due(100));
         assert!(p.on_demand_due(101));
+    }
+
+    #[test]
+    fn trigger_names_the_firing_mechanism() {
+        let p = PurgePolicy { periodic_cycle: 2, on_demand_capacity: 100 };
+        assert_eq!(p.trigger(1, 0), Some("periodic"));
+        assert_eq!(p.trigger(0, 101), Some("on-demand"));
+        assert_eq!(p.trigger(1, 101), Some("periodic"), "periodic takes precedence");
+        assert_eq!(p.trigger(0, 50), None);
     }
 }

@@ -9,6 +9,7 @@
 use std::collections::BTreeMap;
 
 use redoop_dfs::{Cluster, NodeId};
+use redoop_mapred::trace::{self, CacheAction, TraceEvent, TraceSink};
 
 use super::purge::PurgePolicy;
 use super::{CacheKind, CacheName};
@@ -33,12 +34,19 @@ pub struct LocalCacheRegistry {
     node: NodeId,
     policy: PurgePolicy,
     entries: BTreeMap<CacheName, RegistryEntry>,
+    trace: TraceSink,
 }
 
 impl LocalCacheRegistry {
-    /// Registry for `node` under `policy`.
+    /// Registry for `node` under `policy`. Picks up the process-wide
+    /// trace sink, if one is installed.
     pub fn new(node: NodeId, policy: PurgePolicy) -> Self {
-        LocalCacheRegistry { node, policy, entries: BTreeMap::new() }
+        LocalCacheRegistry { node, policy, entries: BTreeMap::new(), trace: trace::global_sink() }
+    }
+
+    /// Routes this registry's purge events to an explicit sink.
+    pub fn set_trace_sink(&mut self, sink: TraceSink) {
+        self.trace = sink;
     }
 
     /// The node this registry belongs to.
@@ -114,7 +122,14 @@ impl LocalCacheRegistry {
             // The file may already be gone (node crashed and rejoined);
             // purging is idempotent.
             let _ = cluster.delete_local(self.node, &name.store_name())?;
-            self.entries.remove(name);
+            let entry = self.entries.remove(name);
+            self.trace.emit(|| TraceEvent::Cache {
+                at: self.trace.now(),
+                action: CacheAction::Purge,
+                name: name.store_name(),
+                node: Some(self.node),
+                bytes: entry.map_or(0, |e| e.bytes),
+            });
         }
         Ok(expired)
     }
@@ -123,10 +138,18 @@ impl LocalCacheRegistry {
     /// if due, else an on-demand scan if the store is over capacity.
     pub fn maybe_purge(&mut self, cluster: &Cluster, recurrence: u64) -> Result<Vec<CacheName>> {
         let store_bytes = cluster.local_store_bytes(self.node)? as u64;
-        if self.policy.periodic_due(recurrence) || self.policy.on_demand_due(store_bytes) {
-            self.purge_expired(cluster)
-        } else {
-            Ok(Vec::new())
+        match self.policy.trigger(recurrence, store_bytes) {
+            Some(trigger) => {
+                let purged = self.purge_expired(cluster)?;
+                self.trace.emit(|| TraceEvent::PurgeScan {
+                    at: self.trace.now(),
+                    node: self.node,
+                    trigger,
+                    purged: purged.len(),
+                });
+                Ok(purged)
+            }
+            None => Ok(Vec::new()),
         }
     }
 }

@@ -34,6 +34,7 @@ use parking_lot::Mutex;
 use bytes::Bytes;
 use redoop_dfs::{Cluster, DfsPath, NodeId};
 use redoop_mapred::counters::names as cnames;
+use redoop_mapred::trace::{CacheAction, NodeScore, TraceEvent, TraceSink, WindowTraceStats};
 use redoop_mapred::{
     exec, io as mrio, ClusterSim, HashPartitioner, JobMetrics, MapWork, Mapper, Placement,
     ReduceWork, Reducer, Scheduler, SchedulerCtx, SimTime, TaskKind, Writable,
@@ -49,7 +50,9 @@ use crate::cache::{CacheName, CacheObject};
 use crate::error::{RedoopError, Result};
 use crate::packer::DynamicDataPacker;
 use crate::pane::{PaneGeometry, PaneId};
-use crate::scheduler::{cache_affinity, CacheAwareScheduler, MapTaskEntry, TaskLists};
+use crate::scheduler::{
+    cache_affinity, CacheAwareScheduler, MapTaskEntry, ReduceTaskEntry, TaskLists,
+};
 use crate::time::TimeRange;
 
 /// Feature switches for ablation experiments.
@@ -89,6 +92,10 @@ pub struct WindowReport {
     pub built_products: usize,
     /// Cache hits this window.
     pub reused_caches: usize,
+    /// Journal-derived per-window aggregates: cache hit/miss counts,
+    /// placement locality, rollbacks (always tracked, even when no trace
+    /// sink is installed — the counters are cheap integers).
+    pub trace: WindowTraceStats,
 }
 
 /// Shared or owned packer handle: multi-query deployments attach several
@@ -217,6 +224,8 @@ where
     /// Rotation counter for cache-blind reduce placement (see
     /// [`ExecutorOptions::cache_aware_scheduling`]).
     blind_counter: u64,
+    trace: TraceSink,
+    win_stats: WindowTraceStats,
     reports: Vec<WindowReport>,
 }
 
@@ -365,8 +374,17 @@ where
             states.push(SourceState { geom: src_geom, conf: src, packer });
         }
         let dims = states.len();
+        // One journal for the whole executor: the sim's sink (global by
+        // default) is propagated to the controller and every registry.
+        let trace = sim.trace().clone();
+        let mut controller = CacheController::new(1);
+        controller.set_trace_sink(trace.clone());
         let registries = (0..cluster.node_count() as u32)
-            .map(|i| LocalCacheRegistry::new(NodeId(i), PurgePolicy::default()))
+            .map(|i| {
+                let mut reg = LocalCacheRegistry::new(NodeId(i), PurgePolicy::default());
+                reg.set_trace_sink(trace.clone());
+                reg
+            })
             .collect();
         Ok(RecurringExecutor {
             cluster: cluster.clone(),
@@ -379,7 +397,7 @@ where
             combiner: None,
             partitioner: HashPartitioner,
             sources: states,
-            controller: CacheController::new(1),
+            controller,
             registries,
             matrix: CacheStatusMatrix::new(dims, geom),
             lists: TaskLists::new(),
@@ -391,8 +409,26 @@ where
             window_built: 0,
             window_reused: 0,
             blind_counter: 0,
+            trace,
+            win_stats: WindowTraceStats::default(),
             reports: Vec::new(),
         })
+    }
+
+    /// Routes the whole executor's journal — simulator, cache controller,
+    /// and every node registry — to an explicit sink.
+    pub fn set_trace_sink(&mut self, sink: TraceSink) {
+        self.sim.set_trace_sink(sink.clone());
+        self.controller.set_trace_sink(sink.clone());
+        for reg in &mut self.registries {
+            reg.set_trace_sink(sink.clone());
+        }
+        self.trace = sink;
+    }
+
+    /// The scheduler's `(map, reduce)` dedupe-set sizes (leak detection).
+    pub fn task_seen_counts(&self) -> (usize, usize) {
+        self.lists.seen_counts()
     }
 
     /// Overrides the ablation switches.
@@ -449,13 +485,29 @@ where
         let after = packer.manifest().max_sealed_pane().map(|p| p.0 + 1).unwrap_or(0);
         drop(packer);
         for p in before..after {
+            // Announce every sub-pane slice (adaptive plans write several
+            // per pane); the expiry sweep retires them all by pane.
+            let subs = self.sources[source]
+                .packer
+                .lock()
+                .manifest()
+                .slices_of(PaneId(p))
+                .len()
+                .max(1) as u32;
             for r in 0..self.conf.num_reducers {
-                self.controller.note_hdfs_available(CacheName::new(
-                    CacheObject::PaneInput { source: sid, pane: PaneId(p), sub: 0 },
-                    r,
-                ));
+                for sub in 0..subs {
+                    self.controller.note_hdfs_available(CacheName::new(
+                        CacheObject::PaneInput { source: sid, pane: PaneId(p), sub },
+                        r,
+                    ));
+                }
             }
             self.lists.push_map(MapTaskEntry { source: sid, pane: PaneId(p), sub: 0 });
+            self.trace.emit(|| TraceEvent::PaneSeal {
+                at: self.trace.now(),
+                source: sid,
+                pane: p,
+            });
         }
         Ok(())
     }
@@ -476,24 +528,54 @@ where
     /// Loads are clamped to `floor`: a slot freeing up before the task
     /// can start contributes no waiting time, so only *actual* queueing
     /// competes with the cache-affinity term.
-    fn pick_reduce_node(&mut self, caches: &[CacheName], floor: SimTime) -> NodeId {
+    fn pick_reduce_node(&mut self, caches: &[CacheName], floor: SimTime, label: &str) -> NodeId {
         let loads: Vec<SimTime> =
             self.sim.loads(TaskKind::Reduce).into_iter().map(|l| l.max(floor)).collect();
         let alive = self.alive_vec();
         let ctx = SchedulerCtx { loads: &loads, alive: &alive };
-        if !self.options.cache_aware_scheduling {
+        let node = if !self.options.cache_aware_scheduling {
             // Plain-Hadoop reduce placement: whichever task tracker's
             // heartbeat wins — arbitrary with respect to caches. Modeled
             // as a rotation over live nodes.
             let alive_ids = self.cluster.alive_nodes();
             let node = alive_ids[(self.blind_counter as usize) % alive_ids.len()];
             self.blind_counter += 1;
-            return node;
+            self.trace.emit(|| TraceEvent::Placement {
+                at: floor,
+                kind: TaskKind::Reduce,
+                label: format!("{label}/blind"),
+                chosen: node,
+                scores: Vec::new(),
+            });
+            node
+        } else {
+            let cost = self.sim.cost().clone();
+            let controller = &self.controller;
+            let affinity = move |n: NodeId| cache_affinity(controller, caches, n, &cost);
+            let node = self.scheduler.pick_node(TaskKind::Reduce, &ctx, &affinity);
+            self.trace.emit(|| TraceEvent::Placement {
+                at: floor,
+                kind: TaskKind::Reduce,
+                label: label.to_string(),
+                chosen: node,
+                scores: loads
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| alive[i])
+                    .map(|(i, &load)| NodeScore {
+                        node: NodeId(i as u32),
+                        load,
+                        cost: affinity(NodeId(i as u32)),
+                    })
+                    .collect(),
+            });
+            node
+        };
+        self.win_stats.placements_total += 1;
+        if caches.iter().any(|n| self.controller.location(n) == Some(node)) {
+            self.win_stats.placements_cache_local += 1;
         }
-        let cost = self.sim.cost().clone();
-        let controller = &self.controller;
-        let affinity = move |n: NodeId| cache_affinity(controller, caches, n, &cost);
-        self.scheduler.pick_node(TaskKind::Reduce, &ctx, &affinity)
+        node
     }
 
     fn charge_map(
@@ -520,10 +602,32 @@ where
         node: NodeId,
         ready: SimTime,
         work: &ReduceWork,
+        tag: &'static str,
         metrics: &mut JobMetrics,
     ) -> Placement {
         let phases = work.phases(self.sim.cost());
         let placement = self.sim.assign(TaskKind::Reduce, node, ready, phases.total());
+        self.trace.emit(|| TraceEvent::TaskSpan {
+            phase: "shuffle",
+            node,
+            start: placement.start,
+            end: placement.start + phases.copy,
+            label: tag.to_string(),
+        });
+        self.trace.emit(|| TraceEvent::TaskSpan {
+            phase: "sort",
+            node,
+            start: placement.start + phases.copy,
+            end: placement.start + phases.copy + phases.sort,
+            label: tag.to_string(),
+        });
+        self.trace.emit(|| TraceEvent::TaskSpan {
+            phase: "reduce",
+            node,
+            start: placement.start + phases.copy + phases.sort,
+            end: placement.end,
+            label: tag.to_string(),
+        });
         metrics.phases.shuffle += phases.copy;
         metrics.phases.sort += phases.sort;
         metrics.phases.reduce += phases.reduce;
@@ -689,7 +793,38 @@ where
                 cost.hdfs_read(bytes, local).saturating_sub(cost.hdfs_read(bytes, true))
             });
             let local = replicas.contains(&node);
+            self.trace.emit(|| TraceEvent::Placement {
+                at: task_ready,
+                kind: TaskKind::Map,
+                label: format!("map/s{source}p{}/{slice_idx}", pane.0),
+                chosen: node,
+                scores: loads
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| alive[i])
+                    .map(|(i, &load)| NodeScore {
+                        node: NodeId(i as u32),
+                        load,
+                        cost: self
+                            .sim
+                            .cost()
+                            .hdfs_read(bytes, replicas.contains(&NodeId(i as u32)))
+                            .saturating_sub(self.sim.cost().hdfs_read(bytes, true)),
+                    })
+                    .collect(),
+            });
             let placement = self.charge_map(node, task_ready, &work, local, metrics);
+            self.trace.emit(|| TraceEvent::TaskSpan {
+                phase: "map",
+                node: placement.node,
+                start: placement.start,
+                end: placement.end,
+                label: format!("map/s{source}p{}/{slice_idx}", pane.0),
+            });
+            self.win_stats.placements_total += 1;
+            if local {
+                self.win_stats.placements_cache_local += 1;
+            }
             slice_infos.push(SliceMapInfo {
                 slice_idx: *slice_idx,
                 end: placement.end,
@@ -993,9 +1128,11 @@ where
             JobMetrics { submitted_at: fire, finished_at: fire, ..Default::default() };
         self.window_built = 0;
         self.window_reused = 0;
+        self.win_stats = WindowTraceStats::default();
+        self.trace.set_now(fire);
 
         // Recovery audit: caches claimed available must still exist.
-        self.audit_caches();
+        self.win_stats.rollbacks = self.audit_caches() as u64;
         if !self.options.caching {
             for name in self.controller.all_cached() {
                 self.controller.invalidate(&name);
@@ -1059,6 +1196,7 @@ where
         }
 
         // Post-window maintenance: expiration + purging.
+        self.trace.set_now(metrics.finished_at);
         self.expire_and_purge(rec)?;
         self.mapped.clear();
 
@@ -1075,6 +1213,7 @@ where
             outputs,
             built_products: self.window_built,
             reused_caches: self.window_reused,
+            trace: self.win_stats,
         };
         self.reports.push(report.clone());
         Ok(report)
@@ -1097,13 +1236,27 @@ where
     ) -> Result<DfsPath> {
         let names: Vec<CacheName> =
             panes.iter().map(|&p| Self::output_name(0, p, r)).collect();
-        let node = self.pick_reduce_node(&names, fire);
+        let node = self.pick_reduce_node(&names, fire, &format!("w{rec}/agg/r{r}"));
         let missing: Vec<PaneId> = panes
             .iter()
             .copied()
             .filter(|&p| !self.cached_on(&Self::output_name(0, p, r), node))
             .collect();
         self.window_reused += panes.len() - missing.len();
+        self.win_stats.cache_hits += (panes.len() - missing.len()) as u64;
+        self.win_stats.cache_misses += missing.len() as u64;
+        for &p in panes {
+            let hit = !missing.contains(&p);
+            let name = Self::output_name(0, p, r);
+            let bytes = self.controller.signature(&name).map_or(0, |s| s.bytes);
+            self.trace.emit(|| TraceEvent::Cache {
+                at: fire,
+                action: if hit { CacheAction::Hit } else { CacheAction::Miss },
+                name: name.store_name(),
+                node: if hit { Some(node) } else { None },
+                bytes,
+            });
+        }
 
         // Map stage for missing panes.
         let mut map_ready = floor;
@@ -1175,7 +1328,8 @@ where
                             hdfs_output_bytes: 0,
                             local_output_bytes: bytes / n,
                         };
-                        let placement = self.charge_reduce(node, charge.ready, &work, metrics);
+                        let placement =
+                            self.charge_reduce(node, charge.ready, &work, "pane", metrics);
                         pane_done = pane_done.max(placement.end);
                     }
                     self.register(Self::output_name(0, p, r), node, bytes, pane_done);
@@ -1243,7 +1397,14 @@ where
             local_output_bytes: local_out,
         };
         self.cluster.create(&path, Bytes::from(out))?;
-        let placement = self.charge_reduce(node, ready.max(early_done), &work, metrics);
+        let placement = self.charge_reduce(node, ready.max(early_done), &work, "merge", metrics);
+        self.trace.emit(|| TraceEvent::TaskSpan {
+            phase: "merge",
+            node: placement.node,
+            start: placement.start,
+            end: placement.end,
+            label: format!("w{rec}/r{r}"),
+        });
         for (name, bytes) in batch_registrations {
             self.register(name, node, bytes, placement.end);
         }
@@ -1276,15 +1437,27 @@ where
                 names.push(Self::pair_name(p, q, r));
             }
         }
-        let node = self.pick_reduce_node(&names, fire);
+        let node = self.pick_reduce_node(&names, fire, &format!("w{rec}/join/r{r}"));
 
         // Which inputs are missing on the chosen node?
         let mut missing: Vec<(u32, PaneId)> = Vec::new();
         for s in 0..2u32 {
             for &p in panes {
-                if self.cached_on(&Self::input_name(s, p, r), node) {
+                let name = Self::input_name(s, p, r);
+                let hit = self.cached_on(&name, node);
+                let bytes = self.controller.signature(&name).map_or(0, |sig| sig.bytes);
+                self.trace.emit(|| TraceEvent::Cache {
+                    at: fire,
+                    action: if hit { CacheAction::Hit } else { CacheAction::Miss },
+                    name: name.store_name(),
+                    node: if hit { Some(node) } else { None },
+                    bytes,
+                });
+                if hit {
                     self.window_reused += 1;
+                    self.win_stats.cache_hits += 1;
                 } else {
+                    self.win_stats.cache_misses += 1;
                     missing.push((s, p));
                 }
             }
@@ -1309,10 +1482,22 @@ where
         for &p in panes {
             for &q in panes {
                 let done = self.matrix.is_done(&[p, q]);
-                let local = self.cached_on(&Self::pair_name(p, q, r), node);
-                if done && local {
+                let name = Self::pair_name(p, q, r);
+                let local = self.cached_on(&name, node);
+                let hit = done && local;
+                let bytes = self.controller.signature(&name).map_or(0, |sig| sig.bytes);
+                self.trace.emit(|| TraceEvent::Cache {
+                    at: fire,
+                    action: if hit { CacheAction::Hit } else { CacheAction::Miss },
+                    name: name.store_name(),
+                    node: if hit { Some(node) } else { None },
+                    bytes,
+                });
+                if hit {
                     self.window_reused += 1;
+                    self.win_stats.cache_hits += 1;
                 } else {
+                    self.win_stats.cache_misses += 1;
                     todo_pairs.push((p, q));
                 }
             }
@@ -1433,7 +1618,8 @@ where
                             hdfs_output_bytes: 0,
                             local_output_bytes: bytes / n,
                         };
-                        let placement = self.charge_reduce(node, charge.ready, &work, metrics);
+                        let placement =
+                            self.charge_reduce(node, charge.ready, &work, "pane", metrics);
                         pane_done = pane_done.max(placement.end);
                     }
                     self.register(Self::input_name(s, p, r), node, bytes, pane_done);
@@ -1478,7 +1664,7 @@ where
                         hdfs_output_bytes: 0,
                         local_output_bytes: group_local_out,
                     };
-                    let placement = self.charge_reduce(node, SimTime(key), &work, metrics);
+                    let placement = self.charge_reduce(node, SimTime(key), &work, "join", metrics);
                     for (name, bytes) in built {
                         self.register(name, node, bytes, placement.end);
                     }
@@ -1523,7 +1709,14 @@ where
             local_output_bytes: local_out,
         };
         self.cluster.create(&path, Bytes::from(out))?;
-        let placement = self.charge_reduce(node, ready.max(early_done), &work, metrics);
+        let placement = self.charge_reduce(node, ready.max(early_done), &work, "merge", metrics);
+        self.trace.emit(|| TraceEvent::TaskSpan {
+            phase: "merge",
+            node: placement.node,
+            start: placement.start,
+            end: placement.end,
+            label: format!("w{rec}/r{r}"),
+        });
         for (name, bytes) in batch_registrations {
             self.register(name, node, bytes, placement.end);
         }
@@ -1568,20 +1761,26 @@ where
             })
             .collect();
         for (source, p) in expired_panes {
-            for r in 0..self.conf.num_reducers {
-                for object in [
-                    CacheObject::PaneInput { source, pane: PaneId(p), sub: 0 },
-                    CacheObject::PaneOutput { source, pane: PaneId(p) },
-                ] {
-                    let name = CacheName::new(object, r);
-                    if self.controller.signature(&name).is_some() {
-                        if let Some(n) = self.controller.mark_query_done(name, 0)? {
-                            notifications.push(n);
-                        }
-                        self.controller.forget(&name);
-                    }
+            // Sweep every signature belonging to this (source, pane) —
+            // crucially including adaptive sub-pane inputs (`sub >= 1`),
+            // which the previous enumeration of literal objects missed,
+            // leaking one controller entry per extra sub-pane per window.
+            let names = self.controller.names_matching(|n| match n.object {
+                CacheObject::PaneInput { source: s, pane, .. } => s == source && pane.0 == p,
+                CacheObject::PaneOutput { source: s, pane } => s == source && pane.0 == p,
+                CacheObject::PairOutput { .. } => false,
+            });
+            for name in names {
+                if let Some(n) = self.controller.mark_query_done(name, 0)? {
+                    notifications.push(n);
                 }
+                self.controller.forget(&name);
             }
+            self.trace.emit(|| TraceEvent::PaneExpire {
+                at: self.trace.now(),
+                source,
+                pane: p,
+            });
             self.built_panes.remove(&(source, p));
         }
 
@@ -1618,6 +1817,18 @@ where
                 reg.maybe_purge(&self.cluster, rec)?;
             }
         }
+        // GC the scheduler's dedupe sets: without this, `map_seen` /
+        // `reduce_seen` grow by one entry per pane (and pane pair) for
+        // the lifetime of the stream.
+        self.lists.gc(
+            |e| geom.pane_out_of_window(e.pane, rec),
+            |e| match e {
+                ReduceTaskEntry::PaneReduce { pane, .. } => geom.pane_out_of_window(*pane, rec),
+                ReduceTaskEntry::PairJoin { left, right } => {
+                    geom.pane_out_of_window(*left, rec) || geom.pane_out_of_window(*right, rec)
+                }
+            },
+        );
         self.matrix.shift(rec);
         Ok(())
     }

@@ -64,12 +64,29 @@ pub fn cache_affinity(
     total
 }
 
+/// Average bytes per synthetic input record, used to estimate the record
+/// count a rebuild would re-map and re-sort when only the signature's
+/// byte size is known (the workloads emit ~24-byte text records).
+const AVG_RECORD_BYTES: u64 = 24;
+
+/// Estimated record count of `bytes` worth of pane data.
+pub fn estimate_records(bytes: u64) -> u64 {
+    bytes / AVG_RECORD_BYTES
+}
+
 /// Estimated cost of reconstructing a cache of `bytes` on a node that
 /// does not hold it: re-read the pane from HDFS (likely remote), re-run
-/// the map, re-shuffle, and re-sort.
+/// the map function over every record, re-shuffle, re-sort, and spill
+/// the rebuilt cache to local disk. The CPU terms (map + sort) use a
+/// record count derived from `bytes`; omitting them (as an earlier
+/// revision did) undercounts `C_task,i` and biases Eq. 4 toward
+/// rebuilding on non-holder nodes for large panes.
 pub fn rebuild_cost(bytes: u64, cost: &CostModel) -> SimTime {
+    let records = estimate_records(bytes);
     cost.hdfs_read(bytes, false)
+        + cost.map_cpu(records)
         + cost.shuffle(bytes)
+        + cost.sort(records)
         + cost.map_task_startup
         + cost.local_write(bytes)
 }
@@ -188,6 +205,29 @@ impl TaskLists {
     pub fn reduce_len(&self) -> usize {
         self.reduce_list.len()
     }
+
+    /// Retires entries whose panes slid out of every window: matching
+    /// entries leave the dedupe sets *and* any still-queued copies are
+    /// dropped. Without this the seen sets grow without bound across
+    /// recurrences. Returns `(map, reduce)` retired counts.
+    pub fn gc(
+        &mut self,
+        expired_map: impl Fn(&MapTaskEntry) -> bool,
+        expired_reduce: impl Fn(&ReduceTaskEntry) -> bool,
+    ) -> (usize, usize) {
+        let map_before = self.map_seen.len();
+        self.map_seen.retain(|e| !expired_map(e));
+        self.map_list.retain(|e| !expired_map(e));
+        let reduce_before = self.reduce_seen.len();
+        self.reduce_seen.retain(|e| !expired_reduce(e));
+        self.reduce_list.retain(|e| !expired_reduce(e));
+        (map_before - self.map_seen.len(), reduce_before - self.reduce_seen.len())
+    }
+
+    /// Sizes of the `(map, reduce)` dedupe sets (leak detection).
+    pub fn seen_counts(&self) -> (usize, usize) {
+        (self.map_seen.len(), self.reduce_seen.len())
+    }
 }
 
 #[cfg(test)]
@@ -255,6 +295,72 @@ mod tests {
         assert_eq!(lists.pop_map(), Some(a));
         assert_eq!(lists.pop_map(), Some(b));
         assert_eq!(lists.pop_map(), None);
+    }
+
+    #[test]
+    fn corrected_rebuild_cost_flips_placement_to_holder() {
+        // Regression: rebuild_cost once charged only I/O (HDFS read,
+        // shuffle, startup, local write) with no map CPU or sort term.
+        // A holder loaded just beyond that underestimate lost the Eq. 4
+        // argmin to an idle non-holder even though the true rebuild is
+        // far more expensive than the holder's local read.
+        let bytes = 1_000_000u64;
+        let cost = CostModel::default();
+        let old_estimate = cost.hdfs_read(bytes, false)
+            + cost.shuffle(bytes)
+            + cost.map_task_startup
+            + cost.local_write(bytes);
+        assert!(
+            rebuild_cost(bytes, &cost) > old_estimate,
+            "map CPU and sort must be charged on top of the I/O terms"
+        );
+
+        let mut ctl = CacheController::new(1);
+        ctl.register_cache(name(0), NodeId(0), bytes, SimTime::ZERO);
+        let caches = [name(0)];
+        let affinity = |n: NodeId| cache_affinity(&ctl, &caches, n, &cost);
+
+        // Holder busy slightly longer than the old rebuild estimate.
+        let holder_load = old_estimate + SimTime::from_millis(1);
+        let old_score_holder = holder_load + cost.local_read(bytes);
+        let old_score_other = old_estimate; // idle + old rebuild estimate
+        assert!(
+            old_score_holder > old_score_other,
+            "under the old formula the idle non-holder won this argmin"
+        );
+        let loads = [holder_load, SimTime::ZERO];
+        let alive = [true, true];
+        let ctx = SchedulerCtx { loads: &loads, alive: &alive };
+        let picked = CacheAwareScheduler.pick_node(TaskKind::Reduce, &ctx, &affinity);
+        assert_eq!(picked, NodeId(0), "corrected cost keeps the task on the cache holder");
+    }
+
+    #[test]
+    fn gc_retires_expired_entries_and_queued_copies() {
+        let mut lists = TaskLists::new();
+        for p in 0..10 {
+            lists.push_map(MapTaskEntry { source: 0, pane: PaneId(p), sub: 0 });
+            lists.push_reduce(ReduceTaskEntry::PaneReduce { source: 0, pane: PaneId(p) });
+        }
+        while lists.pop_map().is_some() {}
+        while lists.pop_reduce().is_some() {}
+        assert_eq!(lists.seen_counts(), (10, 10));
+
+        let expired_map = |e: &MapTaskEntry| e.pane.0 < 4;
+        let expired_reduce = |e: &ReduceTaskEntry| {
+            matches!(e, ReduceTaskEntry::PaneReduce { pane, .. } if pane.0 < 4)
+        };
+        assert_eq!(lists.gc(expired_map, expired_reduce), (4, 4));
+        assert_eq!(lists.seen_counts(), (6, 6));
+
+        // A retired pane can re-enter (replay), and GC also drops queued
+        // copies, not just the dedupe entries.
+        assert!(lists.push_map(MapTaskEntry { source: 0, pane: PaneId(0), sub: 0 }));
+        lists.push_reduce(ReduceTaskEntry::PaneReduce { source: 0, pane: PaneId(1) });
+        assert_eq!(lists.gc(expired_map, expired_reduce), (1, 1));
+        assert_eq!(lists.map_len(), 0);
+        assert_eq!(lists.reduce_len(), 0);
+        assert_eq!(lists.seen_counts(), (6, 6));
     }
 
     #[test]

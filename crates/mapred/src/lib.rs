@@ -47,6 +47,7 @@ pub mod simtime;
 pub mod speculate;
 pub mod split;
 pub mod task;
+pub mod trace;
 pub mod tracker;
 pub mod writable;
 
@@ -69,5 +70,6 @@ pub use simtime::{CostModel, SimTime};
 pub use speculate::{speculate_stragglers, SpeculationOutcome};
 pub use split::InputSplit;
 pub use task::{MapWork, ReduceWork, TaskId, TaskKind};
+pub use trace::{CacheAction, NodeScore, TraceEvent, TraceSink, WindowTraceStats};
 pub use tracker::{JobHistoryEntry, JobId, JobTracker};
 pub use writable::Writable;

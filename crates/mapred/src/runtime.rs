@@ -569,6 +569,7 @@ where
         duration_of: impl Fn(NodeId, SimTime, bool) -> (SimTime, SimTime, SimTime),
         is_local: impl Fn(NodeId) -> bool,
     ) -> Result<Placement> {
+        let trace = sim.trace().clone();
         let mut ready = ready_at;
         for attempt in 1..=max_attempts {
             // Clamp loads to the ready time: only actual queueing beyond
@@ -577,9 +578,35 @@ where
                 sim.loads(kind).into_iter().map(|l| l.max(ready)).collect();
             let ctx = SchedulerCtx { loads: &loads, alive };
             let node = self.scheduler.pick_node(kind, &ctx, &|n| affinity(n));
+            trace.emit(|| crate::trace::TraceEvent::Placement {
+                at: ready,
+                kind,
+                label: format!("{job_name}/{index}"),
+                chosen: node,
+                scores: loads
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| alive[i])
+                    .map(|(i, &load)| crate::trace::NodeScore {
+                        node: NodeId(i as u32),
+                        load,
+                        cost: affinity(NodeId(i as u32)),
+                    })
+                    .collect(),
+            });
             let local = is_local(node);
             let placement =
                 sim.assign_dynamic(kind, node, ready, |start| duration_of(node, start, local).0);
+            trace.emit(|| crate::trace::TraceEvent::TaskSpan {
+                phase: match kind {
+                    TaskKind::Map => "map",
+                    TaskKind::Reduce => "reduce",
+                },
+                node: placement.node,
+                start: placement.start,
+                end: placement.end,
+                label: format!("{job_name}/{index}"),
+            });
             let failed = self
                 .fault
                 .map(|f| f.should_fail(job_name, kind, index, attempt))

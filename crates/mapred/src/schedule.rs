@@ -13,6 +13,7 @@ use redoop_dfs::NodeId;
 
 use crate::simtime::{CostModel, SimTime};
 use crate::task::TaskKind;
+use crate::trace::{self, TraceSink};
 
 /// Map or reduce slot pools (alias of [`TaskKind`] for readability).
 pub type SlotKind = TaskKind;
@@ -41,17 +42,31 @@ pub struct ClusterSim {
     cost: CostModel,
     map_slots: Vec<Vec<SimTime>>,
     reduce_slots: Vec<Vec<SimTime>>,
+    trace: TraceSink,
 }
 
 impl ClusterSim {
     /// A cluster of `nodes` workers with the given per-node slot counts.
+    /// Picks up the process-wide trace sink, if one is installed.
     pub fn new(nodes: usize, map_slots: usize, reduce_slots: usize, cost: CostModel) -> Self {
         assert!(nodes > 0 && map_slots > 0 && reduce_slots > 0);
         ClusterSim {
             cost,
             map_slots: vec![vec![SimTime::ZERO; map_slots]; nodes],
             reduce_slots: vec![vec![SimTime::ZERO; reduce_slots]; nodes],
+            trace: trace::global_sink(),
         }
+    }
+
+    /// Routes this simulation's journal to an explicit sink (tests thread
+    /// per-run sinks; figure runs use the global one).
+    pub fn set_trace_sink(&mut self, sink: TraceSink) {
+        self.trace = sink;
+    }
+
+    /// The trace sink in force (shared with components driving this sim).
+    pub fn trace(&self) -> &TraceSink {
+        &self.trace
     }
 
     /// The paper's configuration: 6 map + 2 reduce slots per node.

@@ -68,6 +68,11 @@ impl JobTracker {
         self.scheduler = Box::new(scheduler);
     }
 
+    /// Routes the tracker's placement/span journal to an explicit sink.
+    pub fn set_trace_sink(&mut self, sink: crate::trace::TraceSink) {
+        self.sim.set_trace_sink(sink);
+    }
+
     /// The fault-injection plan (tasks addressed by the tracker-assigned
     /// job name, `job_NNNN`).
     pub fn faults(&self) -> &FaultInjector {
@@ -98,6 +103,10 @@ impl JobTracker {
         let id = JobId(self.next_id);
         let name = self.next_job_name();
         self.next_id += 1;
+        self.sim.trace().emit(|| crate::trace::TraceEvent::JobSubmit {
+            at: submit_at,
+            name: name.clone(),
+        });
         let spec = JobSpec::new(name.clone(), inputs, output);
         let runner = JobRunner::new(&self.cluster, mapper, reducer)
             .with_scheduler(self.scheduler.as_ref())

@@ -11,6 +11,7 @@ mod common;
 use common::*;
 use redoop_core::prelude::*;
 use redoop_mapred::exec;
+use redoop_mapred::trace::TraceSink;
 use redoop_workloads::arrival::ArrivalPlan;
 use redoop_workloads::ffg::Stream;
 
@@ -19,13 +20,16 @@ const WINDOWS: u64 = 4;
 /// Runs the WCC aggregation for a few windows under `tag`, returning
 /// the Debug rendering of every report plus the sorted window outputs
 /// (together these capture timings, metrics, cache hits, and results).
-fn run_agg(tag: &str) -> (Vec<String>, Vec<Vec<(String, u64)>>) {
+/// Trace events are recorded into `sink` — journals must come out
+/// byte-identical regardless of host worker count.
+fn run_agg(tag: &str, sink: &TraceSink) -> (Vec<String>, Vec<Vec<(String, u64)>>) {
     let spec = spec_with_overlap(0.75);
     let plan = ArrivalPlan::new(spec, WINDOWS);
     let batches = wcc_batches(&plan, 11, 1.0);
 
     let cluster = test_cluster();
     let mut exec = agg_executor(&cluster, spec, tag, adaptive_on(&cluster, &spec));
+    exec.set_trace_sink(sink.clone());
     ingest_all(&mut exec, 0, &batches);
 
     let mut reports = Vec::new();
@@ -42,7 +46,7 @@ fn run_agg(tag: &str) -> (Vec<String>, Vec<Vec<(String, u64)>>) {
 }
 
 /// Same shape for the binary join over the two FFG streams.
-fn run_join(tag: &str) -> (Vec<String>, Vec<Vec<(String, String)>>) {
+fn run_join(tag: &str, sink: &TraceSink) -> (Vec<String>, Vec<Vec<(String, String)>>) {
     let spec = spec_with_overlap(0.5);
     let plan = ArrivalPlan::new(spec, WINDOWS);
     let pos = ffg_batches(&plan, Stream::Position, 5, 1.0);
@@ -50,6 +54,7 @@ fn run_join(tag: &str) -> (Vec<String>, Vec<Vec<(String, String)>>) {
 
     let cluster = test_cluster();
     let mut exec = join_executor(&cluster, spec, tag, batch_adaptive(&cluster, &spec));
+    exec.set_trace_sink(sink.clone());
     ingest_all(&mut exec, 0, &pos);
     ingest_all(&mut exec, 1, &spd);
 
@@ -71,21 +76,47 @@ fn run_join(tag: &str) -> (Vec<String>, Vec<Vec<(String, String)>>) {
 #[test]
 fn parallel_execution_is_bit_identical_to_single_worker() {
     // Each run builds its own cluster, so the same tag (and hence the
-    // same DFS paths, making reports string-comparable) is safe.
+    // same DFS paths, making reports string-comparable) is safe. Each
+    // run also gets its own trace sink; the journals must render
+    // byte-identically because emitters fire only from the sequential
+    // apply sections, never from host worker threads.
     exec::set_host_parallelism(Some(1));
-    let agg_single = run_agg("par-agg");
-    let join_single = run_join("par-join");
+    let sink_agg_single = TraceSink::with_capacity(1 << 17);
+    let sink_join_single = TraceSink::with_capacity(1 << 17);
+    let agg_single = run_agg("par-agg", &sink_agg_single);
+    let join_single = run_join("par-join", &sink_join_single);
 
     exec::set_host_parallelism(None);
-    let agg_auto = run_agg("par-agg");
-    let join_auto = run_join("par-join");
+    let sink_agg_auto = TraceSink::with_capacity(1 << 17);
+    let sink_join_auto = TraceSink::with_capacity(1 << 17);
+    let agg_auto = run_agg("par-agg", &sink_agg_auto);
+    let join_auto = run_join("par-join", &sink_join_auto);
 
     // A fixed odd worker count exercises the per-worker map scratch
     // pool and bucket-partitioned sort with tasks unevenly spread over
     // reused `MapContext` buffers — results must still be identical.
     exec::set_host_parallelism(Some(3));
-    let agg_three = run_agg("par-agg");
+    let sink_agg_three = TraceSink::with_capacity(1 << 17);
+    let agg_three = run_agg("par-agg", &sink_agg_three);
     exec::set_host_parallelism(None);
+
+    assert!(!sink_agg_single.is_empty(), "agg runs must journal events");
+    assert!(!sink_join_single.is_empty(), "join runs must journal events");
+    assert_eq!(
+        sink_agg_single.render_json(),
+        sink_agg_auto.render_json(),
+        "agg trace journal must not depend on worker count"
+    );
+    assert_eq!(
+        sink_agg_single.render_json(),
+        sink_agg_three.render_json(),
+        "agg trace journal must not depend on scratch-pool shape"
+    );
+    assert_eq!(
+        sink_join_single.render_json(),
+        sink_join_auto.render_json(),
+        "join trace journal must not depend on worker count"
+    );
 
     for w in 0..WINDOWS as usize {
         assert_eq!(

@@ -1,0 +1,171 @@
+//! Trace-journal integration tests: per-window trace stats must mirror
+//! the paper's qualitative results (cache hit ratios track overlap,
+//! Fig. 6; rollbacks appear under failures, Fig. 9), the adaptive
+//! sub-pane expiry sweep must leave no out-of-window controller
+//! entries, and the scheduler's dedupe sets must stay bounded over a
+//! long stream.
+
+#[path = "common/mod.rs"]
+mod common;
+
+use common::*;
+use redoop_core::cache::CacheObject;
+use redoop_core::prelude::*;
+use redoop_dfs::NodeId;
+use redoop_mapred::trace::{TraceEvent, TraceSink};
+use redoop_workloads::arrival::ArrivalPlan;
+
+/// Runs the aggregation at `overlap` and returns the steady-state
+/// (window 2..) mean cache hit ratio from the window reports.
+fn steady_hit_ratio(overlap: f64, tag: &str, windows: u64) -> f64 {
+    let spec = spec_with_overlap(overlap);
+    let plan = ArrivalPlan::new(spec, windows);
+    let batches = wcc_batches(&plan, 21, 1.0);
+    let cluster = test_cluster();
+    let mut exec = agg_executor(&cluster, spec, tag, batch_adaptive(&cluster, &spec));
+    ingest_all(&mut exec, 0, &batches);
+    let mut ratios = Vec::new();
+    for w in 0..windows {
+        let report = exec.run_window(w).unwrap();
+        if w >= 2 {
+            ratios.push(report.trace.cache_hit_ratio());
+        }
+    }
+    ratios.iter().sum::<f64>() / ratios.len() as f64
+}
+
+#[test]
+fn hit_ratio_tracks_window_overlap() {
+    // Fig. 6 regime: at overlap 0.9 almost every pane output carries
+    // over between consecutive windows; at 0.1 almost none do. The
+    // journal's per-window hit ratio must reflect that ordering.
+    let high = steady_hit_ratio(0.9, "trace-hi", 6);
+    let low = steady_hit_ratio(0.1, "trace-lo", 6);
+    assert!(
+        high > 0.5,
+        "overlap 0.9 should mostly hit the pane-output caches, got {high:.2}"
+    );
+    assert!(
+        high > low + 0.2,
+        "hit ratio must track overlap: 0.9 -> {high:.2}, 0.1 -> {low:.2}"
+    );
+}
+
+#[test]
+fn failures_journal_rollback_events_and_counts() {
+    // Fig. 9 regime: crash a cache-holding node, audit, and the journal
+    // must carry a §5 rollback; a crash-and-rejoin sweep before the
+    // next window must surface as a non-zero rollback count in that
+    // window's report.
+    let spec = spec_with_overlap(0.5);
+    let plan = ArrivalPlan::new(spec, 3);
+    let batches = wcc_batches(&plan, 31, 1.0);
+    let cluster = test_cluster();
+    let mut exec = agg_executor(&cluster, spec, "trace-fault", batch_adaptive(&cluster, &spec));
+    let sink = TraceSink::with_capacity(1 << 17);
+    exec.set_trace_sink(sink.clone());
+    ingest_all(&mut exec, 0, &batches);
+    exec.run_window(0).unwrap();
+
+    // Kill a node that actually holds a cache; the dead-node heartbeat
+    // triggers the §5 rollback path.
+    let victim = exec
+        .controller()
+        .all_cached()
+        .iter()
+        .find_map(|n| exec.controller().location(n))
+        .expect("window 0 must have materialized caches");
+    cluster.kill_node(victim).unwrap();
+    let lost = exec.audit_caches();
+    assert!(lost > 0, "the victim's caches must be rolled back");
+    assert!(
+        sink.events().iter().any(|e| matches!(
+            e,
+            TraceEvent::Rollback { node, lost, .. } if *node == victim && !lost.is_empty()
+        )),
+        "journal must record the node-death rollback"
+    );
+    cluster.revive_node(victim).unwrap();
+
+    // Crash-and-rejoin every node: window 1's opening audit finds the
+    // wiped caches and folds the rollback count into its report.
+    for n in 0..cluster.node_count() as u32 {
+        cluster.kill_node(NodeId(n)).unwrap();
+        cluster.revive_node(NodeId(n)).unwrap();
+    }
+    let report = exec.run_window(1).unwrap();
+    assert!(
+        report.trace.rollbacks > 0,
+        "wiped caches must show up as rollbacks in the window report"
+    );
+    let out: Vec<(String, u64)> = read_window_output(&cluster, &report.outputs).unwrap();
+    assert!(!out.is_empty(), "recovery must still produce output");
+}
+
+#[test]
+fn subpane_caches_expire_with_their_pane() {
+    // Regression: the expiry sweep used to enumerate only the literal
+    // `sub: 0` input object, so adaptive sub-pane entries (`sub >= 1`)
+    // leaked in the controller forever. Force proactive mode with 4
+    // sub-panes per pane and require that, after the run, no controller
+    // entry refers to a pane that left the window.
+    let spec = spec_with_overlap(0.5);
+    let windows = 6;
+    let plan = ArrivalPlan::new(spec, windows);
+    let batches = wcc_batches(&plan, 41, 1.0);
+    let cluster = test_cluster();
+    let mut exec =
+        agg_executor(&cluster, spec, "trace-sub", proactive_adaptive(&cluster, &spec, 4));
+    let reports = run_windows_interleaved(&mut exec, &[&batches], windows, &spec);
+    assert_eq!(reports.len(), windows as usize);
+
+    let geom = PaneGeometry::from_spec(&spec);
+    let last = windows - 1;
+    let stale = exec.controller().names_matching(|n| match n.object {
+        CacheObject::PaneInput { pane, .. } | CacheObject::PaneOutput { pane, .. } => {
+            geom.pane_out_of_window(pane, last)
+        }
+        CacheObject::PairOutput { .. } => false,
+    });
+    assert!(
+        stale.is_empty(),
+        "controller must hold no out-of-window entries, found {stale:?}"
+    );
+}
+
+#[test]
+fn scheduler_dedupe_sets_stay_bounded() {
+    // Regression: `map_seen` / `reduce_seen` grew by one entry per pane
+    // for the stream's lifetime. With per-window GC the counts must
+    // plateau instead of scaling with the number of recurrences.
+    let spec = spec_with_overlap(0.5);
+    let windows = 12;
+    let plan = ArrivalPlan::new(spec, windows);
+    let batches = wcc_batches(&plan, 51, 0.3);
+    let cluster = test_cluster();
+    let mut exec = agg_executor(&cluster, spec, "trace-gc", batch_adaptive(&cluster, &spec));
+    ingest_all(&mut exec, 0, &batches);
+
+    let mut counts = Vec::new();
+    for w in 0..windows {
+        exec.run_window(w).unwrap();
+        counts.push(exec.task_seen_counts());
+    }
+    let cap = counts[2].0.max(counts[2].1) + 2;
+    for (w, &(m, r)) in counts.iter().enumerate().skip(3) {
+        assert!(
+            m <= cap && r <= cap,
+            "window {w}: seen sets must stay bounded (map {m}, reduce {r}, cap {cap})"
+        );
+    }
+    let panes_in_window = PaneGeometry::from_spec(&spec).window_panes(windows - 1).count();
+    let (m, r) = *counts.last().unwrap();
+    assert!(
+        m <= 2 * panes_in_window + 2,
+        "final map_seen ({m}) must be on the order of one window ({panes_in_window} panes)"
+    );
+    assert!(
+        r <= 2 * panes_in_window + 2,
+        "final reduce_seen ({r}) must be on the order of one window"
+    );
+}
