@@ -193,7 +193,7 @@ pub fn fig8(overlap: f64, windows: u64, seed: u64) -> AdaptiveSeries {
             controller_off(&cluster, &spec)
         };
         let mut exec = agg_executor(&cluster, spec, &tag, controller);
-        let reports = run_interleaved(&mut exec, &[&batches], windows, &spec);
+        let reports = run_interleaved(&mut exec, &[&batches], windows);
         let outs: Vec<Vec<(String, u64)>> = reports
             .iter()
             .map(|r| read_window_output(&cluster, &r.outputs).unwrap())

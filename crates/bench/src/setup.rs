@@ -146,33 +146,30 @@ pub fn ingest_all<M, R>(
     }
 }
 
-/// Interleaved driver (feed arrivals up to each fire, then run).
+/// Converts a generated batch into a deployment arrival.
+pub fn arrival(b: &GeneratedBatch) -> ArrivalBatch {
+    ArrivalBatch::new(b.lines.clone(), b.range.clone())
+}
+
+/// Interleaved driver over the deployment layer: arrivals are delivered
+/// batch-by-batch as windows fire, exactly as on a live cluster.
 pub fn run_interleaved<M, R>(
     exec: &mut RecurringExecutor<M, R>,
     per_source: &[&[GeneratedBatch]],
     windows: u64,
-    spec: &WindowSpec,
 ) -> Vec<WindowReport>
 where
     M: redoop_mapred::Mapper,
     R: redoop_mapred::Reducer<KIn = M::KOut, VIn = M::VOut>,
 {
-    let mut fed = vec![0usize; per_source.len()];
-    let mut reports = Vec::new();
-    for w in 0..windows {
-        let fire = spec.fire_time(w);
-        for (source, batches) in per_source.iter().enumerate() {
-            // Feed every batch holding data this window needs (a batch
-            // straddling the fire time must be delivered before the run).
-            while fed[source] < batches.len() && batches[fed[source]].range.start < fire {
-                let b = &batches[fed[source]];
-                exec.ingest(source, b.lines.iter().map(String::as_str), &b.range).unwrap();
-                fed[source] += 1;
-            }
-        }
-        reports.push(exec.run_window(w).unwrap());
-    }
-    reports
+    let mut deployment = RecurringDeployment::new(exec.sim().clone());
+    let sources: Vec<usize> = per_source
+        .iter()
+        .map(|batches| deployment.add_source(batches.iter().map(arrival).collect()))
+        .collect();
+    let q = deployment.add_query(exec, &sources, windows);
+    deployment.run().expect("deployment run");
+    deployment.reports(q).to_vec()
 }
 
 /// Writes batch files for the baseline driver.

@@ -1,0 +1,757 @@
+//! Driver layer: dispatches a [`WindowPlan`](super::plan::WindowPlan)
+//! onto the simulated cluster.
+//!
+//! The driver is the single place where plan tasks meet the Eq. 4
+//! scheduler and the virtual timeline. Per reduce partition it
+//!
+//! 1. anchors the partition with one Eq. 4 placement over the plan's
+//!    required-cache set (build tasks are deliberately co-located with
+//!    their partition's finalization task — pane products must live on
+//!    the node that merges them),
+//! 2. walks the partition's build nodes once for centralized cache
+//!    hit/miss accounting and trace emission (formerly four near-
+//!    duplicate inline copies in the agg/join paths),
+//! 3. runs the map stage for missing panes, and
+//! 4. hands off to the agg/join dispatcher, which charges **each build
+//!    task individually** onto the simulated timeline. Because every
+//!    build is its own reduce task with its own ready time, independent
+//!    (pane × partition) builds across all partitions overlap in
+//!    virtual time instead of serializing inside one consolidated task
+//!    per partition.
+//!
+//! Determinism contract: all real compute (mapping, sorting, reducing)
+//! may run on parallel host threads, but every `sim.assign` and every
+//! trace emission happens in this module's sequential loops, in plan
+//! order — so simulated results and trace journals are byte-identical
+//! across host worker counts.
+//!
+//! §5 recovery (the heartbeat audit rolling lost caches back to
+//! HDFS-available) and the post-window expiry/purge sweep live here
+//! too: they are driver concerns — bookkeeping between plan executions.
+
+use std::collections::{HashMap, HashSet};
+
+use redoop_dfs::{DfsPath, NodeId};
+use redoop_mapred::counters::names as cnames;
+use redoop_mapred::trace::{CacheAction, NodeScore, TraceEvent};
+use redoop_mapred::{
+    exec, io as mrio, JobMetrics, MapWork, Mapper, Placement, ReduceWork, Reducer, Scheduler,
+    SchedulerCtx, SimTime, TaskKind,
+};
+
+use crate::adaptive::ExecMode;
+use crate::cache::{CacheName, CacheObject};
+use crate::error::{RedoopError, Result};
+use crate::pane::PaneId;
+use crate::scheduler::{cache_affinity, MapTaskEntry, ReduceTaskEntry};
+
+use super::plan::{PlanKind, PlanTask, WindowPlan};
+use super::RecurringExecutor;
+
+/// Per-map-task (per block split) statistics kept for proactive-mode
+/// pipelining, grouped by the sub-pane file the split came from.
+pub(super) struct SliceMapInfo {
+    /// Index of the originating [`crate::packer::PaneSlice`] (sub-pane).
+    pub(super) slice_idx: usize,
+    /// Virtual completion of this split's map task.
+    pub(super) end: SimTime,
+    /// Per-partition shuffle bucket bytes produced by this split.
+    pub(super) bucket_bytes: Vec<u64>,
+    /// Per-partition shuffle bucket records produced by this split.
+    pub(super) bucket_records: Vec<u64>,
+}
+
+/// Per-sub-pane aggregate of [`SliceMapInfo`]: the unit of proactive
+/// reduce pipelining (one early micro-task per *sub-pane*, not per
+/// block — a whole pane is one unit when the plan has no subdivision).
+pub(super) struct SubpaneCharge {
+    pub(super) ready: SimTime,
+    pub(super) bytes: u64,
+    pub(super) records: u64,
+}
+
+pub(super) fn subpane_charges(slices: &[SliceMapInfo], r: usize) -> Vec<SubpaneCharge> {
+    let mut by_slice: std::collections::BTreeMap<usize, SubpaneCharge> =
+        std::collections::BTreeMap::new();
+    for si in slices {
+        let e = by_slice.entry(si.slice_idx).or_insert(SubpaneCharge {
+            ready: SimTime::ZERO,
+            bytes: 0,
+            records: 0,
+        });
+        e.ready = e.ready.max(si.end);
+        e.bytes += si.bucket_bytes[r];
+        e.records += si.bucket_records[r];
+    }
+    by_slice.into_values().collect()
+}
+
+/// One partition's decoded shuffle pairs, taken once by the first cache
+/// build that needs them.
+pub(super) type RawSlot<K, V> = std::sync::Mutex<Option<Vec<(K, V)>>>;
+
+/// Transient real map output of one pane: binary shuffle buckets, one
+/// per reduce partition, plus the virtual time each became available.
+pub(super) struct MappedPane<K, V> {
+    pub(super) ready: SimTime,
+    pub(super) buckets: Vec<mrio::ShuffleBucket>,
+    pub(super) slices: Vec<SliceMapInfo>,
+    /// Decoded shuffle pairs per partition, kept until the partition's
+    /// first cache build consumes them (the bucket is its encoded twin,
+    /// so a build that finds `None` decodes the bucket instead — same
+    /// pairs either way, by codec round-trip). Cleared after each
+    /// window; purely a host-side decode saving.
+    pub(super) raw: Vec<RawSlot<K, V>>,
+}
+
+/// Pure real-side output of one map split, produced on a worker thread
+/// before any virtual-time accounting happens.
+struct SplitMapOut<K, V> {
+    buckets: Vec<mrio::ShuffleBucket>,
+    parts: Vec<Vec<(K, V)>>,
+    work: MapWork,
+    replicas: Vec<NodeId>,
+}
+
+/// Pure real-side output of one cache build (pane output, input cache,
+/// or pair output), produced on a worker thread. `cache_text_bytes` is
+/// the text-equivalent size the cost model charges and the registry
+/// records, independent of the stored encoding.
+pub(super) struct BuiltCache {
+    pub(super) input_records: u64,
+    pub(super) shuffle_text_bytes: u64,
+    pub(super) cache_text_bytes: u64,
+    pub(super) blob: bytes::Bytes,
+}
+
+/// Window-level dispatch context threaded through the driver.
+#[derive(Clone, Copy)]
+pub(super) struct WindowCtx {
+    /// Window fire time (event close).
+    pub(super) fire: SimTime,
+    /// Earliest virtual time work may start (fire in batch mode, ZERO in
+    /// proactive mode — slices are still gated by arrival).
+    pub(super) floor: SimTime,
+    /// Execution mode decided by the adaptive controller.
+    pub(super) mode: ExecMode,
+}
+
+/// One partition's dispatch-time state: the Eq. 4 anchor node, which
+/// build tasks are cache misses, and per-pane map completion times.
+pub(super) struct PartitionPrep {
+    /// Node every task of this partition runs on.
+    pub(super) node: NodeId,
+    /// Missing pane products `(source, pane)`, in plan order.
+    pub(super) missing: Vec<(u32, PaneId)>,
+    /// Set twin of `missing` for O(1) membership.
+    pub(super) missing_set: HashSet<(u32, u64)>,
+    /// Missing pane pairs, in plan (left-major) order.
+    pub(super) todo_pairs: Vec<(PaneId, PaneId)>,
+    /// Set twin of `todo_pairs`.
+    pub(super) todo_set: HashSet<(u64, u64)>,
+    /// Map-stage completion per missing `(source, pane)`.
+    pub(super) map_ready: HashMap<(u32, u64), SimTime>,
+}
+
+impl<M, R> RecurringExecutor<M, R>
+where
+    M: Mapper,
+    R: Reducer<KIn = M::KOut, VIn = M::VOut>,
+{
+    // ------------------------------------------------------------------
+    // Plan dispatch
+    // ------------------------------------------------------------------
+
+    /// Dispatches one window plan: per partition, anchor + account +
+    /// map + build/finalize. Returns the output part files in partition
+    /// order.
+    pub(super) fn drive(
+        &mut self,
+        plan: &WindowPlan,
+        ctx: WindowCtx,
+        metrics: &mut JobMetrics,
+    ) -> Result<Vec<DfsPath>> {
+        let mut outputs = Vec::with_capacity(plan.num_reducers);
+        for r in 0..plan.num_reducers {
+            let prep = self.prepare_partition(plan, r, ctx, metrics)?;
+            let path = match plan.kind {
+                PlanKind::Aggregation => {
+                    self.dispatch_partition_agg(plan, r, &prep, ctx, metrics)?
+                }
+                PlanKind::BinaryJoin => {
+                    self.dispatch_partition_join(plan, r, &prep, ctx, metrics)?
+                }
+            };
+            outputs.push(path);
+        }
+        Ok(outputs)
+    }
+
+    /// Partition prologue: Eq. 4 anchor placement, centralized hit/miss
+    /// accounting over the partition's build nodes, and the map stage
+    /// for missing panes.
+    fn prepare_partition(
+        &mut self,
+        plan: &WindowPlan,
+        r: usize,
+        ctx: WindowCtx,
+        metrics: &mut JobMetrics,
+    ) -> Result<PartitionPrep> {
+        let names = plan.required_caches(r);
+        let kind_label = match plan.kind {
+            PlanKind::Aggregation => "agg",
+            PlanKind::BinaryJoin => "join",
+        };
+        let node =
+            self.pick_reduce_node(&names, ctx.fire, &format!("w{}/{kind_label}/r{r}", plan.recurrence));
+
+        let mut missing: Vec<(u32, PaneId)> = Vec::new();
+        let mut missing_set: HashSet<(u32, u64)> = HashSet::new();
+        let mut todo_pairs: Vec<(PaneId, PaneId)> = Vec::new();
+        let mut todo_set: HashSet<(u64, u64)> = HashSet::new();
+        for pnode in plan.partition_nodes(r) {
+            let name = match pnode.task {
+                PlanTask::BuildPane { .. } | PlanTask::BuildPair { .. } => pnode.produces[0],
+                PlanTask::MergePanes { .. } | PlanTask::FinalReduce { .. } => continue,
+            };
+            let hit = match pnode.task {
+                PlanTask::BuildPane { .. } => self.cached_on(&name, node),
+                PlanTask::BuildPair { left, right, .. } => {
+                    self.matrix.is_done(&[left, right]) && self.cached_on(&name, node)
+                }
+                _ => unreachable!(),
+            };
+            let bytes = self.controller.signature(&name).map_or(0, |s| s.bytes);
+            self.trace.emit(|| TraceEvent::Cache {
+                at: ctx.fire,
+                action: if hit { CacheAction::Hit } else { CacheAction::Miss },
+                name: name.store_name(),
+                node: if hit { Some(node) } else { None },
+                bytes,
+            });
+            if hit {
+                self.window_reused += 1;
+                self.win_stats.cache_hits += 1;
+                continue;
+            }
+            self.win_stats.cache_misses += 1;
+            match pnode.task {
+                PlanTask::BuildPane { source, pane, .. } => {
+                    if missing_set.insert((source, pane.0)) {
+                        missing.push((source, pane));
+                    }
+                }
+                PlanTask::BuildPair { left, right, .. } => {
+                    if todo_set.insert((left.0, right.0)) {
+                        todo_pairs.push((left, right));
+                    }
+                }
+                _ => unreachable!(),
+            }
+        }
+
+        // Map stage for missing panes. Membership is a set probe, not a
+        // scan over the window's pane list.
+        for &(s, p) in &missing {
+            self.lists.reopen_map(MapTaskEntry { source: s, pane: p, sub: 0 });
+        }
+        let mut map_ready: HashMap<(u32, u64), SimTime> = HashMap::new();
+        while let Some(entry) = self.lists.pop_map() {
+            if missing_set.contains(&(entry.source, entry.pane.0)) {
+                let t = self.ensure_pane_mapped(entry.source, entry.pane, ctx.floor, metrics)?;
+                map_ready.insert((entry.source, entry.pane.0), t);
+            }
+        }
+        Ok(PartitionPrep { node, missing, missing_set, todo_pairs, todo_set, map_ready })
+    }
+
+    // ------------------------------------------------------------------
+    // Scheduling plumbing
+    // ------------------------------------------------------------------
+
+    fn alive_vec(&self) -> Vec<bool> {
+        let mut alive = vec![false; self.cluster.node_count()];
+        for id in self.cluster.alive_nodes() {
+            alive[id.index()] = true;
+        }
+        alive
+    }
+
+    /// Picks the node for a reduce-side task ready at `floor`, per Eq. 4.
+    /// Loads are clamped to `floor`: a slot freeing up before the task
+    /// can start contributes no waiting time, so only *actual* queueing
+    /// competes with the cache-affinity term.
+    fn pick_reduce_node(&mut self, caches: &[CacheName], floor: SimTime, label: &str) -> NodeId {
+        let loads: Vec<SimTime> =
+            self.sim.loads(TaskKind::Reduce).into_iter().map(|l| l.max(floor)).collect();
+        let alive = self.alive_vec();
+        let ctx = SchedulerCtx { loads: &loads, alive: &alive };
+        let node = if !self.options.cache_aware_scheduling {
+            // Plain-Hadoop reduce placement: whichever task tracker's
+            // heartbeat wins — arbitrary with respect to caches. Modeled
+            // as a rotation over live nodes.
+            let alive_ids = self.cluster.alive_nodes();
+            let node = alive_ids[(self.blind_counter as usize) % alive_ids.len()];
+            self.blind_counter += 1;
+            self.trace.emit(|| TraceEvent::Placement {
+                at: floor,
+                kind: TaskKind::Reduce,
+                label: format!("{label}/blind"),
+                chosen: node,
+                scores: Vec::new(),
+            });
+            node
+        } else {
+            let cost = self.sim.cost().clone();
+            let controller = &self.controller;
+            let affinity = move |n: NodeId| cache_affinity(controller, caches, n, &cost);
+            let node = self.scheduler.pick_node(TaskKind::Reduce, &ctx, &affinity);
+            self.trace.emit(|| TraceEvent::Placement {
+                at: floor,
+                kind: TaskKind::Reduce,
+                label: label.to_string(),
+                chosen: node,
+                scores: loads
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| alive[i])
+                    .map(|(i, &load)| NodeScore {
+                        node: NodeId(i as u32),
+                        load,
+                        cost: affinity(NodeId(i as u32)),
+                    })
+                    .collect(),
+            });
+            node
+        };
+        self.win_stats.placements_total += 1;
+        if caches.iter().any(|n| self.controller.location(n) == Some(node)) {
+            self.win_stats.placements_cache_local += 1;
+        }
+        node
+    }
+
+    fn charge_map(
+        &mut self,
+        node: NodeId,
+        ready: SimTime,
+        work: &MapWork,
+        local: bool,
+        metrics: &mut JobMetrics,
+    ) -> Placement {
+        let duration = work.duration(self.sim.cost(), local);
+        let placement = self.sim.assign(TaskKind::Map, node, ready, duration);
+        metrics.phases.map += duration;
+        metrics.map_tasks += 1;
+        metrics.counters.add(cnames::MAP_INPUT_RECORDS, work.input_records);
+        metrics.counters.add(cnames::MAP_OUTPUT_RECORDS, work.output_records);
+        metrics.counters.add(cnames::HDFS_BYTES_READ, work.split_bytes);
+        metrics.finished_at = metrics.finished_at.max(placement.end);
+        placement
+    }
+
+    /// Charges one reduce work item. `startup` pays the task start-up
+    /// constant — true for the first item of a partition's reduce
+    /// attempt (and for proactive micro-tasks, which each model their
+    /// own early task); false for follow-on items the same attempt
+    /// works through back-to-back.
+    pub(super) fn charge_reduce(
+        &mut self,
+        node: NodeId,
+        ready: SimTime,
+        work: &ReduceWork,
+        label: &str,
+        startup: bool,
+        metrics: &mut JobMetrics,
+    ) -> Placement {
+        let phases = work.phases_in_attempt(self.sim.cost(), startup);
+        let placement = self.sim.assign(TaskKind::Reduce, node, ready, phases.total());
+        self.trace.emit(|| TraceEvent::TaskSpan {
+            phase: "shuffle",
+            node,
+            start: placement.start,
+            end: placement.start + phases.copy,
+            label: label.to_string(),
+        });
+        self.trace.emit(|| TraceEvent::TaskSpan {
+            phase: "sort",
+            node,
+            start: placement.start + phases.copy,
+            end: placement.start + phases.copy + phases.sort,
+            label: label.to_string(),
+        });
+        self.trace.emit(|| TraceEvent::TaskSpan {
+            phase: "reduce",
+            node,
+            start: placement.start + phases.copy + phases.sort,
+            end: placement.end,
+            label: label.to_string(),
+        });
+        metrics.phases.shuffle += phases.copy;
+        metrics.phases.sort += phases.sort;
+        metrics.phases.reduce += phases.reduce;
+        metrics.reduce_tasks += 1;
+        metrics.counters.add(cnames::SHUFFLE_BYTES, work.shuffle_bytes);
+        metrics.counters.add(cnames::CACHE_BYTES_READ, work.cache_bytes);
+        metrics.counters.add(cnames::REDUCE_INPUT_RECORDS, work.input_records);
+        metrics.counters.add(cnames::REDUCE_OUTPUT_RECORDS, work.output_records);
+        metrics.counters.add(cnames::HDFS_BYTES_WRITTEN, work.hdfs_output_bytes);
+        metrics.finished_at = metrics.finished_at.max(placement.end);
+        placement
+    }
+
+    // ------------------------------------------------------------------
+    // Map stage
+    // ------------------------------------------------------------------
+
+    /// Runs (for real) and charges (virtually) the map tasks of one pane,
+    /// producing its encoded shuffle buckets. `floor` is the earliest
+    /// virtual time work may start (window fire time in batch mode,
+    /// `ZERO` in proactive mode — slices are still gated by arrival).
+    pub(super) fn ensure_pane_mapped(
+        &mut self,
+        source: u32,
+        pane: PaneId,
+        floor: SimTime,
+        metrics: &mut JobMetrics,
+    ) -> Result<SimTime> {
+        if let Some(m) = self.mapped.get(&(source, pane.0)) {
+            return Ok(m.ready);
+        }
+        let slices: Vec<crate::packer::PaneSlice> = self.sources[source as usize]
+            .packer
+            .lock()
+            .manifest()
+            .slices_of(pane)
+            .to_vec();
+        let num_reducers = self.conf.num_reducers;
+        let block_size = self.cluster.config().block_size.max(1);
+        let mut buckets: Vec<mrio::ShuffleBucket> =
+            vec![mrio::ShuffleBucket::default(); num_reducers];
+        let mut ready = floor;
+        // One map task per DFS block of each slice, like Hadoop's
+        // block-aligned input splits.
+        let mut tasks: Vec<(usize, crate::packer::PaneSlice, std::ops::Range<usize>, u64)> =
+            Vec::new();
+        for (slice_idx, slice) in slices.iter().enumerate() {
+            let n_tasks = ((slice.bytes as usize).div_ceil(block_size)).max(1);
+            let lines = slice.lines.clone();
+            let total = lines.len();
+            let chunk = total.div_ceil(n_tasks).max(1);
+            let mut start = lines.start;
+            while start < lines.end {
+                let end = (start + chunk).min(lines.end);
+                let frac = (end - start) as f64 / total.max(1) as f64;
+                let bytes = (slice.bytes as f64 * frac).round() as u64;
+                tasks.push((slice_idx, slice.clone(), start..end, bytes));
+                start = end;
+            }
+            if total == 0 {
+                tasks.push((slice_idx, slice.clone(), lines, 0));
+            }
+        }
+        // Real execution: map every split in parallel on host threads.
+        // This is pure compute over immutable inputs (pane files, mapper,
+        // combiner, partitioner); all virtual-time accounting happens in
+        // the sequential apply loop below, in split order, so simulated
+        // results are identical to a single-threaded run.
+        // Fetch and line-index each slice file once, up front — splits of
+        // the same slice share the index instead of re-reading the file.
+        let slice_files: Vec<Result<redoop_mapred::LineFile>> = {
+            let cluster = &self.cluster;
+            exec::parallel_map(slices.len(), |i| {
+                Ok(cluster
+                    .read(&slices[i].path)
+                    .map(redoop_mapred::LineFile::new)
+                    .map_err(RedoopError::from))
+            })?
+        };
+        let slice_files: Vec<redoop_mapred::LineFile> =
+            slice_files.into_iter().collect::<Result<_>>()?;
+        let computed: Vec<Result<SplitMapOut<M::KOut, M::VOut>>> = {
+            let cluster = &self.cluster;
+            let mapper = &*self.mapper;
+            let combiner = self.combiner.as_deref();
+            let partitioner = &self.partitioner;
+            let slice_files = &slice_files;
+            exec::parallel_map_scratch(
+                tasks.len(),
+                redoop_mapred::MapContext::<M::KOut, M::VOut>::new,
+                |scratch, i| {
+                    let (slice_idx, slice, line_range, split_bytes) = &tasks[i];
+                    let mut compute = || -> Result<SplitMapOut<M::KOut, M::VOut>> {
+                        let file = &slice_files[*slice_idx];
+                        // Partition-first: pairs are hashed once at emit time
+                        // into per-reducer buckets (via the worker's reused
+                        // scratch context); the combiner folds each bucket.
+                        let (mut parts, input_records) = exec::run_mapper_partitioned(
+                            mapper,
+                            file.lines(line_range.clone()),
+                            partitioner,
+                            num_reducers,
+                            scratch,
+                        );
+                        if let Some(c) = combiner {
+                            for b in parts.iter_mut() {
+                                *b = exec::apply_combiner(std::mem::take(b), c);
+                            }
+                        }
+                        let buckets: Vec<mrio::ShuffleBucket> =
+                            parts.iter().map(|b| mrio::ShuffleBucket::encode(b)).collect();
+                        let output_records: u64 = buckets.iter().map(|b| b.records).sum();
+                        // Charged bytes stay text-equivalent regardless of the
+                        // binary shuffle encoding.
+                        let output_bytes: u64 = buckets.iter().map(|b| b.text_bytes).sum();
+                        let replicas = cluster
+                            .namenode()
+                            .get_file(&slice.path)
+                            .map(|m| {
+                                m.blocks.first().map(|b| b.replicas.clone()).unwrap_or_default()
+                            })
+                            .unwrap_or_default();
+                        let work = MapWork {
+                            split_bytes: *split_bytes,
+                            input_records,
+                            output_records,
+                            output_bytes,
+                        };
+                        Ok(SplitMapOut { buckets, parts, work, replicas })
+                    };
+                    Ok(compute())
+                },
+            )?
+        };
+        let mut slice_infos: Vec<SliceMapInfo> = Vec::with_capacity(tasks.len());
+        let mut raw: Vec<Vec<(M::KOut, M::VOut)>> =
+            (0..num_reducers).map(|_| Vec::new()).collect();
+        for ((slice_idx, slice, _line_range, _split_bytes), out) in
+            tasks.iter().zip(computed)
+        {
+            let SplitMapOut { buckets: split_buckets, parts, work, replicas } = out?;
+            let mut bucket_bytes = vec![0u64; num_reducers];
+            let mut bucket_records = vec![0u64; num_reducers];
+            for (r, bucket) in split_buckets.iter().enumerate() {
+                bucket_bytes[r] = bucket.text_bytes;
+                bucket_records[r] = bucket.records;
+                buckets[r].extend(bucket);
+            }
+            for (r, part) in parts.into_iter().enumerate() {
+                raw[r].extend(part);
+            }
+            // Virtual: place on a map slot with HDFS locality affinity.
+            let cost = self.sim.cost().clone();
+            let task_ready = floor.max(slice.ready_at);
+            let loads: Vec<SimTime> =
+                self.sim.loads(TaskKind::Map).into_iter().map(|l| l.max(task_ready)).collect();
+            let alive = self.alive_vec();
+            let ctx = SchedulerCtx { loads: &loads, alive: &alive };
+            let bytes = work.split_bytes;
+            let reps = replicas.clone();
+            let node = self.scheduler.pick_node(TaskKind::Map, &ctx, &move |n| {
+                let local = reps.contains(&n);
+                cost.hdfs_read(bytes, local).saturating_sub(cost.hdfs_read(bytes, true))
+            });
+            let local = replicas.contains(&node);
+            self.trace.emit(|| TraceEvent::Placement {
+                at: task_ready,
+                kind: TaskKind::Map,
+                label: format!("map/s{source}p{}/{slice_idx}", pane.0),
+                chosen: node,
+                scores: loads
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| alive[i])
+                    .map(|(i, &load)| NodeScore {
+                        node: NodeId(i as u32),
+                        load,
+                        cost: self
+                            .sim
+                            .cost()
+                            .hdfs_read(bytes, replicas.contains(&NodeId(i as u32)))
+                            .saturating_sub(self.sim.cost().hdfs_read(bytes, true)),
+                    })
+                    .collect(),
+            });
+            let placement = self.charge_map(node, task_ready, &work, local, metrics);
+            self.trace.emit(|| TraceEvent::TaskSpan {
+                phase: "map",
+                node: placement.node,
+                start: placement.start,
+                end: placement.end,
+                label: format!("map/s{source}p{}/{slice_idx}", pane.0),
+            });
+            self.win_stats.placements_total += 1;
+            if local {
+                self.win_stats.placements_cache_local += 1;
+            }
+            slice_infos.push(SliceMapInfo {
+                slice_idx: *slice_idx,
+                end: placement.end,
+                bucket_bytes,
+                bucket_records,
+            });
+            ready = ready.max(placement.end);
+        }
+        let raw = raw.into_iter().map(|p| std::sync::Mutex::new(Some(p))).collect();
+        self.mapped.insert(
+            (source, pane.0),
+            MappedPane { ready, buckets, slices: slice_infos, raw },
+        );
+        Ok(ready)
+    }
+
+    // ------------------------------------------------------------------
+    // Cache registration
+    // ------------------------------------------------------------------
+
+    /// Whether `name` is materialized on `node` specifically.
+    pub(super) fn cached_on(&self, name: &CacheName, node: NodeId) -> bool {
+        self.controller.location(name) == Some(node)
+    }
+
+    pub(super) fn register(&mut self, name: CacheName, node: NodeId, bytes: u64, at: SimTime) {
+        if let Some(old) = self.controller.location(&name) {
+            if old != node {
+                // The authoritative copy migrates; the stale file on the
+                // old node is garbage — let its registry purge it.
+                self.registries[old.index()].mark_expired(&name);
+            }
+        }
+        // Estimate the reconstruction cost as the source pane bytes (per
+        // partition): losing a small aggregate cache still forces a full
+        // pane re-read/re-map/re-shuffle.
+        let rebuild = self.rebuild_bytes_of(&name);
+        self.controller.register_cache_with_rebuild(name, node, bytes, rebuild, at);
+        self.registries[node.index()].add_entry(name, bytes);
+    }
+
+    /// Per-partition source bytes behind one cache object.
+    fn rebuild_bytes_of(&self, name: &CacheName) -> u64 {
+        let r = self.conf.num_reducers as u64;
+        match name.object {
+            CacheObject::PaneInput { source, pane, .. }
+            | CacheObject::PaneOutput { source, pane } => {
+                self.sources[source as usize].packer.lock().manifest().pane_bytes(pane) / r
+            }
+            CacheObject::PairOutput { left, right } => {
+                (self.sources[0].packer.lock().manifest().pane_bytes(left)
+                    + self
+                        .sources
+                        .get(1)
+                        .map(|s| s.packer.lock().manifest().pane_bytes(right))
+                        .unwrap_or(0))
+                    / r
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Recovery and maintenance
+    // ------------------------------------------------------------------
+
+    /// Synchronizes every node's Local Cache Registry with the
+    /// Window-Aware Cache Controller via heartbeats (paper §2.3): caches
+    /// the controller believed materialized but missing from a node's
+    /// report are rolled back to HDFS-available (ready 2 → 1), so they
+    /// get rebuilt on demand (paper §5 failure recovery). Returns the
+    /// number of lost caches.
+    pub fn audit_caches(&mut self) -> usize {
+        let mut lost = 0;
+        for reg in &mut self.registries {
+            let hb = reg.heartbeat(&self.cluster);
+            lost += self.controller.apply_heartbeat(&hb).len();
+        }
+        lost
+    }
+
+    /// Expiration + purging after recurrence `rec` (paper §4.1/§4.2):
+    /// panes and pairs that left the window and exhausted their lifespans
+    /// get their `doneQueryMask` bits set, purge notifications flow to
+    /// the local registries, and registries run their purge policies.
+    pub(super) fn expire_and_purge(&mut self, rec: u64) -> Result<()> {
+        let geom = self.sources[0].geom;
+        let mut notifications = Vec::new();
+
+        let expired_panes: Vec<(u32, u64)> = self
+            .built_panes
+            .iter()
+            .copied()
+            .filter(|&(source, p)| {
+                let dim = if self.matrix.dims() == 1 { 0 } else { source as usize };
+                geom.pane_out_of_window(PaneId(p), rec)
+                    && self.matrix.pane_fully_processed(dim, PaneId(p))
+            })
+            .collect();
+        for (source, p) in expired_panes {
+            // Sweep every signature belonging to this (source, pane) —
+            // crucially including adaptive sub-pane inputs (`sub >= 1`),
+            // which the previous enumeration of literal objects missed,
+            // leaking one controller entry per extra sub-pane per window.
+            let names = self.controller.names_matching(|n| match n.object {
+                CacheObject::PaneInput { source: s, pane, .. } => s == source && pane.0 == p,
+                CacheObject::PaneOutput { source: s, pane } => s == source && pane.0 == p,
+                CacheObject::PairOutput { .. } => false,
+            });
+            for name in names {
+                if let Some(n) = self.controller.mark_query_done(name, 0)? {
+                    notifications.push(n);
+                }
+                self.controller.forget(&name);
+            }
+            self.trace.emit(|| TraceEvent::PaneExpire {
+                at: self.trace.now(),
+                source,
+                pane: p,
+            });
+            self.built_panes.remove(&(source, p));
+        }
+
+        if self.matrix.dims() == 2 {
+            let expired_pairs: Vec<(u64, u64)> = self
+                .built_pairs
+                .iter()
+                .copied()
+                .filter(|&(p, q)| {
+                    let wp = geom.windows_containing(PaneId(p));
+                    let wq = geom.windows_containing(PaneId(q));
+                    wp.end.min(wq.end) <= rec + 1
+                })
+                .collect();
+            for (p, q) in expired_pairs {
+                for r in 0..self.conf.num_reducers {
+                    let name = super::plan::pair_name(PaneId(p), PaneId(q), r);
+                    if self.controller.signature(&name).is_some() {
+                        if let Some(n) = self.controller.mark_query_done(name, 0)? {
+                            notifications.push(n);
+                        }
+                        self.controller.forget(&name);
+                    }
+                }
+                self.built_pairs.remove(&(p, q));
+            }
+        }
+
+        for n in notifications {
+            self.registries[n.node.index()].mark_expired(&n.name);
+        }
+        for reg in &mut self.registries {
+            if self.cluster.is_alive(reg.node()) {
+                reg.maybe_purge(&self.cluster, rec)?;
+            }
+        }
+        // GC the scheduler's dedupe sets: without this, `map_seen` /
+        // `reduce_seen` grow by one entry per pane (and pane pair) for
+        // the lifetime of the stream.
+        self.lists.gc(
+            |e| geom.pane_out_of_window(e.pane, rec),
+            |e| match e {
+                ReduceTaskEntry::PaneReduce { pane, .. } => geom.pane_out_of_window(*pane, rec),
+                ReduceTaskEntry::PairJoin { left, right } => {
+                    geom.pane_out_of_window(*left, rec) || geom.pane_out_of_window(*right, rec)
+                }
+            },
+        );
+        self.matrix.shift(rec);
+        Ok(())
+    }
+}

@@ -1,0 +1,754 @@
+//! The Redoop recurring-query executor, split into three layers:
+//!
+//! * **Plan** ([`plan`]): [`plan::WindowPlan`] — a typed task DAG
+//!   describing what one window recurrence needs (pane builds, pair
+//!   joins, finalization), annotated with required/produced cache names.
+//!   Pure data, unit-testable without a cluster.
+//! * **Driver** (the private `driver` module): the single dispatcher consuming
+//!   the DAG — Eq. 4 placement, centralized cache hit/miss accounting,
+//!   the map stage, per-task virtual-time charging (independent
+//!   pane × partition builds overlap on the simulated timeline), trace
+//!   emission, the §5 recovery audit, and post-window expiry/purging.
+//!   Aggregation- and join-specific task bodies live in the private
+//!   `agg` / `join` submodules.
+//! * **Deployment** ([`crate::deployment`]): owns shared sources plus N
+//!   executors and interleaves their ingestion and window firings on one
+//!   shared virtual clock.
+//!
+//! The execution semantics compose every component of the paper:
+//!
+//! * the Dynamic Data Packer seals arriving batches into pane files,
+//! * per window, only panes without materialized caches are mapped and
+//!   shuffled; cached pane products are *reused* from the task nodes'
+//!   local stores (reduce-input caches for joins, reduce-output caches
+//!   for aggregations, pane-pair output caches for join windows),
+//! * reduce-side work is placed by the cache-aware scheduler (Eq. 4)
+//!   and charged virtual time on the simulated cluster,
+//! * a finalization step merges per-pane partial results into the
+//!   recurrence's output (`<output_root>/w{i}/part-r-*`),
+//! * after each recurrence, expired caches are detected through the
+//!   cache status matrix + lifespans and purged via the local registries,
+//! * cache losses (node failures) are detected at window start and healed
+//!   by re-executing exactly the producing tasks (paper §5 recovery).
+//!
+//! Aggregation queries have one source and require a [`Merger`] — the
+//! finalization function merging per-pane partial aggregates. The
+//! reducer's output key must have the same textual form as its input key
+//! (true for grouping aggregations), because merged partials are re-read
+//! under the mapper's key type. Binary joins have two sources; the
+//! reduce function sees both sources' values per key and emits join
+//! results.
+
+pub mod plan;
+
+mod agg;
+mod driver;
+mod join;
+
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use redoop_dfs::{Cluster, DfsPath, NodeId};
+use redoop_mapred::counters::names as cnames;
+use redoop_mapred::trace::{TraceEvent, TraceSink, WindowTraceStats};
+use redoop_mapred::{
+    io as mrio, ClusterSim, HashPartitioner, JobMetrics, Mapper, Reducer, SimTime, Writable,
+};
+
+use crate::adaptive::{AdaptiveController, ExecMode};
+use crate::api::{Merger, QueryConf, SourceConf};
+use crate::cache::controller::CacheController;
+use crate::cache::purge::PurgePolicy;
+use crate::cache::registry::LocalCacheRegistry;
+use crate::cache::status_matrix::CacheStatusMatrix;
+use crate::cache::{CacheName, CacheObject};
+use crate::error::{RedoopError, Result};
+use crate::packer::DynamicDataPacker;
+use crate::pane::PaneId;
+use crate::query::WindowSpec;
+use crate::scheduler::{CacheAwareScheduler, MapTaskEntry, TaskLists};
+use crate::time::TimeRange;
+
+use self::driver::MappedPane;
+
+/// Feature switches for ablation experiments.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecutorOptions {
+    /// Reuse caches across windows (the paper's core optimization).
+    /// When false, every window rebuilds all pane products.
+    pub caching: bool,
+    /// Use cache-locality affinity when placing reduce-side tasks
+    /// (Eq. 4). When false, reduces are placed load-only, like plain
+    /// Hadoop — caches landing on other nodes must be rebuilt.
+    pub cache_aware_scheduling: bool,
+}
+
+impl Default for ExecutorOptions {
+    fn default() -> Self {
+        ExecutorOptions { caching: true, cache_aware_scheduling: true }
+    }
+}
+
+/// Per-recurrence execution report.
+#[derive(Debug, Clone)]
+pub struct WindowReport {
+    /// Recurrence index.
+    pub recurrence: u64,
+    /// Virtual time the window fired (event close).
+    pub fired_at: SimTime,
+    /// Response time: last output written minus fire time.
+    pub response: SimTime,
+    /// Execution mode used.
+    pub mode: ExecMode,
+    /// Merged metrics of every task charged for this recurrence.
+    pub metrics: JobMetrics,
+    /// Output part files.
+    pub outputs: Vec<DfsPath>,
+    /// Pane/pair products built (or rebuilt) this window.
+    pub built_products: usize,
+    /// Cache hits this window.
+    pub reused_caches: usize,
+    /// Journal-derived per-window aggregates: cache hit/miss counts,
+    /// placement locality, rollbacks (always tracked, even when no trace
+    /// sink is installed — the counters are cheap integers).
+    pub trace: WindowTraceStats,
+}
+
+/// Shared or owned packer handle: multi-query deployments attach several
+/// executors to one packer via [`crate::shared::SharedSource`].
+type PackerHandle = Arc<Mutex<DynamicDataPacker>>;
+
+impl std::fmt::Display for WindowReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "window {}: response {} ({:?} mode, {} built, {} reused)",
+            self.recurrence, self.response, self.mode, self.built_products, self.reused_caches
+        )
+    }
+}
+
+struct SourceState {
+    conf: SourceConf,
+    geom: crate::pane::PaneGeometry,
+    packer: PackerHandle,
+}
+
+/// The recurring-query executor. See module docs.
+pub struct RecurringExecutor<M, R>
+where
+    M: Mapper,
+    R: Reducer<KIn = M::KOut, VIn = M::VOut>,
+{
+    cluster: Cluster,
+    sim: ClusterSim,
+    conf: QueryConf,
+    options: ExecutorOptions,
+    mapper: Arc<M>,
+    reducer: Arc<R>,
+    merger: Option<Arc<dyn Merger<M::KOut, R::VOut>>>,
+    combiner: Option<Arc<dyn redoop_mapred::Combiner<M::KOut, M::VOut>>>,
+    partitioner: HashPartitioner,
+    sources: Vec<SourceState>,
+    controller: CacheController,
+    registries: Vec<LocalCacheRegistry>,
+    matrix: CacheStatusMatrix,
+    lists: TaskLists,
+    adaptive: AdaptiveController,
+    scheduler: CacheAwareScheduler,
+    mapped: HashMap<(u32, u64), MappedPane<M::KOut, M::VOut>>,
+    built_panes: BTreeSet<(u32, u64)>,
+    built_pairs: BTreeSet<(u64, u64)>,
+    window_built: usize,
+    window_reused: usize,
+    /// Rotation counter for cache-blind reduce placement (see
+    /// [`ExecutorOptions::cache_aware_scheduling`]).
+    blind_counter: u64,
+    trace: TraceSink,
+    win_stats: WindowTraceStats,
+    reports: Vec<WindowReport>,
+}
+
+impl<M, R> RecurringExecutor<M, R>
+where
+    M: Mapper,
+    R: Reducer<KIn = M::KOut, VIn = M::VOut>,
+{
+    /// Builds an executor for an **aggregation** query (one source; the
+    /// merger implements the finalization function over the reducer's
+    /// partial aggregates).
+    #[allow(clippy::too_many_arguments)]
+    pub fn aggregation(
+        cluster: &Cluster,
+        sim: ClusterSim,
+        conf: QueryConf,
+        source: SourceConf,
+        mapper: Arc<M>,
+        reducer: Arc<R>,
+        merger: Arc<dyn Merger<M::KOut, R::VOut>>,
+        adaptive: AdaptiveController,
+    ) -> Result<Self> {
+        Self::build(
+            cluster,
+            sim,
+            conf,
+            vec![(source, None)],
+            None,
+            mapper,
+            reducer,
+            Some(merger),
+            adaptive,
+        )
+    }
+
+    /// Like [`RecurringExecutor::aggregation`], attaching to a
+    /// [`crate::shared::SharedSource`] instead of owning its packer: the
+    /// pane files are ingested once and consumed by every query attached
+    /// to the source. The executor must not re-plan a shared packer, so
+    /// shared deployments should use a non-adaptive controller.
+    #[allow(clippy::too_many_arguments)]
+    pub fn aggregation_shared(
+        cluster: &Cluster,
+        sim: ClusterSim,
+        conf: QueryConf,
+        shared: &crate::shared::SharedSource,
+        spec: WindowSpec,
+        mapper: Arc<M>,
+        reducer: Arc<R>,
+        merger: Arc<dyn Merger<M::KOut, R::VOut>>,
+        adaptive: AdaptiveController,
+    ) -> Result<Self> {
+        let source = shared.conf_for(spec)?;
+        let handle = shared.packer_handle();
+        Self::build(
+            cluster,
+            sim,
+            conf,
+            vec![(source, Some(handle))],
+            Some(shared.pane_ms()),
+            mapper,
+            reducer,
+            Some(merger),
+            adaptive,
+        )
+    }
+
+    /// Builds an executor for a **binary join** query (two sources with
+    /// identical window constraints; the reduce function performs the
+    /// join within each key group).
+    pub fn binary_join(
+        cluster: &Cluster,
+        sim: ClusterSim,
+        conf: QueryConf,
+        sources: [SourceConf; 2],
+        mapper: Arc<M>,
+        reducer: Arc<R>,
+        adaptive: AdaptiveController,
+    ) -> Result<Self> {
+        let [a, b] = sources;
+        Self::build(
+            cluster,
+            sim,
+            conf,
+            vec![(a, None), (b, None)],
+            None,
+            mapper,
+            reducer,
+            None,
+            adaptive,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn build(
+        cluster: &Cluster,
+        sim: ClusterSim,
+        conf: QueryConf,
+        sources: Vec<(SourceConf, Option<PackerHandle>)>,
+        pane_override_ms: Option<u64>,
+        mapper: Arc<M>,
+        reducer: Arc<R>,
+        merger: Option<Arc<dyn Merger<M::KOut, R::VOut>>>,
+        adaptive: AdaptiveController,
+    ) -> Result<Self> {
+        if sources.is_empty() || sources.len() > 2 {
+            return Err(RedoopError::InvalidQuery("1 or 2 sources supported".into()));
+        }
+        if sources.len() == 1 && merger.is_none() {
+            return Err(RedoopError::InvalidQuery("aggregation requires a merger".into()));
+        }
+        // Window firing uses one spec for the whole query, so every
+        // source must carry the same window constraints — reject the
+        // mismatch here instead of silently firing by `sources[0]`.
+        let spec0 = sources[0].0.spec;
+        if sources.iter().any(|(s, _)| s.spec != spec0) {
+            return Err(RedoopError::InvalidQuery(
+                "all sources of a query must share the same window constraints".into(),
+            ));
+        }
+        let geom_of = |spec: &WindowSpec| -> Result<crate::pane::PaneGeometry> {
+            match pane_override_ms {
+                None => Ok(crate::pane::PaneGeometry::from_spec(spec)),
+                Some(p) => crate::pane::PaneGeometry::with_pane(spec, p).ok_or_else(|| {
+                    RedoopError::InvalidQuery(format!(
+                        "pane {p}ms must divide win {} and slide {}",
+                        spec.win, spec.slide
+                    ))
+                }),
+            }
+        };
+        let geom = geom_of(&spec0)?;
+        let mut states = Vec::with_capacity(sources.len());
+        for (sid, (src, shared)) in sources.into_iter().enumerate() {
+            let src_geom = geom_of(&src.spec)?;
+            let packer = match shared {
+                Some(handle) => handle,
+                None => {
+                    let mut plan = adaptive.base_plan();
+                    plan.pane_ms = src_geom.pane_ms;
+                    Arc::new(Mutex::new(DynamicDataPacker::new(
+                        cluster,
+                        sid as u32,
+                        src.pane_root.clone(),
+                        plan,
+                        src.ts_fn.clone(),
+                    )))
+                }
+            };
+            states.push(SourceState { geom: src_geom, conf: src, packer });
+        }
+        let dims = states.len();
+        // One journal for the whole executor: the sim's sink (global by
+        // default) is propagated to the controller and every registry.
+        let trace = sim.trace().clone();
+        let mut controller = CacheController::new(1);
+        controller.set_trace_sink(trace.clone());
+        let registries = (0..cluster.node_count() as u32)
+            .map(|i| {
+                let mut reg = LocalCacheRegistry::new(NodeId(i), PurgePolicy::default());
+                reg.set_trace_sink(trace.clone());
+                reg
+            })
+            .collect();
+        Ok(RecurringExecutor {
+            cluster: cluster.clone(),
+            sim,
+            conf,
+            options: ExecutorOptions::default(),
+            mapper,
+            reducer,
+            merger,
+            combiner: None,
+            partitioner: HashPartitioner,
+            sources: states,
+            controller,
+            registries,
+            matrix: CacheStatusMatrix::new(dims, geom),
+            lists: TaskLists::new(),
+            adaptive,
+            scheduler: CacheAwareScheduler,
+            mapped: HashMap::new(),
+            built_panes: BTreeSet::new(),
+            built_pairs: BTreeSet::new(),
+            window_built: 0,
+            window_reused: 0,
+            blind_counter: 0,
+            trace,
+            win_stats: WindowTraceStats::default(),
+            reports: Vec::new(),
+        })
+    }
+
+    /// Routes the whole executor's journal — simulator, cache controller,
+    /// and every node registry — to an explicit sink.
+    pub fn set_trace_sink(&mut self, sink: TraceSink) {
+        self.sim.set_trace_sink(sink.clone());
+        self.controller.set_trace_sink(sink.clone());
+        for reg in &mut self.registries {
+            reg.set_trace_sink(sink.clone());
+        }
+        self.trace = sink;
+    }
+
+    /// The scheduler's `(map, reduce)` dedupe-set sizes (leak detection).
+    pub fn task_seen_counts(&self) -> (usize, usize) {
+        self.lists.seen_counts()
+    }
+
+    /// Overrides the ablation switches.
+    pub fn set_options(&mut self, options: ExecutorOptions) {
+        self.options = options;
+    }
+
+    /// Installs a map-side combiner: map output is pre-aggregated per key
+    /// before partitioning, shrinking shuffle bytes and cache files. The
+    /// combiner must be algebraically safe (associative + commutative
+    /// folding), as in Hadoop.
+    pub fn set_combiner(
+        &mut self,
+        combiner: Arc<dyn redoop_mapred::Combiner<M::KOut, M::VOut>>,
+    ) {
+        self.combiner = Some(combiner);
+    }
+
+    /// Access to the adaptive controller (e.g. to force proactive mode).
+    pub fn adaptive_mut(&mut self) -> &mut AdaptiveController {
+        &mut self.adaptive
+    }
+
+    /// Reports of completed recurrences.
+    pub fn reports(&self) -> &[WindowReport] {
+        &self.reports
+    }
+
+    /// The simulated cluster state (for inspection or chaining).
+    pub fn sim(&self) -> &ClusterSim {
+        &self.sim
+    }
+
+    /// The cache controller (inspection in tests/benches).
+    pub fn controller(&self) -> &CacheController {
+        &self.controller
+    }
+
+    /// The query's window constraints (identical across all sources —
+    /// validated at construction).
+    pub fn window_spec(&self) -> WindowSpec {
+        self.sources[0].conf.spec
+    }
+
+    /// Number of attached sources (1 for aggregations, 2 for joins).
+    pub fn num_sources(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// Ingests one arriving batch into `source`'s packer (the packer
+    /// piggybacks pane creation on loading, paper §2.3). Sealed panes are
+    /// announced to the cache controller (ready bit 1) and queued on the
+    /// map task list.
+    pub fn ingest<'l>(
+        &mut self,
+        source: usize,
+        lines: impl Iterator<Item = &'l str>,
+        range: &TimeRange,
+    ) -> Result<()> {
+        let sid = source as u32;
+        let state = &mut self.sources[source];
+        let mut packer = state.packer.lock();
+        let before = packer.manifest().max_sealed_pane().map(|p| p.0 + 1).unwrap_or(0);
+        packer.ingest_batch(lines, range)?;
+        let after = packer.manifest().max_sealed_pane().map(|p| p.0 + 1).unwrap_or(0);
+        drop(packer);
+        for p in before..after {
+            // Announce every sub-pane slice (adaptive plans write several
+            // per pane); the expiry sweep retires them all by pane.
+            let subs = self.sources[source]
+                .packer
+                .lock()
+                .manifest()
+                .slices_of(PaneId(p))
+                .len()
+                .max(1) as u32;
+            for r in 0..self.conf.num_reducers {
+                for sub in 0..subs {
+                    self.controller.note_hdfs_available(CacheName::new(
+                        CacheObject::PaneInput { source: sid, pane: PaneId(p), sub },
+                        r,
+                    ));
+                }
+            }
+            self.lists.push_map(MapTaskEntry { source: sid, pane: PaneId(p), sub: 0 });
+            self.trace.emit(|| TraceEvent::PaneSeal {
+                at: self.trace.now(),
+                source: sid,
+                pane: p,
+            });
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Window execution
+    // ------------------------------------------------------------------
+
+    /// Runs recurrence `rec`, returning its report: builds the window's
+    /// [`plan::WindowPlan`] and hands it to the driver. Ingest must have
+    /// covered the window's event range first.
+    pub fn run_window(&mut self, rec: u64) -> Result<WindowReport> {
+        let spec = self.sources[0].conf.spec;
+        let fire = SimTime::from_millis(spec.fire_time(rec).as_millis());
+        let mut metrics =
+            JobMetrics { submitted_at: fire, finished_at: fire, ..Default::default() };
+        self.window_built = 0;
+        self.window_reused = 0;
+        self.win_stats = WindowTraceStats::default();
+        self.trace.set_now(fire);
+
+        // Recovery audit: caches claimed available must still exist.
+        self.win_stats.rollbacks = self.audit_caches() as u64;
+        if !self.options.caching {
+            for name in self.controller.all_cached() {
+                self.controller.invalidate(&name);
+            }
+        }
+
+        // Feed the fresh-volume signal, then take the adaptive decision.
+        let geom0 = self.sources[0].geom;
+        // Window pane indices are a contiguous range, so "was this pane
+        // in the previous window" is a range check, not a scan.
+        let prev_panes: std::ops::Range<u64> =
+            if rec == 0 { 0..0 } else { geom0.window_panes(rec - 1) };
+        let mut fresh_bytes = 0u64;
+        let mut fresh_panes = 0u64;
+        for st in &self.sources {
+            for p in geom0.window_panes(rec) {
+                if !prev_panes.contains(&p) {
+                    fresh_bytes += st.packer.lock().manifest().pane_bytes(PaneId(p));
+                    fresh_panes += 1;
+                }
+            }
+        }
+        self.adaptive
+            .observe_fresh_volume(fresh_bytes, fresh_panes.max(1) * geom0.pane_ms);
+        let decision = self.adaptive.decide();
+        for s in &mut self.sources {
+            let mut plan = decision.plan;
+            plan.pane_ms = s.geom.pane_ms; // pane length is geometry-fixed
+            s.packer.lock().set_plan(plan);
+        }
+        let floor = match decision.mode {
+            ExecMode::Batch => fire,
+            ExecMode::Proactive => SimTime::ZERO,
+        };
+
+        let geom = self.sources[0].geom;
+        let panes: Vec<PaneId> = geom.window_panes(rec).map(PaneId).collect();
+
+        // Guard: every pane of this window must have been sealed by the
+        // packer. Running early would silently cache empty panes and
+        // corrupt later windows.
+        let last_needed = *panes.last().expect("windows have panes");
+        for st in &self.sources {
+            let sealed = st.packer.lock().manifest().max_sealed_pane();
+            if sealed.map(|p| p < last_needed).unwrap_or(true) {
+                return Err(RedoopError::InvalidQuery(format!(
+                    "window {rec} needs pane {} of source {:?} but ingestion only sealed through {:?}",
+                    last_needed.0, st.conf.name, sealed
+                )));
+            }
+        }
+
+        // Plan, then drive: the plan enumerates every task with its cache
+        // annotations; the driver decides hits vs rebuilds at dispatch.
+        let window_plan = if self.sources.len() == 1 {
+            plan::WindowPlan::aggregation(rec, panes, self.conf.num_reducers)
+        } else {
+            plan::WindowPlan::binary_join(rec, panes, self.conf.num_reducers)
+        };
+        let ctx = driver::WindowCtx { fire, floor, mode: decision.mode };
+        let outputs = self.drive(&window_plan, ctx, &mut metrics)?;
+
+        // Post-window maintenance: expiration + purging.
+        self.trace.set_now(metrics.finished_at);
+        self.expire_and_purge(rec)?;
+        self.mapped.clear();
+
+        let response = metrics.finished_at.saturating_sub(fire);
+        let input_bytes = metrics.counters.get(cnames::HDFS_BYTES_READ);
+        self.adaptive.record(response, input_bytes);
+
+        let report = WindowReport {
+            recurrence: rec,
+            fired_at: fire,
+            response,
+            mode: decision.mode,
+            metrics,
+            outputs,
+            built_products: self.window_built,
+            reused_caches: self.window_reused,
+            trace: self.win_stats,
+        };
+        self.reports.push(report.clone());
+        Ok(report)
+    }
+}
+
+/// Reads a recurrence's output back as sorted, typed pairs — the oracle
+/// used to check Redoop against the plain recomputation baseline.
+pub fn read_window_output<K, V>(cluster: &Cluster, outputs: &[DfsPath]) -> Result<Vec<(K, V)>>
+where
+    K: Writable + Ord,
+    V: Writable + Ord,
+{
+    let mut all: Vec<(K, V)> = Vec::new();
+    for p in outputs {
+        let data = cluster.read(p)?;
+        all.extend(mrio::decode_kv_block::<K, V>(std::str::from_utf8(&data).unwrap_or(""))?);
+    }
+    all.sort();
+    Ok(all)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adaptive::AdaptiveController;
+    use crate::analyzer::{PartitionPlan, SemanticAnalyzer};
+    use crate::api::{leading_ts_fn, QueryConf, SumMerger};
+    use crate::query::WindowSpec;
+    use redoop_mapred::{ClosureMapper, ClosureReducer, CostModel, MapContext, ReduceContext};
+
+    type TestMapper = ClosureMapper<String, u64, fn(&str, &mut MapContext<String, u64>)>;
+    type TestReducer =
+        ClosureReducer<String, u64, String, u64, fn(&String, &[u64], &mut ReduceContext<String, u64>)>;
+
+    fn mapper() -> Arc<TestMapper> {
+        fn map(line: &str, ctx: &mut MapContext<String, u64>) {
+            if let Some(k) = line.split(',').nth(1) {
+                ctx.emit(k.to_string(), 1);
+            }
+        }
+        Arc::new(ClosureMapper::new(map))
+    }
+
+    #[allow(clippy::ptr_arg)]
+    fn reducer() -> Arc<TestReducer> {
+        fn reduce(k: &String, vs: &[u64], ctx: &mut ReduceContext<String, u64>) {
+            ctx.emit(k.clone(), vs.iter().sum());
+        }
+        Arc::new(ClosureReducer::new(reduce))
+    }
+
+    fn fixture(
+    ) -> (Cluster, ClusterSim, QueryConf, SourceConf, AdaptiveController, WindowSpec) {
+        let cluster = Cluster::with_nodes(4);
+        let sim = ClusterSim::paper_testbed(4, CostModel::default());
+        let spec = WindowSpec::new(200, 100).unwrap();
+        let conf = QueryConf::new("t", 2, DfsPath::new("/out/t").unwrap()).unwrap();
+        let source = SourceConf {
+            name: "s".into(),
+            spec,
+            pane_root: DfsPath::new("/panes/t").unwrap(),
+            ts_fn: leading_ts_fn(),
+        };
+        let adaptive = AdaptiveController::disabled(
+            SemanticAnalyzer::new(1024),
+            PartitionPlan::simple(100),
+        );
+        (cluster, sim, conf, source, adaptive, spec)
+    }
+
+    #[test]
+    fn join_rejects_mismatched_window_specs() {
+        let (cluster, sim, conf, source, adaptive, _) = fixture();
+        let mut other = source.clone();
+        other.spec = WindowSpec::new(400, 100).unwrap();
+        let result = RecurringExecutor::binary_join(
+            &cluster,
+            sim,
+            conf,
+            [source, other],
+            mapper(),
+            reducer(),
+            adaptive,
+        );
+        assert!(matches!(result.err(), Some(RedoopError::InvalidQuery(_))));
+    }
+
+    #[test]
+    fn all_sources_must_share_one_window_spec() {
+        // The validation lives in the shared construction path: the
+        // error names the window constraints, not a generic failure.
+        let (cluster, sim, conf, source, adaptive, _) = fixture();
+        let mut other = source.clone();
+        other.spec = WindowSpec::new(200, 50).unwrap();
+        let err = RecurringExecutor::binary_join(
+            &cluster,
+            sim,
+            conf,
+            [source, other],
+            mapper(),
+            reducer(),
+            adaptive,
+        )
+        .err()
+        .expect("mismatched specs must be rejected");
+        match err {
+            RedoopError::InvalidQuery(msg) => {
+                assert!(msg.contains("window constraints"), "unexpected message: {msg}")
+            }
+            other => panic!("expected InvalidQuery, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn running_before_ingest_is_an_error_not_corruption() {
+        let (cluster, sim, conf, source, adaptive, _) = fixture();
+        let mut exec = RecurringExecutor::aggregation(
+            &cluster,
+            sim,
+            conf,
+            source,
+            mapper(),
+            reducer(),
+            Arc::new(SumMerger),
+            adaptive,
+        )
+        .unwrap();
+        let err = exec.run_window(0).unwrap_err();
+        assert!(matches!(err, RedoopError::InvalidQuery(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn minimal_window_runs_and_reports() {
+        let (cluster, sim, conf, source, adaptive, _) = fixture();
+        let mut exec = RecurringExecutor::aggregation(
+            &cluster,
+            sim,
+            conf,
+            source,
+            mapper(),
+            reducer(),
+            Arc::new(SumMerger),
+            adaptive,
+        )
+        .unwrap();
+        exec.ingest(
+            0,
+            ["10,a", "50,b", "150,a"].into_iter(),
+            &crate::time::TimeRange::new(
+                crate::time::EventTime(0),
+                crate::time::EventTime(200),
+            ),
+        )
+        .unwrap();
+        let report = exec.run_window(0).unwrap();
+        assert_eq!(report.recurrence, 0);
+        assert!(report.response > SimTime::ZERO);
+        assert_eq!(report.outputs.len(), 2);
+        let out: Vec<(String, u64)> = read_window_output(&cluster, &report.outputs).unwrap();
+        assert_eq!(out, vec![("a".to_string(), 2), ("b".to_string(), 1)]);
+        assert_eq!(exec.reports().len(), 1);
+        // Caches were registered for both panes.
+        assert!(!exec.controller().is_empty());
+    }
+
+    #[test]
+    fn audit_on_fresh_executor_is_clean() {
+        let (cluster, sim, conf, source, adaptive, _) = fixture();
+        let mut exec = RecurringExecutor::aggregation(
+            &cluster,
+            sim,
+            conf,
+            source,
+            mapper(),
+            reducer(),
+            Arc::new(SumMerger),
+            adaptive,
+        )
+        .unwrap();
+        assert_eq!(exec.audit_caches(), 0);
+    }
+}

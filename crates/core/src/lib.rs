@@ -30,15 +30,21 @@
 //! * **Cache-aware task scheduling** ([`scheduler`]) — Eq. 4
 //!   (`argmin Load_i + C_task,i`) over map/reduce task lists
 //!   (Algorithm 2).
-//! * **The recurring executor** ([`executor`]) — incremental window
-//!   execution with cache reuse, finalization, expiration, purging, and
-//!   failure recovery via task re-execution (§5).
+//! * **The recurring executor** ([`executor`]) — the plan layer
+//!   ([`executor::plan`], the window's typed task DAG) plus driver
+//!   (Eq. 4 placement, cache hit/miss accounting, per-task charging),
+//!   with finalization, expiration, purging, and failure recovery via
+//!   task re-execution (§5).
+//! * **The deployment layer** ([`deployment`]) — N recurring queries
+//!   over shared arrival streams, windows interleaved in fire-time
+//!   order on one virtual clock.
 //! * **The plain-Hadoop baseline** ([`baseline`]) — the driver approach
 //!   the paper compares against.
 //!
 //! ## Quick start
 //!
-//! See `examples/quickstart.rs`; the short version:
+//! See `examples/quickstart.rs`; the short version — one recurring
+//! aggregation deployed over an arrival stream:
 //!
 //! ```
 //! use std::sync::Arc;
@@ -61,15 +67,25 @@
 //! ));
 //! let conf = QueryConf::new("clicks", 2, DfsPath::new("/out").unwrap()).unwrap();
 //! let adaptive = AdaptiveController::disabled(SemanticAnalyzer::new(64 * 1024), PartitionPlan::simple(20));
-//! let mut exec = RecurringExecutor::aggregation(
-//!     &cluster,
-//!     ClusterSim::paper_testbed(4, CostModel::default()),
-//!     conf, source, mapper, reducer, Arc::new(SumMerger), adaptive,
+//!
+//! // One simulator handle; every executor clones it so all queries
+//! // share the virtual slot timeline.
+//! let sim = ClusterSim::paper_testbed(4, CostModel::default());
+//! let exec = RecurringExecutor::aggregation(
+//!     &cluster, sim.clone(), conf, source, mapper, reducer, Arc::new(SumMerger), adaptive,
 //! ).unwrap();
-//! exec.ingest(0, ["5,a", "15,b", "25,a", "35,a"].into_iter(),
-//!             &TimeRange::new(EventTime(0), EventTime(40))).unwrap();
-//! let report = exec.run_window(0).unwrap();
-//! assert!(report.response > redoop_mapred::SimTime::ZERO);
+//!
+//! // Deploy: the arrival stream is delivered batch-by-batch as windows
+//! // fire, exactly as on a live cluster.
+//! let mut deployment = RecurringDeployment::new(sim);
+//! let clicks = deployment.add_source(vec![ArrivalBatch::new(
+//!     vec!["5,a".into(), "15,b".into(), "25,a".into(), "35,a".into()],
+//!     TimeRange::new(EventTime(0), EventTime(40)),
+//! )]);
+//! let q = deployment.add_query(exec, &[clicks], 1);
+//! let fired = deployment.run().unwrap();
+//! assert_eq!(fired.len(), 1);
+//! assert!(deployment.reports(q)[0].response > redoop_mapred::SimTime::ZERO);
 //! ```
 
 pub mod adaptive;
@@ -77,6 +93,7 @@ pub mod analyzer;
 pub mod api;
 pub mod baseline;
 pub mod cache;
+pub mod deployment;
 pub mod error;
 pub mod executor;
 pub mod packer;
@@ -91,6 +108,7 @@ pub use adaptive::{AdaptiveController, AdaptiveDecision, ExecMode};
 pub use analyzer::{PartitionPlan, SemanticAnalyzer, SourceStats};
 pub use api::{leading_ts_fn, ClosureMerger, MaxMerger, Merger, QueryConf, SourceConf, SumMerger};
 pub use baseline::{run_baseline_window, BatchFile, WindowFilterMapper};
+pub use deployment::{ArrivalBatch, DeployedQuery, FiredWindow, RecurringDeployment};
 pub use error::{RedoopError, Result};
 pub use executor::{read_window_output, ExecutorOptions, RecurringExecutor, WindowReport};
 pub use packer::{DynamicDataPacker, PaneManifest, PaneSlice};
@@ -108,6 +126,7 @@ pub mod prelude {
         leading_ts_fn, ClosureMerger, MaxMerger, Merger, QueryConf, SourceConf, SumMerger,
     };
     pub use crate::baseline::{run_baseline_window, BatchFile};
+    pub use crate::deployment::{ArrivalBatch, FiredWindow, RecurringDeployment};
     pub use crate::executor::{
         read_window_output, ExecutorOptions, RecurringExecutor, WindowReport,
     };

@@ -9,6 +9,9 @@
 //! `ClusterSim` persists across jobs and windows, so consecutive query
 //! recurrences share node availability exactly as on a long-lived cluster.
 
+use std::sync::Arc;
+
+use parking_lot::Mutex;
 use redoop_dfs::NodeId;
 
 use crate::simtime::{CostModel, SimTime};
@@ -36,12 +39,42 @@ impl Placement {
     }
 }
 
+/// The shared slot-occupancy state behind a [`ClusterSim`] handle.
+#[derive(Debug)]
+struct SlotState {
+    map_slots: Vec<Vec<SimTime>>,
+    reduce_slots: Vec<Vec<SimTime>>,
+}
+
+impl SlotState {
+    fn slots(&self, kind: SlotKind) -> &Vec<Vec<SimTime>> {
+        match kind {
+            TaskKind::Map => &self.map_slots,
+            TaskKind::Reduce => &self.reduce_slots,
+        }
+    }
+
+    fn slots_mut(&mut self, kind: SlotKind) -> &mut Vec<Vec<SimTime>> {
+        match kind {
+            TaskKind::Map => &mut self.map_slots,
+            TaskKind::Reduce => &mut self.reduce_slots,
+        }
+    }
+}
+
 /// Slot-level simulation state of the whole cluster.
+///
+/// `ClusterSim` is a *handle*: cloning it shares the underlying slot
+/// state, so several executors holding clones of one sim contend for the
+/// same map/reduce slots on one virtual timeline — the deployment
+/// layer's shared clock. The cost model and trace sink stay per-handle
+/// (each executor may journal to its own sink). Constructing a new sim
+/// (`new` / `paper_testbed`) always starts fresh, unshared state.
 #[derive(Debug, Clone)]
 pub struct ClusterSim {
     cost: CostModel,
-    map_slots: Vec<Vec<SimTime>>,
-    reduce_slots: Vec<Vec<SimTime>>,
+    nodes: usize,
+    state: Arc<Mutex<SlotState>>,
     trace: TraceSink,
 }
 
@@ -52,8 +85,11 @@ impl ClusterSim {
         assert!(nodes > 0 && map_slots > 0 && reduce_slots > 0);
         ClusterSim {
             cost,
-            map_slots: vec![vec![SimTime::ZERO; map_slots]; nodes],
-            reduce_slots: vec![vec![SimTime::ZERO; reduce_slots]; nodes],
+            nodes,
+            state: Arc::new(Mutex::new(SlotState {
+                map_slots: vec![vec![SimTime::ZERO; map_slots]; nodes],
+                reduce_slots: vec![vec![SimTime::ZERO; reduce_slots]; nodes],
+            })),
             trace: trace::global_sink(),
         }
     }
@@ -81,33 +117,22 @@ impl ClusterSim {
 
     /// Number of nodes.
     pub fn node_count(&self) -> usize {
-        self.map_slots.len()
-    }
-
-    fn slots(&self, kind: SlotKind) -> &Vec<Vec<SimTime>> {
-        match kind {
-            TaskKind::Map => &self.map_slots,
-            TaskKind::Reduce => &self.reduce_slots,
-        }
-    }
-
-    fn slots_mut(&mut self, kind: SlotKind) -> &mut Vec<Vec<SimTime>> {
-        match kind {
-            TaskKind::Map => &mut self.map_slots,
-            TaskKind::Reduce => &mut self.reduce_slots,
-        }
+        self.nodes
     }
 
     /// Earliest time a `kind` slot frees up on `node` — the scheduler's
     /// `Load_i` signal (paper Eq. 4).
     pub fn node_load(&self, kind: SlotKind, node: NodeId) -> SimTime {
-        *self.slots(kind)[node.index()].iter().min().expect("slots non-empty")
+        *self.state.lock().slots(kind)[node.index()].iter().min().expect("slots non-empty")
     }
 
     /// `node_load` for every node, indexed by node id.
     pub fn loads(&self, kind: SlotKind) -> Vec<SimTime> {
-        (0..self.node_count())
-            .map(|i| self.node_load(kind, NodeId(i as u32)))
+        let state = self.state.lock();
+        state
+            .slots(kind)
+            .iter()
+            .map(|slots| *slots.iter().min().expect("slots non-empty"))
             .collect()
     }
 
@@ -133,7 +158,8 @@ impl ClusterSim {
         ready_at: SimTime,
         end_of: impl FnOnce(SimTime) -> SimTime,
     ) -> Placement {
-        let slots = &mut self.slots_mut(kind)[node.index()];
+        let mut state = self.state.lock();
+        let slots = &mut state.slots_mut(kind)[node.index()];
         let (slot_idx, &free_at) = slots
             .iter()
             .enumerate()
@@ -149,8 +175,9 @@ impl ClusterSim {
     /// Pushes every slot on `node` to at least `until` — models the node
     /// being unavailable (dead) until that virtual time.
     pub fn block_node_until(&mut self, node: NodeId, until: SimTime) {
+        let mut state = self.state.lock();
         for kind in [TaskKind::Map, TaskKind::Reduce] {
-            for t in &mut self.slots_mut(kind)[node.index()] {
+            for t in &mut state.slots_mut(kind)[node.index()] {
                 *t = (*t).max(until);
             }
         }
@@ -158,9 +185,11 @@ impl ClusterSim {
 
     /// Latest completion time across all slots (cluster quiescent time).
     pub fn horizon(&self) -> SimTime {
-        self.map_slots
+        let state = self.state.lock();
+        state
+            .map_slots
             .iter()
-            .chain(self.reduce_slots.iter())
+            .chain(state.reduce_slots.iter())
             .flatten()
             .copied()
             .max()
@@ -216,6 +245,22 @@ mod tests {
             (start + SimTime::from_secs(2)).max(barrier) + SimTime::from_secs(1)
         });
         assert_eq!(p.end, SimTime::from_secs(31));
+    }
+
+    #[test]
+    fn clones_share_one_slot_timeline() {
+        // Two handles onto one sim: a task charged through either handle
+        // occupies the same slots — the deployment layer's shared clock.
+        let mut a = sim();
+        let mut b = a.clone();
+        let d = SimTime::from_secs(10);
+        a.assign(TaskKind::Reduce, NodeId(0), SimTime::ZERO, d);
+        assert_eq!(b.node_load(TaskKind::Reduce, NodeId(0)), d);
+        let p = b.assign(TaskKind::Reduce, NodeId(0), SimTime::ZERO, d);
+        assert_eq!(p.start, d, "one reduce slot: b's task queues behind a's");
+        assert_eq!(a.horizon(), d + d);
+        // A freshly constructed sim never shares state.
+        assert_eq!(sim().node_load(TaskKind::Reduce, NodeId(0)), SimTime::ZERO);
     }
 
     #[test]

@@ -97,7 +97,16 @@ impl ReducePhaseDurations {
 impl ReduceWork {
     /// Phase durations under `cost`.
     pub fn phases(&self, cost: &CostModel) -> ReducePhaseDurations {
-        let copy = cost.reduce_task_startup
+        self.phases_in_attempt(cost, true)
+    }
+
+    /// Phase durations under `cost`, paying the task start-up constant
+    /// only when `startup` is set. A reduce *attempt* (one JVM) that
+    /// works through several queued work items back-to-back starts up
+    /// once; follow-on items charge pure copy/sort/reduce time.
+    pub fn phases_in_attempt(&self, cost: &CostModel, startup: bool) -> ReducePhaseDurations {
+        let startup_cost = if startup { cost.reduce_task_startup } else { SimTime::ZERO };
+        let copy = startup_cost
             + cost.shuffle(self.shuffle_bytes)
             + cost.local_read(self.cache_bytes);
         let sort = cost.sort(self.input_records);

@@ -107,6 +107,153 @@ fn two_queries_share_one_sources_pane_files() {
     assert!(exec2.reports()[1..].iter().all(|r| r.reused_caches > 0));
 }
 
+/// Materialized caches and their doneQueryMask bits, sorted by store
+/// name — the controller-state fingerprint compared across drivers.
+fn mask_snapshot(exec: &RecurringExecutor<AggMapper, AggReducer>) -> Vec<(String, u64)> {
+    let mut v: Vec<(String, u64)> = exec
+        .controller()
+        .all_cached()
+        .into_iter()
+        .map(|n| {
+            (n.store_name(), exec.controller().signature(&n).unwrap().done_query_mask)
+        })
+        .collect();
+    v.sort();
+    v
+}
+
+/// Per-window controller fingerprints, shared between a probe and the
+/// assertion site.
+type MaskLog = std::rc::Rc<std::cell::RefCell<Vec<Vec<(String, u64)>>>>;
+
+/// Wraps an executor so the deployment's interleaved run logs the same
+/// per-window controller fingerprints the sequential oracle records.
+struct MaskProbe<'a> {
+    exec: &'a mut RecurringExecutor<AggMapper, AggReducer>,
+    log: MaskLog,
+}
+
+impl redoop_core::DeployedQuery for MaskProbe<'_> {
+    fn window_spec(&self) -> WindowSpec {
+        self.exec.window_spec()
+    }
+
+    fn ingest_lines(
+        &mut self,
+        source: usize,
+        lines: &[String],
+        range: &TimeRange,
+    ) -> redoop_core::Result<()> {
+        self.exec.ingest(source, lines.iter().map(String::as_str), range)
+    }
+
+    fn run_window(&mut self, rec: u64) -> redoop_core::Result<WindowReport> {
+        let report = self.exec.run_window(rec)?;
+        self.log.borrow_mut().push(mask_snapshot(self.exec));
+        Ok(report)
+    }
+}
+
+#[test]
+fn deployment_matches_the_sequential_multiquery_oracle() {
+    // Two queries over one shared source, driven two ways: sequentially
+    // (all data up front, each query runs its windows back-to-back —
+    // the pre-deployment harness) and through RecurringDeployment
+    // (arrivals fed batch-by-batch, windows interleaved in fire-time
+    // order). Outputs and each query's doneQueryMask progression must
+    // be identical.
+    let q1 = WindowSpec::new(2_000_000, 1_000_000).unwrap();
+    let q2 = WindowSpec::new(4_000_000, 1_000_000).unwrap();
+    let plan = ArrivalPlan::new(q2, 3);
+    let mut generator = WccGenerator::new(77, 80, 200, 0.002);
+    let batches = plan.generate(|range, m| generator.batch(range, m));
+    const Q1_WINDOWS: u64 = 5;
+    const Q2_WINDOWS: u64 = 3;
+
+    // Sequential oracle.
+    let seq_cluster = test_cluster();
+    let shared = SharedSource::new(
+        &seq_cluster,
+        0,
+        "wcc",
+        DfsPath::new("/panes/dep-mq").unwrap(),
+        &[q1, q2],
+        leading_ts_fn(),
+    )
+    .unwrap();
+    for b in &batches {
+        shared.ingest_batch(b.lines.iter().map(String::as_str), &b.range).unwrap();
+    }
+    let mut seq1 = shared_executor(&seq_cluster, &shared, q1, "dep-mq-q1");
+    let mut seq2 = shared_executor(&seq_cluster, &shared, q2, "dep-mq-q2");
+    let run_seq = |exec: &mut RecurringExecutor<AggMapper, AggReducer>, windows: u64| {
+        let mut outs = Vec::new();
+        let mut masks = Vec::new();
+        for w in 0..windows {
+            let r = exec.run_window(w).unwrap();
+            outs.push(read_window_output::<String, u64>(&seq_cluster, &r.outputs).unwrap());
+            masks.push(mask_snapshot(exec));
+        }
+        (outs, masks)
+    };
+    let (seq_outs1, seq_masks1) = run_seq(&mut seq1, Q1_WINDOWS);
+    let (seq_outs2, seq_masks2) = run_seq(&mut seq2, Q2_WINDOWS);
+
+    // Deployment-driven run on a fresh cluster: one shared arrival
+    // stream, two probed executors on one simulator clock.
+    let cluster = test_cluster();
+    let shared = SharedSource::new(
+        &cluster,
+        0,
+        "wcc",
+        DfsPath::new("/panes/dep-mq").unwrap(),
+        &[q1, q2],
+        leading_ts_fn(),
+    )
+    .unwrap();
+    let mut dep1 = shared_executor(&cluster, &shared, q1, "dep-mq-q1");
+    let mut dep2 = shared_executor(&cluster, &shared, q2, "dep-mq-q2");
+    let log1 = MaskLog::default();
+    let log2 = MaskLog::default();
+    let sim = dep1.sim().clone();
+    let mut deployment = RecurringDeployment::new(sim);
+    let src = deployment.add_shared_source(
+        shared.clone(),
+        batches.iter().map(|b| ArrivalBatch::new(b.lines.clone(), b.range.clone())).collect(),
+    );
+    let d1 = deployment
+        .add_query(MaskProbe { exec: &mut dep1, log: log1.clone() }, &[src], Q1_WINDOWS);
+    let d2 = deployment
+        .add_query(MaskProbe { exec: &mut dep2, log: log2.clone() }, &[src], Q2_WINDOWS);
+    let fired = deployment.run().unwrap();
+
+    // Interleaved in fire-time order: q1 fires at 2000/3000/4000/5000/
+    // 6000 virtual seconds, q2 at 4000/5000/6000 (ties to q1, which
+    // registered first).
+    let order: Vec<(usize, u64)> = fired.iter().map(|f| (f.query, f.recurrence)).collect();
+    assert_eq!(
+        order,
+        vec![(d1, 0), (d1, 1), (d1, 2), (d2, 0), (d1, 3), (d2, 1), (d1, 4), (d2, 2)],
+        "windows must interleave by fire time"
+    );
+
+    // Same outputs, window for window.
+    for (w, expect) in seq_outs1.iter().enumerate() {
+        let got: Vec<(String, u64)> =
+            read_window_output(&cluster, &deployment.reports(d1)[w].outputs).unwrap();
+        assert_eq!(&got, expect, "q1 window {w} outputs");
+    }
+    for (w, expect) in seq_outs2.iter().enumerate() {
+        let got: Vec<(String, u64)> =
+            read_window_output(&cluster, &deployment.reports(d2)[w].outputs).unwrap();
+        assert_eq!(&got, expect, "q2 window {w} outputs");
+    }
+
+    // Same doneQueryMask progression after each recurrence.
+    assert_eq!(*log1.borrow(), seq_masks1, "q1 doneQueryMask progression");
+    assert_eq!(*log2.borrow(), seq_masks2, "q2 doneQueryMask progression");
+}
+
 #[test]
 fn incompatible_window_constraints_are_rejected_at_attach() {
     let cluster = test_cluster();

@@ -103,6 +103,62 @@ fn failures_journal_rollback_events_and_counts() {
 }
 
 #[test]
+fn pane_builds_overlap_across_partitions_but_chain_within_one() {
+    // The driver charges each (pane x partition) build as part of that
+    // partition's reduce attempt: items of ONE partition run
+    // back-to-back (a single reduce task working through its panes),
+    // while DIFFERENT partitions are independent tasks that overlap in
+    // virtual time on the testbed's reduce slots.
+    let spec = spec_with_overlap(0.5);
+    let plan = ArrivalPlan::new(spec, 1);
+    let batches = wcc_batches(&plan, 91, 1.0);
+    let cluster = test_cluster();
+    let mut exec = agg_executor(&cluster, spec, "trace-span", batch_adaptive(&cluster, &spec));
+    let sink = TraceSink::with_capacity(1 << 17);
+    exec.set_trace_sink(sink.clone());
+    ingest_all(&mut exec, 0, &batches);
+    exec.run_window(0).unwrap();
+
+    // Collapse each build task's shuffle/sort/reduce spans into one
+    // (partition, start, end) interval.
+    let mut tasks: std::collections::HashMap<String, (u32, u64, u64)> =
+        std::collections::HashMap::new();
+    for e in sink.events() {
+        if let TraceEvent::TaskSpan { start, end, label, .. } = e {
+            if let Some(rest) = label.strip_prefix("build/w0/") {
+                let partition: u32 = rest
+                    .rsplit_once("/r")
+                    .and_then(|(_, r)| r.parse().ok())
+                    .expect("build labels end in /r{partition}");
+                let entry = tasks.entry(label.clone()).or_insert((partition, start.0, end.0));
+                entry.1 = entry.1.min(start.0);
+                entry.2 = entry.2.max(end.0);
+            }
+        }
+    }
+    let spans: Vec<(u32, u64, u64)> = tasks.into_values().collect();
+    let partitions: std::collections::HashSet<u32> = spans.iter().map(|s| s.0).collect();
+    assert!(
+        partitions.len() >= 2,
+        "cold window must build panes on several partitions, saw {partitions:?}"
+    );
+    let cross_overlap = spans.iter().enumerate().any(|(i, a)| {
+        spans[i + 1..].iter().any(|b| a.0 != b.0 && a.1 < b.2 && b.1 < a.2)
+    });
+    assert!(
+        cross_overlap,
+        "builds on different partitions must overlap in virtual time: {spans:?}"
+    );
+    let same_overlap = spans.iter().enumerate().any(|(i, a)| {
+        spans[i + 1..].iter().any(|b| a.0 == b.0 && a.1 < b.2 && b.1 < a.2)
+    });
+    assert!(
+        !same_overlap,
+        "builds within one partition form one reduce attempt and must chain: {spans:?}"
+    );
+}
+
+#[test]
 fn subpane_caches_expire_with_their_pane() {
     // Regression: the expiry sweep used to enumerate only the literal
     // `sub: 0` input object, so adaptive sub-pane entries (`sub >= 1`)
@@ -116,7 +172,7 @@ fn subpane_caches_expire_with_their_pane() {
     let cluster = test_cluster();
     let mut exec =
         agg_executor(&cluster, spec, "trace-sub", proactive_adaptive(&cluster, &spec, 4));
-    let reports = run_windows_interleaved(&mut exec, &[&batches], windows, &spec);
+    let reports = run_windows_interleaved(&mut exec, &[&batches], windows);
     assert_eq!(reports.len(), windows as usize);
 
     let geom = PaneGeometry::from_spec(&spec);
