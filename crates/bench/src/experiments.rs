@@ -330,6 +330,87 @@ pub fn fig9(windows: u64, seed: u64) -> FaultSeries {
     }
 }
 
+/// Delta-maintenance figure: steady-state window firing cost versus
+/// arrival rate, incremental pane maintenance against the fire-time
+/// rebuild path (both with the map-side combiner installed, so the only
+/// difference is *when* the pane state is computed).
+#[derive(Debug, Clone)]
+pub struct DeltaSeries {
+    /// Arrival-rate multipliers swept (1.0 = the default WCC rate).
+    pub rates: Vec<f64>,
+    /// Steady-state (windows 1..) summed firing cost, delta path.
+    pub delta_secs: Vec<f64>,
+    /// Steady-state summed firing cost, rebuild path.
+    pub rebuild_secs: Vec<f64>,
+    /// Accepted records per run (grows with rate; the rebuild cost
+    /// driver).
+    pub records: Vec<u64>,
+    /// Whether every window's output bytes were bit-identical between
+    /// the two paths at every rate.
+    pub outputs_match: bool,
+}
+
+impl DeltaSeries {
+    /// Firing-cost advantage of the delta path at the highest rate.
+    pub fn speedup_at_top(&self) -> f64 {
+        self.rebuild_secs.last().unwrap() / self.delta_secs.last().unwrap()
+    }
+}
+
+/// Runs the delta figure: the WCC aggregation with the sum combiner at
+/// overlap 0.5, swept over arrival-rate multipliers, fed through the
+/// interleaved deployment driver (the delta path folds at ingestion, so
+/// batch-by-batch delivery is the regime it is built for). The rebuild
+/// run disables only `delta_maintenance`; outputs are compared
+/// bit-for-bit, window for window.
+pub fn fig_delta(windows: u64, seed: u64) -> DeltaSeries {
+    use redoop_mapred::combiner::SumCombiner;
+
+    let spec = spec(0.5);
+    let mut series = DeltaSeries {
+        rates: Vec::new(),
+        delta_secs: Vec::new(),
+        rebuild_secs: Vec::new(),
+        records: Vec::new(),
+        outputs_match: true,
+    };
+    for (i, rate) in [0.5, 1.0, 2.0, 4.0].into_iter().enumerate() {
+        let plan = ArrivalPlan::new(spec, windows);
+        let batches = wcc_rate(&plan, seed + i as u64, rate);
+        let records: u64 = batches.iter().map(|b| b.lines.len() as u64).sum();
+
+        let run = |delta_on: bool| {
+            let cluster = cluster();
+            let tag = format!("fd-{i}-{}", u8::from(delta_on));
+            let mut exec = agg_executor(&cluster, spec, &tag, controller_off(&cluster, &spec));
+            exec.set_combiner(Arc::new(SumCombiner));
+            if !delta_on {
+                exec.set_options(ExecutorOptions {
+                    delta_maintenance: false,
+                    ..Default::default()
+                });
+            }
+            let reports = run_interleaved(&mut exec, &[&batches], windows);
+            let cost = total_secs(
+                &reports[1..].iter().map(|r| r.response).collect::<Vec<_>>(),
+            );
+            let parts: Vec<Vec<u8>> = reports
+                .iter()
+                .flat_map(|r| r.outputs.iter().map(|p| cluster.read(p).unwrap().to_vec()))
+                .collect();
+            (cost, parts)
+        };
+        let (delta_cost, delta_parts) = run(true);
+        let (rebuild_cost, rebuild_parts) = run(false);
+        series.outputs_match &= delta_parts == rebuild_parts;
+        series.rates.push(rate);
+        series.delta_secs.push(delta_cost);
+        series.rebuild_secs.push(rebuild_cost);
+        series.records.push(records);
+    }
+    series
+}
+
 /// Fig. 3 / Algorithm 1 demonstration: the partition plans the Semantic
 /// Analyzer produces for the paper's example and two contrasting rates.
 /// Returns `(label, pane_minutes, panes_per_file)` rows.
@@ -391,9 +472,9 @@ pub fn ablations(windows: u64, seed: u64) -> AblationReport {
 
     let full = run(ExecutorOptions::default(), "ab-full");
     let no_caching =
-        run(ExecutorOptions { caching: false, cache_aware_scheduling: true }, "ab-nocache");
+        run(ExecutorOptions { caching: false, ..Default::default() }, "ab-nocache");
     let no_cache_aware_scheduling =
-        run(ExecutorOptions { caching: true, cache_aware_scheduling: false }, "ab-blind");
+        run(ExecutorOptions { cache_aware_scheduling: false, ..Default::default() }, "ab-blind");
 
     let cluster = cluster();
     let files = baseline_files(&cluster, &format!("/batches/abh-{seed}"), &batches);
@@ -447,6 +528,25 @@ mod tests {
         let s = fig6(0.9, 3, 5);
         assert!(s.outputs_match);
         assert!(s.steady_speedup() > 2.0, "speedup {}", s.steady_speedup());
+    }
+
+    #[test]
+    fn delta_firing_beats_rebuild_and_scales_with_state_not_records() {
+        let s = fig_delta(4, 7);
+        assert!(s.outputs_match, "delta and rebuild outputs must be bit-identical");
+        assert!(
+            s.speedup_at_top() >= 2.0,
+            "delta must fire >=2x cheaper at the top rate: {s:?}"
+        );
+        // Rebuild cost is driven by the record count, delta cost by the
+        // (fixed) panes x keys state size: across an 8x rate sweep the
+        // rebuild cost must grow by strictly more than the delta cost.
+        let delta_growth = s.delta_secs.last().unwrap() / s.delta_secs.first().unwrap();
+        let rebuild_growth = s.rebuild_secs.last().unwrap() / s.rebuild_secs.first().unwrap();
+        assert!(
+            rebuild_growth > delta_growth,
+            "rebuild must scale with records, delta with state: {s:?}"
+        );
     }
 
     #[test]

@@ -46,9 +46,17 @@ pub fn spec(overlap: f64) -> WindowSpec {
     WindowSpec::with_overlap(WIN_MS, overlap).expect("valid overlap")
 }
 
-/// WCC clickstream batches for `plan`.
+/// WCC clickstream batches for `plan` at the default arrival rate.
 pub fn wcc(plan: &ArrivalPlan, seed: u64) -> Vec<GeneratedBatch> {
-    let mut generator = WccGenerator::new(seed, 120, 500, 0.01);
+    wcc_rate(plan, seed, 1.0)
+}
+
+/// WCC clickstream batches at `scale` times the default arrival rate —
+/// the knob of the delta-maintenance figure (firing cost vs rate): the
+/// record count grows with `scale` while the key cardinality (clients ×
+/// objects) stays fixed.
+pub fn wcc_rate(plan: &ArrivalPlan, seed: u64, scale: f64) -> Vec<GeneratedBatch> {
+    let mut generator = WccGenerator::new(seed, 120, 500, 0.01 * scale);
     plan.generate(|range, m| generator.batch(range, m))
 }
 

@@ -39,6 +39,19 @@ pub enum CacheObject {
         /// Pane of source 1.
         right: PaneId,
     },
+    /// Reduce-output *delta* cache: one pane's aggregates maintained
+    /// incrementally by folding arriving records at ingestion and sealed
+    /// when the pane seals. Same payload format as [`PaneOutput`] (a
+    /// sorted grouped block), but a distinct class so the planner can
+    /// tell "state already maintained online" from "built at fire time".
+    ///
+    /// [`PaneOutput`]: CacheObject::PaneOutput
+    PaneDelta {
+        /// Source the pane belongs to.
+        source: u32,
+        /// The pane.
+        pane: PaneId,
+    },
 }
 
 /// Cache type tag as stored in registries (paper Table 1: 1 = reduce
@@ -56,9 +69,9 @@ impl CacheObject {
     pub fn kind(&self) -> CacheKind {
         match self {
             CacheObject::PaneInput { .. } => CacheKind::ReduceInput,
-            CacheObject::PaneOutput { .. } | CacheObject::PairOutput { .. } => {
-                CacheKind::ReduceOutput
-            }
+            CacheObject::PaneOutput { .. }
+            | CacheObject::PairOutput { .. }
+            | CacheObject::PaneDelta { .. } => CacheKind::ReduceOutput,
         }
     }
 
@@ -74,6 +87,9 @@ impl CacheObject {
             }
             CacheObject::PairOutput { left, right } => {
                 format!("po/p{}x{}/r{partition}", left.0, right.0)
+            }
+            CacheObject::PaneDelta { source, pane } => {
+                format!("rd/s{source}p{}/r{partition}", pane.0)
             }
         }
     }
@@ -117,6 +133,10 @@ mod tests {
         let pair = CacheObject::PairOutput { left: PaneId(3), right: PaneId(5) };
         assert_eq!(pair.store_name(1), "po/p3x5/r1");
         assert_eq!(pair.kind(), CacheKind::ReduceOutput);
+
+        let delta = CacheObject::PaneDelta { source: 0, pane: PaneId(7) };
+        assert_eq!(delta.store_name(3), "rd/s0p7/r3");
+        assert_eq!(delta.kind(), CacheKind::ReduceOutput);
     }
 
     #[test]

@@ -10,7 +10,11 @@
 //! window. This replays exactly what a live cluster does — batches land
 //! as they arrive, adaptive plan changes take effect on later panes, and
 //! queries with shorter slides fire more often than long-window queries
-//! sharing the same source.
+//! sharing the same source. Incremental pane maintenance rides this path
+//! for free: each delivered batch flows through
+//! [`RecurringExecutor::ingest`], which folds delta-eligible queries'
+//! records into per-pane state and seals it as panes close, so by fire
+//! time the window's state is already materialized.
 //!
 //! All executors should be built over clones of one [`ClusterSim`]
 //! handle (clones share the slot timeline — see

@@ -31,7 +31,9 @@ where
     /// Pure compute of a per-pane partial aggregate (reduce-output
     /// cache): sort/group the bucket, run the reducer, and encode the
     /// partial result as a grouped block. No executor state is touched.
-    fn pane_output_compute(
+    /// Also the delta seal's compute — sealed `rd/…` deltas share the
+    /// `ro/…` payload format by construction.
+    pub(super) fn pane_output_compute(
         bucket: &mrio::ShuffleBucket,
         raw: Option<Vec<(M::KOut, M::VOut)>>,
         reducer: &R,
@@ -239,7 +241,13 @@ where
             Vec::with_capacity(panes.len());
         let mut all_sorted = true;
         for &p in panes {
-            let name = output_name(0, p, r);
+            // Delta-hit panes were sealed at ingestion under the `rd/…`
+            // class; everything else (fresh builds, prior-window `ro/…`
+            // caches) lives under the plain output name. Both carry the
+            // same grouped-block payload.
+            let delta_hit = prep.delta_hits.contains(&p.0);
+            let name =
+                if delta_hit { super::plan::delta_name(0, p, r) } else { output_name(0, p, r) };
             let fresh = prep.missing_set.contains(&(0, p.0));
             if let Some(sig) = self.controller.signature(&name) {
                 // Every pane partial gates readiness: fresh builds by
@@ -262,6 +270,14 @@ where
             partial_records += block.records;
             all_sorted &= block.sorted;
             runs.push(block.grouped);
+            // A consumed delta counts as the pane's product for expiry
+            // purposes — a partially-sealed pane (some partitions fell
+            // back to rebuild) would otherwise never satisfy the status
+            // matrix and leak its surviving `rd/…` caches.
+            if delta_hit && r == self.conf.num_reducers - 1 {
+                self.matrix.mark_done(&[p]);
+                self.built_panes.insert((0, p.0));
+            }
         }
         let groups = if all_sorted {
             exec::merge_sorted_groups(runs)

@@ -149,6 +149,9 @@ pub(super) struct PartitionPrep {
     pub(super) todo_pairs: Vec<(PaneId, PaneId)>,
     /// Set twin of `todo_pairs`.
     pub(super) todo_set: HashSet<(u64, u64)>,
+    /// Panes whose `FoldDelta` node hit a sealed delta (`rd/…`) cache on
+    /// the anchor — the merge reads those under the delta name.
+    pub(super) delta_hits: HashSet<u64>,
     /// Map-stage completion per missing `(source, pane)`.
     pub(super) map_ready: HashMap<(u32, u64), SimTime>,
 }
@@ -209,23 +212,43 @@ where
         let mut missing_set: HashSet<(u32, u64)> = HashSet::new();
         let mut todo_pairs: Vec<(PaneId, PaneId)> = Vec::new();
         let mut todo_set: HashSet<(u64, u64)> = HashSet::new();
+        let mut delta_hits: HashSet<u64> = HashSet::new();
         for pnode in plan.partition_nodes(r) {
             let name = match pnode.task {
-                PlanTask::BuildPane { .. } | PlanTask::BuildPair { .. } => pnode.produces[0],
+                PlanTask::BuildPane { .. }
+                | PlanTask::BuildPair { .. }
+                | PlanTask::FoldDelta { .. } => pnode.produces[0],
                 PlanTask::MergePanes { .. } | PlanTask::FinalReduce { .. } => continue,
             };
+            // The cache the merge would read on a hit: the produced name,
+            // except a `FoldDelta` whose delta was lost can still hit the
+            // plain reduce-output cache a previous window's rebuild left.
+            let mut hit_name = name;
             let hit = match pnode.task {
                 PlanTask::BuildPane { .. } => self.cached_on(&name, node),
+                PlanTask::FoldDelta { source, pane, .. } => {
+                    if self.cached_on(&name, node) {
+                        delta_hits.insert(pane.0);
+                        true
+                    } else {
+                        let fallback = super::plan::output_name(source, pane, r);
+                        let fallback_hit = self.cached_on(&fallback, node);
+                        if fallback_hit {
+                            hit_name = fallback;
+                        }
+                        fallback_hit
+                    }
+                }
                 PlanTask::BuildPair { left, right, .. } => {
                     self.matrix.is_done(&[left, right]) && self.cached_on(&name, node)
                 }
                 _ => unreachable!(),
             };
-            let bytes = self.controller.signature(&name).map_or(0, |s| s.bytes);
+            let bytes = self.controller.signature(&hit_name).map_or(0, |s| s.bytes);
             self.trace.emit(|| TraceEvent::Cache {
                 at: ctx.fire,
                 action: if hit { CacheAction::Hit } else { CacheAction::Miss },
-                name: name.store_name(),
+                name: hit_name.store_name(),
                 node: if hit { Some(node) } else { None },
                 bytes,
             });
@@ -236,7 +259,12 @@ where
             }
             self.win_stats.cache_misses += 1;
             match pnode.task {
-                PlanTask::BuildPane { source, pane, .. } => {
+                // A missed fold means the pane's delta state was lost (or
+                // never maintained): fall back to rebuilding this pane
+                // partition from the raw pane files, exactly the
+                // `BuildPane` path.
+                PlanTask::BuildPane { source, pane, .. }
+                | PlanTask::FoldDelta { source, pane, .. } => {
                     if missing_set.insert((source, pane.0)) {
                         missing.push((source, pane));
                     }
@@ -262,7 +290,7 @@ where
                 map_ready.insert((entry.source, entry.pane.0), t);
             }
         }
-        Ok(PartitionPrep { node, missing, missing_set, todo_pairs, todo_set, map_ready })
+        Ok(PartitionPrep { node, missing, missing_set, todo_pairs, todo_set, delta_hits, map_ready })
     }
 
     // ------------------------------------------------------------------
@@ -281,7 +309,12 @@ where
     /// Loads are clamped to `floor`: a slot freeing up before the task
     /// can start contributes no waiting time, so only *actual* queueing
     /// competes with the cache-affinity term.
-    fn pick_reduce_node(&mut self, caches: &[CacheName], floor: SimTime, label: &str) -> NodeId {
+    pub(super) fn pick_reduce_node(
+        &mut self,
+        caches: &[CacheName],
+        floor: SimTime,
+        label: &str,
+    ) -> NodeId {
         let loads: Vec<SimTime> =
             self.sim.loads(TaskKind::Reduce).into_iter().map(|l| l.max(floor)).collect();
         let alive = self.alive_vec();
@@ -630,7 +663,8 @@ where
         let r = self.conf.num_reducers as u64;
         match name.object {
             CacheObject::PaneInput { source, pane, .. }
-            | CacheObject::PaneOutput { source, pane } => {
+            | CacheObject::PaneOutput { source, pane }
+            | CacheObject::PaneDelta { source, pane } => {
                 self.sources[source as usize].packer.lock().manifest().pane_bytes(pane) / r
             }
             CacheObject::PairOutput { left, right } => {
@@ -690,6 +724,7 @@ where
             let names = self.controller.names_matching(|n| match n.object {
                 CacheObject::PaneInput { source: s, pane, .. } => s == source && pane.0 == p,
                 CacheObject::PaneOutput { source: s, pane } => s == source && pane.0 == p,
+                CacheObject::PaneDelta { source: s, pane } => s == source && pane.0 == p,
                 CacheObject::PairOutput { .. } => false,
             });
             for name in names {

@@ -42,6 +42,7 @@
 pub mod plan;
 
 mod agg;
+mod delta;
 mod driver;
 mod join;
 
@@ -83,11 +84,16 @@ pub struct ExecutorOptions {
     /// (Eq. 4). When false, reduces are placed load-only, like plain
     /// Hadoop — caches landing on other nodes must be rebuilt.
     pub cache_aware_scheduling: bool,
+    /// Maintain pane state incrementally at ingestion when the query has
+    /// an algebraically-safe combiner (fold arriving deltas, seal on pane
+    /// close), so firing pays only the merge. When false — or when the
+    /// query has no combiner — every pane product is built at fire time.
+    pub delta_maintenance: bool,
 }
 
 impl Default for ExecutorOptions {
     fn default() -> Self {
-        ExecutorOptions { caching: true, cache_aware_scheduling: true }
+        ExecutorOptions { caching: true, cache_aware_scheduling: true, delta_maintenance: true }
     }
 }
 
@@ -134,6 +140,11 @@ struct SourceState {
     conf: SourceConf,
     geom: crate::pane::PaneGeometry,
     packer: PackerHandle,
+    /// Whether the packer is shared with other queries
+    /// ([`crate::shared::SharedSource`]): shared sources ingest outside
+    /// this executor's ingest path, so delta maintenance cannot observe
+    /// their batches and stays off.
+    shared: bool,
 }
 
 /// The recurring-query executor. See module docs.
@@ -159,6 +170,7 @@ where
     adaptive: AdaptiveController,
     scheduler: CacheAwareScheduler,
     mapped: HashMap<(u32, u64), MappedPane<M::KOut, M::VOut>>,
+    delta: delta::DeltaMaintenance<M::KOut, M::VOut>,
     built_panes: BTreeSet<(u32, u64)>,
     built_pairs: BTreeSet<(u64, u64)>,
     window_built: usize,
@@ -276,6 +288,7 @@ where
         if sources.is_empty() || sources.len() > 2 {
             return Err(RedoopError::InvalidQuery("1 or 2 sources supported".into()));
         }
+        let num_reducers = conf.num_reducers;
         if sources.len() == 1 && merger.is_none() {
             return Err(RedoopError::InvalidQuery("aggregation requires a merger".into()));
         }
@@ -303,6 +316,7 @@ where
         let mut states = Vec::with_capacity(sources.len());
         for (sid, (src, shared)) in sources.into_iter().enumerate() {
             let src_geom = geom_of(&src.spec)?;
+            let is_shared = shared.is_some();
             let packer = match shared {
                 Some(handle) => handle,
                 None => {
@@ -317,7 +331,7 @@ where
                     )))
                 }
             };
-            states.push(SourceState { geom: src_geom, conf: src, packer });
+            states.push(SourceState { geom: src_geom, conf: src, packer, shared: is_shared });
         }
         let dims = states.len();
         // One journal for the whole executor: the sim's sink (global by
@@ -350,6 +364,7 @@ where
             adaptive,
             scheduler: CacheAwareScheduler,
             mapped: HashMap::new(),
+            delta: delta::DeltaMaintenance::new(num_reducers),
             built_panes: BTreeSet::new(),
             built_pairs: BTreeSet::new(),
             window_built: 0,
@@ -428,6 +443,13 @@ where
     /// piggybacks pane creation on loading, paper §2.3). Sealed panes are
     /// announced to the cache controller (ready bit 1) and queued on the
     /// map task list.
+    ///
+    /// When the query carries an algebraically-safe combiner, the batch
+    /// is additionally **folded** into per-(pane, partition) delta state
+    /// as it lands, and panes the packer just sealed get their delta
+    /// state sealed as `rd/…` caches — see the [`delta`](self) module.
+    /// The packer parses each record exactly once: the fold reuses the
+    /// per-pane line index that pane assignment already produced.
     pub fn ingest<'l>(
         &mut self,
         source: usize,
@@ -435,12 +457,17 @@ where
         range: &TimeRange,
     ) -> Result<()> {
         let sid = source as u32;
+        let lines: Vec<&str> = lines.collect();
         let state = &mut self.sources[source];
         let mut packer = state.packer.lock();
         let before = packer.manifest().max_sealed_pane().map(|p| p.0 + 1).unwrap_or(0);
-        packer.ingest_batch(lines, range)?;
+        let outcome = packer.ingest_batch_indexed(&lines, range)?;
         let after = packer.manifest().max_sealed_pane().map(|p| p.0 + 1).unwrap_or(0);
         drop(packer);
+        let delta_on = source == 0 && self.delta_enabled();
+        if delta_on {
+            self.delta_fold_batch(&lines, &outcome, range)?;
+        }
         for p in before..after {
             // Announce every sub-pane slice (adaptive plans write several
             // per pane); the expiry sweep retires them all by pane.
@@ -465,6 +492,9 @@ where
                 source: sid,
                 pane: p,
             });
+        }
+        if delta_on {
+            self.delta_seal_panes(before, after)?;
         }
         Ok(())
     }
@@ -542,8 +572,16 @@ where
 
         // Plan, then drive: the plan enumerates every task with its cache
         // annotations; the driver decides hits vs rebuilds at dispatch.
+        // The fold-vs-rebuild choice is made here, at plan-build time,
+        // from query properties: incrementally maintained queries get
+        // `FoldDelta` nodes (charge only residual fold/seal cost), all
+        // others keep `BuildPane` as the explicit fallback.
         let window_plan = if self.sources.len() == 1 {
-            plan::WindowPlan::aggregation(rec, panes, self.conf.num_reducers)
+            if self.delta_enabled() {
+                plan::WindowPlan::aggregation_delta(rec, panes, self.conf.num_reducers)
+            } else {
+                plan::WindowPlan::aggregation(rec, panes, self.conf.num_reducers)
+            }
         } else {
             plan::WindowPlan::binary_join(rec, panes, self.conf.num_reducers)
         };

@@ -35,6 +35,12 @@
 //!   (Eq. 4 placement, cache hit/miss accounting, per-task charging),
 //!   with finalization, expiration, purging, and failure recovery via
 //!   task re-execution (§5).
+//! * **Incremental pane maintenance** — aggregation queries with an
+//!   algebraically-safe combiner fold arriving records into
+//!   per-(pane, partition) delta state at ingestion and seal it as
+//!   `rd/…` reduce-output caches when the pane closes; firing then
+//!   costs only the O(panes × keys) merge instead of an O(records)
+//!   rebuild (see DESIGN.md §Incremental pane maintenance).
 //! * **The deployment layer** ([`deployment`]) — N recurring queries
 //!   over shared arrival streams, windows interleaved in fire-time
 //!   order on one virtual clock.
@@ -71,9 +77,14 @@
 //! // One simulator handle; every executor clones it so all queries
 //! // share the virtual slot timeline.
 //! let sim = ClusterSim::paper_testbed(4, CostModel::default());
-//! let exec = RecurringExecutor::aggregation(
+//! let mut exec = RecurringExecutor::aggregation(
 //!     &cluster, sim.clone(), conf, source, mapper, reducer, Arc::new(SumMerger), adaptive,
 //! ).unwrap();
+//!
+//! // Install a combiner and the query qualifies for incremental pane
+//! // maintenance: arrivals fold into per-pane delta state at ingestion
+//! // and windows fire off the sealed deltas with a merge alone.
+//! exec.set_combiner(Arc::new(redoop_mapred::combiner::SumCombiner));
 //!
 //! // Deploy: the arrival stream is delivered batch-by-batch as windows
 //! // fire, exactly as on a live cluster.
@@ -111,7 +122,7 @@ pub use baseline::{run_baseline_window, BatchFile, WindowFilterMapper};
 pub use deployment::{ArrivalBatch, DeployedQuery, FiredWindow, RecurringDeployment};
 pub use error::{RedoopError, Result};
 pub use executor::{read_window_output, ExecutorOptions, RecurringExecutor, WindowReport};
-pub use packer::{DynamicDataPacker, PaneManifest, PaneSlice};
+pub use packer::{DynamicDataPacker, IngestOutcome, PaneManifest, PaneSlice};
 pub use pane::{gcd, PaneGeometry, PaneId};
 pub use profiler::{ExecutionProfiler, Observation};
 pub use query::WindowSpec;

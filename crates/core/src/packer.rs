@@ -143,6 +143,17 @@ impl PaneBuffer {
     }
 }
 
+/// Result of one indexed batch ingestion: the sealed pane files plus the
+/// accepted lines grouped by target pane (first-seen pane order; indices
+/// are positions in the ingested batch, in arrival order).
+#[derive(Debug, Default)]
+pub struct IngestOutcome {
+    /// Paths of newly written (sealed) pane files.
+    pub written: Vec<DfsPath>,
+    /// `(pane, accepted line indices)` per pane touched by the batch.
+    pub pane_lines: Vec<(u64, Vec<u32>)>,
+}
+
 /// The Dynamic Data Packer for one data source.
 pub struct DynamicDataPacker {
     cluster: Cluster,
@@ -261,12 +272,30 @@ impl DynamicDataPacker {
         lines: impl Iterator<Item = &'l str>,
         batch_range: &TimeRange,
     ) -> Result<Vec<DfsPath>> {
+        let lines: Vec<&str> = lines.collect();
+        Ok(self.ingest_batch_indexed(&lines, batch_range)?.written)
+    }
+
+    /// Like [`ingest_batch`], but also reports which batch lines were
+    /// accepted into which pane, in arrival order. The pane assignment is
+    /// a by-product of the packer's single timestamp parse per record, so
+    /// an ingestion-path consumer (the executor's online delta combiner)
+    /// can route the *same* parsed records without re-locating them —
+    /// a record is parsed for routing at most once per pane lifetime.
+    ///
+    /// [`ingest_batch`]: DynamicDataPacker::ingest_batch
+    pub fn ingest_batch_indexed(
+        &mut self,
+        lines: &[&str],
+        batch_range: &TimeRange,
+    ) -> Result<IngestOutcome> {
         // A batch covers few (sub-)panes, so buffer per batch in a small
         // list (linear key scan) and merge into `pending` once per key
         // instead of paying a tree lookup per line. Per-key line order is
         // arrival order either way.
         let mut local: Vec<((u64, u32), PaneBuffer)> = Vec::new();
-        for line in lines {
+        let mut pane_lines: Vec<(u64, Vec<u32>)> = Vec::new();
+        for (idx, &line) in lines.iter().enumerate() {
             match self.locate(line) {
                 Some((key, ts)) => {
                     if !batch_range.contains(ts) {
@@ -291,13 +320,18 @@ impl DynamicDataPacker {
                             local.push((key, buf));
                         }
                     }
+                    match pane_lines.iter_mut().find(|(p, _)| *p == key.0) {
+                        Some((_, idxs)) => idxs.push(idx as u32),
+                        None => pane_lines.push((key.0, vec![idx as u32])),
+                    }
                 }
                 None => self.dropped_records += 1,
             }
         }
         self.merge_pending(local);
         self.observed_span_ms = self.observed_span_ms.max(batch_range.end.0);
-        self.seal_until(batch_range.end)
+        let written = self.seal_until(batch_range.end)?;
+        Ok(IngestOutcome { written, pane_lines })
     }
 
     /// Seals everything buffered, regardless of completeness (end of
@@ -586,6 +620,23 @@ mod tests {
             .unwrap();
         assert_eq!(packer.dropped_records(), 1);
         assert_eq!(packer.manifest().pane_records(PaneId(0)), 1);
+    }
+
+    #[test]
+    fn indexed_ingest_reports_accepted_lines_per_pane() {
+        let c = cluster();
+        let mut packer =
+            DynamicDataPacker::new(&c, 1, root(), PartitionPlan::simple(10), ts_fn());
+        let lines = ["3,a", "garbage", "12,b", "7,c", "15,d"];
+        let out = packer
+            .ingest_batch_indexed(&lines, &TimeRange::new(EventTime(0), EventTime(20)))
+            .unwrap();
+        // First-seen pane order; indices in arrival order; the bad line
+        // is dropped (counted), not indexed.
+        assert_eq!(out.pane_lines, vec![(0, vec![0, 3]), (1, vec![2, 4])]);
+        assert_eq!(packer.dropped_records(), 1);
+        let names: Vec<&str> = out.written.iter().map(|p| p.file_name()).collect();
+        assert_eq!(names, vec!["S1P0", "S1P1"]);
     }
 
     #[test]

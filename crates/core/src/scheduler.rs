@@ -251,6 +251,22 @@ mod tests {
     }
 
     #[test]
+    fn affinity_weighs_delta_state_like_pane_caches() {
+        // Incremental pane maintenance registers sealed `rd/…` delta
+        // caches through the same controller, so Eq. 4's affinity term
+        // pulls fire-time anchors toward delta home nodes exactly as it
+        // does toward pane-output holders.
+        let delta =
+            CacheName::new(CacheObject::PaneDelta { source: 0, pane: PaneId(3) }, 2);
+        let mut ctl = CacheController::new(1);
+        ctl.register_cache(delta, NodeId(4), 500_000, SimTime::ZERO);
+        let cost = CostModel::default();
+        let on_home = cache_affinity(&ctl, &[delta], NodeId(4), &cost);
+        let elsewhere = cache_affinity(&ctl, &[delta], NodeId(0), &cost);
+        assert!(on_home < elsewhere, "delta home must win the affinity term");
+    }
+
+    #[test]
     fn unknown_caches_cost_nothing_extra() {
         let ctl = CacheController::new(1);
         let cost = CostModel::default();

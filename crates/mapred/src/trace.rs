@@ -4,8 +4,8 @@
 //! task placement decisions (including the per-node `Load_i + C_task,i`
 //! scores behind each Eq. 4 argmin), cache lifecycle transitions
 //! (register/hit/miss/invalidate/forget/purge), heartbeat reconciliation
-//! and §5 rollbacks, pane seal/expire, and per-phase task spans
-//! (map/shuffle/sort/reduce/merge).
+//! and §5 rollbacks, pane seal/expire, incremental delta fold/seal, and
+//! per-phase task spans (map/shuffle/sort/reduce/merge/fold).
 //!
 //! Design constraints:
 //!
@@ -103,7 +103,8 @@ pub enum TraceEvent {
     },
     /// One task phase occupying a slot in virtual time.
     TaskSpan {
-        /// Phase name: `map`, `shuffle`, `sort`, `reduce`, or `merge`.
+        /// Phase name: `map`, `shuffle`, `sort`, `reduce`, `merge`, or
+        /// `fold`.
         phase: &'static str,
         /// Node the span ran on.
         node: NodeId,
@@ -158,6 +159,36 @@ pub enum TraceEvent {
         source: u32,
         /// Sealed pane.
         pane: u64,
+    },
+    /// An arrival batch was folded into a pane's incremental reduce
+    /// state (online per-(pane, partition) combining at ingestion).
+    DeltaFold {
+        /// Virtual time the fold was charged (batch arrival end).
+        at: SimTime,
+        /// Source stream.
+        source: u32,
+        /// Target pane.
+        pane: u64,
+        /// Records folded from this batch.
+        records: u64,
+        /// Distinct groups held across partitions after the fold.
+        groups: u64,
+    },
+    /// A pane's incremental reduce state was sealed into a delta cache
+    /// (one event per (pane, partition)).
+    DeltaSeal {
+        /// Virtual time the seal completed.
+        at: SimTime,
+        /// Source stream.
+        source: u32,
+        /// Sealed pane.
+        pane: u64,
+        /// Reduce partition.
+        partition: u32,
+        /// Node holding the sealed delta cache.
+        node: NodeId,
+        /// Sealed cache size in bytes.
+        bytes: u64,
     },
     /// A pane slid out of every window and its caches were expired.
     PaneExpire {
@@ -292,6 +323,20 @@ impl TraceEvent {
                     out,
                     "{{\"type\":\"pane_seal\",\"at_us\":{},\"source\":{},\"pane\":{}}}",
                     at.0, source, pane
+                );
+            }
+            TraceEvent::DeltaFold { at, source, pane, records, groups } => {
+                let _ = write!(
+                    out,
+                    "{{\"type\":\"delta_fold\",\"at_us\":{},\"source\":{},\"pane\":{},\"records\":{},\"groups\":{}}}",
+                    at.0, source, pane, records, groups
+                );
+            }
+            TraceEvent::DeltaSeal { at, source, pane, partition, node, bytes } => {
+                let _ = write!(
+                    out,
+                    "{{\"type\":\"delta_seal\",\"at_us\":{},\"source\":{},\"pane\":{},\"partition\":{},\"node\":{},\"bytes\":{}}}",
+                    at.0, source, pane, partition, node.0, bytes
                 );
             }
             TraceEvent::PaneExpire { at, source, pane } => {
@@ -583,6 +628,34 @@ mod tests {
              {\"node\":1,\"load_us\":2,\"cost_us\":1}]},\
              {\"type\":\"cache\",\"at_us\":11,\"action\":\"register\",\"name\":\"ri/s0p3.0/r1\",\
              \"node\":2,\"bytes\":512}]}"
+        );
+    }
+
+    #[test]
+    fn delta_events_render_exactly() {
+        let sink = TraceSink::with_capacity(8);
+        sink.emit(|| TraceEvent::DeltaFold {
+            at: SimTime(20),
+            source: 0,
+            pane: 3,
+            records: 150,
+            groups: 42,
+        });
+        sink.emit(|| TraceEvent::DeltaSeal {
+            at: SimTime(25),
+            source: 0,
+            pane: 3,
+            partition: 1,
+            node: NodeId(5),
+            bytes: 2048,
+        });
+        assert_eq!(
+            sink.render_json(),
+            "{\"schema\":\"redoop-trace/1\",\"dropped\":0,\"events\":[\
+             {\"type\":\"delta_fold\",\"at_us\":20,\"source\":0,\"pane\":3,\
+             \"records\":150,\"groups\":42},\
+             {\"type\":\"delta_seal\",\"at_us\":25,\"source\":0,\"pane\":3,\
+             \"partition\":1,\"node\":5,\"bytes\":2048}]}"
         );
     }
 

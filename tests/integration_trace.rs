@@ -178,9 +178,9 @@ fn subpane_caches_expire_with_their_pane() {
     let geom = PaneGeometry::from_spec(&spec);
     let last = windows - 1;
     let stale = exec.controller().names_matching(|n| match n.object {
-        CacheObject::PaneInput { pane, .. } | CacheObject::PaneOutput { pane, .. } => {
-            geom.pane_out_of_window(pane, last)
-        }
+        CacheObject::PaneInput { pane, .. }
+        | CacheObject::PaneOutput { pane, .. }
+        | CacheObject::PaneDelta { pane, .. } => geom.pane_out_of_window(pane, last),
         CacheObject::PairOutput { .. } => false,
     });
     assert!(
