@@ -7,9 +7,11 @@
 //! ```
 //!
 //! Subcommands: `fig3`, `fig6`, `fig7`, `fig8`, `fig9`, `delta`,
-//! `headline`, `ablations`, `all`. Times are simulated seconds (see
-//! DESIGN.md). `delta` (the incremental pane-maintenance figure) writes
-//! its own `BENCH_delta.json` instead of `BENCH_repro.json`.
+//! `share`, `headline`, `ablations`, `all`. Times are simulated seconds
+//! (see DESIGN.md). `delta` (the incremental pane-maintenance figure)
+//! writes its own `BENCH_delta.json`, and `share` (cross-query cache
+//! sharing: makespan and hit ratio vs fleet size) writes
+//! `BENCH_share.json`, instead of `BENCH_repro.json`.
 //!
 //! Pass `--trace <path>` to record the cluster's structured trace
 //! journal (placement decisions with per-node Eq. 4 scores, cache
@@ -238,6 +240,38 @@ fn delta() -> Json {
     ])
 }
 
+fn share() -> Json {
+    let s = experiments::fig_share(WINDOWS.min(4), SEED);
+    assert!(s.outputs_match, "sharing must not change any query's outputs");
+    println!("\n=== Cross-query sharing: makespan vs fleet size (aggregation, overlap 0.5) ===");
+    println!("   N | private (s) | shared (s) | gain  | hit ratio");
+    println!(" ----+-------------+------------+-------+----------");
+    for i in 0..s.queries.len() {
+        println!(
+            " {:>3} | {:>11.1} | {:>10.1} | {:>4.2}x | {:>8.2}",
+            s.queries[i],
+            s.private_secs[i],
+            s.shared_secs[i],
+            s.private_secs[i] / s.shared_secs[i],
+            s.hit_ratio[i]
+        );
+    }
+    println!(
+        " N=4: sharing {:.2}x over private caches, cross-query hit ratio {:.2} \
+         [outputs verified]",
+        s.gain_at(4),
+        s.hit_ratio[2]
+    );
+    Json::obj(vec![
+        ("queries", Json::nums(s.queries.iter().map(|&n| n as f64))),
+        ("private_secs", Json::nums(s.private_secs.clone())),
+        ("shared_secs", Json::nums(s.shared_secs.clone())),
+        ("hit_ratio", Json::nums(s.hit_ratio.clone())),
+        ("gain_at_4", Json::Num(s.gain_at(4))),
+        ("outputs_match", Json::Bool(s.outputs_match)),
+    ])
+}
+
 fn headline() -> Json {
     let (agg, join) = experiments::headline(WINDOWS, SEED);
     println!("\n=== Headline: steady-state speedup at overlap 0.9 ===");
@@ -328,6 +362,7 @@ fn main() {
         "fig8" => run_figure(&mut figures, "fig8", fig8),
         "fig9" => run_figure(&mut figures, "fig9", fig9),
         "delta" => run_figure(&mut figures, "delta", delta),
+        "share" => run_figure(&mut figures, "share", share),
         "headline" => run_figure(&mut figures, "headline", headline),
         "ablations" => run_figure(&mut figures, "ablations", ablations),
         "all" => {
@@ -342,14 +377,19 @@ fn main() {
         other => {
             eprintln!(
                 "unknown experiment {other:?}; use \
-                 fig3|fig6|fig7|fig8|fig9|delta|headline|ablations|all"
+                 fig3|fig6|fig7|fig8|fig9|delta|share|headline|ablations|all"
             );
             std::process::exit(2);
         }
     }
-    // The delta figure is a post-paper addition: it gets its own report
-    // file so `BENCH_repro.json` keeps the paper's figure set.
-    let path = if arg == "delta" { "BENCH_delta.json" } else { "BENCH_repro.json" };
+    // The delta and share figures are post-paper additions: each gets
+    // its own report file so `BENCH_repro.json` keeps the paper's
+    // figure set.
+    let path = match arg.as_str() {
+        "delta" => "BENCH_delta.json",
+        "share" => "BENCH_share.json",
+        _ => "BENCH_repro.json",
+    };
     write_report(path, &arg, figures);
     if let Some(path) = trace_path {
         let journal = redoop_mapred::trace::global_sink().render_json();

@@ -9,6 +9,7 @@ use redoop_core::prelude::*;
 use redoop_core::analyzer::{SemanticAnalyzer, SourceStats};
 use redoop_core::executor::ExecutorOptions;
 use redoop_core::run_baseline_window;
+use redoop_core::SharedSource;
 use redoop_dfs::failure::FailurePlan;
 use redoop_dfs::{DfsPath, NodeId};
 use redoop_mapred::{MapMemo, PhaseTimes, SimTime};
@@ -411,6 +412,130 @@ pub fn fig_delta(windows: u64, seed: u64) -> DeltaSeries {
     series
 }
 
+/// Cross-query cache-sharing figure: fleets of identical recurring
+/// aggregations over one shared source, with signature-keyed sharing on
+/// versus off (private per-query fingerprints).
+#[derive(Debug, Clone)]
+pub struct ShareSeries {
+    /// Fleet sizes swept (N concurrent queries over the shared source).
+    pub queries: Vec<usize>,
+    /// Fleet makespan (last window completion, seconds), sharing on.
+    pub shared_secs: Vec<f64>,
+    /// Fleet makespan, sharing off.
+    pub private_secs: Vec<f64>,
+    /// Cross-query hit ratio with sharing on: signature imports over
+    /// imports plus physical builds, summed across the fleet.
+    pub hit_ratio: Vec<f64>,
+    /// Whether every query's output bytes were bit-identical between
+    /// the two modes at every fleet size.
+    pub outputs_match: bool,
+}
+
+impl ShareSeries {
+    /// Makespan advantage (`off / on`) at fleet size `n`.
+    pub fn gain_at(&self, n: usize) -> f64 {
+        let i = self.queries.iter().position(|&q| q == n).expect("fleet size not swept");
+        self.private_secs[i] / self.shared_secs[i]
+    }
+}
+
+/// Runs the sharing figure: for each fleet size N in 1/2/4/8, N copies
+/// of the WCC aggregation attach to one [`SharedSource`] on one virtual
+/// clock and run through the interleaved deployment driver, once with
+/// `cross_query_sharing` on and once off. With sharing on the first
+/// query to need a `(pane, partition)` product builds and publishes it;
+/// the other N-1 import it through the signature directory, so the
+/// expected hit ratio approaches `(N-1)/N`. Outputs are compared
+/// bit-for-bit between the two modes.
+pub fn fig_share(windows: u64, seed: u64) -> ShareSeries {
+    let spec = spec(0.5);
+    let plan = ArrivalPlan::new(spec, windows);
+    let batches = wcc(&plan, seed);
+    let mut series = ShareSeries {
+        queries: Vec::new(),
+        shared_secs: Vec::new(),
+        private_secs: Vec::new(),
+        hit_ratio: Vec::new(),
+        outputs_match: true,
+    };
+    for n in [1usize, 2, 4, 8] {
+        let run = |sharing: bool| {
+            let cluster = cluster();
+            let tag = format!("fs-{n}-{}", u8::from(sharing));
+            let shared = SharedSource::new(
+                &cluster,
+                0,
+                "wcc",
+                DfsPath::new(format!("/panes/{tag}")).unwrap(),
+                &[spec],
+                leading_ts_fn(),
+            )
+            .unwrap();
+            let clock = sim(&cluster);
+            let mut execs: Vec<_> = (0..n)
+                .map(|i| {
+                    let conf = QueryConf::new(
+                        format!("{tag}-q{i}"),
+                        NUM_REDUCERS,
+                        DfsPath::new(format!("/out/{tag}-q{i}")).unwrap(),
+                    )
+                    .unwrap();
+                    let mut e = RecurringExecutor::aggregation_shared(
+                        &cluster,
+                        clock.clone(),
+                        conf,
+                        &shared,
+                        spec,
+                        Arc::new(AggMapper),
+                        Arc::new(AggReducer),
+                        Arc::new(SumMerger),
+                        controller_off(&cluster, &spec),
+                    )
+                    .unwrap();
+                    e.set_options(ExecutorOptions {
+                        cross_query_sharing: sharing,
+                        ..Default::default()
+                    });
+                    e
+                })
+                .collect();
+            let mut deployment = RecurringDeployment::new(clock);
+            let src = deployment
+                .add_shared_source(shared.clone(), batches.iter().map(arrival).collect());
+            let qids: Vec<usize> = execs
+                .iter_mut()
+                .map(|e| deployment.add_query(e, &[src], windows).unwrap())
+                .collect();
+            deployment.run().expect("share fleet run");
+            let mut makespan = 0.0f64;
+            let mut imports = 0u64;
+            let mut builds = 0u64;
+            let mut parts: Vec<Vec<u8>> = Vec::new();
+            for &q in &qids {
+                for r in deployment.reports(q) {
+                    makespan = makespan.max((r.fired_at + r.response).as_secs_f64());
+                    imports += r.trace.shared_hits;
+                    builds += r.built_products as u64;
+                    for p in &r.outputs {
+                        parts.push(cluster.read(p).unwrap().to_vec());
+                    }
+                }
+            }
+            let ratio =
+                if imports + builds == 0 { 0.0 } else { imports as f64 / (imports + builds) as f64 };
+            (makespan, ratio, parts)
+        };
+        let (on_secs, on_ratio, on_parts) = run(true);
+        let (off_secs, _, off_parts) = run(false);
+        series.outputs_match &= on_parts == off_parts;
+        series.queries.push(n);
+        series.shared_secs.push(on_secs);
+        series.private_secs.push(off_secs);
+        series.hit_ratio.push(on_ratio);
+    }
+    series
+}
+
 /// Fig. 3 / Algorithm 1 demonstration: the partition plans the Semantic
 /// Analyzer produces for the paper's example and two contrasting rates.
 /// Returns `(label, pane_minutes, panes_per_file)` rows.
@@ -547,6 +672,16 @@ mod tests {
             rebuild_growth > delta_growth,
             "rebuild must scale with records, delta with state: {s:?}"
         );
+    }
+
+    #[test]
+    fn sharing_is_exact_and_wins_on_a_small_fleet() {
+        let s = fig_share(2, 11);
+        assert!(s.outputs_match, "sharing must not change any query's outputs");
+        // N=1 has nobody to import from; N=4 imports 3 of every 4 uses.
+        assert_eq!(s.hit_ratio[0], 0.0, "{s:?}");
+        assert!(s.hit_ratio[2] > 0.5, "{s:?}");
+        assert!(s.gain_at(4) > 1.0, "sharing must beat private caches at N=4: {s:?}");
     }
 
     #[test]

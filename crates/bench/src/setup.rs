@@ -175,7 +175,7 @@ where
         .iter()
         .map(|batches| deployment.add_source(batches.iter().map(arrival).collect()))
         .collect();
-    let q = deployment.add_query(exec, &sources, windows);
+    let q = deployment.add_query(exec, &sources, windows).expect("valid query binding");
     deployment.run().expect("deployment run");
     deployment.reports(q).to_vec()
 }

@@ -154,6 +154,13 @@ pub struct QueryConf {
     pub output_root: DfsPath,
     /// This query's bit index in controller `doneQueryMask`s.
     pub query_index: usize,
+    /// Disambiguator folded into the cross-query operator fingerprint.
+    /// Type identity cannot distinguish two closures carried behind the
+    /// same function-pointer type; queries whose operators *look* alike
+    /// to the type system but differ semantically must set distinct
+    /// tags, or they would wrongly share pane caches on a shared
+    /// source. `None` (the default) contributes nothing to the hash.
+    pub share_tag: Option<String>,
 }
 
 impl QueryConf {
@@ -162,7 +169,20 @@ impl QueryConf {
         if num_reducers == 0 {
             return Err(RedoopError::InvalidQuery("num_reducers must be > 0".into()));
         }
-        Ok(QueryConf { name: name.into(), num_reducers, output_root, query_index: 0 })
+        Ok(QueryConf {
+            name: name.into(),
+            num_reducers,
+            output_root,
+            query_index: 0,
+            share_tag: None,
+        })
+    }
+
+    /// Sets the fingerprint disambiguator (see
+    /// [`QueryConf::share_tag`]).
+    pub fn with_share_tag(mut self, tag: impl Into<String>) -> Self {
+        self.share_tag = Some(tag.into());
+        self
     }
 
     /// `GetOutputPaths` (paper §5): the unique output directory of

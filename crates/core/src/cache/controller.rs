@@ -145,6 +145,35 @@ impl CacheController {
         });
     }
 
+    /// Adopts a cache built by *another* query's executor (discovered
+    /// through the shared source's signature directory): the signature
+    /// becomes CacheAvailable exactly as after a registration, but no
+    /// `Register` trace event is emitted — the driver records the
+    /// adoption as a `shared_hit` instead, so `Register` events in the
+    /// journal count actual builds only.
+    pub fn adopt_remote(
+        &mut self,
+        name: CacheName,
+        node: NodeId,
+        bytes: u64,
+        rebuild_bytes: u64,
+        at: SimTime,
+    ) {
+        let sig = self.sigs.entry(name).or_insert(CacheSignature {
+            node: None,
+            ready: Ready::NotAvailable,
+            done_query_mask: 0,
+            bytes: 0,
+            rebuild_bytes: 0,
+            available_at: SimTime::ZERO,
+        });
+        sig.node = Some(node);
+        sig.ready = Ready::CacheAvailable;
+        sig.bytes = bytes;
+        sig.rebuild_bytes = rebuild_bytes.max(bytes);
+        sig.available_at = at;
+    }
+
     /// Invalidates a single cache whose file was found missing (targeted
     /// failure rollback): ready drops to HDFS-available. Returns whether
     /// the signature changed.
@@ -362,6 +391,27 @@ mod tests {
         assert_eq!(c.bytes_on(NodeId(3)), 7);
         c.rollback_node(NodeId(2));
         assert_eq!(c.bytes_on(NodeId(2)), 0);
+    }
+
+    #[test]
+    fn adopt_remote_is_a_silent_registration() {
+        let sink = TraceSink::enabled();
+        let mut c = CacheController::new(1);
+        c.set_trace_sink(sink.clone());
+        let n = name(4, 0);
+        c.adopt_remote(n, NodeId(5), 64, 256, SimTime(9));
+        // Scheduler-visible state matches a real registration...
+        assert_eq!(c.location(&n), Some(NodeId(5)));
+        let sig = c.signature(&n).unwrap();
+        assert_eq!((sig.bytes, sig.rebuild_bytes, sig.available_at), (64, 256, SimTime(9)));
+        // ...but no Register event reached the journal, so Register
+        // counts remain "builds only".
+        assert!(
+            sink.events().is_empty(),
+            "adoption must not forge a Register event"
+        );
+        c.register_cache(n, NodeId(5), 64, SimTime(10));
+        assert_eq!(sink.events().len(), 1);
     }
 
     #[test]

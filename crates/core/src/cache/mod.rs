@@ -1,11 +1,13 @@
 //! Window-aware caching (paper §4): cache identities, the per-node Local
 //! Cache Registry, the master-side Window-Aware Cache Controller, the
-//! per-query cache status matrix, and purge policies.
+//! per-query cache status matrix, purge policies, and the cross-query
+//! signature directory ([`share`]).
 
 pub mod controller;
 pub mod heartbeat;
 pub mod purge;
 pub mod registry;
+pub mod share;
 pub mod status_matrix;
 
 use crate::pane::PaneId;
@@ -95,24 +97,45 @@ impl CacheObject {
     }
 }
 
-/// A cache identity: object + reduce partition.
+/// A cache identity: object + reduce partition + operator fingerprint.
+///
+/// The fingerprint is the cross-query sharing key: two queries whose
+/// map/reduce operators, partitioner, reducer count, and pane geometry
+/// coincide compute the same fingerprint over a shared source, so their
+/// plans name — and therefore reuse — the same cache files. A
+/// fingerprint of `0` means "private, per-query-slot identity" and
+/// renders the legacy `ri|ro|po|rd/...` store names unchanged.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct CacheName {
     /// The cached object.
     pub object: CacheObject,
     /// The reduce partition of the object held in this file.
     pub partition: usize,
+    /// Operator fingerprint (0 = private/unshared legacy identity).
+    pub fp: u64,
 }
 
 impl CacheName {
-    /// Constructor.
+    /// Constructor for a private (fingerprint-0) identity.
     pub fn new(object: CacheObject, partition: usize) -> Self {
-        CacheName { object, partition }
+        CacheName { object, partition, fp: 0 }
     }
 
-    /// Node-local store name.
+    /// Constructor carrying an operator fingerprint. Passing `fp == 0`
+    /// is identical to [`CacheName::new`].
+    pub fn with_fp(object: CacheObject, partition: usize, fp: u64) -> Self {
+        CacheName { object, partition, fp }
+    }
+
+    /// Node-local store name. Fingerprinted identities live under a
+    /// `q{fp:016x}/` prefix so signature-equivalent queries resolve to
+    /// the same file while private queries keep their legacy names.
     pub fn store_name(&self) -> String {
-        self.object.store_name(self.partition)
+        if self.fp == 0 {
+            self.object.store_name(self.partition)
+        } else {
+            format!("q{:016x}/{}", self.fp, self.object.store_name(self.partition))
+        }
     }
 }
 
@@ -146,5 +169,25 @@ mod tests {
         let c = CacheName::new(CacheObject::PaneInput { source: 0, pane: PaneId(1), sub: 0 }, 0);
         assert_ne!(a.store_name(), b.store_name());
         assert_ne!(a.store_name(), c.store_name());
+    }
+
+    #[test]
+    fn fingerprint_zero_renders_legacy_names() {
+        let obj = CacheObject::PaneOutput { source: 0, pane: PaneId(2) };
+        assert_eq!(CacheName::new(obj, 0), CacheName::with_fp(obj, 0, 0));
+        assert_eq!(CacheName::with_fp(obj, 0, 0).store_name(), "ro/s0p2/r0");
+    }
+
+    #[test]
+    fn fingerprinted_names_are_prefixed_and_shared_by_equal_fp() {
+        let obj = CacheObject::PaneOutput { source: 0, pane: PaneId(2) };
+        let a = CacheName::with_fp(obj, 1, 0xabcd);
+        let b = CacheName::with_fp(obj, 1, 0xabcd);
+        let c = CacheName::with_fp(obj, 1, 0xabce);
+        assert_eq!(a.store_name(), "q000000000000abcd/ro/s0p2/r1");
+        assert_eq!(a, b);
+        assert_eq!(a.store_name(), b.store_name());
+        assert_ne!(a.store_name(), c.store_name());
+        assert_ne!(a.store_name(), CacheName::new(obj, 1).store_name());
     }
 }

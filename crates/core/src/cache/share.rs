@@ -1,0 +1,285 @@
+//! Cross-query cache sharing: the per-shared-source signature
+//! directory.
+//!
+//! When several recurring queries attach to one [`SharedSource`] with
+//! signature-equivalent operators (same mapper/reducer identity,
+//! partitioner, reducer count, and pane geometry), their window plans
+//! name the same fingerprinted [`CacheName`]s. Each query still runs
+//! its own window-aware cache controller, so a directory *between* the
+//! controllers is needed for query B to discover that query A already
+//! built a pane cache. That directory is [`SignatureDirectory`]:
+//!
+//! * builders **publish** every fingerprinted reduce-output cache they
+//!   register (name → node, bytes, rebuild cost, availability time);
+//! * consumers **look up** required caches before Eq. 4 placement and
+//!   adopt hits into their own controller, turning what would have been
+//!   a rebuild into a cross-query hit (and letting the scheduler's
+//!   rebuild-cost term credit the remote holder);
+//! * expiry is **deferred to the last consumer**: a pane's lifespan is
+//!   extended to the max over all sharing queries by having each
+//!   consumer mark itself done and only the final one release the file
+//!   for purging.
+//!
+//! Entries are advisory: an importer re-verifies the file on the named
+//! node before adopting, and drops stale entries (e.g. after a node
+//! loss) on the spot. Publishing after a rebuild simply overwrites the
+//! location.
+//!
+//! [`SharedSource`]: crate::shared::SharedSource
+//! [`CacheName`]: super::CacheName
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use redoop_dfs::NodeId;
+use redoop_mapred::SimTime;
+
+use super::CacheName;
+
+/// Published location and cost facts for one shared cache file —
+/// what a consumer needs to adopt it into its own controller and what
+/// the Eq. 4 scheduler needs to credit the holder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SharedCacheEntry {
+    /// Node holding the file on its local store.
+    pub node: NodeId,
+    /// Size of the cached payload in bytes.
+    pub bytes: u64,
+    /// Bytes the builder would have to re-read to rebuild it.
+    pub rebuild_bytes: u64,
+    /// Simulated time at which the file became available.
+    pub available_at: SimTime,
+}
+
+/// Outcome of a consumer declaring a shared cache done (window moved
+/// past the pane): decides whether the file may be purged now.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SharedExpiry {
+    /// Every registered consumer of this fingerprint is done — the
+    /// caller owns the purge.
+    LastConsumer,
+    /// Other consumers still need the pane; keep the file and only drop
+    /// local bookkeeping.
+    Deferred,
+    /// The name was never published (e.g. an announced reduce-input
+    /// name that never materialized); expire it the ordinary way.
+    Untracked,
+}
+
+#[derive(Debug, Default)]
+struct DirEntry {
+    info: SharedCacheEntry,
+    done: BTreeSet<usize>,
+}
+
+impl Default for SharedCacheEntry {
+    fn default() -> Self {
+        SharedCacheEntry {
+            node: NodeId(0),
+            bytes: 0,
+            rebuild_bytes: 0,
+            available_at: SimTime::ZERO,
+        }
+    }
+}
+
+/// The cross-query cache directory of one shared source.
+///
+/// Consumers are registered per fingerprint when an executor attaches
+/// (and deregistered if sharing is switched off), so lifespan extension
+/// knows the full set of queries a pane must outlive.
+#[derive(Debug, Default)]
+pub struct SignatureDirectory {
+    consumers: BTreeMap<u64, BTreeSet<usize>>,
+    next_consumer: usize,
+    entries: BTreeMap<CacheName, DirEntry>,
+}
+
+impl SignatureDirectory {
+    /// Fresh, empty directory.
+    pub fn new() -> Self {
+        SignatureDirectory::default()
+    }
+
+    /// Registers a consumer of fingerprint `fp`; the returned id is the
+    /// consumer's handle for [`mark_done`](Self::mark_done).
+    pub fn register_consumer(&mut self, fp: u64) -> usize {
+        let id = self.next_consumer;
+        self.next_consumer += 1;
+        self.consumers.entry(fp).or_default().insert(id);
+        id
+    }
+
+    /// Removes a consumer (sharing turned off for that executor). Its
+    /// pending done-marks are kept so already-shared panes can still be
+    /// released by the remaining consumers.
+    pub fn deregister_consumer(&mut self, fp: u64, consumer: usize) {
+        if let Some(set) = self.consumers.get_mut(&fp) {
+            set.remove(&consumer);
+            if set.is_empty() {
+                self.consumers.remove(&fp);
+            }
+        }
+    }
+
+    /// Number of registered consumers for fingerprint `fp`.
+    pub fn consumer_count(&self, fp: u64) -> usize {
+        self.consumers.get(&fp).map_or(0, BTreeSet::len)
+    }
+
+    /// Publishes (or refreshes) the location facts of a built cache.
+    /// Done-marks already recorded for the name survive a re-publish
+    /// (a rebuild after node loss must not resurrect the pane for
+    /// consumers that finished with it).
+    pub fn publish(&mut self, name: CacheName, info: SharedCacheEntry) {
+        self.entries.entry(name).or_default().info = info;
+    }
+
+    /// Location facts for a shared cache, if published.
+    pub fn lookup(&self, name: &CacheName) -> Option<SharedCacheEntry> {
+        self.entries.get(name).map(|e| e.info)
+    }
+
+    /// Drops a published entry (stale location discovered at import).
+    pub fn remove(&mut self, name: &CacheName) {
+        self.entries.remove(name);
+    }
+
+    /// Drops every entry located on `node` (rollback after node loss);
+    /// returns how many were dropped.
+    pub fn invalidate_node(&mut self, node: NodeId) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|_, e| e.info.node != node);
+        before - self.entries.len()
+    }
+
+    /// Consumer `consumer` is done with `name` (the pane left its
+    /// window). Returns whether the file can be purged now, must be
+    /// kept for other consumers, or was never tracked here. On
+    /// [`SharedExpiry::LastConsumer`] the entry is removed.
+    pub fn mark_done(&mut self, name: &CacheName, consumer: usize) -> SharedExpiry {
+        let Some(entry) = self.entries.get_mut(name) else {
+            return SharedExpiry::Untracked;
+        };
+        entry.done.insert(consumer);
+        let all = self
+            .consumers
+            .get(&name.fp)
+            .is_none_or(|consumers| consumers.iter().all(|c| entry.done.contains(c)));
+        if all {
+            self.entries.remove(name);
+            SharedExpiry::LastConsumer
+        } else {
+            SharedExpiry::Deferred
+        }
+    }
+
+    /// Number of live published entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no entries are published.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CacheObject;
+    use crate::pane::PaneId;
+
+    fn name(pane: u64) -> CacheName {
+        CacheName::with_fp(
+            CacheObject::PaneOutput { source: 0, pane: PaneId(pane) },
+            0,
+            0xfeed,
+        )
+    }
+
+    fn entry(node: u32) -> SharedCacheEntry {
+        SharedCacheEntry {
+            node: NodeId(node),
+            bytes: 100,
+            rebuild_bytes: 400,
+            available_at: SimTime(7),
+        }
+    }
+
+    #[test]
+    fn publish_lookup_roundtrip_and_stale_removal() {
+        let mut dir = SignatureDirectory::new();
+        assert!(dir.is_empty());
+        assert_eq!(dir.lookup(&name(1)), None);
+        dir.publish(name(1), entry(2));
+        assert_eq!(dir.lookup(&name(1)), Some(entry(2)));
+        assert_eq!(dir.len(), 1);
+        dir.remove(&name(1));
+        assert!(dir.is_empty());
+    }
+
+    #[test]
+    fn expiry_defers_until_the_last_consumer() {
+        let mut dir = SignatureDirectory::new();
+        let a = dir.register_consumer(0xfeed);
+        let b = dir.register_consumer(0xfeed);
+        assert_eq!(dir.consumer_count(0xfeed), 2);
+        dir.publish(name(1), entry(0));
+        assert_eq!(dir.mark_done(&name(1), a), SharedExpiry::Deferred);
+        // Re-marking is idempotent.
+        assert_eq!(dir.mark_done(&name(1), a), SharedExpiry::Deferred);
+        assert_eq!(dir.mark_done(&name(1), b), SharedExpiry::LastConsumer);
+        // Entry is gone once released.
+        assert_eq!(dir.lookup(&name(1)), None);
+        assert_eq!(dir.mark_done(&name(1), b), SharedExpiry::Untracked);
+    }
+
+    #[test]
+    fn deregistered_consumers_no_longer_hold_panes() {
+        let mut dir = SignatureDirectory::new();
+        let a = dir.register_consumer(0xfeed);
+        let b = dir.register_consumer(0xfeed);
+        dir.publish(name(1), entry(0));
+        dir.deregister_consumer(0xfeed, b);
+        assert_eq!(dir.mark_done(&name(1), a), SharedExpiry::LastConsumer);
+    }
+
+    #[test]
+    fn republish_on_live_entry_keeps_done_marks() {
+        let mut dir = SignatureDirectory::new();
+        let a = dir.register_consumer(0xfeed);
+        let b = dir.register_consumer(0xfeed);
+        dir.publish(name(1), entry(0));
+        assert_eq!(dir.mark_done(&name(1), a), SharedExpiry::Deferred);
+        // A migration republishes the same name on node 3; a's
+        // completed lifespan still counts.
+        dir.publish(name(1), entry(3));
+        assert_eq!(dir.lookup(&name(1)).unwrap().node, NodeId(3));
+        assert_eq!(dir.mark_done(&name(1), b), SharedExpiry::LastConsumer);
+    }
+
+    #[test]
+    fn node_loss_drops_entries_and_their_done_marks() {
+        let mut dir = SignatureDirectory::new();
+        let a = dir.register_consumer(0xfeed);
+        let b = dir.register_consumer(0xfeed);
+        dir.publish(name(1), entry(0));
+        dir.publish(name(2), entry(4));
+        assert_eq!(dir.mark_done(&name(1), a), SharedExpiry::Deferred);
+        assert_eq!(dir.invalidate_node(NodeId(0)), 1);
+        assert_eq!(dir.len(), 1);
+        // A rebuild republishes from scratch: everyone must mark done
+        // again before the file is released.
+        dir.publish(name(1), entry(3));
+        assert_eq!(dir.mark_done(&name(1), b), SharedExpiry::Deferred);
+        assert_eq!(dir.mark_done(&name(1), a), SharedExpiry::LastConsumer);
+    }
+
+    #[test]
+    fn untracked_names_expire_the_ordinary_way() {
+        let mut dir = SignatureDirectory::new();
+        let a = dir.register_consumer(0xfeed);
+        assert_eq!(dir.mark_done(&name(9), a), SharedExpiry::Untracked);
+    }
+}

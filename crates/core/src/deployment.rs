@@ -199,14 +199,42 @@ impl<'a> RecurringDeployment<'a> {
     /// Deploys a query for `windows` recurrences, binding its input
     /// slots to deployment sources in order (`bindings[i]` feeds the
     /// query's source `i`). Returns the query id.
+    ///
+    /// Fails with [`RedoopError::InvalidQuery`] when a binding names an
+    /// unregistered source, or when the query attaches to a
+    /// [`SharedSource`] whose pane length does not divide the query's
+    /// `win` and `slide` — such a query's windows would not be unions of
+    /// the shared panes, so it can neither read the shared manifest nor
+    /// participate in cross-query cache sharing.
+    ///
+    /// [`RedoopError::InvalidQuery`]: crate::error::RedoopError::InvalidQuery
     pub fn add_query(
         &mut self,
         query: impl DeployedQuery + 'a,
         bindings: &[usize],
         windows: u64,
-    ) -> usize {
+    ) -> Result<usize> {
+        let spec = query.window_spec();
         for &src in bindings {
-            assert!(src < self.sources.len(), "binding to unregistered source {src}");
+            let Some(feed) = self.sources.get(src) else {
+                return Err(crate::error::RedoopError::InvalidQuery(format!(
+                    "query binds to unregistered deployment source {src} \
+                     ({} registered)",
+                    self.sources.len()
+                )));
+            };
+            if let SourceKind::Shared(shared) = &feed.kind {
+                if crate::pane::PaneGeometry::with_pane(&spec, shared.pane_ms()).is_none() {
+                    return Err(crate::error::RedoopError::InvalidQuery(format!(
+                        "query window (win {} / slide {}) is incompatible with shared \
+                         source {src}: its pane length {}ms must divide both, or the \
+                         query's windows are not unions of the shared panes",
+                        spec.win,
+                        spec.slide,
+                        shared.pane_ms()
+                    )));
+                }
+            }
         }
         self.queries.push(QuerySlot {
             query: Box::new(query),
@@ -215,7 +243,7 @@ impl<'a> RecurringDeployment<'a> {
             next: 0,
             reports: Vec::new(),
         });
-        self.queries.len() - 1
+        Ok(self.queries.len() - 1)
     }
 
     /// The next window due across all queries:
@@ -419,7 +447,7 @@ mod tests {
         let exec = executor(&cluster, sim.clone(), spec, "dep-driven");
         let mut dep = RecurringDeployment::new(sim);
         let src = dep.add_source(batches());
-        let q = dep.add_query(exec, &[src], 3);
+        let q = dep.add_query(exec, &[src], 3).unwrap();
         let fired = dep.run().unwrap();
 
         assert_eq!(fired.len(), 3);
@@ -445,8 +473,8 @@ mod tests {
         let mut dep = RecurringDeployment::new(sim);
         let src1 = dep.add_source(batches());
         let src2 = dep.add_source(batches());
-        dep.add_query(e1, &[src1], 3);
-        dep.add_query(e2, &[src2], 1);
+        dep.add_query(e1, &[src1], 3).unwrap();
+        dep.add_query(e2, &[src2], 1).unwrap();
         let fired = dep.run().unwrap();
         let order: Vec<(usize, u64)> =
             fired.iter().map(|f| (f.query, f.recurrence)).collect();
@@ -462,9 +490,42 @@ mod tests {
         let spec = WindowSpec::new(200, 100).unwrap();
         let exec = executor(&cluster, sim.clone(), spec, "dep-bad");
         let mut dep = RecurringDeployment::new(sim);
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            dep.add_query(exec, &[7], 1);
-        }));
-        assert!(result.is_err(), "binding to an unregistered source must panic");
+        let err = dep.add_query(exec, &[7], 1).unwrap_err();
+        assert!(
+            matches!(&err, crate::error::RedoopError::InvalidQuery(m)
+                if m.contains("unregistered deployment source 7")),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn add_query_rejects_incompatible_shared_geometry() {
+        let cluster = Cluster::with_nodes(4);
+        let sim = ClusterSim::paper_testbed(4, CostModel::default());
+        // Shared pane 100ms (from a 200/100 spec).
+        let good = WindowSpec::new(200, 100).unwrap();
+        let shared = crate::shared::SharedSource::new(
+            &cluster,
+            0,
+            "shared-geom",
+            DfsPath::new("/panes/shared-geom").unwrap(),
+            &[good],
+            leading_ts_fn(),
+        )
+        .unwrap();
+        let mut dep = RecurringDeployment::new(sim.clone());
+        let src = dep.add_shared_source(shared, batches());
+        // win 210 / slide 70: pane 100 divides neither.
+        let bad_spec = WindowSpec::new(210, 70).unwrap();
+        let bad = executor(&cluster, sim.clone(), bad_spec, "dep-geom-bad");
+        let err = dep.add_query(bad, &[src], 1).unwrap_err();
+        assert!(
+            matches!(&err, crate::error::RedoopError::InvalidQuery(m)
+                if m.contains("incompatible with shared source")),
+            "unexpected error: {err}"
+        );
+        // A compatible query attaches fine.
+        let ok = executor(&cluster, sim, good, "dep-geom-ok");
+        assert!(dep.add_query(ok, &[src], 1).is_ok());
     }
 }

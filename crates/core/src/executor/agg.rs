@@ -87,8 +87,9 @@ where
         node: NodeId,
         built: &BuiltCache,
     ) -> Result<()> {
-        let name = output_name(source, pane, r);
-        self.cluster.put_local(node, name.store_name(), built.blob.clone())?;
+        let name = output_name(self.active_fp(), source, pane, r);
+        let store = self.interned_store(&name);
+        self.cluster.put_local(node, &*store, built.blob.clone())?;
         if r == self.conf.num_reducers - 1 {
             self.matrix.mark_done(&[pane]);
         }
@@ -189,7 +190,12 @@ where
                         metrics,
                     );
                     attempt_startup = false;
-                    self.register(output_name(0, p, r), node, built.cache_text_bytes, placement.end);
+                    self.register(
+                        output_name(plan.fp, 0, p, r),
+                        node,
+                        built.cache_text_bytes,
+                        placement.end,
+                    );
                     prev_end = placement.end;
                 }
             }
@@ -223,7 +229,7 @@ where
                         );
                         pane_done = pane_done.max(placement.end);
                     }
-                    self.register(output_name(0, p, r), node, bytes, pane_done);
+                    self.register(output_name(plan.fp, 0, p, r), node, bytes, pane_done);
                     early_done = early_done.max(pane_done);
                 }
             }
@@ -246,8 +252,11 @@ where
             // caches) lives under the plain output name. Both carry the
             // same grouped-block payload.
             let delta_hit = prep.delta_hits.contains(&p.0);
-            let name =
-                if delta_hit { super::plan::delta_name(0, p, r) } else { output_name(0, p, r) };
+            let name = if delta_hit {
+                super::plan::delta_name(plan.fp, 0, p, r)
+            } else {
+                output_name(plan.fp, 0, p, r)
+            };
             let fresh = prep.missing_set.contains(&(0, p.0));
             if let Some(sig) = self.controller.signature(&name) {
                 // Every pane partial gates readiness: fresh builds by
@@ -264,7 +273,11 @@ where
                     cache_bytes += sig.bytes;
                 }
             }
-            let data = self.cluster.get_local(node, &name.store_name())?;
+            // Interned store name: this read runs per (pane × partition)
+            // every window — re-rendering the name each probe was pure
+            // allocation churn.
+            let store = self.interned_store(&name);
+            let data = self.cluster.get_local(node, &store)?;
             let block: mrio::GroupedBlock<M::KOut, R::VOut> =
                 mrio::decode_grouped_block(&data)?;
             partial_records += block.records;

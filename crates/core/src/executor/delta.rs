@@ -297,7 +297,10 @@ where
                 };
                 let phases = work.phases_in_attempt(self.sim.cost(), true);
                 let placement = self.sim.assign(TaskKind::Reduce, node, ready_floor, phases.total());
-                let name = delta_name(0, PaneId(p), r);
+                // Delta maintenance requires an owned, un-shared source
+                // (`delta_enabled`), so sealed deltas are never
+                // fingerprinted.
+                let name = delta_name(0, 0, PaneId(p), r);
                 self.cluster.put_local(node, name.store_name(), built.blob.clone())?;
                 self.register(name, node, built.cache_text_bytes, placement.end);
                 self.trace.emit(|| TraceEvent::TaskSpan {

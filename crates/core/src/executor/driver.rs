@@ -201,6 +201,10 @@ where
         metrics: &mut JobMetrics,
     ) -> Result<PartitionPrep> {
         let names = plan.required_caches(r);
+        // Cross-query import: required caches another query already
+        // built under the same signature become local hits *before*
+        // placement, so the Eq. 4 anchor credits the remote holder.
+        self.import_shared(&names, ctx.fire);
         let kind_label = match plan.kind {
             PlanKind::Aggregation => "agg",
             PlanKind::BinaryJoin => "join",
@@ -231,7 +235,7 @@ where
                         delta_hits.insert(pane.0);
                         true
                     } else {
-                        let fallback = super::plan::output_name(source, pane, r);
+                        let fallback = super::plan::output_name(plan.fp, source, pane, r);
                         let fallback_hit = self.cached_on(&fallback, node);
                         if fallback_hit {
                             hit_name = fallback;
@@ -642,12 +646,77 @@ where
         self.controller.location(name) == Some(node)
     }
 
+    /// Cross-query cache import: for every fingerprinted required cache
+    /// this query does not hold, ask the shared source's signature
+    /// directory whether *another* query already built an equivalent
+    /// entry, verify the file still exists on its node, and adopt it
+    /// into this query's controller/registry view. Adopted entries are
+    /// silent registrations (no `Register` trace event), so `Register`
+    /// events keep counting physical builds; the import itself is
+    /// journaled as a `shared_hit`. Directory entries whose backing file
+    /// vanished (node loss racing the heartbeat audit) are dropped here
+    /// — import-time verification is the §5 rollback backstop.
+    fn import_shared(&mut self, names: &[CacheName], at: SimTime) {
+        let dir = match &self.share {
+            Some(s) if self.options.cross_query_sharing && self.options.caching => s.dir.clone(),
+            _ => return,
+        };
+        for name in names {
+            if name.fp == 0 || self.controller.location(name).is_some() {
+                continue;
+            }
+            let Some(entry) = dir.lock().lookup(name) else { continue };
+            let store = self.interned_store(name);
+            if !self.cluster.is_alive(entry.node) || !self.cluster.has_local(entry.node, &store) {
+                dir.lock().remove(name);
+                continue;
+            }
+            self.controller.adopt_remote(
+                *name,
+                entry.node,
+                entry.bytes,
+                entry.rebuild_bytes,
+                entry.available_at,
+            );
+            self.registries[entry.node.index()].add_entry(*name, entry.bytes);
+            // The importer never builds this pane itself, but its expiry
+            // sweep visits only built panes the status matrix cleared —
+            // mark both as if built here, or this query would never cast
+            // its directory done-vote and the builder's deferred expiry
+            // would leak the file forever.
+            match name.object {
+                CacheObject::PaneInput { source, pane, .. }
+                | CacheObject::PaneOutput { source, pane }
+                | CacheObject::PaneDelta { source, pane } => {
+                    self.built_panes.insert((source, pane.0));
+                    self.matrix.mark_done(&[pane]);
+                }
+                CacheObject::PairOutput { .. } => {}
+            }
+            self.win_stats.shared_hits += 1;
+            self.trace.emit(|| TraceEvent::Cache {
+                at,
+                action: CacheAction::SharedHit,
+                name: store.to_string(),
+                node: Some(entry.node),
+                bytes: entry.bytes,
+            });
+        }
+    }
+
     pub(super) fn register(&mut self, name: CacheName, node: NodeId, bytes: u64, at: SimTime) {
         if let Some(old) = self.controller.location(&name) {
             if old != node {
-                // The authoritative copy migrates; the stale file on the
-                // old node is garbage — let its registry purge it.
-                self.registries[old.index()].mark_expired(&name);
+                if name.fp != 0 {
+                    // A fingerprinted file may still serve other queries
+                    // through the signature directory: release only this
+                    // query's bookkeeping, never schedule deletion.
+                    self.registries[old.index()].drop_entry(&name);
+                } else {
+                    // The authoritative copy migrates; the stale file on
+                    // the old node is garbage — let its registry purge it.
+                    self.registries[old.index()].mark_expired(&name);
+                }
             }
         }
         // Estimate the reconstruction cost as the source pane bytes (per
@@ -656,6 +725,19 @@ where
         let rebuild = self.rebuild_bytes_of(&name);
         self.controller.register_cache_with_rebuild(name, node, bytes, rebuild, at);
         self.registries[node.index()].add_entry(name, bytes);
+        if name.fp != 0 && self.options.cross_query_sharing {
+            if let Some(share) = &self.share {
+                share.dir.lock().publish(
+                    name,
+                    crate::cache::share::SharedCacheEntry {
+                        node,
+                        bytes,
+                        rebuild_bytes: rebuild,
+                        available_at: at,
+                    },
+                );
+            }
+        }
     }
 
     /// Per-partition source bytes behind one cache object.
@@ -691,11 +773,63 @@ where
     /// number of lost caches.
     pub fn audit_caches(&mut self) -> usize {
         let mut lost = 0;
+        let dir = self.share.as_ref().map(|s| s.dir.clone());
         for reg in &mut self.registries {
             let hb = reg.heartbeat(&self.cluster);
-            lost += self.controller.apply_heartbeat(&hb).len();
+            let lost_names = self.controller.apply_heartbeat(&hb);
+            // Keep the cross-query directory honest: advertisements for
+            // caches this audit just rolled back would send importers to
+            // files that no longer exist (they re-verify, but dropping
+            // the entry here saves every one of them the probe).
+            if let Some(dir) = &dir {
+                let mut d = dir.lock();
+                for n in lost_names.iter().filter(|n| n.fp != 0) {
+                    d.remove(n);
+                }
+            }
+            lost += lost_names.len();
         }
         lost
+    }
+
+    /// Consults the signature directory before expiring a fingerprinted
+    /// cache. Returns `true` when the expiry must be deferred: some
+    /// *other* query sharing the signature has not finished with the
+    /// pane yet, so this query releases only its own bookkeeping
+    /// (controller entry, registry row, interned name) and leaves the
+    /// file alive; the last consumer's sweep takes the normal
+    /// notify-and-purge path.
+    fn defer_shared_expiry(&mut self, name: &CacheName) -> bool {
+        use crate::cache::share::SharedExpiry;
+        if name.fp == 0 {
+            return false;
+        }
+        let (dir, consumer) = match &self.share {
+            Some(s) => match s.consumer {
+                Some(c) => (s.dir.clone(), c),
+                None => return false,
+            },
+            None => return false,
+        };
+        let verdict = dir.lock().mark_done(name, consumer);
+        match verdict {
+            SharedExpiry::Deferred => {
+                if let Some(node) = self.controller.location(name) {
+                    self.registries[node.index()].drop_entry(name);
+                }
+                self.controller.forget(name);
+                self.interned.remove(name);
+                self.trace.emit(|| TraceEvent::Cache {
+                    at: self.trace.now(),
+                    action: CacheAction::ExpireDeferred,
+                    name: name.store_name(),
+                    node: None,
+                    bytes: 0,
+                });
+                true
+            }
+            SharedExpiry::LastConsumer | SharedExpiry::Untracked => false,
+        }
     }
 
     /// Expiration + purging after recurrence `rec` (paper §4.1/§4.2):
@@ -728,10 +862,14 @@ where
                 CacheObject::PairOutput { .. } => false,
             });
             for name in names {
+                if self.defer_shared_expiry(&name) {
+                    continue;
+                }
                 if let Some(n) = self.controller.mark_query_done(name, 0)? {
                     notifications.push(n);
                 }
                 self.controller.forget(&name);
+                self.interned.remove(&name);
             }
             self.trace.emit(|| TraceEvent::PaneExpire {
                 at: self.trace.now(),
@@ -754,12 +892,15 @@ where
                 .collect();
             for (p, q) in expired_pairs {
                 for r in 0..self.conf.num_reducers {
-                    let name = super::plan::pair_name(PaneId(p), PaneId(q), r);
+                    // Joins cannot attach shared sources, so pair caches
+                    // are always un-fingerprinted.
+                    let name = super::plan::pair_name(0, PaneId(p), PaneId(q), r);
                     if self.controller.signature(&name).is_some() {
                         if let Some(n) = self.controller.mark_query_done(name, 0)? {
                             notifications.push(n);
                         }
                         self.controller.forget(&name);
+                        self.interned.remove(&name);
                     }
                 }
                 self.built_pairs.remove(&(p, q));

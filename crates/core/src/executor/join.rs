@@ -14,6 +14,9 @@
 //! pane input pipelining and the pair groups keyed by the later-
 //! available input. The final task concatenates every in-window pair
 //! output, gated on all pair `available_at`s.
+//!
+//! Joins cannot attach shared sources, so every cache name in this
+//! module carries fingerprint 0 (the un-shared legacy namespace).
 
 use std::collections::{BTreeSet, HashMap, HashSet};
 
@@ -72,8 +75,8 @@ where
         r: usize,
         reducer: &R,
     ) -> Result<BuiltCache> {
-        let lt = cluster.get_local(node, &input_name(0, left, r).store_name())?;
-        let rt = cluster.get_local(node, &input_name(1, right, r).store_name())?;
+        let lt = cluster.get_local(node, &input_name(0, 0, left, r).store_name())?;
+        let rt = cluster.get_local(node, &input_name(0, 1, right, r).store_name())?;
         let lb: mrio::GroupedBlock<M::KOut, M::VOut> = mrio::decode_grouped_block(&lt)?;
         let rb: mrio::GroupedBlock<M::KOut, M::VOut> = mrio::decode_grouped_block(&rt)?;
         let input_records = lb.records + rb.records;
@@ -106,7 +109,7 @@ where
         node: NodeId,
         built: &BuiltCache,
     ) -> Result<()> {
-        let name = input_name(source, pane, r);
+        let name = input_name(0, source, pane, r);
         self.cluster.put_local(node, name.store_name(), built.blob.clone())?;
         self.built_panes.insert((source, pane.0));
         self.window_built += 1;
@@ -123,7 +126,7 @@ where
         node: NodeId,
         built: &BuiltCache,
     ) -> Result<()> {
-        let name = pair_name(left, right, r);
+        let name = pair_name(0, left, right, r);
         self.cluster.put_local(node, name.store_name(), built.blob.clone())?;
         self.matrix.mark_done(&[left, right]);
         self.built_pairs.insert((left.0, right.0));
@@ -237,7 +240,7 @@ where
                         metrics,
                     );
                     attempt_startup = false;
-                    self.register(input_name(s, p, r), node, built.cache_text_bytes, placement.end);
+                    self.register(input_name(0, s, p, r), node, built.cache_text_bytes, placement.end);
                     prev_end = placement.end;
                 }
                 // Every input cache this window needs is now on `node`:
@@ -260,7 +263,7 @@ where
                     for (s, pane) in [(0u32, p), (1u32, q)] {
                         let sig = self
                             .controller
-                            .signature(&input_name(s, pane, r))
+                            .signature(&input_name(0, s, pane, r))
                             .expect("pair inputs exist before the join");
                         ready = ready.max(sig.available_at);
                         // An old input's pre-sorted run is streamed once;
@@ -293,7 +296,7 @@ where
                         metrics,
                     );
                     attempt_startup = false;
-                    self.register(pair_name(p, q, r), node, built.cache_text_bytes, placement.end);
+                    self.register(pair_name(0, p, q, r), node, built.cache_text_bytes, placement.end);
                     prev_end = placement.end;
                 }
             }
@@ -304,7 +307,7 @@ where
                 let mut input_avail: HashMap<(u32, u64), SimTime> = HashMap::new();
                 for s in 0..2u32 {
                     for &p in panes {
-                        let name = input_name(s, p, r);
+                        let name = input_name(0, s, p, r);
                         if self.cached_on(&name, node) {
                             let at =
                                 self.controller.signature(&name).expect("cached").available_at;
@@ -326,7 +329,7 @@ where
                 }
                 for &(src, p) in &old_panes_touched {
                     if let Some(sig) =
-                        self.controller.signature(&input_name(src, PaneId(p), r))
+                        self.controller.signature(&input_name(0, src, PaneId(p), r))
                     {
                         concat_old_input_reads += sig.bytes;
                     }
@@ -359,7 +362,7 @@ where
                         );
                         pane_done = pane_done.max(placement.end);
                     }
-                    self.register(input_name(s, p, r), node, bytes, pane_done);
+                    self.register(input_name(0, s, p, r), node, bytes, pane_done);
                     input_avail.insert((s, p.0), pane_done);
                 }
                 // Join pairs as soon as both inputs exist, grouped by the
@@ -382,14 +385,14 @@ where
                         group_local_out += bytes;
                         outs += self
                             .cluster
-                            .get_local(node, &pair_name(p, q, r).store_name())
+                            .get_local(node, &pair_name(0, p, q, r).store_name())
                             .map(|b| {
                                 std::str::from_utf8(&b)
                                     .map(|t| t.lines().count() as u64)
                                     .unwrap_or(0)
                             })
                             .unwrap_or(0);
-                        built.push((pair_name(p, q, r), bytes));
+                        built.push((pair_name(0, p, q, r), bytes));
                     }
                     let work = ReduceWork {
                         shuffle_bytes: 0,
@@ -421,7 +424,7 @@ where
         let mut concat_records = 0u64;
         for &p in panes {
             for &q in panes {
-                let name = pair_name(p, q, r);
+                let name = pair_name(0, p, q, r);
                 let fresh = prep.todo_set.contains(&(p.0, q.0));
                 if let Some(sig) = self.controller.signature(&name) {
                     ready = ready.max(sig.available_at);

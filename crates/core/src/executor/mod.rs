@@ -89,11 +89,25 @@ pub struct ExecutorOptions {
     /// close), so firing pays only the merge. When false — or when the
     /// query has no combiner — every pane product is built at fire time.
     pub delta_maintenance: bool,
+    /// Share pane caches across queries attached to one
+    /// [`crate::shared::SharedSource`]: signature-equivalent cache names
+    /// are resolved through the source's directory, so one query's
+    /// builds fire as hits in every other compatible query. When false
+    /// the executor keys its caches with a private fingerprint and
+    /// neither publishes nor imports. Must be set before the first
+    /// ingest — cache names are derived from the active fingerprint, so
+    /// flipping it mid-stream orphans already-announced names.
+    pub cross_query_sharing: bool,
 }
 
 impl Default for ExecutorOptions {
     fn default() -> Self {
-        ExecutorOptions { caching: true, cache_aware_scheduling: true, delta_maintenance: true }
+        ExecutorOptions {
+            caching: true,
+            cache_aware_scheduling: true,
+            delta_maintenance: true,
+            cross_query_sharing: true,
+        }
     }
 }
 
@@ -147,6 +161,21 @@ struct SourceState {
     shared: bool,
 }
 
+/// This executor's attachment to a shared source's signature directory:
+/// the fingerprints its cache names carry and the consumer id its
+/// lifespan votes are cast under.
+struct ShareBinding {
+    dir: Arc<Mutex<crate::cache::share::SignatureDirectory>>,
+    /// Fingerprint shared by every signature-equivalent query.
+    fp_shared: u64,
+    /// Per-query fingerprint used when sharing is switched off, so the
+    /// executor's cache files stay disjoint from other queries' on the
+    /// common cluster.
+    fp_private: u64,
+    /// Consumer id in the directory; `None` while sharing is off.
+    consumer: Option<usize>,
+}
+
 /// The recurring-query executor. See module docs.
 pub struct RecurringExecutor<M, R>
 where
@@ -170,6 +199,11 @@ where
     adaptive: AdaptiveController,
     scheduler: CacheAwareScheduler,
     mapped: HashMap<(u32, u64), MappedPane<M::KOut, M::VOut>>,
+    share: Option<ShareBinding>,
+    /// Rendered store names, interned per cache identity: lookups on the
+    /// hot path (local-store reads, heartbeats, shared imports) reuse
+    /// one allocation instead of re-`format!`ing per probe.
+    interned: HashMap<CacheName, Arc<str>>,
     delta: delta::DeltaMaintenance<M::KOut, M::VOut>,
     built_panes: BTreeSet<(u32, u64)>,
     built_pairs: BTreeSet<(u64, u64)>,
@@ -208,6 +242,7 @@ where
             conf,
             vec![(source, None)],
             None,
+            None,
             mapper,
             reducer,
             Some(merger),
@@ -220,6 +255,18 @@ where
     /// pane files are ingested once and consumed by every query attached
     /// to the source. The executor must not re-plan a shared packer, so
     /// shared deployments should use a non-adaptive controller.
+    ///
+    /// Attaching also computes the query's *operator fingerprint* — a
+    /// stable hash of the mapper/reducer type identity, the partitioner,
+    /// the reducer count, the shared pane length, and the query's
+    /// [`QueryConf::share_tag`] — and registers the executor as a
+    /// consumer in the source's signature directory. Queries landing on
+    /// the same fingerprint name (and therefore share) the same pane
+    /// caches. **Caveat:** type identity cannot see through function
+    /// pointers — two `ClosureMapper<_, _, fn(..)>`s built from
+    /// *different* `fn` items share one type name. Give such queries
+    /// distinct `share_tag`s (or distinct closure types) unless they
+    /// really are the same operator.
     #[allow(clippy::too_many_arguments)]
     pub fn aggregation_shared(
         cluster: &Cluster,
@@ -234,12 +281,33 @@ where
     ) -> Result<Self> {
         let source = shared.conf_for(spec)?;
         let handle = shared.packer_handle();
+        let mut fp = crate::query::FingerprintBuilder::new();
+        fp.push_str("agg")
+            .push_str(std::any::type_name::<M>())
+            .push_str(std::any::type_name::<R>())
+            .push_str("HashPartitioner")
+            .push_u64(conf.num_reducers as u64)
+            .push_u64(shared.pane_ms())
+            .push_str(conf.share_tag.as_deref().unwrap_or(""));
+        let fp_shared = fp.finish();
+        // The private fingerprint additionally folds in per-query
+        // identity so sharing-off executors keep disjoint files on the
+        // common cluster.
+        fp.push_str("private")
+            .push_str(&conf.name)
+            .push_str(conf.output_root.as_str())
+            .push_u64(conf.query_index as u64);
+        let fp_private = fp.finish();
+        let dir = shared.directory();
+        let consumer = Some(dir.lock().register_consumer(fp_shared));
+        let share = ShareBinding { dir, fp_shared, fp_private, consumer };
         Self::build(
             cluster,
             sim,
             conf,
             vec![(source, Some(handle))],
             Some(shared.pane_ms()),
+            Some(share),
             mapper,
             reducer,
             Some(merger),
@@ -266,6 +334,7 @@ where
             conf,
             vec![(a, None), (b, None)],
             None,
+            None,
             mapper,
             reducer,
             None,
@@ -280,6 +349,7 @@ where
         conf: QueryConf,
         sources: Vec<(SourceConf, Option<PackerHandle>)>,
         pane_override_ms: Option<u64>,
+        share: Option<ShareBinding>,
         mapper: Arc<M>,
         reducer: Arc<R>,
         merger: Option<Arc<dyn Merger<M::KOut, R::VOut>>>,
@@ -364,6 +434,8 @@ where
             adaptive,
             scheduler: CacheAwareScheduler,
             mapped: HashMap::new(),
+            share,
+            interned: HashMap::new(),
             delta: delta::DeltaMaintenance::new(num_reducers),
             built_panes: BTreeSet::new(),
             built_pairs: BTreeSet::new(),
@@ -392,9 +464,47 @@ where
         self.lists.seen_counts()
     }
 
-    /// Overrides the ablation switches.
+    /// Overrides the ablation switches. Toggling
+    /// [`ExecutorOptions::cross_query_sharing`] re-registers or
+    /// withdraws this executor as a consumer in its shared source's
+    /// signature directory; do it before the first ingest (cache names
+    /// embed the active fingerprint).
     pub fn set_options(&mut self, options: ExecutorOptions) {
+        if let Some(share) = &mut self.share {
+            match (self.options.cross_query_sharing, options.cross_query_sharing) {
+                (true, false) => {
+                    if let Some(c) = share.consumer.take() {
+                        share.dir.lock().deregister_consumer(share.fp_shared, c);
+                    }
+                }
+                (false, true) if share.consumer.is_none() => {
+                    share.consumer = Some(share.dir.lock().register_consumer(share.fp_shared));
+                }
+                _ => {}
+            }
+        }
         self.options = options;
+    }
+
+    /// The operator fingerprint this executor's cache names carry: the
+    /// shared fingerprint when attached to a shared source with sharing
+    /// on, a private per-query fingerprint when sharing is off, and 0
+    /// (legacy per-slot names) for owned sources and joins.
+    fn active_fp(&self) -> u64 {
+        match &self.share {
+            Some(s) if self.options.cross_query_sharing => s.fp_shared,
+            Some(s) => s.fp_private,
+            None => 0,
+        }
+    }
+
+    /// The interned rendered store name of `name` (see the `interned`
+    /// field). Entries are evicted when the controller forgets the name.
+    fn interned_store(&mut self, name: &CacheName) -> Arc<str> {
+        self.interned
+            .entry(*name)
+            .or_insert_with(|| Arc::from(name.store_name()))
+            .clone()
     }
 
     /// Installs a map-side combiner: map output is pre-aggregated per key
@@ -478,11 +588,13 @@ where
                 .slices_of(PaneId(p))
                 .len()
                 .max(1) as u32;
+            let fp = if self.sources[source].shared { self.active_fp() } else { 0 };
             for r in 0..self.conf.num_reducers {
                 for sub in 0..subs {
-                    self.controller.note_hdfs_available(CacheName::new(
+                    self.controller.note_hdfs_available(CacheName::with_fp(
                         CacheObject::PaneInput { source: sid, pane: PaneId(p), sub },
                         r,
+                        fp,
                     ));
                 }
             }
@@ -576,14 +688,15 @@ where
         // from query properties: incrementally maintained queries get
         // `FoldDelta` nodes (charge only residual fold/seal cost), all
         // others keep `BuildPane` as the explicit fallback.
+        let fp = self.active_fp();
         let window_plan = if self.sources.len() == 1 {
             if self.delta_enabled() {
-                plan::WindowPlan::aggregation_delta(rec, panes, self.conf.num_reducers)
+                plan::WindowPlan::aggregation_delta(rec, panes, self.conf.num_reducers, fp)
             } else {
-                plan::WindowPlan::aggregation(rec, panes, self.conf.num_reducers)
+                plan::WindowPlan::aggregation(rec, panes, self.conf.num_reducers, fp)
             }
         } else {
-            plan::WindowPlan::binary_join(rec, panes, self.conf.num_reducers)
+            plan::WindowPlan::binary_join(rec, panes, self.conf.num_reducers, fp)
         };
         let ctx = driver::WindowCtx { fire, floor, mode: decision.mode };
         let outputs = self.drive(&window_plan, ctx, &mut metrics)?;

@@ -118,51 +118,63 @@ pub struct WindowPlan {
     pub panes: Vec<PaneId>,
     /// Reduce partition count.
     pub num_reducers: usize,
+    /// Operator fingerprint every cache name in this plan carries
+    /// (0 = private per-slot names). Computed by the executor from the
+    /// query's operator identity and pane geometry; plans of
+    /// signature-equivalent queries over one shared source carry the
+    /// same fingerprint and therefore annotate the same cache names.
+    pub fp: u64,
     /// All nodes, partition-major, finalization last per partition.
     pub nodes: Vec<PlanNode>,
 }
 
 /// Cache name of one source pane's reduce-input cache (joins).
-pub(crate) fn input_name(source: u32, pane: PaneId, r: usize) -> CacheName {
-    CacheName::new(CacheObject::PaneInput { source, pane, sub: 0 }, r)
+pub(crate) fn input_name(fp: u64, source: u32, pane: PaneId, r: usize) -> CacheName {
+    CacheName::with_fp(CacheObject::PaneInput { source, pane, sub: 0 }, r, fp)
 }
 
 /// Cache name of one pane's partial-aggregate cache (aggregations).
-pub(crate) fn output_name(source: u32, pane: PaneId, r: usize) -> CacheName {
-    CacheName::new(CacheObject::PaneOutput { source, pane }, r)
+pub(crate) fn output_name(fp: u64, source: u32, pane: PaneId, r: usize) -> CacheName {
+    CacheName::with_fp(CacheObject::PaneOutput { source, pane }, r, fp)
 }
 
 /// Cache name of one pane pair's join-output cache.
-pub(crate) fn pair_name(left: PaneId, right: PaneId, r: usize) -> CacheName {
-    CacheName::new(CacheObject::PairOutput { left, right }, r)
+pub(crate) fn pair_name(fp: u64, left: PaneId, right: PaneId, r: usize) -> CacheName {
+    CacheName::with_fp(CacheObject::PairOutput { left, right }, r, fp)
 }
 
 /// Cache name of one pane's sealed incremental-delta cache.
-pub(crate) fn delta_name(source: u32, pane: PaneId, r: usize) -> CacheName {
-    CacheName::new(CacheObject::PaneDelta { source, pane }, r)
+pub(crate) fn delta_name(fp: u64, source: u32, pane: PaneId, r: usize) -> CacheName {
+    CacheName::with_fp(CacheObject::PaneDelta { source, pane }, r, fp)
 }
 
 impl WindowPlan {
     /// Plans one aggregation window: per partition, a `BuildPane` for
     /// every in-window pane producing its partial-aggregate cache, then
-    /// one `MergePanes` requiring all of them.
-    pub fn aggregation(recurrence: u64, panes: Vec<PaneId>, num_reducers: usize) -> WindowPlan {
+    /// one `MergePanes` requiring all of them. `fp` is the operator
+    /// fingerprint stamped on every cache name (0 = private names).
+    pub fn aggregation(
+        recurrence: u64,
+        panes: Vec<PaneId>,
+        num_reducers: usize,
+        fp: u64,
+    ) -> WindowPlan {
         let mut nodes = Vec::with_capacity((panes.len() + 1) * num_reducers);
         for r in 0..num_reducers {
             for &p in &panes {
                 nodes.push(PlanNode {
                     task: PlanTask::BuildPane { source: 0, pane: p, partition: r },
                     requires: Vec::new(),
-                    produces: vec![output_name(0, p, r)],
+                    produces: vec![output_name(fp, 0, p, r)],
                 });
             }
             nodes.push(PlanNode {
                 task: PlanTask::MergePanes { partition: r },
-                requires: panes.iter().map(|&p| output_name(0, p, r)).collect(),
+                requires: panes.iter().map(|&p| output_name(fp, 0, p, r)).collect(),
                 produces: Vec::new(),
             });
         }
-        WindowPlan { recurrence, kind: PlanKind::Aggregation, panes, num_reducers, nodes }
+        WindowPlan { recurrence, kind: PlanKind::Aggregation, panes, num_reducers, fp, nodes }
     }
 
     /// Plans one aggregation window whose pane state is maintained
@@ -175,6 +187,7 @@ impl WindowPlan {
         recurrence: u64,
         panes: Vec<PaneId>,
         num_reducers: usize,
+        fp: u64,
     ) -> WindowPlan {
         let mut nodes = Vec::with_capacity((panes.len() + 1) * num_reducers);
         for r in 0..num_reducers {
@@ -182,16 +195,16 @@ impl WindowPlan {
                 nodes.push(PlanNode {
                     task: PlanTask::FoldDelta { source: 0, pane: p, partition: r },
                     requires: Vec::new(),
-                    produces: vec![delta_name(0, p, r)],
+                    produces: vec![delta_name(fp, 0, p, r)],
                 });
             }
             nodes.push(PlanNode {
                 task: PlanTask::MergePanes { partition: r },
-                requires: panes.iter().map(|&p| delta_name(0, p, r)).collect(),
+                requires: panes.iter().map(|&p| delta_name(fp, 0, p, r)).collect(),
                 produces: Vec::new(),
             });
         }
-        WindowPlan { recurrence, kind: PlanKind::Aggregation, panes, num_reducers, nodes }
+        WindowPlan { recurrence, kind: PlanKind::Aggregation, panes, num_reducers, fp, nodes }
     }
 
     /// Plans one binary-join window: per partition, a `BuildPane` for
@@ -199,7 +212,12 @@ impl WindowPlan {
     /// caches), a `BuildPair` for every pane pair (requiring the two
     /// inputs, producing the pair-output cache), then one `FinalReduce`
     /// requiring every pair output.
-    pub fn binary_join(recurrence: u64, panes: Vec<PaneId>, num_reducers: usize) -> WindowPlan {
+    pub fn binary_join(
+        recurrence: u64,
+        panes: Vec<PaneId>,
+        num_reducers: usize,
+        fp: u64,
+    ) -> WindowPlan {
         let per_part = 2 * panes.len() + panes.len() * panes.len() + 1;
         let mut nodes = Vec::with_capacity(per_part * num_reducers);
         for r in 0..num_reducers {
@@ -208,7 +226,7 @@ impl WindowPlan {
                     nodes.push(PlanNode {
                         task: PlanTask::BuildPane { source: s, pane: p, partition: r },
                         requires: Vec::new(),
-                        produces: vec![input_name(s, p, r)],
+                        produces: vec![input_name(fp, s, p, r)],
                     });
                 }
             }
@@ -217,10 +235,10 @@ impl WindowPlan {
                 for &q in &panes {
                     nodes.push(PlanNode {
                         task: PlanTask::BuildPair { left: p, right: q, partition: r },
-                        requires: vec![input_name(0, p, r), input_name(1, q, r)],
-                        produces: vec![pair_name(p, q, r)],
+                        requires: vec![input_name(fp, 0, p, r), input_name(fp, 1, q, r)],
+                        produces: vec![pair_name(fp, p, q, r)],
                     });
-                    all_pairs.push(pair_name(p, q, r));
+                    all_pairs.push(pair_name(fp, p, q, r));
                 }
             }
             nodes.push(PlanNode {
@@ -229,7 +247,7 @@ impl WindowPlan {
                 produces: Vec::new(),
             });
         }
-        WindowPlan { recurrence, kind: PlanKind::BinaryJoin, panes, num_reducers, nodes }
+        WindowPlan { recurrence, kind: PlanKind::BinaryJoin, panes, num_reducers, fp, nodes }
     }
 
     /// The nodes of one reduce partition, in dispatch order.
@@ -299,7 +317,7 @@ mod tests {
         let spec = crate::query::WindowSpec::new(400, 100).unwrap();
         let geom = crate::pane::PaneGeometry::from_spec(&spec);
         let panes: Vec<PaneId> = geom.window_panes(2).map(PaneId).collect();
-        let plan = WindowPlan::aggregation(2, panes, 2);
+        let plan = WindowPlan::aggregation(2, panes, 2, 0);
         let expect = "\
 w2 Aggregation panes=[2,3,4,5] reducers=2
 r0 build s0p2 <- [] -> [ro/s0p2/r0]
@@ -324,7 +342,7 @@ r1 merge <- [ro/s0p2/r1 ro/s0p3/r1 ro/s0p4/r1 ro/s0p5/r1] -> []
         let spec = crate::query::WindowSpec::new(400, 100).unwrap();
         let geom = crate::pane::PaneGeometry::from_spec(&spec);
         let panes: Vec<PaneId> = geom.window_panes(2).map(PaneId).collect();
-        let plan = WindowPlan::aggregation_delta(2, panes, 2);
+        let plan = WindowPlan::aggregation_delta(2, panes, 2, 0);
         let expect = "\
 w2 Aggregation panes=[2,3,4,5] reducers=2
 r0 fold s0p2 <- [] -> [rd/s0p2/r0]
@@ -344,7 +362,7 @@ r1 merge <- [rd/s0p2/r1 rd/s0p3/r1 rd/s0p4/r1 rd/s0p5/r1] -> []
     #[test]
     fn golden_join_plan_snapshot() {
         let panes = vec![PaneId(0), PaneId(1)];
-        let plan = WindowPlan::binary_join(0, panes, 1);
+        let plan = WindowPlan::binary_join(0, panes, 1, 0);
         let expect = "\
 w0 BinaryJoin panes=[0,1] reducers=1
 r0 build s0p0 <- [] -> [ri/s0p0.0/r0]
@@ -380,8 +398,8 @@ r0 concat <- [po/p0x0/r0 po/p0x1/r0 po/p1x0/r0 po/p1x1/r0] -> []
             let panes: Vec<PaneId> = expected.iter().map(|&p| PaneId(p)).collect();
 
             for (kind, sources) in [
-                (WindowPlan::aggregation(rec, panes.clone(), num_reducers), 1u32),
-                (WindowPlan::binary_join(rec, panes.clone(), num_reducers), 2u32),
+                (WindowPlan::aggregation(rec, panes.clone(), num_reducers, 0), 1u32),
+                (WindowPlan::binary_join(rec, panes.clone(), num_reducers, 0), 2u32),
             ] {
                 for r in 0..num_reducers {
                     for s in 0..sources {
@@ -407,7 +425,7 @@ r0 concat <- [po/p0x0/r0 po/p0x1/r0 po/p1x0/r0 po/p1x1/r0] -> []
             // Delta-enabled aggregation plans satisfy the same coverage
             // property: FoldDelta tasks for each partition are exactly
             // the window's pane range, each once.
-            let delta = WindowPlan::aggregation_delta(rec, panes.clone(), num_reducers);
+            let delta = WindowPlan::aggregation_delta(rec, panes.clone(), num_reducers, 0);
             for r in 0..num_reducers {
                 let folded: Vec<u64> = delta
                     .nodes
@@ -426,7 +444,7 @@ r0 concat <- [po/p0x0/r0 po/p0x1/r0 po/p1x0/r0 po/p1x1/r0] -> []
 
     #[test]
     fn required_caches_dedupe_in_first_seen_order() {
-        let plan = WindowPlan::binary_join(0, vec![PaneId(0), PaneId(1)], 2);
+        let plan = WindowPlan::binary_join(0, vec![PaneId(0), PaneId(1)], 2, 0);
         let names = plan.required_caches(1);
         // 4 inputs + 4 pairs, no duplicates even though pairs re-require
         // the inputs.
@@ -434,7 +452,7 @@ r0 concat <- [po/p0x0/r0 po/p0x1/r0 po/p1x0/r0 po/p1x1/r0] -> []
         let set: std::collections::HashSet<_> = names.iter().collect();
         assert_eq!(set.len(), names.len());
         // Inputs first (build order), then pair outputs.
-        assert_eq!(names[0], input_name(0, PaneId(0), 1));
-        assert_eq!(names[4], pair_name(PaneId(0), PaneId(0), 1));
+        assert_eq!(names[0], input_name(0, 0, PaneId(0), 1));
+        assert_eq!(names[4], pair_name(0, PaneId(0), PaneId(0), 1));
     }
 }

@@ -93,7 +93,7 @@
 //!     vec!["5,a".into(), "15,b".into(), "25,a".into(), "35,a".into()],
 //!     TimeRange::new(EventTime(0), EventTime(40)),
 //! )]);
-//! let q = deployment.add_query(exec, &[clicks], 1);
+//! let q = deployment.add_query(exec, &[clicks], 1).unwrap();
 //! let fired = deployment.run().unwrap();
 //! assert_eq!(fired.len(), 1);
 //! assert!(deployment.reports(q)[0].response > redoop_mapred::SimTime::ZERO);

@@ -71,6 +71,68 @@ impl WindowSpec {
     }
 }
 
+/// Builder for a stable *operator fingerprint*: the semantic signature
+/// component that decides whether two queries' pane caches are
+/// interchangeable. Two queries attached to the same shared source
+/// share caches iff they hash identical operator identities (mapper,
+/// reducer, partitioner), the same reducer count, and the same pane
+/// geometry into the same fingerprint.
+///
+/// Implemented as FNV-1a over length-delimited parts so the hash is
+/// stable across runs and processes (unlike `std`'s `DefaultHasher`,
+/// which is randomly seeded). `finish` never returns 0 — fingerprint 0
+/// is reserved for "private, unshared" cache identities.
+#[derive(Debug, Clone)]
+pub struct FingerprintBuilder {
+    hash: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl FingerprintBuilder {
+    /// Fresh builder at the FNV offset basis.
+    pub fn new() -> Self {
+        FingerprintBuilder { hash: FNV_OFFSET }
+    }
+
+    fn push_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.hash ^= b as u64;
+            self.hash = self.hash.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Folds a string part (length-delimited, so `"ab" + "c"` and
+    /// `"a" + "bc"` hash differently).
+    pub fn push_str(&mut self, part: &str) -> &mut Self {
+        self.push_bytes(&(part.len() as u64).to_le_bytes());
+        self.push_bytes(part.as_bytes());
+        self
+    }
+
+    /// Folds a numeric part.
+    pub fn push_u64(&mut self, part: u64) -> &mut Self {
+        self.push_bytes(&part.to_le_bytes());
+        self
+    }
+
+    /// Final fingerprint; remapped away from the reserved value 0.
+    pub fn finish(&self) -> u64 {
+        if self.hash == 0 {
+            FNV_OFFSET
+        } else {
+            self.hash
+        }
+    }
+}
+
+impl Default for FingerprintBuilder {
+    fn default() -> Self {
+        FingerprintBuilder::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -114,5 +176,26 @@ mod tests {
         assert_eq!(w.span_for(10), 60 + 9 * 20);
         // Last window ends exactly at the span.
         assert_eq!(w.window_range(9).end, EventTime(w.span_for(10)));
+    }
+
+    #[test]
+    fn fingerprints_are_stable_and_discriminating() {
+        let fp = |parts: &[&str], nums: &[u64]| {
+            let mut b = FingerprintBuilder::new();
+            for p in parts {
+                b.push_str(p);
+            }
+            for &n in nums {
+                b.push_u64(n);
+            }
+            b.finish()
+        };
+        let a = fp(&["map", "red"], &[4, 1000]);
+        assert_eq!(a, fp(&["map", "red"], &[4, 1000]), "deterministic");
+        assert_ne!(a, fp(&["map", "red"], &[2, 1000]), "reducer count matters");
+        assert_ne!(a, fp(&["map", "red2"], &[4, 1000]), "operator matters");
+        assert_ne!(a, fp(&["mapred"], &[4, 1000]), "length-delimited");
+        assert_ne!(a, 0, "0 is reserved for private identities");
+        assert_ne!(FingerprintBuilder::new().finish(), 0);
     }
 }

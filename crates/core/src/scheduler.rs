@@ -300,6 +300,34 @@ mod tests {
     }
 
     #[test]
+    fn adopted_remote_caches_earn_the_eq4_reuse_credit() {
+        // Cross-query sharing: a fingerprinted cache another query built
+        // is adopted (silently registered) rather than self-built. The
+        // affinity term must credit the remote holder exactly like a
+        // self-built cache, so the Eq. 4 argmin anchors this query's
+        // partition on the node that already holds the shared pane.
+        let shared = CacheName::with_fp(
+            CacheObject::PaneOutput { source: 0, pane: PaneId(2) },
+            1,
+            0xabcd,
+        );
+        let mut ctl = CacheController::new(1);
+        ctl.adopt_remote(shared, NodeId(3), 200_000, 800_000, SimTime::ZERO);
+        let cost = CostModel::default();
+        let caches = [shared];
+        let affinity = |n: NodeId| cache_affinity(&ctl, &caches, n, &cost);
+        assert!(
+            affinity(NodeId(3)) < affinity(NodeId(0)),
+            "the sharing holder must win the rebuild-cost term"
+        );
+        let loads = [SimTime::ZERO; 4];
+        let alive = [true; 4];
+        let ctx = SchedulerCtx { loads: &loads, alive: &alive };
+        let picked = CacheAwareScheduler.pick_node(TaskKind::Reduce, &ctx, &affinity);
+        assert_eq!(picked, NodeId(3), "placement must anchor on the cross-query holder");
+    }
+
+    #[test]
     fn task_lists_fifo_and_dedupe() {
         let mut lists = TaskLists::new();
         let a = MapTaskEntry { source: 0, pane: PaneId(0), sub: 0 };

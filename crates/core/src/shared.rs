@@ -21,13 +21,16 @@ use redoop_dfs::{Cluster, DfsPath};
 
 use crate::analyzer::PartitionPlan;
 use crate::api::SourceConf;
+use crate::cache::share::SignatureDirectory;
 use crate::error::{RedoopError, Result};
 use crate::packer::{DynamicDataPacker, PaneManifest, TsFn};
 use crate::pane::PaneGeometry;
 use crate::query::WindowSpec;
 use crate::time::TimeRange;
 
-/// Shared handle to one data source's packer (pane files + manifest).
+/// Shared handle to one data source's packer (pane files + manifest)
+/// and the signature directory its attached queries share caches
+/// through.
 #[derive(Clone)]
 pub struct SharedSource {
     name: String,
@@ -35,6 +38,7 @@ pub struct SharedSource {
     pane_root: DfsPath,
     ts_fn: TsFn,
     packer: Arc<Mutex<DynamicDataPacker>>,
+    directory: Arc<Mutex<SignatureDirectory>>,
 }
 
 impl std::fmt::Debug for SharedSource {
@@ -75,6 +79,7 @@ impl SharedSource {
             pane_root,
             ts_fn,
             packer: Arc::new(Mutex::new(packer)),
+            directory: Arc::new(Mutex::new(SignatureDirectory::new())),
         })
     }
 
@@ -106,6 +111,12 @@ impl SharedSource {
     /// The underlying packer handle, shared with executors.
     pub(crate) fn packer_handle(&self) -> Arc<Mutex<DynamicDataPacker>> {
         self.packer.clone()
+    }
+
+    /// The cross-query signature directory every executor attached to
+    /// this source publishes to / imports from.
+    pub fn directory(&self) -> Arc<Mutex<SignatureDirectory>> {
+        self.directory.clone()
     }
 
     /// Builds the [`SourceConf`] a query uses to attach to this source.

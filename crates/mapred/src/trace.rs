@@ -67,6 +67,13 @@ pub enum CacheAction {
     Purge,
     /// Cache marked done by every query (doneQueryMask full).
     Expire,
+    /// A window adopted a signature-equivalent cache built by *another*
+    /// query (cross-query sharing) instead of rebuilding it.
+    SharedHit,
+    /// This query is done with a shared cache but other consumers still
+    /// need it: local bookkeeping dropped, file retained (lifespan
+    /// extended to the last sharing consumer).
+    ExpireDeferred,
 }
 
 impl CacheAction {
@@ -79,6 +86,8 @@ impl CacheAction {
             CacheAction::Forget => "forget",
             CacheAction::Purge => "purge",
             CacheAction::Expire => "expire",
+            CacheAction::SharedHit => "shared_hit",
+            CacheAction::ExpireDeferred => "expire_deferred",
         }
     }
 }
@@ -522,6 +531,11 @@ pub struct WindowTraceStats {
     pub placements_cache_local: u64,
     /// Caches rolled back by heartbeat reconciliation this window (§5).
     pub rollbacks: u64,
+    /// Caches adopted from signature-equivalent entries built by other
+    /// queries (cross-query sharing) this window. These subsequently
+    /// count as `cache_hits` when the plan probes them, so
+    /// `shared_hits` isolates the cross-query contribution.
+    pub shared_hits: u64,
 }
 
 impl WindowTraceStats {
@@ -674,6 +688,7 @@ mod tests {
             placements_total: 4,
             placements_cache_local: 2,
             rollbacks: 0,
+            shared_hits: 1,
         };
         assert_eq!(s.cache_hit_ratio(), 0.75);
         assert_eq!(s.locality_ratio(), 0.5);

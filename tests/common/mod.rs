@@ -189,7 +189,7 @@ where
         .iter()
         .map(|batches| deployment.add_source(batches.iter().map(arrival).collect()))
         .collect();
-    let q = deployment.add_query(exec, &sources, windows);
+    let q = deployment.add_query(exec, &sources, windows).unwrap();
     deployment.run().unwrap();
     deployment.reports(q).to_vec()
 }

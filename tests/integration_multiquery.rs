@@ -222,9 +222,11 @@ fn deployment_matches_the_sequential_multiquery_oracle() {
         batches.iter().map(|b| ArrivalBatch::new(b.lines.clone(), b.range.clone())).collect(),
     );
     let d1 = deployment
-        .add_query(MaskProbe { exec: &mut dep1, log: log1.clone() }, &[src], Q1_WINDOWS);
+        .add_query(MaskProbe { exec: &mut dep1, log: log1.clone() }, &[src], Q1_WINDOWS)
+        .unwrap();
     let d2 = deployment
-        .add_query(MaskProbe { exec: &mut dep2, log: log2.clone() }, &[src], Q2_WINDOWS);
+        .add_query(MaskProbe { exec: &mut dep2, log: log2.clone() }, &[src], Q2_WINDOWS)
+        .unwrap();
     let fired = deployment.run().unwrap();
 
     // Interleaved in fire-time order: q1 fires at 2000/3000/4000/5000/
@@ -340,4 +342,136 @@ fn shared_pane_finer_than_either_querys_own_gcd() {
         let got: Vec<(String, u64)> = read_window_output(&cluster, &report.outputs).unwrap();
         assert_eq!(got, oracle(&q2, w), "q2 window {w} on shared fine panes");
     }
+}
+
+// ---------------------------------------------------------------------
+// Cross-query cache sharing oracle suite: N identical queries over one
+// shared source must produce bit-identical outputs with sharing on and
+// off, while the traced journal proves each shared (pane, partition)
+// was physically built exactly once and every other query imported it.
+// ---------------------------------------------------------------------
+
+/// Raw output bytes per query per window, plus the run's trace journal.
+type ShareRun = (Vec<Vec<Vec<u8>>>, Vec<redoop_mapred::trace::TraceEvent>);
+
+fn run_share_fleet(n: usize, windows: u64, sharing: bool, tag: &str) -> ShareRun {
+    let spec = WindowSpec::new(2_000_000, 1_000_000).unwrap();
+    let plan = ArrivalPlan::new(spec, windows);
+    let mut generator = WccGenerator::new(55, 80, 200, 0.002);
+    let batches = plan.generate(|range, m| generator.batch(range, m));
+
+    let cluster = test_cluster();
+    let shared = SharedSource::new(
+        &cluster,
+        0,
+        "wcc",
+        DfsPath::new(format!("/panes/{tag}")).unwrap(),
+        &[spec],
+        leading_ts_fn(),
+    )
+    .unwrap();
+    for b in &batches {
+        shared.ingest_batch(b.lines.iter().map(String::as_str), &b.range).unwrap();
+    }
+
+    let sink = redoop_mapred::trace::TraceSink::enabled();
+    let mut execs: Vec<RecurringExecutor<AggMapper, AggReducer>> = (0..n)
+        .map(|i| {
+            let mut e = shared_executor(&cluster, &shared, spec, &format!("{tag}-q{i}"));
+            e.set_options(ExecutorOptions { cross_query_sharing: sharing, ..Default::default() });
+            e.set_trace_sink(sink.clone());
+            e
+        })
+        .collect();
+
+    let mut outs: Vec<Vec<Vec<u8>>> = vec![Vec::new(); n];
+    for w in 0..windows {
+        for (i, e) in execs.iter_mut().enumerate() {
+            let report = e.run_window(w).unwrap();
+            let mut bytes = Vec::new();
+            for path in &report.outputs {
+                bytes.extend_from_slice(&cluster.read(path).unwrap());
+            }
+            outs[i].push(bytes);
+        }
+    }
+    (outs, sink.events())
+}
+
+#[test]
+fn cross_query_sharing_is_exact_and_builds_each_pane_once() {
+    use redoop_mapred::trace::{CacheAction, TraceEvent};
+    const N: usize = 3;
+    const WINDOWS: u64 = 3;
+
+    let (shared_outs, shared_events) = run_share_fleet(N, WINDOWS, true, "share-on");
+    let (private_outs, _) = run_share_fleet(N, WINDOWS, false, "share-off");
+
+    // Bit-identical window outputs, query for query, sharing on vs off.
+    assert_eq!(shared_outs, private_outs, "sharing must not change any query's output bytes");
+
+    // Journal: every reduce-output registration is a physical build
+    // (imports are silent adoptions), so each shared (pane, partition)
+    // must register exactly once across the whole fleet.
+    let mut ro_registers: Vec<String> = shared_events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::Cache { action: CacheAction::Register, name, .. }
+                if name.contains("ro/") =>
+            {
+                Some(name.clone())
+            }
+            _ => None,
+        })
+        .collect();
+    let total = ro_registers.len();
+    ro_registers.sort();
+    ro_registers.dedup();
+    assert_eq!(total, ro_registers.len(), "a shared (pane, partition) was built twice");
+    // Windows 0..3 over win=2/slide=1 panes touch panes 0..=3, and the
+    // fixture runs 4 reduce partitions.
+    assert_eq!(total, 4 * 4, "expected one build per (pane, partition)");
+
+    // And the other N-1 queries imported instead of rebuilding.
+    let shared_hits = shared_events
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::Cache { action: CacheAction::SharedHit, .. }))
+        .count();
+    assert!(shared_hits > 0, "journal must show cross-query imports");
+    // Each of the 16 builds serves the other two queries exactly once.
+    assert_eq!(shared_hits, (N - 1) * total, "every non-builder must import every pane");
+
+    // Deferred expiry kept files alive until the last consumer was done.
+    let deferred = shared_events
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::Cache { action: CacheAction::ExpireDeferred, .. }))
+        .count();
+    assert!(deferred > 0, "non-final consumers must defer, not delete");
+}
+
+#[test]
+fn private_fingerprints_keep_disjoint_files_when_sharing_is_off() {
+    use redoop_mapred::trace::{CacheAction, TraceEvent};
+    // With sharing off each query builds under its own private
+    // fingerprint: N times the physical builds, zero imports.
+    const N: usize = 3;
+    let (_, events) = run_share_fleet(N, 2, false, "share-priv");
+    let registers: Vec<&String> = events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::Cache { action: CacheAction::Register, name, .. }
+                if name.contains("ro/") =>
+            {
+                Some(name)
+            }
+            _ => None,
+        })
+        .collect();
+    // Windows 0..2 touch panes 0..=2 across 4 partitions, per query.
+    assert_eq!(registers.len(), N * 3 * 4);
+    let shared_hits = events
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::Cache { action: CacheAction::SharedHit, .. }))
+        .count();
+    assert_eq!(shared_hits, 0, "private-cache mode must never import");
 }
