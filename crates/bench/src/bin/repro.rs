@@ -7,11 +7,20 @@
 //! ```
 //!
 //! Subcommands: `fig3`, `fig6`, `fig7`, `fig8`, `fig9`, `delta`,
-//! `share`, `headline`, `ablations`, `all`. Times are simulated seconds
-//! (see DESIGN.md). `delta` (the incremental pane-maintenance figure)
-//! writes its own `BENCH_delta.json`, and `share` (cross-query cache
-//! sharing: makespan and hit ratio vs fleet size) writes
-//! `BENCH_share.json`, instead of `BENCH_repro.json`.
+//! `share`, `scale`, `headline`, `ablations`, `all`. Times are
+//! simulated seconds (see DESIGN.md). `delta` (the incremental
+//! pane-maintenance figure) writes its own `BENCH_delta.json`, `share`
+//! (cross-query cache sharing: makespan and hit ratio vs fleet size)
+//! writes `BENCH_share.json`, and `scale` (the scale-out sweep: makespan
+//! and host wall-clock vs node and query count) writes
+//! `BENCH_scale.json`, instead of `BENCH_repro.json`.
+//!
+//! `--nodes <n>` / `--queries <n>` re-run any figure at non-default
+//! scale: `--nodes` resizes the simulated cluster of every figure, and
+//! `--queries` sets the concurrent-query count of figures with a query
+//! axis (`share`, `scale`). `--workers <n>` pins the host thread-pool
+//! size of the pure compute stages; it never changes simulated results
+//! (CI diffs the trace journal across worker counts to prove it).
 //!
 //! Pass `--trace <path>` to record the cluster's structured trace
 //! journal (placement decisions with per-node Eq. 4 scores, cache
@@ -32,6 +41,17 @@ use redoop_mapred::SimTime;
 
 const WINDOWS: u64 = 10;
 const SEED: u64 = 2014; // EDBT 2014
+
+/// Default scale-sweep headline point (`repro scale` with no flags).
+const SCALE_NODES: usize = 200;
+const SCALE_QUERIES: usize = 16;
+
+/// Host wall-clock of the default `(SCALE_NODES, SCALE_QUERIES)` scale
+/// point measured on the unoptimized tree at the start of the scale-out
+/// PR (commit ff8a140 + the scale harness, before the sublinear
+/// scheduler/registry structures landed). Recorded so BENCH_scale.json
+/// can report the optimized run's speedup against it.
+const UNOPTIMIZED_WALL_200X16_SECS: f64 = 2.51;
 
 fn secs(times: &[SimTime]) -> Vec<f64> {
     times.iter().map(|t| t.as_secs_f64()).collect()
@@ -256,19 +276,84 @@ fn share() -> Json {
             s.hit_ratio[i]
         );
     }
+    // Summarise at N=4 (the paper point) when swept, else at the
+    // largest fleet `--queries` selected.
+    let summary_n = if s.queries.contains(&4) { 4 } else { *s.queries.last().unwrap() };
     println!(
-        " N=4: sharing {:.2}x over private caches, cross-query hit ratio {:.2} \
+        " N={summary_n}: sharing {:.2}x over private caches, cross-query hit ratio {:.2} \
          [outputs verified]",
-        s.gain_at(4),
-        s.hit_ratio[2]
+        s.gain_at(summary_n),
+        s.hit_ratio[s.queries.iter().position(|&n| n == summary_n).unwrap()]
     );
     Json::obj(vec![
         ("queries", Json::nums(s.queries.iter().map(|&n| n as f64))),
         ("private_secs", Json::nums(s.private_secs.clone())),
         ("shared_secs", Json::nums(s.shared_secs.clone())),
         ("hit_ratio", Json::nums(s.hit_ratio.clone())),
-        ("gain_at_4", Json::Num(s.gain_at(4))),
+        ("gain_at_4", Json::Num(s.gain_at(summary_n))),
         ("outputs_match", Json::Bool(s.outputs_match)),
+    ])
+}
+
+/// The scale sweep: makespan + host wall-clock vs node count and query
+/// count, with the bursty/diurnal/skew-drift arrival curves active.
+/// `max_nodes`/`max_queries` come from `--nodes`/`--queries` (defaults
+/// [`SCALE_NODES`]/[`SCALE_QUERIES`]).
+fn scale(max_nodes: usize, max_queries: usize) -> Json {
+    let windows = WINDOWS.min(8);
+    let s = experiments::fig_scale(windows, SEED, max_nodes, max_queries);
+    println!("\n=== Scale sweep: {max_nodes} nodes / {max_queries} queries headline point ===");
+    println!(" nodes | queries | makespan (s) | hit ratio | wall (s)");
+    println!(" ------+---------+--------------+-----------+---------");
+    for p in &s.points {
+        assert!(p.outputs_consistent, "identical queries must agree on outputs");
+        println!(
+            " {:>5} | {:>7} | {:>12.1} | {:>9.2} | {:>7.2}",
+            p.nodes, p.queries, p.makespan_secs, p.hit_ratio, p.wall_clock_secs
+        );
+    }
+    let head = s.points.last().expect("sweep has points");
+    let at_default = head.nodes == SCALE_NODES && head.queries == SCALE_QUERIES;
+    let baseline = (at_default && UNOPTIMIZED_WALL_200X16_SECS > 0.0)
+        .then_some(UNOPTIMIZED_WALL_200X16_SECS);
+    if let Some(b) = baseline {
+        println!(
+            " headline wall-clock {:.2}s (best of {} repeats) vs unoptimized baseline \
+             {b:.2}s: {:.2}x",
+            head.wall_clock_secs,
+            s.headline_repeats,
+            b / head.wall_clock_secs
+        );
+    }
+    let points = s
+        .points
+        .iter()
+        .map(|p| {
+            Json::obj(vec![
+                ("nodes", Json::Num(p.nodes as f64)),
+                ("queries", Json::Num(p.queries as f64)),
+                ("makespan_secs", Json::Num(p.makespan_secs)),
+                ("hit_ratio", Json::Num(p.hit_ratio)),
+                ("outputs_consistent", Json::Bool(p.outputs_consistent)),
+                ("wall_clock_secs", Json::Num(p.wall_clock_secs)),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("max_nodes", Json::Num(max_nodes as f64)),
+        ("max_queries", Json::Num(max_queries as f64)),
+        ("windows", Json::Num(windows as f64)),
+        ("points", Json::Arr(points)),
+        ("headline_wall_clock_secs", Json::Num(head.wall_clock_secs)),
+        ("headline_repeats", Json::Num(s.headline_repeats as f64)),
+        (
+            "unoptimized_baseline_wall_clock_secs",
+            baseline.map_or(Json::Null, Json::Num),
+        ),
+        (
+            "speedup_vs_unoptimized_baseline",
+            baseline.map_or(Json::Null, |b| Json::Num(b / head.wall_clock_secs)),
+        ),
     ])
 }
 
@@ -328,16 +413,45 @@ fn write_report(path: &str, command: &str, figures: Vec<(String, Json)>) {
 
 fn main() {
     // Tiny hand-rolled CLI: the subcommand is the first non-flag
-    // argument; `--trace <path>` may appear anywhere.
+    // argument; `--trace <path>`, `--nodes <n>`, `--queries <n>`,
+    // `--workers <n>` may appear anywhere.
     let mut trace_path: Option<String> = None;
+    let mut nodes: Option<usize> = None;
+    let mut queries: Option<usize> = None;
+    let mut workers: Option<usize> = None;
     let mut subcommand: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
+        let mut flag_value = |flag: &str| match args.next() {
+            Some(p) => p,
+            None => {
+                eprintln!("{flag} requires a value");
+                std::process::exit(2);
+            }
+        };
         if a == "--trace" {
-            match args.next() {
-                Some(p) => trace_path = Some(p),
-                None => {
-                    eprintln!("--trace requires a path argument");
+            trace_path = Some(flag_value("--trace"));
+        } else if a == "--nodes" {
+            match flag_value("--nodes").parse() {
+                Ok(n) if n >= 1 => nodes = Some(n),
+                _ => {
+                    eprintln!("--nodes requires a positive integer");
+                    std::process::exit(2);
+                }
+            }
+        } else if a == "--queries" {
+            match flag_value("--queries").parse() {
+                Ok(n) if n >= 1 => queries = Some(n),
+                _ => {
+                    eprintln!("--queries requires a positive integer");
+                    std::process::exit(2);
+                }
+            }
+        } else if a == "--workers" {
+            match flag_value("--workers").parse() {
+                Ok(n) if n >= 1 => workers = Some(n),
+                _ => {
+                    eprintln!("--workers requires a positive integer");
                     std::process::exit(2);
                 }
             }
@@ -349,6 +463,12 @@ fn main() {
         }
     }
     let arg = subcommand.unwrap_or_else(|| "all".to_string());
+    // Every figure built after this sees the overridden scale.
+    redoop_bench::setup::set_scale(nodes, queries);
+    // Host worker-count pin: never affects simulated results (CI diffs
+    // the trace journal across worker counts to prove it), only how
+    // many host threads the pure compute stages fan out over.
+    redoop_mapred::exec::set_host_parallelism(workers);
     if trace_path.is_some() {
         // Installed before any simulator is built, so every component
         // constructed by the figures picks it up.
@@ -363,6 +483,15 @@ fn main() {
         "fig9" => run_figure(&mut figures, "fig9", fig9),
         "delta" => run_figure(&mut figures, "delta", delta),
         "share" => run_figure(&mut figures, "share", share),
+        "scale" => {
+            let start = Instant::now();
+            let series = scale(nodes.unwrap_or(SCALE_NODES), queries.unwrap_or(SCALE_QUERIES));
+            let wall = start.elapsed().as_secs_f64();
+            figures.push((
+                "scale".to_string(),
+                Json::obj(vec![("wall_clock_secs", Json::Num(wall)), ("series", series)]),
+            ));
+        }
         "headline" => run_figure(&mut figures, "headline", headline),
         "ablations" => run_figure(&mut figures, "ablations", ablations),
         "all" => {
@@ -377,7 +506,7 @@ fn main() {
         other => {
             eprintln!(
                 "unknown experiment {other:?}; use \
-                 fig3|fig6|fig7|fig8|fig9|delta|share|headline|ablations|all"
+                 fig3|fig6|fig7|fig8|fig9|delta|share|scale|headline|ablations|all"
             );
             std::process::exit(2);
         }
@@ -388,6 +517,7 @@ fn main() {
     let path = match arg.as_str() {
         "delta" => "BENCH_delta.json",
         "share" => "BENCH_share.json",
+        "scale" => "BENCH_scale.json",
         _ => "BENCH_repro.json",
     };
     write_report(path, &arg, figures);

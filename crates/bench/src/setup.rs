@@ -2,6 +2,7 @@
 //! workloads, executor construction — the bench-side equivalent of the
 //! integration tests' fixtures, sized for the full evaluation sweeps.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use redoop_core::prelude::*;
@@ -23,13 +24,51 @@ pub const NUM_REDUCERS: usize = 4;
 /// Window size in event-time ms (2000 virtual seconds).
 pub const WIN_MS: u64 = 2_000_000;
 
-/// Simulated cluster nodes.
+/// Default simulated cluster nodes (the paper-scale testbed).
 pub const NODES: usize = 8;
 
-/// The experiment cluster: 8 nodes, 16 KiB blocks, 3-way replication.
+/// `--nodes` / `--queries` overrides (0 = use the figure's default).
+/// Process-wide for the same reason as `exec::set_host_parallelism`:
+/// the repro binary sets them once, before any figure runs.
+static NODE_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+static QUERY_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Installs scale overrides: every subsequent [`cluster`] is built with
+/// `nodes` nodes, and figures with a query-count axis use `queries`
+/// concurrent queries. `None` restores the defaults.
+pub fn set_scale(nodes: Option<usize>, queries: Option<usize>) {
+    NODE_OVERRIDE.store(nodes.unwrap_or(0), Ordering::Relaxed);
+    QUERY_OVERRIDE.store(queries.unwrap_or(0), Ordering::Relaxed);
+}
+
+/// Effective simulated node count ([`NODES`] unless overridden).
+pub fn nodes() -> usize {
+    match NODE_OVERRIDE.load(Ordering::Relaxed) {
+        0 => NODES,
+        n => n,
+    }
+}
+
+/// Effective concurrent-query count for figures with a query axis
+/// (`default` unless overridden).
+pub fn queries_or(default: usize) -> usize {
+    match QUERY_OVERRIDE.load(Ordering::Relaxed) {
+        0 => default,
+        n => n,
+    }
+}
+
+/// The experiment cluster: [`nodes`] nodes, 16 KiB blocks, 3-way
+/// replication.
 pub fn cluster() -> Cluster {
+    cluster_with_nodes(nodes())
+}
+
+/// An experiment cluster at an explicit node count (the scale sweep
+/// builds several sizes in one run).
+pub fn cluster_with_nodes(n: usize) -> Cluster {
     Cluster::new(ClusterConfig {
-        nodes: NODES,
+        nodes: n,
         block_size: 16 * 1024,
         replication: 3,
         placement: PlacementPolicy::RoundRobin,
@@ -58,6 +97,14 @@ pub fn wcc(plan: &ArrivalPlan, seed: u64) -> Vec<GeneratedBatch> {
 pub fn wcc_rate(plan: &ArrivalPlan, seed: u64, scale: f64) -> Vec<GeneratedBatch> {
     let mut generator = WccGenerator::new(seed, 120, 500, 0.01 * scale);
     plan.generate(|range, m| generator.batch(range, m))
+}
+
+/// WCC batches honouring the plan's attached arrival curves (bursty /
+/// diurnal rate shaping plus skew drift). For a plan without curves
+/// this is identical to [`wcc_rate`].
+pub fn wcc_shaped(plan: &ArrivalPlan, seed: u64, scale: f64) -> Vec<GeneratedBatch> {
+    let mut generator = WccGenerator::new(seed, 120, 500, 0.01 * scale);
+    plan.generate_shaped(|range, shape| generator.batch_skewed(range, shape.multiplier, shape.skew))
 }
 
 /// One FFG sensor stream for `plan`.

@@ -6,13 +6,13 @@
 //! registered query. When every bit is set the cache is expired and a
 //! purge notification is issued to the owning node's Local Cache Registry.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use redoop_dfs::NodeId;
 use redoop_mapred::trace::{self, CacheAction, TraceEvent, TraceSink};
 use redoop_mapred::SimTime;
 
-use super::CacheName;
+use super::{CacheName, CacheObject};
 use crate::error::{RedoopError, Result};
 
 /// Readiness of a cache (paper: the `ready` column).
@@ -56,13 +56,40 @@ pub struct PurgeNotification {
     pub name: CacheName,
 }
 
+/// Per-node slice of the controller's index: the materialized caches a
+/// node holds and their byte total, so heartbeat reconciliation and
+/// capacity reporting never scan the full signature table.
+#[derive(Debug, Default)]
+struct NodeCaches {
+    /// Name-sorted, so index-driven sweeps visit caches in exactly the
+    /// order the old full-table scans did.
+    names: BTreeSet<CacheName>,
+    bytes: u64,
+}
+
 /// Master-side registry of every cache in the system.
 #[derive(Debug)]
 pub struct CacheController {
     query_count: usize,
     full_mask: u64,
     sigs: BTreeMap<CacheName, CacheSignature>,
+    /// Materialized (`ready == CacheAvailable`) caches per holding node.
+    by_node: HashMap<NodeId, NodeCaches>,
+    /// Every tracked signature (any readiness) per `(source, pane)`,
+    /// for pane-expiry sweeps. Pair outputs are not pane-keyed and stay
+    /// outside this index.
+    by_pane: HashMap<(u32, u64), BTreeSet<CacheName>>,
     trace: TraceSink,
+}
+
+/// The `(source, pane)` key of a pane-scoped cache object.
+fn pane_key(name: &CacheName) -> Option<(u32, u64)> {
+    match name.object {
+        CacheObject::PaneInput { source, pane, .. } => Some((source, pane.0)),
+        CacheObject::PaneOutput { source, pane } => Some((source, pane.0)),
+        CacheObject::PaneDelta { source, pane } => Some((source, pane.0)),
+        CacheObject::PairOutput { .. } => None,
+    }
 }
 
 impl CacheController {
@@ -71,7 +98,63 @@ impl CacheController {
     pub fn new(query_count: usize) -> Self {
         assert!((1..=64).contains(&query_count));
         let full_mask = if query_count == 64 { u64::MAX } else { (1u64 << query_count) - 1 };
-        CacheController { query_count, full_mask, sigs: BTreeMap::new(), trace: trace::global_sink() }
+        CacheController {
+            query_count,
+            full_mask,
+            sigs: BTreeMap::new(),
+            by_node: HashMap::new(),
+            by_pane: HashMap::new(),
+            trace: trace::global_sink(),
+        }
+    }
+
+    /// Fetches (creating if absent) `name`'s signature, keeping the pane
+    /// index in step. All entry creation funnels through here.
+    fn sig_entry<'a>(
+        sigs: &'a mut BTreeMap<CacheName, CacheSignature>,
+        by_pane: &mut HashMap<(u32, u64), BTreeSet<CacheName>>,
+        name: CacheName,
+    ) -> &'a mut CacheSignature {
+        sigs.entry(name).or_insert_with(|| {
+            if let Some(key) = pane_key(&name) {
+                by_pane.entry(key).or_default().insert(name);
+            }
+            CacheSignature {
+                node: None,
+                ready: Ready::NotAvailable,
+                done_query_mask: 0,
+                bytes: 0,
+                rebuild_bytes: 0,
+                available_at: SimTime::ZERO,
+            }
+        })
+    }
+
+    /// Removes `name` from its holder's node index (no-op unless the
+    /// signature is currently materialized).
+    fn unindex_holder(
+        by_node: &mut HashMap<NodeId, NodeCaches>,
+        name: &CacheName,
+        sig: &CacheSignature,
+    ) {
+        if sig.ready != Ready::CacheAvailable {
+            return;
+        }
+        if let Some(node) = sig.node {
+            if let Some(nc) = by_node.get_mut(&node) {
+                if nc.names.remove(name) {
+                    nc.bytes -= sig.bytes;
+                }
+            }
+        }
+    }
+
+    /// Records `name` as materialized on `node` in the node index.
+    fn index_holder(&mut self, name: CacheName, node: NodeId, bytes: u64) {
+        let nc = self.by_node.entry(node).or_default();
+        if nc.names.insert(name) {
+            nc.bytes += bytes;
+        }
     }
 
     /// Routes this controller's cache lifecycle events to an explicit sink.
@@ -93,14 +176,7 @@ impl CacheController {
     /// New caches start with an all-clear mask; existing entries keep
     /// their mask and only upgrade readiness if currently NotAvailable.
     pub fn note_hdfs_available(&mut self, name: CacheName) {
-        let sig = self.sigs.entry(name).or_insert(CacheSignature {
-            node: None,
-            ready: Ready::NotAvailable,
-            done_query_mask: 0,
-            bytes: 0,
-            rebuild_bytes: 0,
-            available_at: SimTime::ZERO,
-        });
+        let sig = Self::sig_entry(&mut self.sigs, &mut self.by_pane, name);
         if sig.ready == Ready::NotAvailable {
             sig.ready = Ready::HdfsAvailable;
         }
@@ -123,19 +199,14 @@ impl CacheController {
         rebuild_bytes: u64,
         at: SimTime,
     ) {
-        let sig = self.sigs.entry(name).or_insert(CacheSignature {
-            node: None,
-            ready: Ready::NotAvailable,
-            done_query_mask: 0,
-            bytes: 0,
-            rebuild_bytes: 0,
-            available_at: SimTime::ZERO,
-        });
+        let sig = Self::sig_entry(&mut self.sigs, &mut self.by_pane, name);
+        Self::unindex_holder(&mut self.by_node, &name, sig);
         sig.node = Some(node);
         sig.ready = Ready::CacheAvailable;
         sig.bytes = bytes;
         sig.rebuild_bytes = rebuild_bytes.max(bytes);
         sig.available_at = at;
+        self.index_holder(name, node, bytes);
         self.trace.emit(|| TraceEvent::Cache {
             at,
             action: CacheAction::Register,
@@ -159,19 +230,14 @@ impl CacheController {
         rebuild_bytes: u64,
         at: SimTime,
     ) {
-        let sig = self.sigs.entry(name).or_insert(CacheSignature {
-            node: None,
-            ready: Ready::NotAvailable,
-            done_query_mask: 0,
-            bytes: 0,
-            rebuild_bytes: 0,
-            available_at: SimTime::ZERO,
-        });
+        let sig = Self::sig_entry(&mut self.sigs, &mut self.by_pane, name);
+        Self::unindex_holder(&mut self.by_node, &name, sig);
         sig.node = Some(node);
         sig.ready = Ready::CacheAvailable;
         sig.bytes = bytes;
         sig.rebuild_bytes = rebuild_bytes.max(bytes);
         sig.available_at = at;
+        self.index_holder(name, node, bytes);
     }
 
     /// Invalidates a single cache whose file was found missing (targeted
@@ -181,6 +247,7 @@ impl CacheController {
         match self.sigs.get_mut(name) {
             Some(sig) if sig.ready == Ready::CacheAvailable => {
                 let (node, bytes) = (sig.node, sig.bytes);
+                Self::unindex_holder(&mut self.by_node, name, sig);
                 sig.ready = Ready::HdfsAvailable;
                 sig.node = None;
                 self.trace.emit(|| TraceEvent::Cache {
@@ -253,13 +320,19 @@ impl CacheController {
     /// ready bit drops back to HDFS-available so the scheduler rebuilds
     /// them. Returns the affected cache names.
     pub fn rollback_node(&mut self, node: NodeId) -> Vec<CacheName> {
-        let mut lost = Vec::new();
-        for (name, sig) in self.sigs.iter_mut() {
-            if sig.node == Some(node) && sig.ready == Ready::CacheAvailable {
-                sig.ready = Ready::HdfsAvailable;
-                sig.node = None;
-                lost.push(*name);
+        // The node index is name-sorted, so `lost` comes out in the same
+        // order the old full-table scan produced.
+        let lost: Vec<CacheName> = match self.by_node.get_mut(&node) {
+            Some(nc) => {
+                nc.bytes = 0;
+                std::mem::take(&mut nc.names).into_iter().collect()
             }
+            None => Vec::new(),
+        };
+        for name in &lost {
+            let sig = self.sigs.get_mut(name).expect("indexed cache has a signature");
+            sig.ready = Ready::HdfsAvailable;
+            sig.node = None;
         }
         if !lost.is_empty() {
             self.trace.emit(|| TraceEvent::Rollback {
@@ -274,6 +347,15 @@ impl CacheController {
     /// Drops an expired signature after its purge completed.
     pub fn forget(&mut self, name: &CacheName) {
         if let Some(sig) = self.sigs.remove(name) {
+            Self::unindex_holder(&mut self.by_node, name, &sig);
+            if let Some(key) = pane_key(name) {
+                if let Some(set) = self.by_pane.get_mut(&key) {
+                    set.remove(name);
+                    if set.is_empty() {
+                        self.by_pane.remove(&key);
+                    }
+                }
+            }
             self.trace.emit(|| TraceEvent::Cache {
                 at: self.trace.now(),
                 action: CacheAction::Forget,
@@ -311,12 +393,25 @@ impl CacheController {
     }
 
     /// Total bytes of materialized caches on `node` (capacity reporting).
+    /// Served from the node index — O(1).
     pub fn bytes_on(&self, node: NodeId) -> u64 {
-        self.sigs
-            .values()
-            .filter(|s| s.node == Some(node) && s.ready == Ready::CacheAvailable)
-            .map(|s| s.bytes)
-            .sum()
+        self.by_node.get(&node).map_or(0, |nc| nc.bytes)
+    }
+
+    /// Names of every materialized cache on `node`, name-sorted — the
+    /// heartbeat reconciler's working set, from the node index instead of
+    /// a full signature scan.
+    pub fn names_on(&self, node: NodeId) -> Vec<CacheName> {
+        self.by_node.get(&node).map_or_else(Vec::new, |nc| nc.names.iter().copied().collect())
+    }
+
+    /// Names of every tracked signature (any readiness) belonging to
+    /// `(source, pane)`, name-sorted — pane-expiry sweeps read this
+    /// index instead of scanning the whole table per expired pane.
+    pub fn names_for_pane(&self, source: u32, pane: u64) -> Vec<CacheName> {
+        self.by_pane
+            .get(&(source, pane))
+            .map_or_else(Vec::new, |set| set.iter().copied().collect())
     }
 }
 
@@ -412,6 +507,68 @@ mod tests {
         );
         c.register_cache(n, NodeId(5), 64, SimTime(10));
         assert_eq!(sink.events().len(), 1);
+    }
+
+    #[test]
+    fn indexes_mirror_the_signature_table_under_random_churn() {
+        // Every index answer (names_on, bytes_on, names_for_pane) must
+        // equal the corresponding full-table scan after any interleaving
+        // of registrations, adoptions, invalidations, rollbacks, and
+        // forgets — including re-registrations that move a cache between
+        // nodes.
+        let mut c = CacheController::new(1);
+        let mut rng: u64 = 0xdead_beef_cafe_f00d;
+        let mut next = move || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng
+        };
+        let nodes = 5u32;
+        for _ in 0..400 {
+            let n = name(next() % 8, (next() % 3) as usize);
+            let node = NodeId((next() % nodes as u64) as u32);
+            match next() % 6 {
+                0 => c.note_hdfs_available(n),
+                1 => c.register_cache(n, node, 1 + next() % 999, SimTime::ZERO),
+                2 => c.adopt_remote(n, node, 1 + next() % 999, next() % 4000, SimTime::ZERO),
+                3 => {
+                    c.invalidate(&n);
+                }
+                4 => {
+                    c.rollback_node(node);
+                }
+                _ => c.forget(&n),
+            }
+            let all = c.names_matching(|_| true);
+            for nd in 0..nodes {
+                let nd = NodeId(nd);
+                let expect: Vec<CacheName> = all
+                    .iter()
+                    .filter(|nm| {
+                        c.signature(nm).is_some_and(|s| {
+                            s.ready == Ready::CacheAvailable && s.node == Some(nd)
+                        })
+                    })
+                    .copied()
+                    .collect();
+                assert_eq!(c.names_on(nd), expect);
+                let bytes: u64 =
+                    expect.iter().map(|nm| c.signature(nm).unwrap().bytes).sum();
+                assert_eq!(c.bytes_on(nd), bytes);
+            }
+            for p in 0..8u64 {
+                let expect: Vec<CacheName> = all
+                    .iter()
+                    .filter(|nm| matches!(
+                        nm.object,
+                        CacheObject::PaneInput { source: 0, pane, .. } if pane.0 == p
+                    ))
+                    .copied()
+                    .collect();
+                assert_eq!(c.names_for_pane(0, p), expect);
+            }
+        }
     }
 
     #[test]

@@ -10,9 +10,8 @@
 //! node but absent from the heartbeat is rolled back to HDFS-available —
 //! the paper's §5 recovery trigger.
 
-use std::collections::HashSet;
-
 use redoop_dfs::{Cluster, NodeId};
+use redoop_mapred::hasher::FastSet;
 use redoop_mapred::trace::TraceEvent;
 
 use super::controller::CacheController;
@@ -42,6 +41,14 @@ impl LocalCacheRegistry {
         if !cluster.is_alive(node) {
             return RegistryHeartbeat { node, alive: false, held: Vec::new() };
         }
+        // Epoch handshake: if neither the node's local store nor this
+        // registry changed since the last fully-verified heartbeat, the
+        // previous verification still holds and the per-file probes can
+        // be skipped — the common case for idle nodes at scale.
+        let epoch = cluster.local_epoch(node).expect("registry node exists");
+        if self.verified_clean(epoch) {
+            return RegistryHeartbeat { node, alive: true, held: self.names() };
+        }
         let mut held = Vec::new();
         let mut lost = Vec::new();
         for name in self.names() {
@@ -54,6 +61,10 @@ impl LocalCacheRegistry {
         for name in lost {
             self.drop_entry(&name);
         }
+        // Probes are reads (store epoch unchanged) and the drops above
+        // already advanced the registry version, so recording the pair
+        // here certifies exactly the state just verified.
+        self.mark_verified(epoch);
         RegistryHeartbeat { node, alive: true, held }
     }
 }
@@ -68,11 +79,14 @@ impl CacheController {
             self.rollback_node(hb.node)
         } else {
             // Hash the report once: a linear `held.contains` per cache
-            // made reconciliation O(caches × held) per heartbeat.
-            let held: HashSet<CacheName> = hb.held.iter().copied().collect();
+            // made reconciliation O(caches × held) per heartbeat. The
+            // node index narrows the sweep to this node's caches, so a
+            // heartbeat costs O(on-node + held) rather than a scan of
+            // every signature in the system.
+            let held: FastSet<CacheName> = hb.held.iter().copied().collect();
             let mut lost = Vec::new();
-            for name in self.all_cached() {
-                if self.location(&name) == Some(hb.node) && !held.contains(&name) {
+            for name in self.names_on(hb.node) {
+                if !held.contains(&name) {
                     self.invalidate(&name);
                     lost.push(name);
                 }
@@ -117,6 +131,40 @@ mod tests {
         // The phantom entry is dropped node-side.
         assert!(reg.get(&name(1)).is_none());
         assert!(reg.get(&name(0)).is_some());
+    }
+
+    #[test]
+    fn epoch_handshake_skips_reverification_until_something_changes() {
+        let cluster = Cluster::with_nodes(1);
+        let mut reg = LocalCacheRegistry::new(NodeId(0), PurgePolicy::default());
+        cluster.put_local(NodeId(0), name(0).store_name(), Bytes::from_static(b"x")).unwrap();
+        reg.add_entry(name(0), 1);
+        reg.add_entry(name(1), 1); // phantom: no backing file
+        assert!(!reg.verified_clean(cluster.local_epoch(NodeId(0)).unwrap()));
+
+        // Full probe: drops the phantom, then certifies the clean pair.
+        let hb1 = reg.heartbeat(&cluster);
+        assert_eq!(hb1.held, vec![name(0)]);
+        assert!(reg.verified_clean(cluster.local_epoch(NodeId(0)).unwrap()));
+
+        // Untouched store + registry: the fast path answers identically.
+        let hb2 = reg.heartbeat(&cluster);
+        assert_eq!(hb2, hb1);
+
+        // A registry mutation dirties the handshake; the next heartbeat
+        // re-probes and drops the new phantom — proof it went the long way.
+        reg.add_entry(name(2), 1);
+        assert!(!reg.verified_clean(cluster.local_epoch(NodeId(0)).unwrap()));
+        let hb3 = reg.heartbeat(&cluster);
+        assert_eq!(hb3.held, vec![name(0)]);
+        assert!(reg.get(&name(2)).is_none());
+
+        // A store mutation (epoch bump) dirties it from the other side.
+        cluster.put_local(NodeId(0), "unrelated", Bytes::from_static(b"y")).unwrap();
+        assert!(!reg.verified_clean(cluster.local_epoch(NodeId(0)).unwrap()));
+        let hb4 = reg.heartbeat(&cluster);
+        assert_eq!(hb4.held, vec![name(0)]);
+        assert!(reg.verified_clean(cluster.local_epoch(NodeId(0)).unwrap()));
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! purge notification arrives, and physically deleted by the periodic or
 //! on-demand purge scans.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use redoop_dfs::{Cluster, NodeId};
 use redoop_mapred::trace::{self, CacheAction, TraceEvent, TraceSink};
@@ -34,6 +34,18 @@ pub struct LocalCacheRegistry {
     node: NodeId,
     policy: PurgePolicy,
     entries: BTreeMap<CacheName, RegistryEntry>,
+    /// Bumped on every entry-set mutation. Together with the datanode's
+    /// local-store epoch this proves "nothing changed since the last
+    /// audit", letting heartbeats skip their per-file probes.
+    version: u64,
+    /// `(store epoch, registry version)` at the last heartbeat that
+    /// verified every unexpired entry present in the node's local store.
+    last_verified: Option<(u64, u64)>,
+    /// Names of currently expired entries — the purge scan's working
+    /// set, name-sorted like the full-table scan it replaces.
+    expired: BTreeSet<CacheName>,
+    /// Running total of unexpired entry bytes.
+    live_bytes: u64,
     trace: TraceSink,
 }
 
@@ -41,7 +53,28 @@ impl LocalCacheRegistry {
     /// Registry for `node` under `policy`. Picks up the process-wide
     /// trace sink, if one is installed.
     pub fn new(node: NodeId, policy: PurgePolicy) -> Self {
-        LocalCacheRegistry { node, policy, entries: BTreeMap::new(), trace: trace::global_sink() }
+        LocalCacheRegistry {
+            node,
+            policy,
+            entries: BTreeMap::new(),
+            version: 0,
+            last_verified: None,
+            expired: BTreeSet::new(),
+            live_bytes: 0,
+            trace: trace::global_sink(),
+        }
+    }
+
+    /// Whether the registry/store pair is provably untouched since the
+    /// last fully-verified heartbeat at store epoch `epoch`.
+    pub(crate) fn verified_clean(&self, epoch: u64) -> bool {
+        self.last_verified == Some((epoch, self.version))
+    }
+
+    /// Records that every unexpired entry was just verified present in
+    /// the local store, as of store epoch `epoch`.
+    pub(crate) fn mark_verified(&mut self, epoch: u64) {
+        self.last_verified = Some((epoch, self.version));
     }
 
     /// Routes this registry's purge events to an explicit sink.
@@ -58,15 +91,30 @@ impl LocalCacheRegistry {
     /// appended ... records for existing caches do not need to change").
     pub fn add_entry(&mut self, name: CacheName, bytes: u64) {
         let kind = name.object.kind();
-        self.entries
+        let prev = self
+            .entries
             .insert(name, RegistryEntry { name, kind, expired: false, bytes });
+        match prev {
+            Some(p) if p.expired => {
+                self.expired.remove(&name);
+            }
+            Some(p) => self.live_bytes -= p.bytes,
+            None => {}
+        }
+        self.live_bytes += bytes;
+        self.version += 1;
     }
 
     /// Handles a purge notification from the window-aware cache
     /// controller: flips the matching entry's expiration flag.
     pub fn mark_expired(&mut self, name: &CacheName) {
         if let Some(e) = self.entries.get_mut(name) {
-            e.expired = true;
+            if !e.expired {
+                e.expired = true;
+                self.expired.insert(*name);
+                self.live_bytes -= e.bytes;
+                self.version += 1;
+            }
         }
     }
 
@@ -83,7 +131,18 @@ impl LocalCacheRegistry {
     /// Removes an entry whose backing file turned out to be gone; returns
     /// whether it existed.
     pub fn drop_entry(&mut self, name: &CacheName) -> bool {
-        self.entries.remove(name).is_some()
+        match self.entries.remove(name) {
+            Some(e) => {
+                if e.expired {
+                    self.expired.remove(name);
+                } else {
+                    self.live_bytes -= e.bytes;
+                }
+                self.version += 1;
+                true
+            }
+            None => false,
+        }
     }
 
     /// Number of registered caches (expired or not).
@@ -98,7 +157,7 @@ impl LocalCacheRegistry {
 
     /// Live (unexpired) bytes registered on this node.
     pub fn live_bytes(&self) -> u64 {
-        self.entries.values().filter(|e| !e.expired).map(|e| e.bytes).sum()
+        self.live_bytes
     }
 
     /// All caches lost when the node dies: clears the registry and
@@ -106,23 +165,25 @@ impl LocalCacheRegistry {
     pub fn on_node_failure(&mut self) -> Vec<CacheName> {
         let names = self.entries.keys().copied().collect();
         self.entries.clear();
+        self.expired.clear();
+        self.live_bytes = 0;
+        self.version += 1;
         names
     }
 
     /// Deletes every expired cache from the node's local store. Returns
     /// the purged names.
     pub fn purge_expired(&mut self, cluster: &Cluster) -> Result<Vec<CacheName>> {
-        let expired: Vec<CacheName> = self
-            .entries
-            .values()
-            .filter(|e| e.expired)
-            .map(|e| e.name)
-            .collect();
+        // The expired-name set is the scan's working set: a purge walks
+        // only the doomed entries, not the whole table.
+        let expired: Vec<CacheName> = self.expired.iter().copied().collect();
         for name in &expired {
             // The file may already be gone (node crashed and rejoined);
             // purging is idempotent.
             let _ = cluster.delete_local(self.node, &name.store_name())?;
             let entry = self.entries.remove(name);
+            self.expired.remove(name);
+            self.version += 1;
             self.trace.emit(|| TraceEvent::Cache {
                 at: self.trace.now(),
                 action: CacheAction::Purge,
@@ -226,6 +287,64 @@ mod tests {
         reg.mark_expired(&n);
         assert!(reg.maybe_purge(&cluster, 0).unwrap().is_empty(), "cycle not due");
         assert_eq!(reg.maybe_purge(&cluster, 1).unwrap().len(), 1, "cycle due");
+    }
+
+    #[test]
+    fn counters_mirror_entry_churn() {
+        // The incremental live-bytes counter and expired working set must
+        // agree with brute-force recomputation under arbitrary add /
+        // expire / drop / purge / failure interleavings.
+        let cluster = Cluster::with_nodes(1);
+        let mut reg = LocalCacheRegistry::new(NodeId(0), PurgePolicy::default());
+        let mut model: BTreeMap<CacheName, (u64, bool)> = BTreeMap::new();
+        let mut state = 2014u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..300 {
+            let n = name(next() % 6);
+            match next() % 10 {
+                0..=3 => {
+                    let bytes = 1 + next() % 1000;
+                    cluster
+                        .put_local(NodeId(0), n.store_name(), Bytes::from_static(b"x"))
+                        .unwrap();
+                    reg.add_entry(n, bytes);
+                    model.insert(n, (bytes, false));
+                }
+                4..=5 => {
+                    reg.mark_expired(&n);
+                    if let Some(e) = model.get_mut(&n) {
+                        e.1 = true;
+                    }
+                }
+                6..=7 => {
+                    assert_eq!(reg.drop_entry(&n), model.remove(&n).is_some());
+                }
+                8 => {
+                    let mut want: Vec<CacheName> =
+                        model.iter().filter(|(_, v)| v.1).map(|(k, _)| *k).collect();
+                    want.sort();
+                    assert_eq!(reg.purge_expired(&cluster).unwrap(), want);
+                    model.retain(|_, v| !v.1);
+                }
+                _ => {
+                    let want: Vec<CacheName> = model.keys().copied().collect();
+                    assert_eq!(reg.on_node_failure(), want);
+                    model.clear();
+                }
+            }
+            let live: u64 =
+                model.values().filter(|(_, x)| !x).map(|(b, _)| b).sum();
+            assert_eq!(reg.live_bytes(), live);
+            assert_eq!(reg.len(), model.len());
+            let names: Vec<CacheName> =
+                model.iter().filter(|(_, v)| !v.1).map(|(k, _)| *k).collect();
+            assert_eq!(reg.names(), names);
+        }
     }
 
     #[test]

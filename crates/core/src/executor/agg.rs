@@ -35,13 +35,9 @@ where
     /// `ro/…` payload format by construction.
     pub(super) fn pane_output_compute(
         bucket: &mrio::ShuffleBucket,
-        raw: Option<Vec<(M::KOut, M::VOut)>>,
+        pairs: Vec<(M::KOut, M::VOut)>,
         reducer: &R,
     ) -> Result<BuiltCache> {
-        let pairs: Vec<(M::KOut, M::VOut)> = match raw {
-            Some(p) => p,
-            None => bucket.decode()?,
-        };
         let input_records = pairs.len() as u64;
         let groups = exec::sort_group(pairs);
         let (out_pairs, _) = exec::run_reducer(reducer, &groups);
@@ -109,7 +105,7 @@ where
     ) -> Result<(u64, u64, u64)> {
         let built = {
             let m = self.mapped.get(&(source, pane.0)).expect("pane mapped before build");
-            let raw = m.raw[r].lock().expect("raw pairs lock").take();
+            let raw = m.raw[r].lock().expect("raw pairs lock").clone();
             Self::pane_output_compute(&m.buckets[r], raw, &*self.reducer)?
         };
         self.apply_pane_output(source, pane, r, node, &built)?;
@@ -149,7 +145,7 @@ where
                         let m = mapped
                             .get(&(0, missing[i].0))
                             .expect("pane mapped before build");
-                        let raw = m.raw[r].lock().expect("raw pairs lock").take();
+                        let raw = m.raw[r].lock().expect("raw pairs lock").clone();
                         Ok(Self::pane_output_compute(&m.buckets[r], raw, reducer))
                     })?
                 };

@@ -283,8 +283,9 @@ where
                     continue;
                 }
                 let node = home.expect("valid seal has a home");
-                let bucket = mrio::ShuffleBucket::encode(&pairs);
-                let built = Self::pane_output_compute(&bucket, Some(pairs), &*self.reducer)?;
+                let mut bucket = mrio::ShuffleBucket::default();
+                bucket.account_pairs(&pairs);
+                let built = Self::pane_output_compute(&bucket, pairs, &*self.reducer)?;
                 let work = ReduceWork {
                     shuffle_bytes: built.shuffle_text_bytes,
                     cache_bytes: 0,

@@ -43,7 +43,9 @@ use crate::adaptive::ExecMode;
 use crate::cache::{CacheName, CacheObject};
 use crate::error::{RedoopError, Result};
 use crate::pane::PaneId;
-use crate::scheduler::{cache_affinity, MapTaskEntry, ReduceTaskEntry};
+use crate::scheduler::{
+    argmin_shortlist, cache_affinity, cache_holders, MapTaskEntry, ReduceTaskEntry,
+};
 
 use super::plan::{PlanKind, PlanTask, WindowPlan};
 use super::RecurringExecutor;
@@ -86,28 +88,30 @@ pub(super) fn subpane_charges(slices: &[SliceMapInfo], r: usize) -> Vec<SubpaneC
     by_slice.into_values().collect()
 }
 
-/// One partition's decoded shuffle pairs, taken once by the first cache
+/// One partition's decoded shuffle pairs, cloned out by every cache
 /// build that needs them.
-pub(super) type RawSlot<K, V> = std::sync::Mutex<Option<Vec<(K, V)>>>;
+pub(super) type RawSlot<K, V> = std::sync::Mutex<Vec<(K, V)>>;
 
-/// Transient real map output of one pane: binary shuffle buckets, one
-/// per reduce partition, plus the virtual time each became available.
+/// Transient real map output of one pane: shuffle accounting, one
+/// bucket per reduce partition, plus the virtual time each became
+/// available.
 pub(super) struct MappedPane<K, V> {
     pub(super) ready: SimTime,
+    /// Per-partition shuffle accounting (`text_bytes`/`records`); the
+    /// binary stream stays empty — `raw` holds the live pairs, so
+    /// nothing would ever decode it.
     pub(super) buckets: Vec<mrio::ShuffleBucket>,
     pub(super) slices: Vec<SliceMapInfo>,
-    /// Decoded shuffle pairs per partition, kept until the partition's
-    /// first cache build consumes them (the bucket is its encoded twin,
-    /// so a build that finds `None` decodes the bucket instead — same
-    /// pairs either way, by codec round-trip). Cleared after each
-    /// window; purely a host-side decode saving.
+    /// Decoded shuffle pairs per partition, kept for the pane's whole
+    /// lifetime; cache builds clone them out (a flat memcpy — cheaper
+    /// than the encode/decode round-trip the binary stream used to
+    /// fund). Cleared with the pane after each window.
     pub(super) raw: Vec<RawSlot<K, V>>,
 }
 
 /// Pure real-side output of one map split, produced on a worker thread
 /// before any virtual-time accounting happens.
 struct SplitMapOut<K, V> {
-    buckets: Vec<mrio::ShuffleBucket>,
     parts: Vec<Vec<(K, V)>>,
     work: MapWork,
     replicas: Vec<NodeId>,
@@ -313,16 +317,18 @@ where
     /// Loads are clamped to `floor`: a slot freeing up before the task
     /// can start contributes no waiting time, so only *actual* queueing
     /// competes with the cache-affinity term.
+    ///
+    /// Untraced runs take a candidate shortlist — the cache holders plus
+    /// the best uniformly-priced node from the load index — instead of
+    /// scanning every node's affinity; the winner is provably identical
+    /// (see `argmin_shortlist`). Traced runs keep the full scan, whose
+    /// per-node scores the `Placement` journal event records.
     pub(super) fn pick_reduce_node(
         &mut self,
         caches: &[CacheName],
         floor: SimTime,
         label: &str,
     ) -> NodeId {
-        let loads: Vec<SimTime> =
-            self.sim.loads(TaskKind::Reduce).into_iter().map(|l| l.max(floor)).collect();
-        let alive = self.alive_vec();
-        let ctx = SchedulerCtx { loads: &loads, alive: &alive };
         let node = if !self.options.cache_aware_scheduling {
             // Plain-Hadoop reduce placement: whichever task tracker's
             // heartbeat wins — arbitrary with respect to caches. Modeled
@@ -338,7 +344,29 @@ where
                 scores: Vec::new(),
             });
             node
+        } else if !self.trace.is_enabled() {
+            let cost = self.sim.cost().clone();
+            let holders = cache_holders(&self.controller, caches);
+            let mut skip: Vec<usize> = holders.iter().map(|n| n.index()).collect();
+            skip.extend(self.cluster.dead_node_indexes());
+            skip.sort_unstable();
+            skip.dedup();
+            let best_other = self.sim.pick_min_clamped(TaskKind::Reduce, floor, &skip);
+            let controller = &self.controller;
+            argmin_shortlist(
+                &holders,
+                |n| self.cluster.is_alive(n),
+                best_other,
+                |n| {
+                    self.sim.node_load(TaskKind::Reduce, n).max(floor)
+                        + cache_affinity(controller, caches, n, &cost)
+                },
+            )
         } else {
+            let loads: Vec<SimTime> =
+                self.sim.loads(TaskKind::Reduce).into_iter().map(|l| l.max(floor)).collect();
+            let alive = self.alive_vec();
+            let ctx = SchedulerCtx { loads: &loads, alive: &alive };
             let cost = self.sim.cost().clone();
             let controller = &self.controller;
             let affinity = move |n: NodeId| cache_affinity(controller, caches, n, &cost);
@@ -499,7 +527,7 @@ where
             exec::parallel_map(slices.len(), |i| {
                 Ok(cluster
                     .read(&slices[i].path)
-                    .map(redoop_mapred::LineFile::new)
+                    .map(redoop_mapred::LineFile::index_cached)
                     .map_err(RedoopError::from))
             })?
         };
@@ -533,12 +561,6 @@ where
                                 *b = exec::apply_combiner(std::mem::take(b), c);
                             }
                         }
-                        let buckets: Vec<mrio::ShuffleBucket> =
-                            parts.iter().map(|b| mrio::ShuffleBucket::encode(b)).collect();
-                        let output_records: u64 = buckets.iter().map(|b| b.records).sum();
-                        // Charged bytes stay text-equivalent regardless of the
-                        // binary shuffle encoding.
-                        let output_bytes: u64 = buckets.iter().map(|b| b.text_bytes).sum();
                         let replicas = cluster
                             .namenode()
                             .get_file(&slice.path)
@@ -546,13 +568,16 @@ where
                                 m.blocks.first().map(|b| b.replicas.clone()).unwrap_or_default()
                             })
                             .unwrap_or_default();
+                        // output_records/output_bytes are filled in the
+                        // sequential apply loop, where the pairs are
+                        // encoded once into the pane's accumulators.
                         let work = MapWork {
                             split_bytes: *split_bytes,
                             input_records,
-                            output_records,
-                            output_bytes,
+                            output_records: 0,
+                            output_bytes: 0,
                         };
-                        Ok(SplitMapOut { buckets, parts, work, replicas })
+                        Ok(SplitMapOut { parts, work, replicas })
                     };
                     Ok(compute())
                 },
@@ -564,51 +589,86 @@ where
         for ((slice_idx, slice, _line_range, _split_bytes), out) in
             tasks.iter().zip(computed)
         {
-            let SplitMapOut { buckets: split_buckets, parts, work, replicas } = out?;
+            let SplitMapOut { parts, mut work, replicas } = out?;
             let mut bucket_bytes = vec![0u64; num_reducers];
             let mut bucket_records = vec![0u64; num_reducers];
-            for (r, bucket) in split_buckets.iter().enumerate() {
-                bucket_bytes[r] = bucket.text_bytes;
-                bucket_records[r] = bucket.records;
-                buckets[r].extend(bucket);
+            for (r, part) in parts.iter().enumerate() {
+                // Charged bytes stay text-equivalent regardless of how
+                // the pairs are held in host memory.
+                let (text_bytes, records) = buckets[r].account_pairs(part);
+                bucket_bytes[r] = text_bytes;
+                bucket_records[r] = records;
             }
+            work.output_records = bucket_records.iter().sum();
+            work.output_bytes = bucket_bytes.iter().sum();
             for (r, part) in parts.into_iter().enumerate() {
                 raw[r].extend(part);
             }
             // Virtual: place on a map slot with HDFS locality affinity.
+            // Replicas pay nothing and everyone else pays one uniform
+            // remote-read penalty, so untraced runs shortlist the replica
+            // holders plus the load index's best other node instead of
+            // scanning the cluster (same winner; see `argmin_shortlist`).
             let cost = self.sim.cost().clone();
             let task_ready = floor.max(slice.ready_at);
-            let loads: Vec<SimTime> =
-                self.sim.loads(TaskKind::Map).into_iter().map(|l| l.max(task_ready)).collect();
-            let alive = self.alive_vec();
-            let ctx = SchedulerCtx { loads: &loads, alive: &alive };
             let bytes = work.split_bytes;
-            let reps = replicas.clone();
-            let node = self.scheduler.pick_node(TaskKind::Map, &ctx, &move |n| {
-                let local = reps.contains(&n);
-                cost.hdfs_read(bytes, local).saturating_sub(cost.hdfs_read(bytes, true))
-            });
+            let node = if !self.trace.is_enabled() {
+                let mut favored = replicas.clone();
+                favored.sort_unstable();
+                favored.dedup();
+                let mut skip: Vec<usize> = favored.iter().map(|n| n.index()).collect();
+                skip.extend(self.cluster.dead_node_indexes());
+                skip.sort_unstable();
+                skip.dedup();
+                let best_other = self.sim.pick_min_clamped(TaskKind::Map, task_ready, &skip);
+                argmin_shortlist(
+                    &favored,
+                    |n| self.cluster.is_alive(n),
+                    best_other,
+                    |n| {
+                        let penalty = cost
+                            .hdfs_read(bytes, replicas.contains(&n))
+                            .saturating_sub(cost.hdfs_read(bytes, true));
+                        self.sim.node_load(TaskKind::Map, n).max(task_ready) + penalty
+                    },
+                )
+            } else {
+                let loads: Vec<SimTime> = self
+                    .sim
+                    .loads(TaskKind::Map)
+                    .into_iter()
+                    .map(|l| l.max(task_ready))
+                    .collect();
+                let alive = self.alive_vec();
+                let ctx = SchedulerCtx { loads: &loads, alive: &alive };
+                let reps = replicas.clone();
+                let node = self.scheduler.pick_node(TaskKind::Map, &ctx, &move |n| {
+                    let local = reps.contains(&n);
+                    cost.hdfs_read(bytes, local).saturating_sub(cost.hdfs_read(bytes, true))
+                });
+                self.trace.emit(|| TraceEvent::Placement {
+                    at: task_ready,
+                    kind: TaskKind::Map,
+                    label: format!("map/s{source}p{}/{slice_idx}", pane.0),
+                    chosen: node,
+                    scores: loads
+                        .iter()
+                        .enumerate()
+                        .filter(|&(i, _)| alive[i])
+                        .map(|(i, &load)| NodeScore {
+                            node: NodeId(i as u32),
+                            load,
+                            cost: self
+                                .sim
+                                .cost()
+                                .hdfs_read(bytes, replicas.contains(&NodeId(i as u32)))
+                                .saturating_sub(self.sim.cost().hdfs_read(bytes, true)),
+                        })
+                        .collect(),
+                });
+                node
+            };
             let local = replicas.contains(&node);
-            self.trace.emit(|| TraceEvent::Placement {
-                at: task_ready,
-                kind: TaskKind::Map,
-                label: format!("map/s{source}p{}/{slice_idx}", pane.0),
-                chosen: node,
-                scores: loads
-                    .iter()
-                    .enumerate()
-                    .filter(|&(i, _)| alive[i])
-                    .map(|(i, &load)| NodeScore {
-                        node: NodeId(i as u32),
-                        load,
-                        cost: self
-                            .sim
-                            .cost()
-                            .hdfs_read(bytes, replicas.contains(&NodeId(i as u32)))
-                            .saturating_sub(self.sim.cost().hdfs_read(bytes, true)),
-                    })
-                    .collect(),
-            });
             let placement = self.charge_map(node, task_ready, &work, local, metrics);
             self.trace.emit(|| TraceEvent::TaskSpan {
                 phase: "map",
@@ -629,7 +689,7 @@ where
             });
             ready = ready.max(placement.end);
         }
-        let raw = raw.into_iter().map(|p| std::sync::Mutex::new(Some(p))).collect();
+        let raw = raw.into_iter().map(std::sync::Mutex::new).collect();
         self.mapped.insert(
             (source, pane.0),
             MappedPane { ready, buckets, slices: slice_infos, raw },
@@ -853,14 +913,10 @@ where
         for (source, p) in expired_panes {
             // Sweep every signature belonging to this (source, pane) —
             // crucially including adaptive sub-pane inputs (`sub >= 1`),
-            // which the previous enumeration of literal objects missed,
-            // leaking one controller entry per extra sub-pane per window.
-            let names = self.controller.names_matching(|n| match n.object {
-                CacheObject::PaneInput { source: s, pane, .. } => s == source && pane.0 == p,
-                CacheObject::PaneOutput { source: s, pane } => s == source && pane.0 == p,
-                CacheObject::PaneDelta { source: s, pane } => s == source && pane.0 == p,
-                CacheObject::PairOutput { .. } => false,
-            });
+            // which a literal-object enumeration would miss. The
+            // controller's pane index serves exactly this set without a
+            // full-table scan per expired pane.
+            let names = self.controller.names_for_pane(source, p);
             for name in names {
                 if self.defer_shared_expiry(&name) {
                     continue;

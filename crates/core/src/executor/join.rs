@@ -43,12 +43,8 @@ where
     /// re-parsing or re-sorting. No executor state is touched.
     fn input_cache_compute(
         bucket: &mrio::ShuffleBucket,
-        raw: Option<Vec<(M::KOut, M::VOut)>>,
+        pairs: Vec<(M::KOut, M::VOut)>,
     ) -> Result<BuiltCache> {
-        let pairs: Vec<(M::KOut, M::VOut)> = match raw {
-            Some(p) => p,
-            None => bucket.decode()?,
-        };
         let input_records = pairs.len() as u64;
         let groups = exec::sort_group(pairs);
         let blob = Bytes::from(mrio::encode_grouped_block(&groups));
@@ -146,7 +142,7 @@ where
     ) -> Result<(u64, u64, u64)> {
         let built = {
             let m = self.mapped.get(&(source, pane.0)).expect("pane mapped before build");
-            let raw = m.raw[r].lock().expect("raw pairs lock").take();
+            let raw = m.raw[r].lock().expect("raw pairs lock").clone();
             Self::input_cache_compute(&m.buckets[r], raw)?
         };
         self.apply_input_cache(source, pane, r, node, &built)?;
@@ -201,7 +197,7 @@ where
                         let (s, p) = prep.missing[i];
                         let m =
                             mapped.get(&(s, p.0)).expect("pane mapped before build");
-                        let raw = m.raw[r].lock().expect("raw pairs lock").take();
+                        let raw = m.raw[r].lock().expect("raw pairs lock").clone();
                         Ok(Self::input_cache_compute(&m.buckets[r], raw))
                     })?
                 };

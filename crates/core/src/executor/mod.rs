@@ -887,6 +887,63 @@ mod tests {
     }
 
     #[test]
+    fn traced_and_untraced_runs_pick_identical_schedules() {
+        // Untraced runs place tasks via the shortlist fast path while
+        // traced runs keep the full Eq. 4 scan (its per-node scores feed
+        // the journal). The two must choose the same nodes, so every
+        // virtual-time observable of a run — window responses and output
+        // contents — must be bit-identical across the two modes.
+        let run = |traced: bool| -> Vec<(SimTime, Vec<Vec<u8>>)> {
+            let (cluster, sim, conf, source, adaptive, _) = fixture();
+            let mut exec = RecurringExecutor::aggregation(
+                &cluster,
+                sim,
+                conf,
+                source,
+                mapper(),
+                reducer(),
+                Arc::new(SumMerger),
+                adaptive,
+            )
+            .unwrap();
+            exec.set_trace_sink(if traced {
+                TraceSink::enabled()
+            } else {
+                TraceSink::disabled()
+            });
+            let lines = |lo: u64, hi: u64| {
+                (lo..hi).step_by(2).map(|t| format!("{t},k{}", t % 7)).collect::<Vec<_>>()
+            };
+            let range = |lo: u64, hi: u64| {
+                crate::time::TimeRange::new(crate::time::EventTime(lo), crate::time::EventTime(hi))
+            };
+            exec.ingest(0, lines(0, 200).iter().map(|s| s.as_str()), &range(0, 200)).unwrap();
+            exec.run_window(0).unwrap();
+            for w in 1..6u64 {
+                let lo = 100 * w + 100;
+                exec.ingest(0, lines(lo, lo + 100).iter().map(|s| s.as_str()), &range(lo, lo + 100))
+                    .unwrap();
+                exec.run_window(w).unwrap();
+            }
+            exec.reports()
+                .iter()
+                .map(|r| {
+                    let outs = r
+                        .outputs
+                        .iter()
+                        .map(|p| cluster.read(p).unwrap().to_vec())
+                        .collect::<Vec<_>>();
+                    (r.fired_at + r.response, outs)
+                })
+                .collect()
+        };
+        let traced = run(true);
+        let untraced = run(false);
+        assert_eq!(traced.len(), 6);
+        assert_eq!(traced, untraced, "shortlist placement must match the full scan");
+    }
+
+    #[test]
     fn audit_on_fresh_executor_is_clean() {
         let (cluster, sim, conf, source, adaptive, _) = fixture();
         let mut exec = RecurringExecutor::aggregation(

@@ -64,6 +64,48 @@ pub fn cache_affinity(
     total
 }
 
+/// The distinct nodes currently holding any of `caches`, sorted by id.
+/// These are the only nodes whose Eq. 4 affinity differs from the
+/// uniform rebuild cost, so they form the candidate shortlist for
+/// [`argmin_shortlist`].
+pub fn cache_holders(controller: &CacheController, caches: &[CacheName]) -> Vec<NodeId> {
+    let mut holders: Vec<NodeId> =
+        caches.iter().filter_map(|name| controller.location(name)).collect();
+    holders.sort_unstable();
+    holders.dedup();
+    holders
+}
+
+/// Exact Eq. 4 argmin without the `O(nodes)` affinity scan, valid
+/// whenever every node *outside* `favored` pays the same affinity cost.
+///
+/// Non-favored nodes share one affinity term, so their relative order is
+/// decided by `(clamped load, id)` alone; the true argmin is therefore
+/// among `favored` plus the single best uniformly-priced node
+/// (`best_other`, e.g. from `ClusterSim::pick_min_clamped` with the
+/// favored and dead nodes skipped). `score(n)` must return the full
+/// Eq. 4 score `max(Load_n, floor) + C_task,n`. Ties break to the lowest
+/// node id, and dead favored nodes are ignored — both exactly as in
+/// `SchedulerCtx::argmin`, which also supplies the panic condition.
+pub fn argmin_shortlist(
+    favored: &[NodeId],
+    alive: impl Fn(NodeId) -> bool,
+    best_other: Option<NodeId>,
+    mut score: impl FnMut(NodeId) -> SimTime,
+) -> NodeId {
+    let mut best: Option<(SimTime, NodeId)> = None;
+    for &n in favored.iter().chain(best_other.iter()) {
+        if !alive(n) {
+            continue;
+        }
+        let s = score(n);
+        if best.is_none_or(|b| (s, n) < b) {
+            best = Some((s, n));
+        }
+    }
+    best.expect("scheduler requires at least one live node").1
+}
+
 /// Average bytes per synthetic input record, used to estimate the record
 /// count a rebuild would re-map and re-sort when only the signature's
 /// byte size is known (the workloads emit ~24-byte text records).
@@ -325,6 +367,66 @@ mod tests {
         let ctx = SchedulerCtx { loads: &loads, alive: &alive };
         let picked = CacheAwareScheduler.pick_node(TaskKind::Reduce, &ctx, &affinity);
         assert_eq!(picked, NodeId(3), "placement must anchor on the cross-query holder");
+    }
+
+    #[test]
+    fn shortlist_argmin_matches_full_scan() {
+        // The shortlist path must agree with `SchedulerCtx::argmin` over
+        // the full node range for every combination of holder placement,
+        // load shape, clamp floor, and dead set it can encounter.
+        let nodes = 12usize;
+        let cost = CostModel::default();
+        let mut rng: u64 = 0x2545_f491_4f6c_dd1d;
+        let mut next = move || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng
+        };
+        for case in 0..300 {
+            let mut ctl = CacheController::new(1);
+            let caches: Vec<CacheName> = (0..next() % 4)
+                .map(|p| {
+                    let n = name(p);
+                    ctl.register_cache(
+                        n,
+                        NodeId((next() % nodes as u64) as u32),
+                        10_000 + next() % 2_000_000,
+                        SimTime::ZERO,
+                    );
+                    n
+                })
+                .collect();
+            let loads: Vec<SimTime> =
+                (0..nodes).map(|_| SimTime::from_millis(next() % 40_000)).collect();
+            let mut alive = vec![true; nodes];
+            for _ in 0..(next() % 3) {
+                alive[(next() % nodes as u64) as usize] = false;
+            }
+            if alive.iter().all(|a| !a) {
+                alive[0] = true;
+            }
+            let floor = SimTime::from_millis(next() % 30_000);
+            let clamped: Vec<SimTime> = loads.iter().map(|&l| l.max(floor)).collect();
+            let affinity = |n: NodeId| cache_affinity(&ctl, &caches, n, &cost);
+
+            let ctx = SchedulerCtx { loads: &clamped, alive: &alive };
+            let full = ctx.argmin(&affinity);
+
+            let holders = cache_holders(&ctl, &caches);
+            // Brute-force stand-in for `ClusterSim::pick_min_clamped`:
+            // lexicographic (clamped load, id) min over live non-holders.
+            let best_other = (0..nodes)
+                .filter(|&i| alive[i] && !holders.contains(&NodeId(i as u32)))
+                .map(|i| (clamped[i], NodeId(i as u32)))
+                .min()
+                .map(|(_, n)| n);
+            let fast =
+                argmin_shortlist(&holders, |n| alive[n.index()], best_other, |n| {
+                    clamped[n.index()] + affinity(n)
+                });
+            assert_eq!(fast, full, "case {case}");
+        }
     }
 
     #[test]

@@ -1,10 +1,13 @@
 //! The cluster facade: one namenode + `n` datanodes behind a single handle.
 
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use bytes::{Bytes, BytesMut};
+use parking_lot::Mutex;
 
-use crate::block::BlockInfo;
+use crate::block::{BlockId, BlockInfo};
 use crate::datanode::{DataNode, IoSnapshot, NodeId};
 use crate::error::{DfsError, Result};
 use crate::namenode::{FileMeta, NameNode};
@@ -81,6 +84,17 @@ struct ClusterInner {
     config: ClusterConfig,
     namenode: NameNode,
     nodes: Vec<DataNode>,
+    /// Count of currently dead nodes, maintained by `kill_node` /
+    /// `revive_node` / `decommission`. Lets liveness queries on a healthy
+    /// cluster short-circuit without scanning every node.
+    dead: AtomicUsize,
+    /// Assembled multi-block files, keyed by their first block id. Files
+    /// are write-once and block ids are never reused within a cluster,
+    /// so the key pins the exact content; repeated whole-file reads (the
+    /// recurring-query access pattern) then share one buffer instead of
+    /// re-concatenating blocks. Per-block reads still happen on every
+    /// call — only the copy into a fresh buffer is memoized.
+    assembled: Mutex<HashMap<BlockId, Bytes>>,
 }
 
 impl Cluster {
@@ -88,7 +102,13 @@ impl Cluster {
     pub fn new(config: ClusterConfig) -> Self {
         let nodes = (0..config.nodes as u32).map(|i| DataNode::new(NodeId(i))).collect();
         Cluster {
-            inner: Arc::new(ClusterInner { config, namenode: NameNode::new(), nodes }),
+            inner: Arc::new(ClusterInner {
+                config,
+                namenode: NameNode::new(),
+                nodes,
+                dead: AtomicUsize::new(0),
+                assembled: Mutex::new(HashMap::new()),
+            }),
         }
     }
 
@@ -114,6 +134,27 @@ impl Cluster {
             .iter()
             .filter(|n| n.is_alive())
             .map(|n| n.id())
+            .collect()
+    }
+
+    /// Number of currently dead nodes (maintained counter, O(1)).
+    pub fn dead_node_count(&self) -> usize {
+        self.inner.dead.load(Ordering::Relaxed)
+    }
+
+    /// Indexes of currently dead nodes, sorted ascending. On a healthy
+    /// cluster — the overwhelmingly common case — this returns an empty
+    /// vector without touching any node.
+    pub fn dead_node_indexes(&self) -> Vec<usize> {
+        if self.dead_node_count() == 0 {
+            return Vec::new();
+        }
+        self.inner
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| !n.is_alive())
+            .map(|(i, _)| i)
             .collect()
     }
 
@@ -166,18 +207,52 @@ impl Cluster {
     /// replicas and accounting local vs. remote bytes.
     pub fn read_from(&self, path: &DfsPath, reader: NodeId) -> Result<ReadOutcome> {
         let meta = self.inner.namenode.get_file(path)?;
-        let mut buf = BytesMut::with_capacity(meta.len);
         let mut local_bytes = 0u64;
         let mut remote_bytes = 0u64;
-        for (i, block) in meta.blocks.iter().enumerate() {
-            let (data, local) = self.read_block(path, i, block, reader)?;
+        // Single-block files (most pane files: blocks are 64 MB) hand the
+        // stored `Bytes` straight back — no copy, and the stable buffer
+        // address lets readers memoize derived indexes per file version.
+        let data = if meta.blocks.len() == 1 {
+            let (data, local) = self.read_block(path, 0, &meta.blocks[0], reader)?;
             if local {
-                local_bytes += data.len() as u64;
+                local_bytes = data.len() as u64;
             } else {
-                remote_bytes += data.len() as u64;
+                remote_bytes = data.len() as u64;
             }
-            buf.extend_from_slice(&data);
-        }
+            data
+        } else {
+            // Per-block reads run unconditionally: liveness errors and
+            // I/O accounting stay exactly as without the memo.
+            let mut parts = Vec::with_capacity(meta.blocks.len());
+            for (i, block) in meta.blocks.iter().enumerate() {
+                let (data, local) = self.read_block(path, i, block, reader)?;
+                if local {
+                    local_bytes += data.len() as u64;
+                } else {
+                    remote_bytes += data.len() as u64;
+                }
+                parts.push(data);
+            }
+            match meta.blocks.first().map(|b| b.id) {
+                Some(key) => {
+                    let mut cache = self.inner.assembled.lock();
+                    if cache.len() >= 256 {
+                        cache.clear();
+                    }
+                    cache
+                        .entry(key)
+                        .or_insert_with(|| {
+                            let mut buf = BytesMut::with_capacity(meta.len);
+                            for p in &parts {
+                                buf.extend_from_slice(p);
+                            }
+                            buf.freeze()
+                        })
+                        .clone()
+                }
+                None => Bytes::new(),
+            }
+        };
         // Charge counters on the reading node if it exists (callers may use
         // a synthetic "client" id equal to any node).
         if let Ok(node) = self.node(reader) {
@@ -185,7 +260,7 @@ impl Cluster {
             node.io.local_read.fetch_add(local_bytes, Ordering::Relaxed);
             node.io.remote_read.fetch_add(remote_bytes, Ordering::Relaxed);
         }
-        Ok(ReadOutcome { data: buf.freeze(), local_bytes, remote_bytes })
+        Ok(ReadOutcome { data, local_bytes, remote_bytes })
     }
 
     /// Reads a whole file with no locality preference (client read).
@@ -283,6 +358,14 @@ impl Cluster {
         Ok(self.node(node)?.local_store_bytes())
     }
 
+    /// Local-store mutation epoch of `node` (see
+    /// [`DataNode::local_epoch`]): equal readings with the node alive in
+    /// between prove its store was untouched, letting cache registries
+    /// skip per-file heartbeat verification.
+    pub fn local_epoch(&self, node: NodeId) -> Result<u64> {
+        Ok(self.node(node)?.local_epoch())
+    }
+
     // ------------------------------------------------------------------
     // Failure handling
     // ------------------------------------------------------------------
@@ -290,13 +373,21 @@ impl Cluster {
     /// Kills a node: its replicas become unreadable and its local (cache)
     /// store is wiped. Returns an error for unknown ids.
     pub fn kill_node(&self, id: NodeId) -> Result<()> {
-        self.node(id)?.kill();
+        let node = self.node(id)?;
+        if node.is_alive() {
+            self.inner.dead.fetch_add(1, Ordering::Relaxed);
+        }
+        node.kill();
         Ok(())
     }
 
     /// Revives a previously killed node (replicas intact, caches gone).
     pub fn revive_node(&self, id: NodeId) -> Result<()> {
-        self.node(id)?.revive();
+        let node = self.node(id)?;
+        if !node.is_alive() {
+            self.inner.dead.fetch_sub(1, Ordering::Relaxed);
+        }
+        node.revive();
         Ok(())
     }
 
@@ -353,6 +444,9 @@ impl Cluster {
             self.inner.namenode.update_replicas(&path, block_index, replicas)?;
             node.drop_block(block.id);
         }
+        // The node was verified alive on entry, so this kill is a live→dead
+        // transition for the dead-node counter.
+        self.inner.dead.fetch_add(1, Ordering::Relaxed);
         node.kill();
         Ok(migrated)
     }

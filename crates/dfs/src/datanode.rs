@@ -76,6 +76,13 @@ pub struct DataNode {
     alive: AtomicBool,
     blocks: RwLock<HashMap<BlockId, Bytes>>,
     local: RwLock<HashMap<String, Bytes>>,
+    /// Bumped on every local-store mutation (put, delete, kill-wipe).
+    /// Cache registries compare epochs to prove a node's store is
+    /// untouched since their last audit without re-probing every file.
+    local_epoch: AtomicU64,
+    /// Running total of local-store bytes, maintained under the store's
+    /// write lock so capacity checks never rescan the store.
+    local_bytes: AtomicU64,
     /// I/O accounting for this node.
     pub io: IoCounters,
 }
@@ -88,6 +95,8 @@ impl DataNode {
             alive: AtomicBool::new(true),
             blocks: RwLock::new(HashMap::new()),
             local: RwLock::new(HashMap::new()),
+            local_epoch: AtomicU64::new(0),
+            local_bytes: AtomicU64::new(0),
             io: IoCounters::default(),
         }
     }
@@ -107,7 +116,10 @@ impl DataNode {
     /// rejoining with its disk intact, but they are unreadable while dead.
     pub fn kill(&self) {
         self.alive.store(false, Ordering::Release);
-        self.local.write().clear();
+        let mut local = self.local.write();
+        local.clear();
+        self.local_bytes.store(0, Ordering::Relaxed);
+        self.local_epoch.fetch_add(1, Ordering::Release);
     }
 
     /// Marks the node alive again.
@@ -157,7 +169,12 @@ impl DataNode {
         self.io
             .local_store_written
             .fetch_add(data.len() as u64, Ordering::Relaxed);
-        self.local.write().insert(name.into(), data);
+        let mut local = self.local.write();
+        let added = data.len() as u64;
+        let prev = local.insert(name.into(), data);
+        let removed = prev.map_or(0, |p| p.len() as u64);
+        self.local_bytes.fetch_add(added.wrapping_sub(removed), Ordering::Relaxed);
+        self.local_epoch.fetch_add(1, Ordering::Release);
         Ok(())
     }
 
@@ -182,7 +199,15 @@ impl DataNode {
 
     /// Removes an object from the local store; returns true if it existed.
     pub fn delete_local(&self, name: &str) -> bool {
-        self.local.write().remove(name).is_some()
+        let mut local = self.local.write();
+        match local.remove(name) {
+            Some(data) => {
+                self.local_bytes.fetch_sub(data.len() as u64, Ordering::Relaxed);
+                self.local_epoch.fetch_add(1, Ordering::Release);
+                true
+            }
+            None => false,
+        }
     }
 
     /// Names all objects in the local store.
@@ -193,9 +218,16 @@ impl DataNode {
     }
 
     /// Total bytes in the node-local store (capacity pressure input for
-    /// Redoop's on-demand purging).
+    /// Redoop's on-demand purging). Served from the maintained counter —
+    /// O(1), never rescans the store.
     pub fn local_store_bytes(&self) -> usize {
-        self.local.read().values().map(|b| b.len()).sum()
+        self.local_bytes.load(Ordering::Relaxed) as usize
+    }
+
+    /// Current local-store mutation epoch. Two equal readings with the
+    /// node alive in between prove the store contents were untouched.
+    pub fn local_epoch(&self) -> u64 {
+        self.local_epoch.load(Ordering::Acquire)
     }
 }
 
@@ -239,6 +271,35 @@ mod tests {
             node.put_local("x", Bytes::new()).unwrap_err(),
             DfsError::NodeDead(NodeId(3))
         );
+    }
+
+    #[test]
+    fn local_epoch_tracks_every_store_mutation() {
+        let node = DataNode::new(NodeId(4));
+        let e0 = node.local_epoch();
+        node.put_local("a", Bytes::from_static(b"xy")).unwrap();
+        let e1 = node.local_epoch();
+        assert!(e1 > e0, "put must bump the epoch");
+        assert!(node.local_epoch() == e1, "reads must not bump the epoch");
+        node.get_local("a").unwrap();
+        node.has_local("a");
+        assert_eq!(node.local_epoch(), e1);
+        // Overwrites, deletes, and kill-wipes all count as mutations,
+        // and the byte counter tracks each exactly.
+        node.put_local("a", Bytes::from_static(b"xyz")).unwrap();
+        assert_eq!(node.local_store_bytes(), 3);
+        let e2 = node.local_epoch();
+        assert!(e2 > e1);
+        assert!(node.delete_local("a"));
+        assert_eq!(node.local_store_bytes(), 0);
+        assert!(!node.delete_local("a"), "no-op delete");
+        let e3 = node.local_epoch();
+        assert!(e3 > e2);
+        assert_eq!(node.local_epoch(), e3, "failed delete must not bump");
+        node.put_local("b", Bytes::from_static(b"1234")).unwrap();
+        node.kill();
+        assert_eq!(node.local_store_bytes(), 0, "kill wipes the counter too");
+        assert!(node.local_epoch() > e3, "kill-wipe is a mutation");
     }
 
     #[test]

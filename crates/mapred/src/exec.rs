@@ -57,8 +57,13 @@ pub fn run_mapper_partitioned<'a, M: Mapper>(
     num_reducers: usize,
     scratch: &mut MapContext<M::KOut, M::VOut>,
 ) -> (Vec<Vec<(M::KOut, M::VOut)>>, u64) {
+    // Seed each bucket near its expected share of one-pair-per-record
+    // output; multi-emit mappers grow past it, empty buckets waste one
+    // small reservation. Purely an allocation hint — contents and order
+    // are unchanged.
+    let per_bucket = lines.size_hint().0 / num_reducers + 1;
     let mut buckets: Vec<Vec<(M::KOut, M::VOut)>> =
-        (0..num_reducers).map(|_| Vec::new()).collect();
+        (0..num_reducers).map(|_| Vec::with_capacity(per_bucket)).collect();
     let mut records = 0u64;
     for line in lines {
         mapper.map(line, scratch);

@@ -54,6 +54,81 @@ pub fn stable_hash<T: Hash + ?Sized>(value: &T) -> u64 {
     h.finish()
 }
 
+/// Word-at-a-time variant of [`StableHasher`] for *internal* tables
+/// whose hash values are never observable — dense-id assignment in
+/// [`crate::grouped::sort_group`], membership sets, memo keys. Same Fx
+/// multiply-xor fold, but `write` consumes 8-byte chunks instead of
+/// single bytes, which matters for the short string keys the shuffle
+/// path hashes millions of times per run.
+///
+/// NOT interchangeable with [`StableHasher`]: that one's exact hash
+/// values pin shuffle partitioning (paper §4.3) and recorded journals,
+/// so it must stay byte-at-a-time forever. Use this one only where a
+/// different hash cannot change any simulated result.
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    state: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.add(u64::from_ne_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_ne_bytes(tail));
+            // Fold in the length so "ab" and "ab\0" stay distinct.
+            self.add(rest.len() as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add(i as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`] tables.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// Drop-in `HashMap` with the fast internal hasher.
+pub type FastMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// Drop-in `HashSet` with the fast internal hasher.
+pub type FastSet<K> = std::collections::HashSet<K, FxBuildHasher>;
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -68,6 +143,26 @@ mod tests {
     fn distinguishes_values() {
         assert_ne!(stable_hash("a"), stable_hash("b"));
         assert_ne!(stable_hash(&1u64), stable_hash(&2u64));
+    }
+
+    #[test]
+    fn fx_hasher_is_deterministic_and_discriminating() {
+        use std::hash::BuildHasher;
+        let h = |v: &str| FxBuildHasher::default().hash_one(v);
+        assert_eq!(h("recurring"), h("recurring"));
+        assert_ne!(h("pane-1"), h("pane-2"));
+        // Length folding separates a short string from its padding.
+        assert_ne!(h("ab"), h("ab\0\0\0\0\0\0"));
+        let mut m: FastMap<String, u32> = FastMap::default();
+        for i in 0..500u32 {
+            m.insert(format!("k{i}"), i);
+        }
+        for i in 0..500u32 {
+            assert_eq!(m.get(&format!("k{i}")), Some(&i));
+        }
+        let mut s: FastSet<u64> = FastSet::default();
+        assert!(s.insert(7));
+        assert!(!s.insert(7));
     }
 
     #[test]

@@ -49,6 +49,35 @@ impl LineFile {
         LineFile { data: Arc::new(data), offsets: Arc::new(offsets), valid_utf8 }
     }
 
+    /// Like [`LineFile::new`], but memoized on the identity of `data`'s
+    /// backing buffer. Recurring queries re-read the same immutable pane
+    /// files every window — often sixteen concurrent queries over one
+    /// shared source — and re-indexing (plus re-validating UTF-8) the
+    /// same bytes dominated the host map path at scale. Cached entries
+    /// hold a clone of `data`, so the buffer cannot be freed (and its
+    /// address reused) while its key is live; a rewritten file arrives
+    /// in a fresh buffer and simply misses.
+    pub fn index_cached(data: Bytes) -> Self {
+        use parking_lot::Mutex;
+        use std::collections::HashMap;
+        static CACHE: Mutex<Option<HashMap<(usize, usize), LineFile>>> = Mutex::new(None);
+        /// Enough for every pane of a long scale run; past this the whole
+        /// map is dropped rather than tracking recency.
+        const CAP: usize = 256;
+        let key = (data.as_ptr() as usize, data.len());
+        let mut guard = CACHE.lock();
+        let cache = guard.get_or_insert_with(HashMap::new);
+        if let Some(f) = cache.get(&key) {
+            return f.clone();
+        }
+        let f = LineFile::new(data);
+        if cache.len() >= CAP {
+            cache.clear();
+        }
+        cache.insert(key, f.clone());
+        f
+    }
+
     /// Number of lines.
     pub fn line_count(&self) -> usize {
         self.offsets.len()
@@ -234,6 +263,21 @@ impl ShuffleBucket {
         self.data.extend_from_slice(&other.data);
         self.text_bytes += other.text_bytes;
         self.records += other.records;
+    }
+
+    /// Accounts `pairs` into this bucket's text-equivalent byte and
+    /// record counters without materialising the binary stream — for
+    /// accumulators whose decoded pairs are kept alongside for the
+    /// bucket's whole lifetime, so the stream would never be decoded.
+    /// Returns the `(text_bytes, records)` the pairs contributed.
+    pub fn account_pairs<K: Writable, V: Writable>(&mut self, pairs: &[(K, V)]) -> (u64, u64) {
+        let mut text = 0u64;
+        for (k, v) in pairs {
+            text += k.text_len() + 1 + v.text_len() + 1;
+        }
+        self.text_bytes += text;
+        self.records += pairs.len() as u64;
+        (text, pairs.len() as u64)
     }
 
     /// Decodes the bucket back into pairs.

@@ -39,18 +39,191 @@ impl Placement {
     }
 }
 
+fn kind_ix(kind: SlotKind) -> usize {
+    match kind {
+        TaskKind::Map => 0,
+        TaskKind::Reduce => 1,
+    }
+}
+
+/// A min segment tree over per-node values, padded to a power of two with
+/// `SimTime(u64::MAX)` sentinels so absent leaves never win a query.
+///
+/// This is the sublinear half of Eq. 4 placement at scale: the scheduler's
+/// "best uniformly-priced node" question (lowest id whose load clears a
+/// bound, else the leftmost least-loaded node) is answered by descending
+/// the tree left-first instead of scanning all nodes. Skip lists (cache
+/// holders, dead nodes) are small, so queries cost
+/// `O((|skip| + 1) log n)`.
+#[derive(Debug)]
+struct MinTree {
+    /// Number of leaves (power of two, >= node count).
+    size: usize,
+    /// 1-based heap layout; `tree[size + i]` is leaf `i`.
+    tree: Vec<SimTime>,
+}
+
+impl MinTree {
+    /// A tree whose first `n` leaves are `SimTime::ZERO`.
+    fn new_zeroed(n: usize) -> MinTree {
+        let size = n.next_power_of_two().max(1);
+        let mut tree = vec![SimTime(u64::MAX); 2 * size];
+        for leaf in tree.iter_mut().skip(size).take(n) {
+            *leaf = SimTime::ZERO;
+        }
+        for idx in (1..size).rev() {
+            tree[idx] = tree[2 * idx].min(tree[2 * idx + 1]);
+        }
+        MinTree { size, tree }
+    }
+
+    /// Point-updates leaf `i` to `v`.
+    fn update(&mut self, i: usize, v: SimTime) {
+        let mut idx = self.size + i;
+        self.tree[idx] = v;
+        while idx > 1 {
+            idx >>= 1;
+            self.tree[idx] = self.tree[2 * idx].min(self.tree[2 * idx + 1]);
+        }
+    }
+
+    /// Lowest leaf index `< n` with value `<= bound`, excluding the sorted
+    /// indexes in `skip`. Left-first descent; subtrees fully covered by
+    /// `skip` (or past `n`) are pruned without visiting their leaves.
+    fn leftmost_le_excluding(
+        &self,
+        n: usize,
+        bound: SimTime,
+        skip: &[usize],
+    ) -> Option<usize> {
+        self.descend_le(1, 0, self.size, n, bound, skip)
+    }
+
+    fn descend_le(
+        &self,
+        node: usize,
+        lo: usize,
+        hi: usize,
+        n: usize,
+        bound: SimTime,
+        skip: &[usize],
+    ) -> Option<usize> {
+        if lo >= n || self.tree[node] > bound {
+            return None;
+        }
+        let in_skip =
+            skip.partition_point(|&x| x < hi) - skip.partition_point(|&x| x < lo);
+        if in_skip == hi - lo {
+            return None;
+        }
+        if hi - lo == 1 {
+            return (in_skip == 0).then_some(lo);
+        }
+        let mid = (lo + hi) / 2;
+        self.descend_le(2 * node, lo, mid, n, bound, skip)
+            .or_else(|| self.descend_le(2 * node + 1, mid, hi, n, bound, skip))
+    }
+
+    /// Lexicographic minimum of `(value, index)` over leaves `0..n` not in
+    /// the sorted `skip` list — i.e. the leftmost least-loaded node.
+    /// Decomposes `0..n` into the gaps between skipped indexes and takes a
+    /// leftmost-preferring range-min over each.
+    fn min_excluding(&self, n: usize, skip: &[usize]) -> Option<(SimTime, usize)> {
+        let mut best: Option<(SimTime, usize)> = None;
+        let mut merge = |cand: Option<(SimTime, usize)>| {
+            if let Some(c) = cand {
+                // Gaps arrive in ascending index order, so a tie keeps the
+                // earlier (lower-id) winner.
+                if best.is_none_or(|b| c.0 < b.0) {
+                    best = Some(c);
+                }
+            }
+        };
+        let mut start = 0;
+        for &s in skip {
+            if s >= n {
+                break;
+            }
+            if s > start {
+                merge(self.min_in_range(1, 0, self.size, start, s));
+            }
+            start = s + 1;
+        }
+        if start < n {
+            merge(self.min_in_range(1, 0, self.size, start, n));
+        }
+        best
+    }
+
+    /// Leftmost-preferring range-min over leaves `[l, r)`.
+    fn min_in_range(
+        &self,
+        node: usize,
+        lo: usize,
+        hi: usize,
+        l: usize,
+        r: usize,
+    ) -> Option<(SimTime, usize)> {
+        if r <= lo || hi <= l {
+            return None;
+        }
+        if l <= lo && hi <= r {
+            return Some(self.leftmost_of(node, lo, hi));
+        }
+        let mid = (lo + hi) / 2;
+        let a = self.min_in_range(2 * node, lo, mid, l, r);
+        let b = self.min_in_range(2 * node + 1, mid, hi, l, r);
+        match (a, b) {
+            (Some(x), Some(y)) => Some(if x.0 <= y.0 { x } else { y }),
+            (x, y) => x.or(y),
+        }
+    }
+
+    /// Leftmost leaf attaining a fully-covered subtree's minimum.
+    fn leftmost_of(&self, mut node: usize, mut lo: usize, mut hi: usize) -> (SimTime, usize) {
+        let target = self.tree[node];
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            if self.tree[2 * node] == target {
+                node *= 2;
+                hi = mid;
+            } else {
+                node = 2 * node + 1;
+                lo = mid;
+            }
+        }
+        (target, lo)
+    }
+}
+
 /// The shared slot-occupancy state behind a [`ClusterSim`] handle.
+///
+/// Alongside the raw per-slot free times, it maintains three derived
+/// structures incrementally (slots only ever change in `assign_dynamic`
+/// and `block_node_until`, both touching a single node):
+///
+/// * `min_free[kind][node]` — the node's earliest slot-free time, so
+///   `loads()` is a clone instead of an `O(nodes * slots)` scan;
+/// * `index[kind]` — a [`MinTree`] over `min_free` answering clamped
+///   argmin queries in logarithmic time;
+/// * `horizon` — the running max of every assigned end time.
 #[derive(Debug)]
 struct SlotState {
     map_slots: Vec<Vec<SimTime>>,
     reduce_slots: Vec<Vec<SimTime>>,
+    min_free: [Vec<SimTime>; 2],
+    index: [MinTree; 2],
+    horizon: SimTime,
 }
 
 impl SlotState {
-    fn slots(&self, kind: SlotKind) -> &Vec<Vec<SimTime>> {
-        match kind {
-            TaskKind::Map => &self.map_slots,
-            TaskKind::Reduce => &self.reduce_slots,
+    fn new(nodes: usize, map_slots: usize, reduce_slots: usize) -> SlotState {
+        SlotState {
+            map_slots: vec![vec![SimTime::ZERO; map_slots]; nodes],
+            reduce_slots: vec![vec![SimTime::ZERO; reduce_slots]; nodes],
+            min_free: [vec![SimTime::ZERO; nodes], vec![SimTime::ZERO; nodes]],
+            index: [MinTree::new_zeroed(nodes), MinTree::new_zeroed(nodes)],
+            horizon: SimTime::ZERO,
         }
     }
 
@@ -58,6 +231,22 @@ impl SlotState {
         match kind {
             TaskKind::Map => &mut self.map_slots,
             TaskKind::Reduce => &mut self.reduce_slots,
+        }
+    }
+
+    /// Re-derives one node's cached minimum after its slots changed.
+    fn refresh_node(&mut self, kind: SlotKind, node: usize) {
+        let ix = kind_ix(kind);
+        let min = *match kind {
+            TaskKind::Map => &self.map_slots,
+            TaskKind::Reduce => &self.reduce_slots,
+        }[node]
+            .iter()
+            .min()
+            .expect("slots non-empty");
+        if self.min_free[ix][node] != min {
+            self.min_free[ix][node] = min;
+            self.index[ix].update(node, min);
         }
     }
 }
@@ -86,10 +275,7 @@ impl ClusterSim {
         ClusterSim {
             cost,
             nodes,
-            state: Arc::new(Mutex::new(SlotState {
-                map_slots: vec![vec![SimTime::ZERO; map_slots]; nodes],
-                reduce_slots: vec![vec![SimTime::ZERO; reduce_slots]; nodes],
-            })),
+            state: Arc::new(Mutex::new(SlotState::new(nodes, map_slots, reduce_slots))),
             trace: trace::global_sink(),
         }
     }
@@ -121,19 +307,41 @@ impl ClusterSim {
     }
 
     /// Earliest time a `kind` slot frees up on `node` — the scheduler's
-    /// `Load_i` signal (paper Eq. 4).
+    /// `Load_i` signal (paper Eq. 4). Served from the maintained cache.
     pub fn node_load(&self, kind: SlotKind, node: NodeId) -> SimTime {
-        *self.state.lock().slots(kind)[node.index()].iter().min().expect("slots non-empty")
+        self.state.lock().min_free[kind_ix(kind)][node.index()]
     }
 
-    /// `node_load` for every node, indexed by node id.
+    /// `node_load` for every node, indexed by node id. A clone of the
+    /// maintained per-node cache — `O(nodes)`, never rescans slots.
     pub fn loads(&self, kind: SlotKind) -> Vec<SimTime> {
+        self.state.lock().min_free[kind_ix(kind)].clone()
+    }
+
+    /// The node `SchedulerCtx::argmin` would choose when every candidate
+    /// pays the *same* affinity cost and loads are clamped to `floor`:
+    /// the lexicographic minimum of `(max(load, floor), node_id)` over
+    /// nodes not listed in `skip` (sorted node indexes — cache holders
+    /// priced separately, dead nodes). Answered from the load index in
+    /// `O((|skip| + 1) log nodes)`; returns `None` if every node is
+    /// skipped.
+    ///
+    /// Nodes with `load <= floor` all clamp to the same score, so the
+    /// lowest-id one wins if any exists; otherwise the leftmost
+    /// least-loaded node is the winner.
+    pub fn pick_min_clamped(
+        &self,
+        kind: SlotKind,
+        floor: SimTime,
+        skip: &[usize],
+    ) -> Option<NodeId> {
+        debug_assert!(skip.windows(2).all(|w| w[0] < w[1]), "skip must be sorted");
         let state = self.state.lock();
-        state
-            .slots(kind)
-            .iter()
-            .map(|slots| *slots.iter().min().expect("slots non-empty"))
-            .collect()
+        let tree = &state.index[kind_ix(kind)];
+        if let Some(i) = tree.leftmost_le_excluding(self.nodes, floor, skip) {
+            return Some(NodeId(i as u32));
+        }
+        tree.min_excluding(self.nodes, skip).map(|(_, i)| NodeId(i as u32))
     }
 
     /// Claims the earliest-free `kind` slot on `node` for a task that is
@@ -169,6 +377,8 @@ impl ClusterSim {
         let end = end_of(start);
         debug_assert!(end >= start);
         slots[slot_idx] = end;
+        state.refresh_node(kind, node.index());
+        state.horizon = state.horizon.max(end);
         Placement { node, start, end }
     }
 
@@ -180,20 +390,15 @@ impl ClusterSim {
             for t in &mut state.slots_mut(kind)[node.index()] {
                 *t = (*t).max(until);
             }
+            state.refresh_node(kind, node.index());
         }
+        state.horizon = state.horizon.max(until);
     }
 
     /// Latest completion time across all slots (cluster quiescent time).
+    /// Maintained incrementally as tasks are assigned.
     pub fn horizon(&self) -> SimTime {
-        let state = self.state.lock();
-        state
-            .map_slots
-            .iter()
-            .chain(state.reduce_slots.iter())
-            .flatten()
-            .copied()
-            .max()
-            .unwrap_or(SimTime::ZERO)
+        self.state.lock().horizon
     }
 }
 
@@ -261,6 +466,87 @@ mod tests {
         assert_eq!(a.horizon(), d + d);
         // A freshly constructed sim never shares state.
         assert_eq!(sim().node_load(TaskKind::Reduce, NodeId(0)), SimTime::ZERO);
+    }
+
+    #[test]
+    fn cached_loads_match_brute_force_after_mixed_mutations() {
+        // Replay an arbitrary assign/block sequence against a shadow model
+        // that recomputes everything from the raw slots; the incremental
+        // caches must agree at every step.
+        let nodes = 5;
+        let mut s = ClusterSim::new(nodes, 3, 2, CostModel::default());
+        let mut shadow: [Vec<Vec<SimTime>>; 2] =
+            [vec![vec![SimTime::ZERO; 3]; nodes], vec![vec![SimTime::ZERO; 2]; nodes]];
+        let mut rng: u64 = 0x9e37_79b9_7f4a_7c15;
+        for step in 0..200 {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            let node = (rng % nodes as u64) as usize;
+            let dur = SimTime::from_millis(1 + rng % 977);
+            let ready = SimTime::from_millis(rng % 533);
+            if step % 17 == 5 {
+                let until = SimTime::from_millis(rng % 90_000);
+                s.block_node_until(NodeId(node as u32), until);
+                for kind_slots in &mut shadow {
+                    for t in &mut kind_slots[node] {
+                        *t = (*t).max(until);
+                    }
+                }
+            } else {
+                let kind = if rng & 1 == 0 { TaskKind::Map } else { TaskKind::Reduce };
+                s.assign(kind, NodeId(node as u32), ready, dur);
+                let slots = &mut shadow[kind_ix(kind)][node];
+                let (idx, &free) =
+                    slots.iter().enumerate().min_by_key(|(_, &t)| t).unwrap();
+                slots[idx] = free.max(ready) + dur;
+            }
+            for kind in [TaskKind::Map, TaskKind::Reduce] {
+                let expect: Vec<SimTime> = shadow[kind_ix(kind)]
+                    .iter()
+                    .map(|sl| *sl.iter().min().unwrap())
+                    .collect();
+                assert_eq!(s.loads(kind), expect, "step {step}");
+            }
+            let expect_horizon =
+                shadow.iter().flatten().flatten().copied().max().unwrap();
+            assert_eq!(s.horizon(), expect_horizon, "step {step}");
+        }
+    }
+
+    #[test]
+    fn pick_min_clamped_matches_scan_argmin() {
+        // The index must return exactly the node a full clamped scan with
+        // lowest-id tie-breaking would return, for every floor and every
+        // small skip set.
+        let nodes = 9;
+        let mut s = ClusterSim::new(nodes, 1, 1, CostModel::default());
+        let ms = [40u64, 10, 10, 70, 5, 10, 90, 5, 30];
+        for (i, &m) in ms.iter().enumerate() {
+            s.assign(TaskKind::Map, NodeId(i as u32), SimTime::ZERO, SimTime::from_millis(m));
+        }
+        let loads = s.loads(TaskKind::Map);
+        let skips: [&[usize]; 6] =
+            [&[], &[4], &[4, 7], &[0, 1, 2, 3, 4, 5, 6, 7], &[2, 4, 5, 7], &[8]];
+        for floor_ms in [0u64, 5, 10, 11, 45, 200] {
+            let floor = SimTime::from_millis(floor_ms);
+            for skip in skips {
+                let expect = loads
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| !skip.contains(i))
+                    .map(|(i, &l)| (l.max(floor), i))
+                    .min()
+                    .map(|(_, i)| NodeId(i as u32));
+                assert_eq!(
+                    s.pick_min_clamped(TaskKind::Map, floor, skip),
+                    expect,
+                    "floor {floor_ms}ms skip {skip:?}"
+                );
+            }
+        }
+        let all: Vec<usize> = (0..nodes).collect();
+        assert_eq!(s.pick_min_clamped(TaskKind::Map, SimTime::ZERO, &all), None);
     }
 
     #[test]

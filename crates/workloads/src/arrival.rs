@@ -25,6 +25,108 @@ pub struct GeneratedBatch {
     pub lines: Vec<String>,
 }
 
+/// SplitMix64: a stateless 64-bit mixer. Hashing `seed ^ batch_start`
+/// gives every batch an independent, reproducible coin flip without any
+/// sequential RNG state (batches can be shaped in any order).
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Top 53 bits of the hash as a uniform fraction in `[0, 1)`.
+fn hash_fraction(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Deterministic load-shaping curves for scale experiments, layered on
+/// top of an [`ArrivalPlan`]'s explicit window spikes. Each curve is a
+/// pure function of `(seed, batch range, plan span)` — no sequential
+/// state — so the shape of any batch is independent of evaluation order
+/// and identical across hosts.
+///
+/// With no curves enabled (or [`ArrivalPlan`] without curves attached)
+/// batch shaping reduces exactly to [`ArrivalPlan::multiplier_for`].
+#[derive(Debug, Clone, Default)]
+pub struct ArrivalCurves {
+    seed: u64,
+    /// `(probability, factor)`: each batch independently bursts.
+    bursty: Option<(f64, f64)>,
+    /// `(period_ms, amplitude)`: triangle wave over event time.
+    diurnal: Option<(u64, f64)>,
+    /// `(theta_start, theta_end)`: Zipf exponent drifts across the span.
+    skew_drift: Option<(f64, f64)>,
+}
+
+impl ArrivalCurves {
+    /// No curves; shaping is the identity until one is enabled.
+    pub fn new(seed: u64) -> Self {
+        ArrivalCurves { seed, ..ArrivalCurves::default() }
+    }
+
+    /// Each batch bursts (rate × `factor`) with probability `prob`,
+    /// decided by hashing the batch start against the seed.
+    pub fn bursty(mut self, prob: f64, factor: f64) -> Self {
+        assert!((0.0..=1.0).contains(&prob) && factor >= 1.0);
+        self.bursty = Some((prob, factor));
+        self
+    }
+
+    /// Day/night load curve: a triangle wave of the given period over
+    /// event time, scaling the rate between `1.0` (trough, at phase 0)
+    /// and `1.0 + amplitude` (peak, at half period).
+    pub fn diurnal(mut self, period_ms: u64, amplitude: f64) -> Self {
+        assert!(period_ms >= 1 && amplitude >= 0.0);
+        self.diurnal = Some((period_ms, amplitude));
+        self
+    }
+
+    /// Zipf skew drifts linearly from `theta_start` at the start of the
+    /// plan span to `theta_end` at its end (hot-set rotation: popular
+    /// objects get more or less dominant as the run progresses).
+    pub fn skew_drift(mut self, theta_start: f64, theta_end: f64) -> Self {
+        assert!(theta_start >= 0.0 && theta_end >= 0.0);
+        self.skew_drift = Some((theta_start, theta_end));
+        self
+    }
+
+    /// Combined rate multiplier of the enabled curves for a batch.
+    fn rate_multiplier(&self, range: &TimeRange) -> f64 {
+        let mut m = 1.0f64;
+        if let Some((prob, factor)) = self.bursty {
+            if hash_fraction(splitmix64(self.seed ^ range.start.0)) < prob {
+                m *= factor;
+            }
+        }
+        if let Some((period, amplitude)) = self.diurnal {
+            let phase = (range.start.0 % period) as f64 / period as f64;
+            let tri = 1.0 - (2.0 * phase - 1.0).abs();
+            m *= 1.0 + amplitude * tri;
+        }
+        m
+    }
+
+    /// Zipf theta for a batch, if skew drift is enabled. `span` is the
+    /// full plan span used to normalise the drift position.
+    fn skew_for(&self, range: &TimeRange, span: u64) -> Option<f64> {
+        let (t0, t1) = self.skew_drift?;
+        let pos = range.start.0 as f64 / span.max(1) as f64;
+        Some(t0 + (t1 - t0) * pos)
+    }
+}
+
+/// The load shape of one batch: its final rate multiplier (window
+/// spikes × curves) and, when skew drift is active, the Zipf theta the
+/// generator should use for it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchShape {
+    /// Rate multiplier (1.0 = normal).
+    pub multiplier: f64,
+    /// Zipf exponent override, if the skew-drift curve is enabled.
+    pub skew: Option<f64>,
+}
+
 /// Arrival schedule for an experiment of `windows` recurrences.
 #[derive(Debug, Clone)]
 pub struct ArrivalPlan {
@@ -33,13 +135,21 @@ pub struct ArrivalPlan {
     /// Number of recurrences to cover.
     pub windows: u64,
     spikes: BTreeMap<u64, f64>,
+    curves: Option<ArrivalCurves>,
 }
 
 impl ArrivalPlan {
     /// Plan with no spikes.
     pub fn new(spec: WindowSpec, windows: u64) -> Self {
         assert!(windows >= 1);
-        ArrivalPlan { spec, windows, spikes: BTreeMap::new() }
+        ArrivalPlan { spec, windows, spikes: BTreeMap::new(), curves: None }
+    }
+
+    /// Attaches load-shaping curves. Batch boundaries are untouched —
+    /// curves only change per-batch rate multipliers and skew.
+    pub fn with_curves(mut self, curves: ArrivalCurves) -> Self {
+        self.curves = Some(curves);
+        self
     }
 
     /// Multiplies the arrival rate of each listed window's fresh region
@@ -100,17 +210,39 @@ impl ArrivalPlan {
         m
     }
 
+    /// Full load shape for a batch: window spikes combined with any
+    /// attached curves. Without curves this is exactly
+    /// `BatchShape { multiplier: self.multiplier_for(range), skew: None }`.
+    pub fn shape_for(&self, range: &TimeRange) -> BatchShape {
+        let mut multiplier = self.multiplier_for(range);
+        let mut skew = None;
+        if let Some(curves) = &self.curves {
+            multiplier *= curves.rate_multiplier(range);
+            skew = curves.skew_for(range, self.span());
+        }
+        BatchShape { multiplier, skew }
+    }
+
     /// Generates every batch using `gen(range, multiplier)`.
     pub fn generate(
         &self,
         mut generate: impl FnMut(&TimeRange, f64) -> Vec<String>,
     ) -> Vec<GeneratedBatch> {
+        self.generate_shaped(|range, shape| generate(range, shape.multiplier))
+    }
+
+    /// Generates every batch using `gen(range, shape)`, exposing the
+    /// skew-drift theta to generators that support it.
+    pub fn generate_shaped(
+        &self,
+        mut generate: impl FnMut(&TimeRange, &BatchShape) -> Vec<String>,
+    ) -> Vec<GeneratedBatch> {
         self.batch_ranges()
             .into_iter()
             .map(|range| {
-                let multiplier = self.multiplier_for(&range);
-                let lines = generate(&range, multiplier);
-                GeneratedBatch { range, multiplier, lines }
+                let shape = self.shape_for(&range);
+                let lines = generate(&range, &shape);
+                GeneratedBatch { range, multiplier: shape.multiplier, lines }
             })
             .collect()
     }
@@ -188,6 +320,94 @@ mod tests {
         assert_eq!(plan.multiplier_for(&plan.fresh_region(2)), 2.0);
         assert_eq!(plan.multiplier_for(&plan.fresh_region(3)), 1.0);
         assert_eq!(plan.multiplier_for(&plan.fresh_region(9)), 1.0);
+    }
+
+    #[test]
+    fn curves_disabled_reduce_to_flat_plan() {
+        // A curves object with nothing enabled must shape every batch
+        // exactly like the plain plan — same multiplier, no skew.
+        let flat = ArrivalPlan::paper_fluctuation(spec(), 10);
+        let with = flat.clone().with_curves(ArrivalCurves::new(99));
+        for r in flat.batch_ranges() {
+            let shape = with.shape_for(&r);
+            assert_eq!(shape.multiplier, flat.multiplier_for(&r));
+            assert_eq!(shape.skew, None);
+        }
+        // And a plan with no curves attached behaves identically.
+        for r in flat.batch_ranges() {
+            assert_eq!(
+                flat.shape_for(&r),
+                BatchShape { multiplier: flat.multiplier_for(&r), skew: None }
+            );
+        }
+    }
+
+    #[test]
+    fn curves_are_deterministic_per_seed() {
+        let curves =
+            || ArrivalCurves::new(7).bursty(0.5, 3.0).diurnal(50, 1.0).skew_drift(0.5, 1.2);
+        let a = ArrivalPlan::new(spec(), 10).with_curves(curves());
+        let b = ArrivalPlan::new(spec(), 10).with_curves(curves());
+        let shapes =
+            |p: &ArrivalPlan| p.batch_ranges().iter().map(|r| p.shape_for(r)).collect::<Vec<_>>();
+        assert_eq!(shapes(&a), shapes(&b), "same seed must reproduce exactly");
+        let c = ArrivalPlan::new(spec(), 10)
+            .with_curves(ArrivalCurves::new(8).bursty(0.5, 3.0).diurnal(50, 1.0).skew_drift(0.5, 1.2));
+        assert_ne!(shapes(&a), shapes(&c), "burst coin flips must depend on the seed");
+    }
+
+    #[test]
+    fn curves_preserve_batch_range_partition() {
+        // Curves shape rates only; the batch tiling (contiguous,
+        // non-overlapping, span-covering) is untouched.
+        let flat = ArrivalPlan::new(spec(), 5);
+        let with = flat
+            .clone()
+            .with_curves(ArrivalCurves::new(3).bursty(0.9, 4.0).diurnal(33, 2.0).skew_drift(0.0, 2.0));
+        assert_eq!(flat.batch_ranges(), with.batch_ranges());
+        let ranges = with.batch_ranges();
+        assert_eq!(ranges[0].start.0, 0);
+        assert_eq!(ranges.last().unwrap().end.0, with.span());
+        for w in ranges.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+    }
+
+    #[test]
+    fn bursty_probability_bounds() {
+        let never = ArrivalPlan::new(spec(), 10).with_curves(ArrivalCurves::new(1).bursty(0.0, 5.0));
+        let always = ArrivalPlan::new(spec(), 10).with_curves(ArrivalCurves::new(1).bursty(1.0, 5.0));
+        for r in never.batch_ranges() {
+            assert_eq!(never.shape_for(&r).multiplier, 1.0);
+            assert_eq!(always.shape_for(&r).multiplier, 5.0);
+        }
+    }
+
+    #[test]
+    fn diurnal_wave_peaks_at_half_period() {
+        // Period equal to the slide: batch starts hit phases 0, 0.25,
+        // 0.5, 0.75 cyclically; trough 1.0, peak 1 + amplitude.
+        let plan = ArrivalPlan::new(spec(), 5).with_curves(ArrivalCurves::new(0).diurnal(80, 1.0));
+        let shapes: Vec<f64> =
+            plan.batch_ranges().iter().map(|r| plan.shape_for(r).multiplier).collect();
+        assert_eq!(shapes[0], 1.0, "phase 0 is the trough");
+        assert_eq!(shapes[2], 2.0, "phase 0.5 is the peak");
+        assert_eq!(shapes[1], shapes[3], "rising and falling edges are symmetric");
+    }
+
+    #[test]
+    fn skew_drift_interpolates_across_span() {
+        let plan = ArrivalPlan::new(spec(), 5).with_curves(ArrivalCurves::new(0).skew_drift(0.5, 1.5));
+        let ranges = plan.batch_ranges();
+        let first = plan.shape_for(&ranges[0]).skew.unwrap();
+        let last = plan.shape_for(ranges.last().unwrap()).skew.unwrap();
+        assert_eq!(first, 0.5, "drift starts at theta_start");
+        assert!(last > first && last < 1.5, "theta rises monotonically toward theta_end");
+        for pair in ranges.windows(2) {
+            let a = plan.shape_for(&pair[0]).skew.unwrap();
+            let b = plan.shape_for(&pair[1]).skew.unwrap();
+            assert!(b > a, "drift is monotone across batches");
+        }
     }
 
     #[test]

@@ -64,6 +64,9 @@ impl ZipfSampler {
 pub struct WccGenerator {
     rng: StdRng,
     objects: ZipfSampler,
+    /// Sampler for the most recent skew override (skew-drift batches);
+    /// rebuilt only when the requested theta changes.
+    skewed: Option<(f64, ZipfSampler)>,
     num_objects: usize,
     num_clients: u64,
     /// Average records per event-time millisecond at multiplier 1.0.
@@ -96,6 +99,7 @@ impl WccGenerator {
         WccGenerator {
             rng: StdRng::seed_from_u64(seed),
             objects: ZipfSampler::new(num_objects, 0.9),
+            skewed: None,
             num_objects,
             num_clients,
             records_per_ms,
@@ -117,15 +121,38 @@ impl WccGenerator {
     /// are drawn uniformly within the range (the paper's model has no
     /// intra-file order).
     pub fn batch(&mut self, range: &TimeRange, multiplier: f64) -> Vec<String> {
+        self.batch_skewed(range, multiplier, None)
+    }
+
+    /// Like [`WccGenerator::batch`] but with an optional Zipf-theta
+    /// override for this batch (the skew-drift arrival curve). `None`
+    /// is byte-identical to `batch`: both paths draw the same random
+    /// stream, and a sampler is only rebuilt when theta changes.
+    pub fn batch_skewed(
+        &mut self,
+        range: &TimeRange,
+        multiplier: f64,
+        skew: Option<f64>,
+    ) -> Vec<String> {
+        let WccGenerator { rng, objects, skewed, num_objects, num_clients, records_per_ms } = self;
+        let objects: &ZipfSampler = match skew {
+            None => objects,
+            Some(theta) => {
+                if skewed.as_ref().is_none_or(|(t, _)| *t != theta) {
+                    *skewed = Some((theta, ZipfSampler::new(*num_objects, theta)));
+                }
+                &skewed.as_ref().unwrap().1
+            }
+        };
         let span = range.len_millis();
-        let count = (self.records_per_ms * multiplier * span as f64).round() as usize;
+        let count = (*records_per_ms * multiplier * span as f64).round() as usize;
         let mut lines = Vec::with_capacity(count);
         for _ in 0..count {
-            let ts = range.start.0 + self.rng.random_range(0..span.max(1));
-            let client = self.rng.random_range(0..self.num_clients);
-            let obj = self.objects.sample(&mut self.rng);
-            let region = REGIONS[self.rng.random_range(0..REGIONS.len())];
-            let bytes: u32 = self.rng.random_range(200..20_000);
+            let ts = range.start.0 + rng.random_range(0..span.max(1));
+            let client = rng.random_range(0..*num_clients);
+            let obj = objects.sample(rng);
+            let region = REGIONS[rng.random_range(0..REGIONS.len())];
+            let bytes: u32 = rng.random_range(200..20_000);
             let mut line = String::with_capacity(40);
             push_u64(&mut line, ts);
             line.push_str(",c");
@@ -188,6 +215,25 @@ mod tests {
         let hot = lines.iter().filter(|l| l.contains(",obj0,")).count();
         let cold = lines.iter().filter(|l| l.contains(",obj99,")).count();
         assert!(hot > 5 * cold.max(1), "hot object {hot} vs cold {cold}");
+    }
+
+    #[test]
+    fn batch_skewed_none_matches_batch_exactly() {
+        // The skew-override path draws the same random stream, so with
+        // no override it must be byte-identical to the plain path.
+        let a = WccGenerator::small(42).batch(&range(0, 50), 1.0);
+        let b = WccGenerator::small(42).batch_skewed(&range(0, 50), 1.0, None);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn batch_skewed_theta_changes_popularity() {
+        let mut flat = WccGenerator::new(1, 100, 10, 10.0);
+        let mut steep = WccGenerator::new(1, 100, 10, 10.0);
+        let hot = |lines: &[String]| lines.iter().filter(|l| l.contains(",obj0,")).count();
+        let f = hot(&flat.batch_skewed(&range(0, 2_000), 1.0, Some(0.0)));
+        let s = hot(&steep.batch_skewed(&range(0, 2_000), 1.0, Some(1.4)));
+        assert!(s > 3 * f.max(1), "steeper theta concentrates on the hot object ({s} vs {f})");
     }
 
     #[test]
