@@ -7,13 +7,15 @@
 //! ```
 //!
 //! Subcommands: `fig3`, `fig6`, `fig7`, `fig8`, `fig9`, `delta`,
-//! `share`, `scale`, `headline`, `ablations`, `all`. Times are
-//! simulated seconds (see DESIGN.md). `delta` (the incremental
+//! `share`, `salvage`, `scale`, `headline`, `ablations`, `all`. Times
+//! are simulated seconds (see DESIGN.md). `delta` (the incremental
 //! pane-maintenance figure) writes its own `BENCH_delta.json`, `share`
 //! (cross-query cache sharing: makespan and hit ratio vs fleet size)
-//! writes `BENCH_share.json`, and `scale` (the scale-out sweep: makespan
-//! and host wall-clock vs node and query count) writes
-//! `BENCH_scale.json`, instead of `BENCH_repro.json`.
+//! writes `BENCH_share.json`, `salvage` (crash-safe block format:
+//! partial recovery of suffix-corrupted caches vs full rebuild) writes
+//! `BENCH_salvage.json`, and `scale` (the scale-out sweep: makespan and
+//! host wall-clock vs node and query count) writes `BENCH_scale.json`,
+//! instead of `BENCH_repro.json`.
 //!
 //! `--nodes <n>` / `--queries <n>` re-run any figure at non-default
 //! scale: `--nodes` resizes the simulated cluster of every figure, and
@@ -357,6 +359,39 @@ fn scale(max_nodes: usize, max_queries: usize) -> Json {
     ])
 }
 
+fn salvage() -> Json {
+    let s = experiments::fig_salvage(SEED);
+    assert!(s.outputs_match, "salvage and rebuild must reproduce the clean outputs");
+    println!("\n=== Salvage: window-1 firing cost after cache damage (aggregation, overlap 0.875) ===");
+    println!(" scenario          | window 1 (s)");
+    println!(" ------------------+-------------");
+    println!(" clean caches      | {:>11.1}", s.clean_secs);
+    println!(" suffix-corrupted  | {:>11.1}", s.partial_secs);
+    println!(" dropped (full)    | {:>11.1}", s.full_secs);
+    println!(
+        " {} caches damaged, {}/{} frames salvaged — partial recovery {:.2}x faster \
+         than full rebuild  [outputs verified]",
+        s.caches,
+        s.frames_salvaged,
+        s.frames_total,
+        s.salvage_gain()
+    );
+    assert!(
+        s.partial_secs < s.full_secs,
+        "partial recovery must beat full rebuild: {s:?}"
+    );
+    Json::obj(vec![
+        ("caches_damaged", Json::Num(s.caches as f64)),
+        ("frames_total", Json::Num(s.frames_total as f64)),
+        ("frames_salvaged", Json::Num(s.frames_salvaged as f64)),
+        ("clean_secs", Json::Num(s.clean_secs)),
+        ("partial_secs", Json::Num(s.partial_secs)),
+        ("full_secs", Json::Num(s.full_secs)),
+        ("salvage_gain", Json::Num(s.salvage_gain())),
+        ("outputs_match", Json::Bool(s.outputs_match)),
+    ])
+}
+
 fn headline() -> Json {
     let (agg, join) = experiments::headline(WINDOWS, SEED);
     println!("\n=== Headline: steady-state speedup at overlap 0.9 ===");
@@ -483,6 +518,7 @@ fn main() {
         "fig9" => run_figure(&mut figures, "fig9", fig9),
         "delta" => run_figure(&mut figures, "delta", delta),
         "share" => run_figure(&mut figures, "share", share),
+        "salvage" => run_figure(&mut figures, "salvage", salvage),
         "scale" => {
             let start = Instant::now();
             let series = scale(nodes.unwrap_or(SCALE_NODES), queries.unwrap_or(SCALE_QUERIES));
@@ -506,7 +542,7 @@ fn main() {
         other => {
             eprintln!(
                 "unknown experiment {other:?}; use \
-                 fig3|fig6|fig7|fig8|fig9|delta|share|scale|headline|ablations|all"
+                 fig3|fig6|fig7|fig8|fig9|delta|share|salvage|scale|headline|ablations|all"
             );
             std::process::exit(2);
         }
@@ -517,6 +553,7 @@ fn main() {
     let path = match arg.as_str() {
         "delta" => "BENCH_delta.json",
         "share" => "BENCH_share.json",
+        "salvage" => "BENCH_salvage.json",
         "scale" => "BENCH_scale.json",
         _ => "BENCH_repro.json",
     };

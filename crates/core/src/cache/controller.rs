@@ -45,6 +45,11 @@ pub struct CacheSignature {
     /// Virtual time at which the cache became available (readers cannot
     /// consume it earlier).
     pub available_at: SimTime,
+    /// Salvage verdict from the last heartbeat audit that found this
+    /// cache's blob damaged: `(intact frames, total frames)`. The cache
+    /// is *partially recoverable* — only the missing frame suffix needs
+    /// recomputation. Cleared when the cache is (re)registered.
+    pub salvaged: Option<(u32, u32)>,
 }
 
 /// Purge notification sent to a task node.
@@ -126,6 +131,7 @@ impl CacheController {
                 bytes: 0,
                 rebuild_bytes: 0,
                 available_at: SimTime::ZERO,
+                salvaged: None,
             }
         })
     }
@@ -206,6 +212,7 @@ impl CacheController {
         sig.bytes = bytes;
         sig.rebuild_bytes = rebuild_bytes.max(bytes);
         sig.available_at = at;
+        sig.salvaged = None;
         self.index_holder(name, node, bytes);
         self.trace.emit(|| TraceEvent::Cache {
             at,
@@ -237,7 +244,23 @@ impl CacheController {
         sig.bytes = bytes;
         sig.rebuild_bytes = rebuild_bytes.max(bytes);
         sig.available_at = at;
+        sig.salvaged = None;
         self.index_holder(name, node, bytes);
+    }
+
+    /// Records the salvage verdict of a damaged cache: `intact` of
+    /// `total` frames survived the blob's checksum audit. The next
+    /// rebuild of `name` may recompute only the missing suffix.
+    pub fn note_salvage(&mut self, name: &CacheName, intact: u32, total: u32) {
+        if let Some(sig) = self.sigs.get_mut(name) {
+            sig.salvaged = Some((intact, total));
+        }
+    }
+
+    /// The salvage verdict recorded for `name`, if its last loss was a
+    /// partially recoverable blob rather than a wholesale disappearance.
+    pub fn salvaged(&self, name: &CacheName) -> Option<(u32, u32)> {
+        self.sigs.get(name).and_then(|s| s.salvaged)
     }
 
     /// Invalidates a single cache whose file was found missing (targeted
@@ -333,6 +356,9 @@ impl CacheController {
             let sig = self.sigs.get_mut(name).expect("indexed cache has a signature");
             sig.ready = Ready::HdfsAvailable;
             sig.node = None;
+            // The crash wiped the node's disk, salvageable frames
+            // included — any pending partial-recovery verdict is void.
+            sig.salvaged = None;
         }
         if !lost.is_empty() {
             self.trace.emit(|| TraceEvent::Rollback {

@@ -11,6 +11,7 @@
 //! the paper's §5 recovery trigger.
 
 use redoop_dfs::{Cluster, NodeId};
+use redoop_mapred::frame;
 use redoop_mapred::hasher::FastSet;
 use redoop_mapred::trace::TraceEvent;
 
@@ -29,17 +30,27 @@ pub struct RegistryHeartbeat {
     /// Caches the node actually holds (registry entries verified against
     /// the local store).
     pub held: Vec<CacheName>,
+    /// Framed caches whose blob failed its checksum audit, with the
+    /// salvage-scan verdict `(intact frames, total frames)`. These are
+    /// excluded from `held` — the controller invalidates them like any
+    /// lost cache — but the verdict lets it classify the loss as
+    /// partially recoverable.
+    pub damaged: Vec<(CacheName, u32, u32)>,
 }
 
 impl LocalCacheRegistry {
     /// Builds this node's heartbeat: every unexpired registry entry whose
-    /// file really exists in the node's local store. Entries whose files
-    /// vanished (crash, manual purge) are dropped from the registry as a
-    /// side effect — the node-side half of recovery.
+    /// file really exists in the node's local store, with framed blobs
+    /// additionally audited frame-by-frame against their checksums.
+    /// Entries whose files vanished (crash, manual purge) or failed the
+    /// audit are dropped from the registry as a side effect — the
+    /// node-side half of recovery; audited-damaged blobs also report
+    /// their salvage verdict so the master can schedule a partial
+    /// rebuild of just the missing frame suffix.
     pub fn heartbeat(&mut self, cluster: &Cluster) -> RegistryHeartbeat {
         let node = self.node();
         if !cluster.is_alive(node) {
-            return RegistryHeartbeat { node, alive: false, held: Vec::new() };
+            return RegistryHeartbeat { node, alive: false, held: Vec::new(), damaged: Vec::new() };
         }
         // Epoch handshake: if neither the node's local store nor this
         // registry changed since the last fully-verified heartbeat, the
@@ -47,34 +58,73 @@ impl LocalCacheRegistry {
         // be skipped — the common case for idle nodes at scale.
         let epoch = cluster.local_epoch(node).expect("registry node exists");
         if self.verified_clean(epoch) {
-            return RegistryHeartbeat { node, alive: true, held: self.names() };
+            return RegistryHeartbeat {
+                node,
+                alive: true,
+                held: self.names(),
+                damaged: Vec::new(),
+            };
         }
         let mut held = Vec::new();
         let mut lost = Vec::new();
+        let mut damaged = Vec::new();
+        let mut verified = Vec::new();
         for name in self.names() {
-            if cluster.has_local(node, &name.store_name()) {
-                held.push(name);
-            } else {
+            let Some(blob) = cluster.peek_local(node, &name.store_name()) else {
                 lost.push(name);
+                continue;
+            };
+            let (ptr, len) = (blob.as_ptr() as usize, blob.len());
+            // An unchanged blob was already audited by an earlier
+            // heartbeat; skip re-checksumming it.
+            if self.blob_verified(&name, ptr, len) {
+                held.push(name);
+                continue;
             }
+            if blob.starts_with(&frame::FRAME_MARKER) && frame::decode_frames(&blob).is_err() {
+                let scan = frame::salvage_scan(&blob);
+                damaged.push((name, scan.intact_count() as u32, scan.total));
+                lost.push(name);
+                continue;
+            }
+            // Intact framed blob, or a legacy/opaque blob (no embedded
+            // checksums — existence is the whole audit, as before).
+            verified.push((name, ptr, len));
+            held.push(name);
         }
         for name in lost {
             self.drop_entry(&name);
+        }
+        for (name, ptr, len) in verified {
+            self.remember_verified(name, ptr, len);
         }
         // Probes are reads (store epoch unchanged) and the drops above
         // already advanced the registry version, so recording the pair
         // here certifies exactly the state just verified.
         self.mark_verified(epoch);
-        RegistryHeartbeat { node, alive: true, held }
+        RegistryHeartbeat { node, alive: true, held, damaged }
     }
 }
 
 impl CacheController {
     /// Reconciles one heartbeat: caches believed materialized on the
     /// reporting node but not present in the report are invalidated
-    /// (ready 2 → 1). Returns the invalidated names so the scheduler can
-    /// queue rebuilds.
+    /// (ready 2 → 1). Damaged caches are invalidated the same way, but
+    /// their salvage verdict is recorded on the signature so the rebuild
+    /// is charged only for the missing frame suffix. Returns the
+    /// invalidated names so the scheduler can queue rebuilds.
     pub fn apply_heartbeat(&mut self, hb: &RegistryHeartbeat) -> Vec<CacheName> {
+        for (name, intact, total) in &hb.damaged {
+            self.note_salvage(name, *intact, *total);
+            let trace = self.trace();
+            trace.emit(|| TraceEvent::Salvage {
+                at: trace.now(),
+                name: name.store_name(),
+                node: hb.node,
+                intact: *intact,
+                total: *total,
+            });
+        }
         let lost = if !hb.alive {
             self.rollback_node(hb.node)
         } else {
@@ -216,7 +266,7 @@ mod tests {
                 expected_lost.push(name(p));
             }
         }
-        let hb = RegistryHeartbeat { node: NodeId(0), alive: true, held };
+        let hb = RegistryHeartbeat { node: NodeId(0), alive: true, held, damaged: Vec::new() };
         let lost = ctl.apply_heartbeat(&hb);
         assert_eq!(lost, expected_lost);
         for p in 0..1000u64 {
@@ -226,6 +276,58 @@ mod tests {
                 assert!(ctl.location(&name(p)).is_none());
             }
         }
+    }
+
+    #[test]
+    fn damaged_framed_cache_is_salvaged_not_just_lost() {
+        use redoop_mapred::io::encode_framed_grouped_block;
+        use redoop_mapred::{frame, Grouped};
+
+        let cluster = Cluster::with_nodes(2);
+        let mut reg = LocalCacheRegistry::new(NodeId(1), PurgePolicy::default());
+        let mut ctl = CacheController::new(1);
+
+        // A framed cache with several frames, plus a legacy blob.
+        let mut groups: Grouped<String, u64> = Grouped::default();
+        for g in 0..40u64 {
+            groups.values.push(g);
+            groups.runs.push((format!("k{g:03}"), g as u32, 1));
+        }
+        let blob = encode_framed_grouped_block(&groups, 7, 0);
+        let total = frame::salvage_scan(&blob).total;
+        assert!(total >= 2, "test wants a multi-frame blob");
+        cluster.put_local(NodeId(1), name(7).store_name(), blob.clone().into()).unwrap();
+        cluster.put_local(NodeId(1), name(8).store_name(), Bytes::from_static(b"legacy")).unwrap();
+        reg.add_entry(name(7), 1);
+        reg.add_entry(name(8), 1);
+        ctl.register_cache(name(7), NodeId(1), 1, SimTime::ZERO);
+        ctl.register_cache(name(8), NodeId(1), 1, SimTime::ZERO);
+
+        // Clean audit: both held, nothing damaged.
+        let hb = reg.heartbeat(&cluster);
+        assert_eq!(hb.held, vec![name(7), name(8)]);
+        assert!(hb.damaged.is_empty());
+        assert!(ctl.apply_heartbeat(&hb).is_empty());
+
+        // Corrupt the tail of the framed blob. The audit drops the entry,
+        // reports the salvage verdict, and the controller invalidates the
+        // cache while recording partial recoverability.
+        assert!(cluster.corrupt_local(NodeId(1), &name(7).store_name(), blob.len() - 8, 8).unwrap());
+        let hb = reg.heartbeat(&cluster);
+        assert_eq!(hb.held, vec![name(8)]);
+        assert_eq!(hb.damaged.len(), 1);
+        let (dname, intact, t) = hb.damaged[0];
+        assert_eq!(dname, name(7));
+        assert_eq!(t, total);
+        assert_eq!(intact, total - 1, "only the last frame is damaged");
+        let lost = ctl.apply_heartbeat(&hb);
+        assert_eq!(lost, vec![name(7)]);
+        assert_eq!(ctl.salvaged(&name(7)), Some((intact, total)));
+        assert_eq!(ctl.salvaged(&name(8)), None);
+
+        // Re-registering the rebuilt cache clears the verdict.
+        ctl.register_cache(name(7), NodeId(1), 1, SimTime::ZERO);
+        assert_eq!(ctl.salvaged(&name(7)), None);
     }
 
     #[test]

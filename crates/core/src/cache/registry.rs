@@ -9,6 +9,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use redoop_dfs::{Cluster, NodeId};
+use redoop_mapred::hasher::FastMap;
 use redoop_mapred::trace::{self, CacheAction, TraceEvent, TraceSink};
 
 use super::purge::PurgePolicy;
@@ -44,6 +45,11 @@ pub struct LocalCacheRegistry {
     /// Names of currently expired entries — the purge scan's working
     /// set, name-sorted like the full-table scan it replaces.
     expired: BTreeSet<CacheName>,
+    /// `(blob ptr, blob len)` of the last store blob verified intact per
+    /// entry. `Bytes` blobs are immutable once stored, so an unchanged
+    /// pointer proves unchanged content and lets the heartbeat's content
+    /// audit skip re-checksumming — verification stays O(changed blobs).
+    verified_blobs: FastMap<CacheName, (usize, usize)>,
     /// Running total of unexpired entry bytes.
     live_bytes: u64,
     trace: TraceSink,
@@ -60,6 +66,7 @@ impl LocalCacheRegistry {
             version: 0,
             last_verified: None,
             expired: BTreeSet::new(),
+            verified_blobs: FastMap::default(),
             live_bytes: 0,
             trace: trace::global_sink(),
         }
@@ -75,6 +82,17 @@ impl LocalCacheRegistry {
     /// the local store, as of store epoch `epoch`.
     pub(crate) fn mark_verified(&mut self, epoch: u64) {
         self.last_verified = Some((epoch, self.version));
+    }
+
+    /// Whether `(ptr, len)` matches the blob last verified intact for
+    /// `name` (pointer identity: same `Bytes` allocation, same content).
+    pub(crate) fn blob_verified(&self, name: &CacheName, ptr: usize, len: usize) -> bool {
+        self.verified_blobs.get(name) == Some(&(ptr, len))
+    }
+
+    /// Remembers `(ptr, len)` as verified intact for `name`.
+    pub(crate) fn remember_verified(&mut self, name: CacheName, ptr: usize, len: usize) {
+        self.verified_blobs.insert(name, (ptr, len));
     }
 
     /// Routes this registry's purge events to an explicit sink.
@@ -138,6 +156,7 @@ impl LocalCacheRegistry {
                 } else {
                     self.live_bytes -= e.bytes;
                 }
+                self.verified_blobs.remove(name);
                 self.version += 1;
                 true
             }
@@ -166,6 +185,7 @@ impl LocalCacheRegistry {
         let names = self.entries.keys().copied().collect();
         self.entries.clear();
         self.expired.clear();
+        self.verified_blobs.clear();
         self.live_bytes = 0;
         self.version += 1;
         names

@@ -37,6 +37,8 @@ where
         bucket: &mrio::ShuffleBucket,
         pairs: Vec<(M::KOut, M::VOut)>,
         reducer: &R,
+        pane: u64,
+        partition: u32,
     ) -> Result<BuiltCache> {
         let input_records = pairs.len() as u64;
         let groups = exec::sort_group(pairs);
@@ -64,7 +66,13 @@ where
                 }
             }
         };
-        let blob = Bytes::from(mrio::encode_grouped_block(&exec::group_consecutive(rekeyed)));
+        // Framed self-locating encoding: a torn write to the stored blob
+        // is salvageable frame-by-frame instead of losing the whole cache.
+        let blob = Bytes::from(mrio::encode_framed_grouped_block(
+            &exec::group_consecutive(rekeyed),
+            pane,
+            partition,
+        ));
         Ok(BuiltCache {
             input_records,
             shuffle_text_bytes: bucket.text_bytes,
@@ -106,7 +114,7 @@ where
         let built = {
             let m = self.mapped.get(&(source, pane.0)).expect("pane mapped before build");
             let raw = m.raw[r].lock().expect("raw pairs lock").clone();
-            Self::pane_output_compute(&m.buckets[r], raw, &*self.reducer)?
+            Self::pane_output_compute(&m.buckets[r], raw, &*self.reducer, pane.0, r as u32)?
         };
         self.apply_pane_output(source, pane, r, node, &built)?;
         Ok((built.input_records, built.shuffle_text_bytes, built.cache_text_bytes))
@@ -146,7 +154,13 @@ where
                             .get(&(0, missing[i].0))
                             .expect("pane mapped before build");
                         let raw = m.raw[r].lock().expect("raw pairs lock").clone();
-                        Ok(Self::pane_output_compute(&m.buckets[r], raw, reducer))
+                        Ok(Self::pane_output_compute(
+                            &m.buckets[r],
+                            raw,
+                            reducer,
+                            missing[i].0,
+                            r as u32,
+                        ))
                     })?
                 };
                 // One reduce attempt per partition works through its pane
@@ -158,6 +172,13 @@ where
                 for (&p, built) in missing.iter().zip(computed) {
                     let built = built?;
                     self.apply_pane_output(0, p, r, node, &built)?;
+                    let name = output_name(plan.fp, 0, p, r);
+                    // A salvage verdict from the last audit means this
+                    // pane's lost cache still holds `intact` checksummed
+                    // frames on disk: the §5 rollback classifies it as
+                    // partially recoverable and this rebuild pays only
+                    // the missing frame suffix.
+                    let salvage = self.controller.salvaged(&name);
                     let ready = ctx
                         .fire
                         .max(prev_end)
@@ -167,7 +188,7 @@ where
                     // write; output_records stays 0 — pane partials count
                     // as aggregate records at the merge, not as reduce
                     // output), now charged as its own task.
-                    let work = ReduceWork {
+                    let mut work = ReduceWork {
                         shuffle_bytes: built.shuffle_text_bytes,
                         cache_bytes: 0,
                         input_records: built.input_records,
@@ -177,6 +198,9 @@ where
                         hdfs_output_bytes: 0,
                         local_output_bytes: built.cache_text_bytes,
                     };
+                    if let Some((intact, total)) = salvage {
+                        super::driver::scale_partial_rebuild(&mut work, intact, total);
+                    }
                     let placement = self.charge_reduce(
                         node,
                         ready,
@@ -186,12 +210,16 @@ where
                         metrics,
                     );
                     attempt_startup = false;
-                    self.register(
-                        output_name(plan.fp, 0, p, r),
-                        node,
-                        built.cache_text_bytes,
-                        placement.end,
-                    );
+                    self.register(name, node, built.cache_text_bytes, placement.end);
+                    if salvage.is_some_and(|(i, t)| i > 0 && i < t) {
+                        self.trace.emit(|| redoop_mapred::trace::TraceEvent::Cache {
+                            at: placement.end,
+                            action: redoop_mapred::trace::CacheAction::PartialRebuild,
+                            name: name.store_name(),
+                            node: Some(node),
+                            bytes: built.cache_text_bytes,
+                        });
+                    }
                     prev_end = placement.end;
                 }
             }
@@ -275,7 +303,7 @@ where
             let store = self.interned_store(&name);
             let data = self.cluster.get_local(node, &store)?;
             let block: mrio::GroupedBlock<M::KOut, R::VOut> =
-                mrio::decode_grouped_block(&data)?;
+                mrio::decode_grouped_block_any(&data)?;
             partial_records += block.records;
             all_sorted &= block.sorted;
             runs.push(block.grouped);

@@ -128,6 +128,23 @@ pub(super) struct BuiltCache {
     pub(super) blob: bytes::Bytes,
 }
 
+/// Scales a rebuild's charged reduce work down to the missing frame
+/// suffix of a salvaged cache: `intact` of `total` frames survived the
+/// damaged blob's checksum audit, so the rebuild recomputes only the
+/// `(total - intact) / total` tail. The map stage and the host-side
+/// recomputation stay whole — salvage changes what the simulated reduce
+/// attempt pays, never what is produced.
+pub(super) fn scale_partial_rebuild(work: &mut ReduceWork, intact: u32, total: u32) {
+    if intact == 0 || total == 0 || intact >= total {
+        return;
+    }
+    let miss = (total - intact) as u64;
+    let total = total as u64;
+    work.shuffle_bytes = work.shuffle_bytes * miss / total;
+    work.input_records = work.input_records * miss / total;
+    work.local_output_bytes = work.local_output_bytes * miss / total;
+}
+
 /// Window-level dispatch context threaded through the driver.
 #[derive(Clone, Copy)]
 pub(super) struct WindowCtx {

@@ -44,10 +44,14 @@ where
     fn input_cache_compute(
         bucket: &mrio::ShuffleBucket,
         pairs: Vec<(M::KOut, M::VOut)>,
+        pane: u64,
+        partition: u32,
     ) -> Result<BuiltCache> {
         let input_records = pairs.len() as u64;
         let groups = exec::sort_group(pairs);
-        let blob = Bytes::from(mrio::encode_grouped_block(&groups));
+        // Framed self-locating encoding: a torn write to the stored blob
+        // is salvageable frame-by-frame instead of losing the whole cache.
+        let blob = Bytes::from(mrio::encode_framed_grouped_block(&groups, pane, partition));
         // Sorting permutes lines, not bytes: the cache file's
         // text-equivalent size equals the bucket's.
         Ok(BuiltCache {
@@ -73,8 +77,8 @@ where
     ) -> Result<BuiltCache> {
         let lt = cluster.get_local(node, &input_name(0, 0, left, r).store_name())?;
         let rt = cluster.get_local(node, &input_name(0, 1, right, r).store_name())?;
-        let lb: mrio::GroupedBlock<M::KOut, M::VOut> = mrio::decode_grouped_block(&lt)?;
-        let rb: mrio::GroupedBlock<M::KOut, M::VOut> = mrio::decode_grouped_block(&rt)?;
+        let lb: mrio::GroupedBlock<M::KOut, M::VOut> = mrio::decode_grouped_block_any(&lt)?;
+        let rb: mrio::GroupedBlock<M::KOut, M::VOut> = mrio::decode_grouped_block_any(&rt)?;
         let input_records = lb.records + rb.records;
         let read_text_bytes = lb.text_bytes + rb.text_bytes;
         let groups = if lb.sorted && rb.sorted {
@@ -143,7 +147,7 @@ where
         let built = {
             let m = self.mapped.get(&(source, pane.0)).expect("pane mapped before build");
             let raw = m.raw[r].lock().expect("raw pairs lock").clone();
-            Self::input_cache_compute(&m.buckets[r], raw)?
+            Self::input_cache_compute(&m.buckets[r], raw, pane.0, r as u32)?
         };
         self.apply_input_cache(source, pane, r, node, &built)?;
         Ok((built.input_records, built.shuffle_text_bytes, built.cache_text_bytes))
@@ -198,7 +202,7 @@ where
                         let m =
                             mapped.get(&(s, p.0)).expect("pane mapped before build");
                         let raw = m.raw[r].lock().expect("raw pairs lock").clone();
-                        Ok(Self::input_cache_compute(&m.buckets[r], raw))
+                        Ok(Self::input_cache_compute(&m.buckets[r], raw, p.0, r as u32))
                     })?
                 };
                 // One reduce attempt per partition works through its
@@ -209,6 +213,11 @@ where
                 for (&(s, p), built) in prep.missing.iter().zip(computed) {
                     let built = built?;
                     self.apply_input_cache(s, p, r, node, &built)?;
+                    let name = input_name(0, s, p, r);
+                    // A salvage verdict means most of the lost input
+                    // cache's frames survive on disk: this rebuild pays
+                    // only the missing suffix (§5 partial recovery).
+                    let salvage = self.controller.salvaged(&name);
                     let ready = ctx
                         .fire
                         .max(prev_end)
@@ -217,7 +226,7 @@ where
                     // combined window task (shuffle, reduce input, cache
                     // write; output_records stays 0 — join output is
                     // charged by the pair tasks), now its own task.
-                    let work = ReduceWork {
+                    let mut work = ReduceWork {
                         shuffle_bytes: built.shuffle_text_bytes,
                         cache_bytes: 0,
                         input_records: built.input_records,
@@ -227,6 +236,9 @@ where
                         hdfs_output_bytes: 0,
                         local_output_bytes: built.cache_text_bytes,
                     };
+                    if let Some((intact, total)) = salvage {
+                        super::driver::scale_partial_rebuild(&mut work, intact, total);
+                    }
                     let placement = self.charge_reduce(
                         node,
                         ready,
@@ -236,7 +248,16 @@ where
                         metrics,
                     );
                     attempt_startup = false;
-                    self.register(input_name(0, s, p, r), node, built.cache_text_bytes, placement.end);
+                    self.register(name, node, built.cache_text_bytes, placement.end);
+                    if salvage.is_some_and(|(i, t)| i > 0 && i < t) {
+                        self.trace.emit(|| redoop_mapred::trace::TraceEvent::Cache {
+                            at: placement.end,
+                            action: redoop_mapred::trace::CacheAction::PartialRebuild,
+                            name: name.store_name(),
+                            node: Some(node),
+                            bytes: built.cache_text_bytes,
+                        });
+                    }
                     prev_end = placement.end;
                 }
                 // Every input cache this window needs is now on `node`:

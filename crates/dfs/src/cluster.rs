@@ -343,6 +343,19 @@ impl Cluster {
         self.node(node).map(|n| n.has_local(name)).unwrap_or(false)
     }
 
+    /// Reads a node-local object without charging I/O counters — for
+    /// integrity audits that must leave simulated accounting untouched
+    /// (see [`DataNode::peek_local`]).
+    pub fn peek_local(&self, node: NodeId, name: &str) -> Option<Bytes> {
+        self.node(node).ok().and_then(|n| n.peek_local(name))
+    }
+
+    /// Flips the bytes of a node-local object in `offset..offset + len`
+    /// (see [`DataNode::corrupt_local`]); true if any byte changed.
+    pub fn corrupt_local(&self, node: NodeId, name: &str, offset: usize, len: usize) -> Result<bool> {
+        Ok(self.node(node)?.corrupt_local(name, offset, len))
+    }
+
     /// Deletes a node-local object; true if it existed.
     pub fn delete_local(&self, node: NodeId, name: &str) -> Result<bool> {
         Ok(self.node(node)?.delete_local(name))

@@ -197,6 +197,41 @@ impl DataNode {
         self.is_alive() && self.local.read().contains_key(name)
     }
 
+    /// Reads an object from the node-local store *without* charging the
+    /// I/O counters — for integrity audits (heartbeat salvage scans)
+    /// that must leave the simulated accounting untouched. Returns
+    /// `None` if the node is dead or lacks the object.
+    pub fn peek_local(&self, name: &str) -> Option<Bytes> {
+        if !self.is_alive() {
+            return None;
+        }
+        self.local.read().get(name).cloned()
+    }
+
+    /// Flips (XOR 0xFF) the bytes of `name` in `offset..offset + len`,
+    /// clamped to the object's length — the in-place damage a torn
+    /// write or media corruption leaves behind, as opposed to
+    /// [`DataNode::delete_local`]'s clean removal. Length-preserving,
+    /// so the store byte counter is unchanged; bumps the epoch so the
+    /// next heartbeat audit re-probes the store. Returns true if the
+    /// object existed and at least one byte was flipped.
+    pub fn corrupt_local(&self, name: &str, offset: usize, len: usize) -> bool {
+        let mut local = self.local.write();
+        let Some(data) = local.get_mut(name) else { return false };
+        let start = offset.min(data.len());
+        let end = offset.saturating_add(len).min(data.len());
+        if start == end {
+            return false;
+        }
+        let mut damaged = data.to_vec();
+        for b in &mut damaged[start..end] {
+            *b ^= 0xFF;
+        }
+        *data = Bytes::from(damaged);
+        self.local_epoch.fetch_add(1, Ordering::Release);
+        true
+    }
+
     /// Removes an object from the local store; returns true if it existed.
     pub fn delete_local(&self, name: &str) -> bool {
         let mut local = self.local.write();
@@ -300,6 +335,32 @@ mod tests {
         node.kill();
         assert_eq!(node.local_store_bytes(), 0, "kill wipes the counter too");
         assert!(node.local_epoch() > e3, "kill-wipe is a mutation");
+    }
+
+    #[test]
+    fn corrupt_local_flips_in_place_and_bumps_epoch() {
+        let node = DataNode::new(NodeId(5));
+        node.put_local("c", Bytes::from_static(b"abcdef")).unwrap();
+        let e = node.local_epoch();
+        let reads = node.io.snapshot().local_store_read;
+        assert!(node.corrupt_local("c", 2, 2));
+        assert!(node.local_epoch() > e, "corruption is a store mutation");
+        assert_eq!(node.local_store_bytes(), 6, "length-preserving");
+        // peek_local sees the damage without charging I/O counters.
+        let damaged = node.peek_local("c").unwrap();
+        assert_eq!(&damaged[..2], b"ab");
+        assert_eq!(damaged[2], b'c' ^ 0xFF);
+        assert_eq!(&damaged[4..], b"ef");
+        assert_eq!(node.io.snapshot().local_store_read, reads, "peek is uncharged");
+        // Out-of-range, empty, and missing-object corruption are no-ops.
+        let e2 = node.local_epoch();
+        assert!(!node.corrupt_local("c", 100, 4));
+        assert!(!node.corrupt_local("c", 0, 0));
+        assert!(!node.corrupt_local("missing", 0, 4));
+        assert_eq!(node.local_epoch(), e2, "no-op corruption must not bump");
+        // A dead node's store cannot be peeked.
+        node.kill();
+        assert!(node.peek_local("c").is_none());
     }
 
     #[test]

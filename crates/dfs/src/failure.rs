@@ -19,6 +19,11 @@ pub enum FailureEvent {
     Kill(NodeId),
     /// Remove a single named local cache object from a node.
     DropLocal(NodeId, String),
+    /// Flip the bytes of a named local cache object in
+    /// `offset..offset + len` — the in-place damage of a torn write,
+    /// against which the self-locating frame format salvages the
+    /// intact remainder instead of rebuilding the whole cache.
+    CorruptLocal(NodeId, String, usize, usize),
 }
 
 /// A schedule of failures keyed by window index (or any step counter).
@@ -68,6 +73,9 @@ impl FailurePlan {
                 FailureEvent::DropLocal(node, name) => {
                     let _ = cluster.delete_local(*node, name)?;
                 }
+                FailureEvent::CorruptLocal(node, name, offset, len) => {
+                    let _ = cluster.corrupt_local(*node, name, *offset, *len)?;
+                }
             }
             applied.push(ev.clone());
         }
@@ -106,6 +114,21 @@ mod tests {
         assert!(c.has_local(NodeId(0), "b"));
         plan.apply(2, &c).unwrap();
         assert!(!c.is_alive(NodeId(1)));
+    }
+
+    #[test]
+    fn corrupt_local_damages_in_place() {
+        let c = Cluster::with_nodes(2);
+        c.put_local(NodeId(1), "cache", Bytes::from_static(b"0123456789")).unwrap();
+        let plan =
+            FailurePlan::none().at(1, FailureEvent::CorruptLocal(NodeId(1), "cache".into(), 4, 3));
+        plan.apply(1, &c).unwrap();
+        // Still present (unlike DropLocal), but the middle is flipped.
+        assert!(c.has_local(NodeId(1), "cache"));
+        let data = c.peek_local(NodeId(1), "cache").unwrap();
+        assert_eq!(&data[..4], b"0123");
+        assert_eq!(data[4], b'4' ^ 0xFF);
+        assert_eq!(&data[7..], b"789");
     }
 
     #[test]

@@ -18,22 +18,59 @@ pub struct LineFile {
     data: Arc<Bytes>,
     /// Start offset of each line (exclusive of the previous `\n`).
     offsets: Arc<Vec<u32>>,
-    /// Whole file validated as UTF-8 at construction. Line accesses on a
-    /// valid file skip per-line validation (lines sit on char boundaries
-    /// because `\n` is a single-byte char); an invalid file falls back to
-    /// checking each line, as before.
-    valid_utf8: bool,
+    /// Invalid UTF-8 sequences replaced with U+FFFD at construction.
+    /// Non-zero means the underlying bytes were corrupted.
+    invalid_sequences: u64,
+}
+
+/// Replaces every invalid UTF-8 sequence in `bytes` with U+FFFD,
+/// returning the sanitized bytes and the replacement count.
+fn sanitize_utf8(bytes: &[u8]) -> (Vec<u8>, u64) {
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut rest = bytes;
+    let mut replaced = 0u64;
+    while !rest.is_empty() {
+        match std::str::from_utf8(rest) {
+            Ok(s) => {
+                out.extend_from_slice(s.as_bytes());
+                break;
+            }
+            Err(e) => {
+                let valid = e.valid_up_to();
+                out.extend_from_slice(&rest[..valid]);
+                out.extend_from_slice("\u{FFFD}".as_bytes());
+                replaced += 1;
+                // `error_len() == None` means the error runs to the end.
+                let skip = e.error_len().unwrap_or(rest.len() - valid);
+                rest = &rest[valid + skip..];
+            }
+        }
+    }
+    (out, replaced)
 }
 
 impl LineFile {
     /// Indexes `data` by newline. Files larger than 4 GiB are not
     /// supported (offsets are `u32`), far beyond this simulator's scale.
+    ///
+    /// Corrupted (non-UTF-8) input is sanitized up front: every invalid
+    /// sequence becomes U+FFFD and is counted in
+    /// [`LineFile::invalid_sequences`], so corruption surfaces in the
+    /// decoded records (which fail parsing loudly) instead of being
+    /// silently masked as empty lines. Valid files — the always case
+    /// outside failure injection — take the zero-copy path.
     pub fn new(data: Bytes) -> Self {
+        let (data, invalid_sequences) = match std::str::from_utf8(&data) {
+            Ok(_) => (data, 0),
+            Err(_) => {
+                let (sanitized, replaced) = sanitize_utf8(&data);
+                (Bytes::from(sanitized), replaced)
+            }
+        };
         assert!(data.len() < u32::MAX as usize, "LineFile capped at 4 GiB");
         let mut offsets = Vec::with_capacity(data.len() / 32 + 1);
         let mut start = 0u32;
         let bytes = &data[..];
-        let valid_utf8 = std::str::from_utf8(bytes).is_ok();
         if !bytes.is_empty() {
             offsets.push(0);
         }
@@ -46,7 +83,7 @@ impl LineFile {
             }
         }
         let _ = start;
-        LineFile { data: Arc::new(data), offsets: Arc::new(offsets), valid_utf8 }
+        LineFile { data: Arc::new(data), offsets: Arc::new(offsets), invalid_sequences }
     }
 
     /// Like [`LineFile::new`], but memoized on the identity of `data`'s
@@ -88,6 +125,14 @@ impl LineFile {
         self.data.len()
     }
 
+    /// Number of invalid UTF-8 sequences replaced with U+FFFD when the
+    /// file was indexed. Non-zero means the underlying bytes were
+    /// corrupted; the replacement characters make affected records fail
+    /// parsing instead of vanishing as empty lines.
+    pub fn invalid_sequences(&self) -> u64 {
+        self.invalid_sequences
+    }
+
     /// The `i`-th line, without its trailing newline. Panics out of range.
     pub fn line(&self, i: usize) -> &str {
         let start = self.offsets[i] as usize;
@@ -104,16 +149,12 @@ impl LineFile {
                 }
             });
         let bytes = &self.data[start..end];
-        if self.valid_utf8 {
-            // SAFETY: the whole file was validated as UTF-8 in `new` and
-            // `data` is immutable. `start` is 0 or the byte after a
-            // `\n`, `end` is the byte of a `\n` or end-of-file; `\n` is
-            // a single-byte char, so both are char boundaries and the
-            // slice is valid UTF-8.
-            unsafe { std::str::from_utf8_unchecked(bytes) }
-        } else {
-            std::str::from_utf8(bytes).unwrap_or("")
-        }
+        // SAFETY: the whole file was validated as (or sanitized to)
+        // UTF-8 in `new` and `data` is immutable. `start` is 0 or the
+        // byte after a `\n`, `end` is the byte of a `\n` or end-of-file;
+        // `\n` is a single-byte char, so both are char boundaries and
+        // the slice is valid UTF-8.
+        unsafe { std::str::from_utf8_unchecked(bytes) }
     }
 
     /// Iterates lines in `range`.
@@ -314,37 +355,64 @@ pub struct GroupedBlock<K, V> {
     pub text_bytes: u64,
 }
 
-/// Encodes a grouped run as a framed grouped block. The byte layout is
-/// unchanged from the nested-vector era: per-group key, value count,
-/// values — the run-length representation is a host-memory layout only.
+/// Encodes a grouped run as a single legacy grouped block. The byte
+/// layout is unchanged from the nested-vector era: per-group key, value
+/// count, values — the run-length representation is a host-memory
+/// layout only. New cache writes use the crash-safe framed layout
+/// ([`encode_framed_grouped_block`]); this single-block form remains
+/// both the legacy on-disk format and each frame's payload body.
 pub fn encode_grouped_block<K: Writable + Ord, V: Writable>(groups: &Grouped<K, V>) -> Vec<u8> {
-    let sorted = groups.is_strictly_sorted();
-    let records = groups.records();
-    let text_bytes = groups.text_bytes();
     let mut out = Vec::with_capacity(groups.group_count() * 24 + 16);
     out.extend_from_slice(GROUPED_MAGIC);
-    out.push(sorted as u8);
-    crate::writable::write_varint(&mut out, records);
-    crate::writable::write_varint(&mut out, text_bytes);
-    crate::writable::write_varint(&mut out, groups.group_count() as u64);
-    for (k, vs) in groups.iter() {
-        k.write_bin(&mut out);
-        crate::writable::write_varint(&mut out, vs.len() as u64);
-        for v in vs {
-            v.write_bin(&mut out);
-        }
-    }
+    encode_grouped_body(
+        &mut out,
+        groups.is_strictly_sorted(),
+        groups.records(),
+        groups.text_bytes(),
+        groups.group_count(),
+        groups.iter(),
+    );
     out
 }
 
-/// Decodes a framed grouped block straight into the run-length form:
+/// The grouped-block body shared by the legacy single-block layout and
+/// each frame payload of the framed layout: sorted flag, record /
+/// text-byte / group counts, then per-group key + value list.
+fn encode_grouped_body<'g, K: Writable + 'g, V: Writable + 'g>(
+    out: &mut Vec<u8>,
+    sorted: bool,
+    records: u64,
+    text_bytes: u64,
+    group_count: usize,
+    groups: impl Iterator<Item = (&'g K, &'g [V])>,
+) {
+    out.push(sorted as u8);
+    crate::writable::write_varint(out, records);
+    crate::writable::write_varint(out, text_bytes);
+    crate::writable::write_varint(out, group_count as u64);
+    for (k, vs) in groups {
+        k.write_bin(out);
+        crate::writable::write_varint(out, vs.len() as u64);
+        for v in vs {
+            v.write_bin(out);
+        }
+    }
+}
+
+/// Decodes a legacy grouped block straight into the run-length form:
 /// one values vector sized from the record count, no per-group
 /// allocation.
 pub fn decode_grouped_block<K: Writable, V: Writable>(buf: &[u8]) -> Result<GroupedBlock<K, V>> {
     let rest = buf
         .strip_prefix(&GROUPED_MAGIC[..])
         .ok_or_else(|| MrError::Codec("not a grouped block (bad magic)".into()))?;
-    let (&sorted_byte, mut rest) = rest
+    decode_grouped_body(rest)
+}
+
+/// Decodes one grouped-block body (everything after the magic / frame
+/// header) strictly to the end of `buf`.
+fn decode_grouped_body<K: Writable, V: Writable>(buf: &[u8]) -> Result<GroupedBlock<K, V>> {
+    let (&sorted_byte, mut rest) = buf
         .split_first()
         .ok_or_else(|| MrError::Codec("grouped block truncated at flags".into()))?;
     let varint = |rest: &mut &[u8]| -> Result<u64> {
@@ -355,9 +423,14 @@ pub fn decode_grouped_block<K: Writable, V: Writable>(buf: &[u8]) -> Result<Grou
     let records = varint(&mut rest)?;
     let text_bytes = varint(&mut rest)?;
     let group_count = varint(&mut rest)?;
+    // `records` and `group_count` are untrusted input: clamp the
+    // pre-reservation to what the remaining bytes could possibly encode
+    // (a group is at least a 1-byte key plus a 1-byte value count, a
+    // value at least 1 byte), so a corrupt header fails the decode loop
+    // below instead of triggering a huge up-front allocation.
     let mut grouped: Grouped<K, V> = Grouped {
-        runs: Vec::with_capacity(group_count as usize),
-        values: Vec::with_capacity(records as usize),
+        runs: Vec::with_capacity((group_count as usize).min(rest.len() / 2)),
+        values: Vec::with_capacity((records as usize).min(rest.len())),
     };
     for _ in 0..group_count {
         let (k, used) = K::read_bin(rest)?;
@@ -374,7 +447,114 @@ pub fn decode_grouped_block<K: Writable, V: Writable>(buf: &[u8]) -> Result<Grou
     if !rest.is_empty() {
         return Err(MrError::Codec(format!("{} trailing bytes after grouped block", rest.len())));
     }
+    if grouped.records() != records {
+        return Err(MrError::Codec(format!(
+            "grouped block header claims {records} records, decoded {}",
+            grouped.records()
+        )));
+    }
     Ok(GroupedBlock { grouped, sorted: sorted_byte != 0, records, text_bytes })
+}
+
+// ---- Crash-safe framed grouped blocks ---------------------------------
+
+/// Groups per frame of a framed grouped block: small enough that
+/// paper-scale cache blobs span several frames (so a salvage scan has
+/// real work to do), large enough that the fixed ~32-byte frame
+/// overhead stays marginal.
+const FRAME_GROUPS: usize = 16;
+
+/// Encodes a grouped run as a sequence of self-locating frames (see
+/// [`crate::frame`]): each frame carries up to `FRAME_GROUPS` (16) groups
+/// as an independent grouped-block body, so a salvage scan over a
+/// partially damaged blob recovers every intact frame and the damage is
+/// exactly the frames that fail their checksum. Every frame stores the
+/// *whole run's* sorted flag (chunks of a sorted run are sorted, so the
+/// concatenation property is preserved), and the per-frame record /
+/// text-byte counts sum to the whole run's.
+pub fn encode_framed_grouped_block<K: Writable + Ord, V: Writable>(
+    groups: &Grouped<K, V>,
+    pane: u64,
+    partition: u32,
+) -> Vec<u8> {
+    let sorted = groups.is_strictly_sorted();
+    // An empty run still gets one (empty) frame so the blob is
+    // self-identifying and verifiable.
+    let chunks: Vec<&[(K, u32, u32)]> = if groups.runs.is_empty() {
+        vec![&[][..]]
+    } else {
+        groups.runs.chunks(FRAME_GROUPS).collect()
+    };
+    let total = chunks.len() as u32;
+    let mut out = Vec::with_capacity(
+        groups.group_count() * 24 + chunks.len() * (crate::frame::FRAME_OVERHEAD + 8) + 16,
+    );
+    let mut payload = Vec::new();
+    for (seq, chunk) in chunks.iter().enumerate() {
+        let records: u64 = chunk.iter().map(|(_, _, len)| *len as u64).sum();
+        let text_bytes: u64 = chunk
+            .iter()
+            .map(|(k, off, len)| {
+                let vs = &groups.values[*off as usize..(*off + *len) as usize];
+                let klen = k.text_len() + 1;
+                vs.iter().map(|v| klen + v.text_len() + 1).sum::<u64>()
+            })
+            .sum();
+        payload.clear();
+        encode_grouped_body(
+            &mut payload,
+            sorted,
+            records,
+            text_bytes,
+            chunk.len(),
+            chunk.iter().map(|(k, off, len)| {
+                (k, &groups.values[*off as usize..(*off + *len) as usize])
+            }),
+        );
+        crate::frame::write_frame(&mut out, pane, partition, seq as u32, total, &payload);
+    }
+    out
+}
+
+/// Decodes a framed grouped block strictly: every frame must be intact,
+/// in sequence, and agree on (pane, partition); any damage is a codec
+/// error (use [`crate::frame::salvage_frames`] to recover what
+/// survives).
+pub fn decode_framed_grouped_block<K: Writable, V: Writable>(
+    buf: &[u8],
+) -> Result<GroupedBlock<K, V>> {
+    let frames = crate::frame::decode_frames(buf)?;
+    let (pane, partition) = (frames[0].header.pane, frames[0].header.partition);
+    let mut block: GroupedBlock<K, V> =
+        GroupedBlock { grouped: Grouped::new(), sorted: true, records: 0, text_bytes: 0 };
+    for f in &frames {
+        if (f.header.pane, f.header.partition) != (pane, partition) {
+            return Err(MrError::Codec("framed grouped block mixes (pane, partition) ids".into()));
+        }
+        let seg: GroupedBlock<K, V> = decode_grouped_body(f.payload)?;
+        let base = block.grouped.values.len() as u32;
+        block
+            .grouped
+            .runs
+            .extend(seg.grouped.runs.into_iter().map(|(k, off, len)| (k, off + base, len)));
+        block.grouped.values.extend(seg.grouped.values);
+        block.sorted &= seg.sorted;
+        block.records += seg.records;
+        block.text_bytes += seg.text_bytes;
+    }
+    Ok(block)
+}
+
+/// Decodes a cache blob in either layout: crash-safe framed blocks
+/// (frame-marker prefix) or legacy unframed grouped blocks (`RGB1`
+/// prefix) — caches written before the framed format still decode
+/// bit-identically.
+pub fn decode_grouped_block_any<K: Writable, V: Writable>(buf: &[u8]) -> Result<GroupedBlock<K, V>> {
+    if buf.starts_with(&crate::frame::FRAME_MARKER) {
+        decode_framed_grouped_block(buf)
+    } else {
+        decode_grouped_block(buf)
+    }
 }
 
 #[cfg(test)]
@@ -487,5 +667,92 @@ mod tests {
             encode_grouped_block(&crate::grouped::sort_group(vec![("a".to_string(), 1u64)]));
         buf.push(0);
         assert!(decode_grouped_block::<String, u64>(&buf).is_err());
+    }
+
+    #[test]
+    fn invalid_utf8_is_sanitized_and_counted_not_masked() {
+        // One corrupt byte inside the second line: the old fallback
+        // returned "" for the whole line, silently losing the record.
+        let f = LineFile::new(Bytes::from(vec![b'a', b'\n', b'b', 0xFF, b'b', b'\n']));
+        assert_eq!(f.invalid_sequences(), 1);
+        assert_eq!(f.line_count(), 2);
+        assert_eq!(f.line(0), "a");
+        assert_eq!(f.line(1), "b\u{FFFD}b");
+        // A truncated multi-byte sequence at end-of-file counts too.
+        let g = LineFile::new(Bytes::from(vec![b'x', 0xE2, 0x82]));
+        assert_eq!(g.invalid_sequences(), 1);
+        assert_eq!(g.line(0), "x\u{FFFD}");
+        // Valid files stay zero-copy and uncounted.
+        let ok = LineFile::new(Bytes::from_static("k\t1\n".as_bytes()));
+        assert_eq!(ok.invalid_sequences(), 0);
+    }
+
+    #[test]
+    fn corrupt_grouped_header_cannot_force_huge_allocation() {
+        // A hand-built block whose header claims u64::MAX records and
+        // groups but carries no group bytes: must error, not reserve.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(GROUPED_MAGIC);
+        buf.push(1);
+        crate::writable::write_varint(&mut buf, u64::MAX); // records
+        crate::writable::write_varint(&mut buf, 0); // text_bytes
+        crate::writable::write_varint(&mut buf, u64::MAX); // group_count
+        assert!(decode_grouped_block::<String, u64>(&buf).is_err());
+    }
+
+    #[test]
+    fn grouped_block_rejects_inconsistent_record_count() {
+        let groups = crate::grouped::sort_group(vec![("a".to_string(), 1u64)]);
+        let mut buf = Vec::new();
+        buf.extend_from_slice(GROUPED_MAGIC);
+        // Body with a lying record count (2 claimed, 1 encoded).
+        encode_grouped_body(&mut buf, true, 2, groups.text_bytes(), 1, groups.iter());
+        assert!(decode_grouped_block::<String, u64>(&buf).is_err());
+    }
+
+    fn sample_groups(n: u64) -> Grouped<String, u64> {
+        crate::grouped::sort_group(
+            (0..n).map(|i| (format!("key{:04}", i % (n / 2 + 1)), i)).collect(),
+        )
+    }
+
+    #[test]
+    fn framed_grouped_block_roundtrips_and_matches_legacy() {
+        for n in [0u64, 1, 15, 16, 17, 100] {
+            let groups = sample_groups(n);
+            let legacy = decode_grouped_block::<String, u64>(&encode_grouped_block(&groups));
+            let framed_buf = encode_framed_grouped_block(&groups, 7, 3);
+            let framed = decode_framed_grouped_block::<String, u64>(&framed_buf).unwrap();
+            assert_eq!(framed, legacy.unwrap(), "n={n}");
+            // The auto decoder dispatches on the prefix for both layouts.
+            assert_eq!(decode_grouped_block_any::<String, u64>(&framed_buf).unwrap(), framed);
+            assert_eq!(
+                decode_grouped_block_any::<String, u64>(&encode_grouped_block(&groups)).unwrap(),
+                framed
+            );
+        }
+    }
+
+    #[test]
+    fn framed_grouped_block_spans_multiple_frames() {
+        let groups = sample_groups(100);
+        assert!(groups.group_count() > FRAME_GROUPS);
+        let buf = encode_framed_grouped_block(&groups, 7, 3);
+        let frames = crate::frame::decode_frames(&buf).unwrap();
+        assert_eq!(frames.len(), groups.group_count().div_ceil(FRAME_GROUPS));
+        assert!(frames.iter().all(|f| f.header.pane == 7 && f.header.partition == 3));
+    }
+
+    #[test]
+    fn framed_grouped_block_detects_any_corruption() {
+        let groups = sample_groups(60);
+        let buf = encode_framed_grouped_block(&groups, 1, 0);
+        // Flip one byte in the middle and truncate the tail: both must
+        // be codec errors on the strict path.
+        let mut flipped = buf.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0xFF;
+        assert!(decode_framed_grouped_block::<String, u64>(&flipped).is_err());
+        assert!(decode_framed_grouped_block::<String, u64>(&buf[..buf.len() - 5]).is_err());
     }
 }

@@ -31,6 +31,7 @@ pub mod counters;
 pub mod error;
 pub mod exec;
 pub mod fault;
+pub mod frame;
 pub mod grouped;
 pub mod hasher;
 pub mod io;

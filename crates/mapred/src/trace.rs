@@ -74,6 +74,9 @@ pub enum CacheAction {
     /// need it: local bookkeeping dropped, file retained (lifespan
     /// extended to the last sharing consumer).
     ExpireDeferred,
+    /// A salvaged (partially damaged) cache was rebuilt at the cost of
+    /// only its missing frame suffix instead of a full rebuild.
+    PartialRebuild,
 }
 
 impl CacheAction {
@@ -88,6 +91,7 @@ impl CacheAction {
             CacheAction::Expire => "expire",
             CacheAction::SharedHit => "shared_hit",
             CacheAction::ExpireDeferred => "expire_deferred",
+            CacheAction::PartialRebuild => "partial_rebuild",
         }
     }
 }
@@ -225,6 +229,20 @@ pub enum TraceEvent {
         trigger: &'static str,
         /// Number of cache files deleted.
         purged: usize,
+    },
+    /// A heartbeat audit found a damaged framed cache blob and salvaged
+    /// the intact frame prefix; only the missing suffix needs rebuilding.
+    Salvage {
+        /// Virtual time of the audit that found the damage.
+        at: SimTime,
+        /// Rendered store name of the damaged cache.
+        name: String,
+        /// Node whose local copy was damaged.
+        node: NodeId,
+        /// Frames recovered intact by the salvage scan.
+        intact: u32,
+        /// Total frames the blob originally held.
+        total: u32,
     },
 }
 
@@ -365,6 +383,15 @@ impl TraceEvent {
                     out,
                     "{{\"type\":\"purge_scan\",\"at_us\":{},\"node\":{},\"trigger\":\"{}\",\"purged\":{}}}",
                     at.0, node.0, trigger, purged
+                );
+            }
+            TraceEvent::Salvage { at, name, node, intact, total } => {
+                let _ = write!(out, "{{\"type\":\"salvage\",\"at_us\":{},\"name\":\"", at.0);
+                escape_json(name, out);
+                let _ = write!(
+                    out,
+                    "\",\"node\":{},\"intact_frames\":{},\"total_frames\":{}}}",
+                    node.0, intact, total
                 );
             }
         }
@@ -670,6 +697,33 @@ mod tests {
              \"records\":150,\"groups\":42},\
              {\"type\":\"delta_seal\",\"at_us\":25,\"source\":0,\"pane\":3,\
              \"partition\":1,\"node\":5,\"bytes\":2048}]}"
+        );
+    }
+
+    #[test]
+    fn salvage_events_render_exactly() {
+        let sink = TraceSink::with_capacity(8);
+        sink.emit(|| TraceEvent::Salvage {
+            at: SimTime(40),
+            name: "ro/s0p3/r1".into(),
+            node: NodeId(2),
+            intact: 5,
+            total: 8,
+        });
+        sink.emit(|| TraceEvent::Cache {
+            at: SimTime(41),
+            action: CacheAction::PartialRebuild,
+            name: "ro/s0p3/r1".into(),
+            node: Some(NodeId(2)),
+            bytes: 1024,
+        });
+        assert_eq!(
+            sink.render_json(),
+            "{\"schema\":\"redoop-trace/1\",\"dropped\":0,\"events\":[\
+             {\"type\":\"salvage\",\"at_us\":40,\"name\":\"ro/s0p3/r1\",\
+             \"node\":2,\"intact_frames\":5,\"total_frames\":8},\
+             {\"type\":\"cache\",\"at_us\":41,\"action\":\"partial_rebuild\",\
+             \"name\":\"ro/s0p3/r1\",\"node\":2,\"bytes\":1024}]}"
         );
     }
 

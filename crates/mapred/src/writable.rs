@@ -29,16 +29,26 @@ pub fn write_varint(out: &mut Vec<u8>, mut v: u64) {
 }
 
 /// Reads a LEB128 varint, returning the value and bytes consumed.
+///
+/// Rejects non-canonical encodings that would overflow `u64`: a tenth
+/// byte may only contribute bit 63 (payload `0` or `1`), and nothing may
+/// continue past it. Without this check, payload bits shifted past bit
+/// 63 were silently dropped and a corrupt varint decoded to a wrong
+/// value instead of erroring.
 pub fn read_varint(buf: &[u8]) -> Result<(u64, usize)> {
     let mut v = 0u64;
     let mut shift = 0u32;
     for (i, &byte) in buf.iter().enumerate() {
-        if shift >= 64 {
-            break;
+        let payload = byte & 0x7f;
+        if shift == 63 && payload > 1 {
+            return Err(MrError::Codec("varint overflows u64".into()));
         }
-        v |= ((byte & 0x7f) as u64) << shift;
+        v |= (payload as u64) << shift;
         if byte & 0x80 == 0 {
             return Ok((v, i + 1));
+        }
+        if shift == 63 {
+            return Err(MrError::Codec("varint overflows u64".into()));
         }
         shift += 7;
     }
@@ -370,6 +380,30 @@ mod tests {
         }
         assert!(read_varint(&[]).is_err());
         assert!(read_varint(&[0x80]).is_err());
+    }
+
+    #[test]
+    fn oversized_varints_are_rejected_not_truncated() {
+        // u64::MAX is the widest canonical varint: ten bytes, last `0x01`.
+        let mut max = Vec::new();
+        write_varint(&mut max, u64::MAX);
+        assert_eq!(max.len(), 10);
+        assert_eq!(read_varint(&max).unwrap(), (u64::MAX, 10));
+
+        // Tenth byte with any payload bit above bit 63 set: the old
+        // decoder silently dropped those bits and returned a wrong
+        // value; it must be a codec error.
+        let mut bad = max.clone();
+        bad[9] = 0x03;
+        assert!(read_varint(&bad).is_err());
+        bad[9] = 0x7f;
+        assert!(read_varint(&bad).is_err());
+
+        // Continuation past the tenth byte is likewise non-canonical,
+        // even if the trailing bytes are all zero payload.
+        let mut long = vec![0x80u8; 10];
+        long.push(0x00);
+        assert!(read_varint(&long).is_err());
     }
 
     #[test]

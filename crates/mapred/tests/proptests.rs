@@ -227,6 +227,72 @@ proptest! {
         // Byte accounting survives the grouped reshaping.
         prop_assert_eq!(block.text_bytes, flat_text_bytes);
     }
+
+    /// Corrupting a legacy grouped block — truncating it anywhere or
+    /// flipping any single byte — must either decode (with its
+    /// structural invariants intact) or return `MrError::Codec`. Never a
+    /// panic, never a huge bogus allocation.
+    #[test]
+    fn corrupt_grouped_block_never_panics_or_lies(
+        pairs in proptest::collection::vec((field(), any::<u64>()), 0..30),
+        damage in any::<u64>(),
+        flip in 1u64..256,
+        truncate in any::<bool>(),
+    ) {
+        let groups = exec::sort_group(pairs);
+        let blob = io::encode_grouped_block(&groups);
+        let pos = (damage % blob.len() as u64) as usize;
+        let damaged: Vec<u8> = if truncate {
+            blob[..pos].to_vec()
+        } else {
+            let mut d = blob.clone();
+            d[pos] ^= flip as u8;
+            d
+        };
+        if let Ok(block) = io::decode_grouped_block::<String, u64>(&damaged) {
+            // Structural invariants always hold on accepted input.
+            prop_assert_eq!(block.records as usize, block.grouped.values.len());
+        }
+    }
+
+    /// The framed encoding carries a CRC per frame, so its guarantee is
+    /// strictly stronger: any single-byte flip or truncation either
+    /// decodes to the *identical* block or errors — bit-exact or refused.
+    #[test]
+    fn corrupt_framed_block_decodes_identically_or_errors(
+        pairs in proptest::collection::vec((field(), any::<u64>()), 0..30),
+        damage in any::<u64>(),
+        flip in 1u64..256,
+        truncate in any::<bool>(),
+    ) {
+        let groups = exec::sort_group(pairs);
+        let blob = io::encode_framed_grouped_block(&groups, 3, 1);
+        let clean: io::GroupedBlock<String, u64> =
+            io::decode_grouped_block_any(&blob).unwrap();
+        prop_assert_eq!(&clean.grouped, &groups);
+        let pos = (damage % blob.len() as u64) as usize;
+        let damaged: Vec<u8> = if truncate {
+            blob[..pos].to_vec()
+        } else {
+            let mut d = blob.clone();
+            d[pos] ^= flip as u8;
+            d
+        };
+        match io::decode_grouped_block_any::<String, u64>(&damaged) {
+            Ok(block) => {
+                prop_assert_eq!(block.grouped, clean.grouped);
+                prop_assert_eq!(block.records, clean.records);
+                prop_assert_eq!(block.text_bytes, clean.text_bytes);
+                prop_assert_eq!(block.sorted, clean.sorted);
+            }
+            Err(e) => {
+                prop_assert!(
+                    matches!(e, redoop_mapred::MrError::Codec(_)),
+                    "unexpected error kind: {e:?}"
+                );
+            }
+        }
+    }
 }
 
 proptest! {

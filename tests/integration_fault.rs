@@ -11,9 +11,9 @@ use std::sync::Arc;
 
 use common::*;
 use redoop_core::prelude::*;
-use redoop_dfs::failure::FailurePlan;
-use redoop_dfs::NodeId;
-use redoop_mapred::SimTime;
+use redoop_dfs::failure::{FailureEvent, FailurePlan};
+use redoop_dfs::{Cluster, NodeId};
+use redoop_mapred::{frame, SimTime};
 use redoop_workloads::arrival::ArrivalPlan;
 use redoop_workloads::queries::{AggMapper, AggReducer};
 
@@ -95,6 +95,122 @@ fn cache_loss_is_recovered_correctly_and_cheaply() {
         steady_faulty < steady_hadoop,
         "pane-grained caching must retain the advantage under failures: \
          faulty {steady_faulty} vs hadoop {steady_hadoop}"
+    );
+}
+
+/// All framed `ro/` caches on the cluster after window 0: `(node, store
+/// name, blob length)` — at overlap .875, window 1 reuses all but one
+/// pane of them.
+fn framed_output_caches(cluster: &Cluster) -> Vec<(NodeId, String, usize)> {
+    let mut all = Vec::new();
+    for n in 0..cluster.node_count() as u32 {
+        let node = NodeId(n);
+        for name in cluster.list_local(node).unwrap() {
+            if !name.starts_with("ro/") {
+                continue;
+            }
+            let blob = cluster.peek_local(node, &name).unwrap();
+            if blob.starts_with(&frame::FRAME_MARKER) {
+                all.push((node, name, blob.len()));
+            }
+        }
+    }
+    all.sort();
+    all
+}
+
+/// Two-window salvage scenario at overlap .875: window 0 builds caches,
+/// `events` (if any) damage them before window 1 fires. Returns window
+/// 1's response, its output, and the salvage verdicts of blobs damaged
+/// by `CorruptLocal` events.
+fn run_salvage_scenario(
+    events: Option<Vec<FailureEvent>>,
+    seed: u64,
+) -> (SimTime, Vec<(String, u64)>, Vec<frame::SalvageSummary>) {
+    let spec = spec_with_overlap(0.875);
+    let plan = ArrivalPlan::new(spec, 2);
+    let batches = wcc_batches(&plan, seed, 1.0);
+    let cluster = test_cluster();
+    let mut exec = agg_executor(&cluster, spec, "salvage", batch_adaptive(&cluster, &spec));
+    ingest_all(&mut exec, 0, &batches);
+    exec.run_window(0).unwrap();
+    let mut scans = Vec::new();
+    if let Some(evs) = events {
+        let mut fplan = FailurePlan::none();
+        for ev in &evs {
+            fplan = fplan.at(1, ev.clone());
+        }
+        fplan.apply(1, &cluster).unwrap();
+        for ev in &evs {
+            if let FailureEvent::CorruptLocal(node, name, ..) = ev {
+                let blob =
+                    cluster.peek_local(*node, name).expect("corruption leaves file behind");
+                scans.push(frame::salvage_scan(&blob));
+            }
+        }
+    }
+    let report = exec.run_window(1).unwrap();
+    let out = read_window_output(&cluster, &report.outputs).unwrap();
+    (report.response, out, scans)
+}
+
+#[test]
+fn mid_blob_corruption_salvages_and_beats_full_rebuild() {
+    // Probe run: learn which framed caches window 0 leaves behind.
+    // Placement is deterministic, so the same set recurs in every run.
+    let caches = {
+        let spec = spec_with_overlap(0.875);
+        let plan = ArrivalPlan::new(spec, 2);
+        let batches = wcc_batches(&plan, 77, 1.0);
+        let cluster = test_cluster();
+        let mut exec =
+            agg_executor(&cluster, spec, "salvage", batch_adaptive(&cluster, &spec));
+        ingest_all(&mut exec, 0, &batches);
+        exec.run_window(0).unwrap();
+        framed_output_caches(&cluster)
+    };
+    assert!(!caches.is_empty(), "window 0 builds framed ro/ caches");
+
+    // Damage every cache blob from 60% in to the end: torn-write
+    // suffixes. The frames before the damage stay salvageable.
+    let corrupt: Vec<FailureEvent> = caches
+        .iter()
+        .map(|(n, name, len)| FailureEvent::CorruptLocal(*n, name.clone(), len * 3 / 5, *len))
+        .collect();
+    let drop: Vec<FailureEvent> =
+        caches.iter().map(|(n, name, _)| FailureEvent::DropLocal(*n, name.clone())).collect();
+
+    let (partial_time, partial_out, scans) = run_salvage_scenario(Some(corrupt), 77);
+    assert_eq!(scans.len(), caches.len());
+    assert!(scans.iter().any(|s| s.total >= 2), "some caches span multiple frames");
+    for scan in &scans {
+        assert!(!scan.is_complete(), "suffix damage must be detected");
+        // Every frame before the damaged region is recovered; the
+        // missing set is exactly the damaged suffix.
+        let missing = scan.missing();
+        assert!(!missing.is_empty());
+        for (a, b) in missing.iter().zip(missing.iter().skip(1)) {
+            assert_eq!(*b, *a + 1, "missing frames form one contiguous suffix");
+        }
+        assert_eq!(*missing.last().unwrap(), scan.total - 1);
+    }
+
+    let (full_time, full_out, _) = run_salvage_scenario(Some(drop), 77);
+    let (clean_time, clean_out, _) = run_salvage_scenario(None, 77);
+
+    // Rebuilds must reproduce the clean answer bit for bit.
+    assert_eq!(partial_out, clean_out, "salvaged rebuild must not change results");
+    assert_eq!(full_out, clean_out, "full rebuild must not change results");
+
+    // Partial recovery rebuilds only the missing suffixes, so it lands
+    // strictly between the clean window and the full rebuild.
+    assert!(
+        partial_time < full_time,
+        "salvage must beat full rebuild: partial {partial_time} vs full {full_time}"
+    );
+    assert!(
+        partial_time >= clean_time,
+        "salvage cannot beat undamaged caches: {partial_time} vs {clean_time}"
     );
 }
 
