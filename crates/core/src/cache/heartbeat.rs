@@ -342,3 +342,43 @@ mod tests {
         assert_eq!(ctl.location(&name(5)), Some(NodeId(0)));
     }
 }
+
+#[cfg(test)]
+mod review_scratch {
+    use super::*;
+    use super::tests::name as _n;
+    use crate::cache::controller::CacheController;
+    use crate::cache::purge::PurgePolicy;
+    use redoop_dfs::Cluster;
+    use redoop_mapred::io::encode_framed_grouped_block;
+    use redoop_mapred::Grouped;
+
+    #[test]
+    fn double_corruption_between_heartbeats_can_evade_audit() {
+        let cluster = Cluster::with_nodes(2);
+        let mut reg = LocalCacheRegistry::new(NodeId(1), PurgePolicy::default());
+        let mut ctl = CacheController::new(1);
+        let mut groups: Grouped<String, u64> = Grouped::default();
+        for g in 0..40u64 {
+            groups.values.push(g);
+            groups.runs.push((format!("k{g:03}"), g as u32, 1));
+        }
+        let blob = encode_framed_grouped_block(&groups, 7, 0);
+        let store = tests::name(7).store_name();
+        cluster.put_local(NodeId(1), store.clone(), blob.clone().into()).unwrap();
+        reg.add_entry(tests::name(7), 1);
+        ctl.register_cache(tests::name(7), NodeId(1), 1, redoop_mapred::SimTime::ZERO);
+        // Heartbeat 1: blob verified, memoized by (ptr, len).
+        let hb = reg.heartbeat(&cluster);
+        assert!(hb.damaged.is_empty());
+        // Two corruption events before the next heartbeat.
+        assert!(cluster.corrupt_local(NodeId(1), &store, blob.len() - 8, 8).unwrap());
+        assert!(cluster.corrupt_local(NodeId(1), &store, blob.len() - 8, 4).unwrap());
+        let now = cluster.peek_local(NodeId(1), &store).unwrap();
+        assert_ne!(&now[..], &blob[..], "blob content is damaged");
+        let hb = reg.heartbeat(&cluster);
+        println!("damaged reported: {:?}, held: {:?}", hb.damaged.len(), hb.held.len());
+        assert_eq!(hb.damaged.len(), 1, "audit must detect the damaged blob");
+        let _ = ctl;
+    }
+}
