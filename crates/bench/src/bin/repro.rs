@@ -7,15 +7,17 @@
 //! ```
 //!
 //! Subcommands: `fig3`, `fig6`, `fig7`, `fig8`, `fig9`, `delta`,
-//! `share`, `salvage`, `scale`, `headline`, `ablations`, `all`. Times
-//! are simulated seconds (see DESIGN.md). `delta` (the incremental
-//! pane-maintenance figure) writes its own `BENCH_delta.json`, `share`
-//! (cross-query cache sharing: makespan and hit ratio vs fleet size)
-//! writes `BENCH_share.json`, `salvage` (crash-safe block format:
-//! partial recovery of suffix-corrupted caches vs full rebuild) writes
-//! `BENCH_salvage.json`, and `scale` (the scale-out sweep: makespan and
-//! host wall-clock vs node and query count) writes `BENCH_scale.json`,
-//! instead of `BENCH_repro.json`.
+//! `share`, `salvage`, `capacity`, `scale`, `headline`, `ablations`,
+//! `all`. Times are simulated seconds (see DESIGN.md). `delta` (the
+//! incremental pane-maintenance figure) writes its own
+//! `BENCH_delta.json`, `share` (cross-query cache sharing: makespan and
+//! hit ratio vs fleet size) writes `BENCH_share.json`, `salvage`
+//! (crash-safe block format: partial recovery of suffix-corrupted
+//! caches vs full rebuild) writes `BENCH_salvage.json`, `capacity`
+//! (cache lifecycle policies: hit ratio and makespan vs per-node cache
+//! budget) writes `BENCH_capacity.json`, and `scale` (the scale-out
+//! sweep: makespan and host wall-clock vs node and query count) writes
+//! `BENCH_scale.json`, instead of `BENCH_repro.json`.
 //!
 //! `--nodes <n>` / `--queries <n>` re-run any figure at non-default
 //! scale: `--nodes` resizes the simulated cluster of every figure, and
@@ -392,6 +394,60 @@ fn salvage() -> Json {
     ])
 }
 
+fn capacity() -> Json {
+    let s = experiments::fig_capacity(WINDOWS, SEED);
+    assert!(s.outputs_match, "capacity pressure must never change outputs");
+    assert!(s.journal_identical, "default config must journal byte-identically to explicit baseline");
+    println!("\n=== Capacity: hit ratio + makespan vs per-node cache budget (aggregation, overlap 0.875) ===");
+    println!(
+        " uncapped reference: hit ratio {:.2}, makespan {:.1}s, peak residency {} bytes/node",
+        s.uncapped_hit_ratio, s.uncapped_makespan_secs, s.peak_bytes
+    );
+    println!(" capacity (B) | policy          | hit ratio | makespan (s) | evict | reject");
+    println!(" -------------+-----------------+-----------+--------------+-------+-------");
+    for (ci, cap) in s.capacity_bytes.iter().enumerate() {
+        for (pi, p) in s.policies.iter().enumerate() {
+            println!(
+                " {:>12} | {:<15} | {:>9.2} | {:>12.1} | {:>5} | {:>6}",
+                cap, p, s.hit_ratio[pi][ci], s.makespan_secs[pi][ci], s.evictions[pi][ci],
+                s.admit_rejects[pi][ci]
+            );
+        }
+    }
+    let (lru, cost) = (s.row("lru"), s.row("cost-based"));
+    let cost_wins = (0..s.capacity_bytes.len())
+        .filter(|&ci| {
+            s.hit_ratio[cost][ci] >= s.hit_ratio[lru][ci]
+                && s.makespan_secs[cost][ci] < s.makespan_secs[lru][ci]
+        })
+        .count();
+    println!(
+        " cost-based beats lru (>= hit ratio, strictly lower makespan) at \
+         {cost_wins}/{} capacity points; hit ratio monotone: {}  [outputs verified]",
+        s.capacity_bytes.len(),
+        s.hit_monotone
+    );
+    let grid = |g: &[Vec<f64>]| Json::Arr(g.iter().map(|row| Json::nums(row.clone())).collect());
+    let ugrid = |g: &[Vec<u64>]| {
+        Json::Arr(g.iter().map(|row| Json::nums(row.iter().map(|&v| v as f64))).collect())
+    };
+    Json::obj(vec![
+        ("policies", Json::Arr(s.policies.iter().map(|p| Json::str(*p)).collect())),
+        ("capacity_bytes", Json::nums(s.capacity_bytes.iter().map(|&c| c as f64))),
+        ("peak_bytes", Json::Num(s.peak_bytes as f64)),
+        ("hit_ratio", grid(&s.hit_ratio)),
+        ("makespan_secs", grid(&s.makespan_secs)),
+        ("evictions", ugrid(&s.evictions)),
+        ("admit_rejects", ugrid(&s.admit_rejects)),
+        ("uncapped_hit_ratio", Json::Num(s.uncapped_hit_ratio)),
+        ("uncapped_makespan_secs", Json::Num(s.uncapped_makespan_secs)),
+        ("cost_beats_lru_points", Json::Num(cost_wins as f64)),
+        ("hit_monotone", Json::Bool(s.hit_monotone)),
+        ("outputs_match", Json::Bool(s.outputs_match)),
+        ("journal_identical", Json::Bool(s.journal_identical)),
+    ])
+}
+
 fn headline() -> Json {
     let (agg, join) = experiments::headline(WINDOWS, SEED);
     println!("\n=== Headline: steady-state speedup at overlap 0.9 ===");
@@ -519,6 +575,7 @@ fn main() {
         "delta" => run_figure(&mut figures, "delta", delta),
         "share" => run_figure(&mut figures, "share", share),
         "salvage" => run_figure(&mut figures, "salvage", salvage),
+        "capacity" => run_figure(&mut figures, "capacity", capacity),
         "scale" => {
             let start = Instant::now();
             let series = scale(nodes.unwrap_or(SCALE_NODES), queries.unwrap_or(SCALE_QUERIES));
@@ -542,7 +599,7 @@ fn main() {
         other => {
             eprintln!(
                 "unknown experiment {other:?}; use \
-                 fig3|fig6|fig7|fig8|fig9|delta|share|salvage|scale|headline|ablations|all"
+                 fig3|fig6|fig7|fig8|fig9|delta|share|salvage|capacity|scale|headline|ablations|all"
             );
             std::process::exit(2);
         }
@@ -554,6 +611,7 @@ fn main() {
         "delta" => "BENCH_delta.json",
         "share" => "BENCH_share.json",
         "salvage" => "BENCH_salvage.json",
+        "capacity" => "BENCH_capacity.json",
         "scale" => "BENCH_scale.json",
         _ => "BENCH_repro.json",
     };

@@ -647,6 +647,163 @@ pub fn fig_salvage(seed: u64) -> SalvageSeries {
     }
 }
 
+/// Capacity figure: cache hit ratio and makespan versus per-node cache
+/// capacity, under the three lifecycle policies of the policy layer.
+#[derive(Debug, Clone)]
+pub struct CapacitySeries {
+    /// Policy labels — the row order of every `[policy][capacity]` grid.
+    pub policies: Vec<&'static str>,
+    /// Per-node capacity axis in bytes, ascending.
+    pub capacity_bytes: Vec<u64>,
+    /// Peak per-node cache residency observed in the uncapped run — the
+    /// anchor the capacity axis is fractioned from.
+    pub peak_bytes: u64,
+    /// Cache hit ratio `[policy][capacity]`.
+    pub hit_ratio: Vec<Vec<f64>>,
+    /// Simulated makespan `[policy][capacity]`: the window response
+    /// times summed, i.e. how long the recurring query's compute keeps
+    /// the cluster busy end to end. (The latest `fired_at + response`
+    /// only reflects the final window — arrival-gated fire times dwarf
+    /// per-window response differences — so it cannot rank policies.)
+    pub makespan_secs: Vec<Vec<f64>>,
+    /// Journaled `evict` decisions `[policy][capacity]`.
+    pub evictions: Vec<Vec<u64>>,
+    /// Journaled `admit_reject` decisions `[policy][capacity]`.
+    pub admit_rejects: Vec<Vec<u64>>,
+    /// Hit ratio of the uncapped reference run.
+    pub uncapped_hit_ratio: f64,
+    /// Makespan of the uncapped reference run.
+    pub uncapped_makespan_secs: f64,
+    /// Whether every policy's hit ratio is monotone non-decreasing in
+    /// capacity.
+    pub hit_monotone: bool,
+    /// Whether every constrained run's window outputs byte-matched the
+    /// uncapped run's — capacity pressure may cost time, never answers.
+    pub outputs_match: bool,
+    /// Whether a default-configuration run's journal byte-matched a run
+    /// that explicitly selected the baseline policy with unbounded
+    /// capacity — the no-regression guarantee of the policy layer.
+    pub journal_identical: bool,
+}
+
+impl CapacitySeries {
+    /// Index of a policy row by label.
+    pub fn row(&self, label: &str) -> usize {
+        self.policies.iter().position(|&p| p == label).expect("policy row")
+    }
+}
+
+/// Runs the capacity figure: the FFG binary join at overlap 0.875 (8
+/// panes per window, 7 reused), swept over per-node capacities derived
+/// from the uncapped run's peak residency, once per policy. The join
+/// holds two cache classes with opposite value profiles — expensive,
+/// long-lived reduce-input caches versus cheap pane-pair outputs that
+/// die with their trailing pane — so a policy that weighs rebuild cost
+/// by remaining lifespan has something real to exploit. The uncapped
+/// run doubles as the output oracle; two further unbounded runs
+/// (default configuration vs explicitly-selected baseline policy) must
+/// produce byte-identical journals.
+pub fn fig_capacity(windows: u64, seed: u64) -> CapacitySeries {
+    use redoop_mapred::trace::TraceSink;
+
+    let spec = spec(0.875);
+    let plan = ArrivalPlan::new(spec, windows);
+    let pos = ffg(&plan, Stream::Position, seed);
+    let spd = ffg(&plan, Stream::Speed, seed + 1);
+
+    // One policy-configured run: returns (hit ratio, makespan, evicts,
+    // rejects, peak per-node residency, concatenated window outputs).
+    let run = |tag: &str, budget: Option<CacheBudget>, sink: Option<TraceSink>| {
+        let cluster = cluster();
+        let mut exec = join_executor(&cluster, spec, tag, controller_off(&cluster, &spec));
+        if let Some(s) = &sink {
+            // Installed before ingest so pane-seal events are captured.
+            exec.set_trace_sink(s.clone());
+        }
+        if let Some(b) = budget {
+            exec.set_cache_policy(b);
+        }
+        ingest_all(&mut exec, 0, &pos);
+        ingest_all(&mut exec, 1, &spd);
+        let (mut hits, mut misses, mut evictions, mut rejects) = (0u64, 0u64, 0u64, 0u64);
+        let mut makespan = 0.0f64;
+        let mut peak = 0u64;
+        let mut parts: Vec<Vec<u8>> = Vec::new();
+        for w in 0..windows {
+            let r = exec.run_window(w).expect("capacity window");
+            makespan += r.response.as_secs_f64();
+            hits += r.trace.cache_hits;
+            misses += r.trace.cache_misses;
+            evictions += r.trace.evictions;
+            rejects += r.trace.admit_rejects;
+            for n in 0..cluster.node_count() as u32 {
+                peak = peak.max(exec.controller().bytes_on(NodeId(n)));
+            }
+            for p in &r.outputs {
+                parts.push(cluster.read(p).unwrap().to_vec());
+            }
+        }
+        let ratio =
+            if hits + misses == 0 { 0.0 } else { hits as f64 / (hits + misses) as f64 };
+        (ratio, makespan, evictions, rejects, peak, parts)
+    };
+
+    // Uncapped reference: output oracle + the peak-residency anchor.
+    let (base_ratio, base_secs, _, _, peak, oracle) = run("fcap-ref", None, None);
+
+    // Journal no-regression check: never configuring the policy layer
+    // and explicitly selecting its defaults must journal byte-equal.
+    let sink_default = TraceSink::with_capacity(1 << 17);
+    let sink_explicit = TraceSink::with_capacity(1 << 17);
+    run("fcap-journal", None, Some(sink_default.clone()));
+    run(
+        "fcap-journal",
+        Some(CacheBudget::unbounded(CachePolicyKind::WindowLifespan)),
+        Some(sink_explicit.clone()),
+    );
+    let journal_identical = sink_default.render_json() == sink_explicit.render_json();
+
+    let capacity_bytes: Vec<u64> =
+        [8u64, 4, 2, 1].iter().map(|d| (peak / d).max(1)).chain([peak * 2]).collect();
+    let policies =
+        [CachePolicyKind::WindowLifespan, CachePolicyKind::Lru, CachePolicyKind::CostBased];
+
+    let mut series = CapacitySeries {
+        policies: policies.iter().map(|p| p.label()).collect(),
+        capacity_bytes: capacity_bytes.clone(),
+        peak_bytes: peak,
+        hit_ratio: Vec::new(),
+        makespan_secs: Vec::new(),
+        evictions: Vec::new(),
+        admit_rejects: Vec::new(),
+        uncapped_hit_ratio: base_ratio,
+        uncapped_makespan_secs: base_secs,
+        hit_monotone: true,
+        outputs_match: true,
+        journal_identical,
+    };
+    for policy in policies {
+        let (mut ratios, mut secs, mut evs, mut rjs) =
+            (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+        for (ci, &cap) in capacity_bytes.iter().enumerate() {
+            let tag = format!("fcap-{}-{ci}", policy.label());
+            let (ratio, makespan, evictions, rejects, _, parts) =
+                run(&tag, Some(CacheBudget::bounded(policy, cap)), None);
+            series.outputs_match &= parts == oracle;
+            ratios.push(ratio);
+            secs.push(makespan);
+            evs.push(evictions);
+            rjs.push(rejects);
+        }
+        series.hit_monotone &= ratios.windows(2).all(|w| w[0] <= w[1] + 1e-9);
+        series.hit_ratio.push(ratios);
+        series.makespan_secs.push(secs);
+        series.evictions.push(evs);
+        series.admit_rejects.push(rjs);
+    }
+    series
+}
+
 /// One point of the scale sweep: a full deployment of `queries`
 /// concurrent recurring aggregations on a `nodes`-node cluster.
 #[derive(Debug, Clone)]

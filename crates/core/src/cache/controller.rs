@@ -5,6 +5,15 @@
 //! available, `2` cache available), and a `doneQueryMask` with one bit per
 //! registered query. When every bit is set the cache is expired and a
 //! purge notification is issued to the owning node's Local Cache Registry.
+//!
+//! Capacity: the controller optionally enforces a per-node byte budget
+//! through a pluggable [`CachePolicy`] — registrations and adoptions
+//! consult the policy, which may evict residents (`evict` journal
+//! events) or refuse the newcomer (`admit_reject`). The default
+//! configuration (unbounded budget, [`WindowLifespanPolicy`]) is
+//! bit-identical to the pre-policy lifecycle.
+//!
+//! [`WindowLifespanPolicy`]: super::policy::WindowLifespanPolicy
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
@@ -12,6 +21,7 @@ use redoop_dfs::NodeId;
 use redoop_mapred::trace::{self, CacheAction, TraceEvent, TraceSink};
 use redoop_mapred::SimTime;
 
+use super::policy::{CachePolicy, CacheStats, WindowLifespanPolicy};
 use super::{CacheName, CacheObject};
 use crate::error::{RedoopError, Result};
 
@@ -50,6 +60,14 @@ pub struct CacheSignature {
     /// is *partially recoverable* — only the missing frame suffix needs
     /// recomputation. Cleared when the cache is (re)registered.
     pub salvaged: Option<(u32, u32)>,
+    /// Window-lifespan estimate maintained by the executor: how many
+    /// future recurrences are expected to consume this cache (0 =
+    /// expires with the current window). Feeds the capacity policy's
+    /// remaining-use scoring; never affects correctness.
+    pub remaining_uses: u32,
+    /// Last consumption (registration or hit) in virtual time — the
+    /// recency signal for capacity policies.
+    pub last_used: SimTime,
 }
 
 /// Purge notification sent to a task node.
@@ -59,6 +77,28 @@ pub struct PurgeNotification {
     pub node: NodeId,
     /// Cache to purge.
     pub name: CacheName,
+}
+
+/// Outcome of a capacity-checked registration or adoption.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Admission {
+    /// Whether the cache is now tracked as materialized on its node.
+    /// `false` means the policy (or the raw budget) refused it: the
+    /// signature keeps its metadata (bytes, availability time) for
+    /// same-window readers but stays HDFS-available, so later windows
+    /// see a miss.
+    pub admitted: bool,
+    /// Residents evicted to make room, in eviction order. The caller
+    /// (driver) must reclaim them: mark them expired in their node
+    /// registries so the next purge scan deletes the files.
+    pub evicted: Vec<(NodeId, CacheName)>,
+}
+
+impl Admission {
+    /// The unbounded-capacity fast path: admitted, nobody displaced.
+    fn clean() -> Self {
+        Admission { admitted: true, evicted: Vec::new() }
+    }
 }
 
 /// Per-node slice of the controller's index: the materialized caches a
@@ -84,6 +124,11 @@ pub struct CacheController {
     /// for pane-expiry sweeps. Pair outputs are not pane-keyed and stay
     /// outside this index.
     by_pane: HashMap<(u32, u64), BTreeSet<CacheName>>,
+    /// Per-node byte budget (`u64::MAX` = unbounded, the default).
+    capacity: u64,
+    /// Admission/eviction arbiter consulted when a registration or
+    /// adoption would exceed `capacity` on its node.
+    policy: Box<dyn CachePolicy>,
     trace: TraceSink,
 }
 
@@ -109,8 +154,30 @@ impl CacheController {
             sigs: BTreeMap::new(),
             by_node: HashMap::new(),
             by_pane: HashMap::new(),
+            capacity: u64::MAX,
+            policy: Box::new(WindowLifespanPolicy),
             trace: trace::global_sink(),
         }
+    }
+
+    /// Installs the capacity policy consulted on register/adopt.
+    pub fn set_policy(&mut self, policy: Box<dyn CachePolicy>) {
+        self.policy = policy;
+    }
+
+    /// The active policy's name.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// Sets the per-node byte budget (`None` = unbounded).
+    pub fn set_capacity(&mut self, bytes: Option<u64>) {
+        self.capacity = bytes.unwrap_or(u64::MAX);
+    }
+
+    /// The per-node byte budget, if one is enforced.
+    pub fn capacity(&self) -> Option<u64> {
+        (self.capacity != u64::MAX).then_some(self.capacity)
     }
 
     /// Fetches (creating if absent) `name`'s signature, keeping the pane
@@ -132,6 +199,8 @@ impl CacheController {
                 rebuild_bytes: 0,
                 available_at: SimTime::ZERO,
                 salvaged: None,
+                remaining_uses: 0,
+                last_used: SimTime::ZERO,
             }
         })
     }
@@ -191,12 +260,25 @@ impl CacheController {
     /// Registers a materialized cache on `node` (ready = 2), available to
     /// consumers from virtual time `at`. The node's Local Cache Registry
     /// synchronizes this via its heartbeat.
-    pub fn register_cache(&mut self, name: CacheName, node: NodeId, bytes: u64, at: SimTime) {
+    pub fn register_cache(
+        &mut self,
+        name: CacheName,
+        node: NodeId,
+        bytes: u64,
+        at: SimTime,
+    ) -> Admission {
         self.register_cache_with_rebuild(name, node, bytes, bytes, at)
     }
 
     /// Like [`CacheController::register_cache`], with an explicit
     /// estimate of the source bytes a reconstruction would process.
+    ///
+    /// Capacity: when a per-node budget is set, the policy may first
+    /// evict residents (journaled as `evict`) or refuse the newcomer
+    /// (`admit_reject`). A refused cache keeps its metadata — readers of
+    /// the window that built it still gate on `available_at` and the
+    /// file exists until the next purge scan — but stays HDFS-available,
+    /// so later windows rebuild it.
     pub fn register_cache_with_rebuild(
         &mut self,
         name: CacheName,
@@ -204,23 +286,31 @@ impl CacheController {
         bytes: u64,
         rebuild_bytes: u64,
         at: SimTime,
-    ) {
-        let sig = Self::sig_entry(&mut self.sigs, &mut self.by_pane, name);
-        Self::unindex_holder(&mut self.by_node, &name, sig);
-        sig.node = Some(node);
-        sig.ready = Ready::CacheAvailable;
-        sig.bytes = bytes;
-        sig.rebuild_bytes = rebuild_bytes.max(bytes);
-        sig.available_at = at;
-        sig.salvaged = None;
-        self.index_holder(name, node, bytes);
-        self.trace.emit(|| TraceEvent::Cache {
-            at,
-            action: CacheAction::Register,
-            name: name.store_name(),
-            node: Some(node),
-            bytes,
-        });
+    ) -> Admission {
+        match self.make_room(&name, node, bytes, rebuild_bytes, at) {
+            Some(evicted) => {
+                let sig = Self::sig_entry(&mut self.sigs, &mut self.by_pane, name);
+                Self::unindex_holder(&mut self.by_node, &name, sig);
+                sig.node = Some(node);
+                sig.ready = Ready::CacheAvailable;
+                sig.bytes = bytes;
+                sig.rebuild_bytes = rebuild_bytes.max(bytes);
+                sig.available_at = at;
+                sig.salvaged = None;
+                sig.last_used = at;
+                self.index_holder(name, node, bytes);
+                self.policy.charge(&name, at);
+                self.trace.emit(|| TraceEvent::Cache {
+                    at,
+                    action: CacheAction::Register,
+                    name: name.store_name(),
+                    node: Some(node),
+                    bytes,
+                });
+                Admission { admitted: true, evicted }
+            }
+            None => self.reject(name, node, bytes, rebuild_bytes, at),
+        }
     }
 
     /// Adopts a cache built by *another* query's executor (discovered
@@ -229,6 +319,11 @@ impl CacheController {
     /// `Register` trace event is emitted — the driver records the
     /// adoption as a `shared_hit` instead, so `Register` events in the
     /// journal count actual builds only.
+    ///
+    /// Capacity: adoption never evicts (the file already exists on the
+    /// remote node; this query merely starts tracking it). If the bytes
+    /// do not fit this controller's budget for `node`, the adoption is
+    /// refused (`admit_reject`) and the caller falls back to a miss.
     pub fn adopt_remote(
         &mut self,
         name: CacheName,
@@ -236,7 +331,17 @@ impl CacheController {
         bytes: u64,
         rebuild_bytes: u64,
         at: SimTime,
-    ) {
+    ) -> Admission {
+        if self.capacity != u64::MAX {
+            let held = self.held_bytes(&name, node);
+            let incoming = self.stats_for(&name, bytes, rebuild_bytes, at);
+            let fits = bytes <= self.capacity
+                && self.bytes_on(node) - held + bytes <= self.capacity
+                && self.policy.admit(&incoming);
+            if !fits {
+                return self.reject(name, node, bytes, rebuild_bytes, at);
+            }
+        }
         let sig = Self::sig_entry(&mut self.sigs, &mut self.by_pane, name);
         Self::unindex_holder(&mut self.by_node, &name, sig);
         sig.node = Some(node);
@@ -245,7 +350,180 @@ impl CacheController {
         sig.rebuild_bytes = rebuild_bytes.max(bytes);
         sig.available_at = at;
         sig.salvaged = None;
+        sig.last_used = at;
         self.index_holder(name, node, bytes);
+        self.policy.charge(&name, at);
+        Admission::clean()
+    }
+
+    /// Bytes an existing same-node copy of `name` holds — freed by the
+    /// overwrite, so excluded from the usage a (re)registration is
+    /// charged against.
+    fn held_bytes(&self, name: &CacheName, node: NodeId) -> u64 {
+        self.sigs
+            .get(name)
+            .filter(|s| s.ready == Ready::CacheAvailable && s.node == Some(node))
+            .map_or(0, |s| s.bytes)
+    }
+
+    /// Policy-visible snapshot of an incoming cache (existing signature
+    /// state merged with the incoming registration's fields).
+    fn stats_for(&self, name: &CacheName, bytes: u64, rebuild_bytes: u64, at: SimTime) -> CacheStats {
+        let (votes, uses) = self.sigs.get(name).map_or((self.query_count as u32, 0), |s| {
+            ((self.full_mask & !s.done_query_mask).count_ones(), s.remaining_uses)
+        });
+        CacheStats {
+            name: *name,
+            bytes,
+            rebuild_bytes: rebuild_bytes.max(bytes),
+            remaining_votes: votes,
+            remaining_uses: uses,
+            last_used: at,
+        }
+    }
+
+    /// Policy-visible snapshot of a resident cache.
+    fn stats_of(&self, name: &CacheName) -> Option<CacheStats> {
+        let sig = self.sigs.get(name)?;
+        Some(CacheStats {
+            name: *name,
+            bytes: sig.bytes,
+            rebuild_bytes: sig.rebuild_bytes,
+            remaining_votes: (self.full_mask & !sig.done_query_mask).count_ones(),
+            remaining_uses: sig.remaining_uses,
+            last_used: sig.last_used,
+        })
+    }
+
+    /// Plans and applies the evictions needed to fit `bytes` of `name`
+    /// on `node`. `Some(victims)` = admitted after evicting `victims`
+    /// (possibly none); `None` = rejected, nothing touched. Victims are
+    /// planned against a shrinking candidate list and only evicted once
+    /// the full plan fits, so a mid-plan refusal leaves every resident
+    /// in place.
+    fn make_room(
+        &mut self,
+        name: &CacheName,
+        node: NodeId,
+        bytes: u64,
+        rebuild_bytes: u64,
+        at: SimTime,
+    ) -> Option<Vec<(NodeId, CacheName)>> {
+        if self.capacity == u64::MAX {
+            return Some(Vec::new());
+        }
+        if bytes > self.capacity {
+            return None;
+        }
+        let incoming = self.stats_for(name, bytes, rebuild_bytes, at);
+        if !self.policy.admit(&incoming) {
+            return None;
+        }
+        let mut used = self.bytes_on(node) - self.held_bytes(name, node);
+        if used + bytes <= self.capacity {
+            return Some(Vec::new());
+        }
+        let mut candidates: Vec<CacheStats> = self
+            .names_on(node)
+            .into_iter()
+            .filter(|n| n != name)
+            .filter_map(|n| self.stats_of(&n))
+            .collect();
+        let mut plan = Vec::new();
+        while used + bytes > self.capacity {
+            if candidates.is_empty() {
+                return None;
+            }
+            let victim = self.policy.victim(&candidates, &incoming)?;
+            let idx = candidates.iter().position(|s| s.name == victim)?;
+            let chosen = candidates.swap_remove(idx);
+            used -= chosen.bytes;
+            plan.push(chosen.name);
+        }
+        for victim in &plan {
+            self.evict_holder(victim, at);
+        }
+        Some(plan.into_iter().map(|n| (node, n)).collect())
+    }
+
+    /// Evicts a materialized cache: the holder is unindexed, readiness
+    /// drops to HDFS-available (later windows rebuild on demand — the
+    /// same miss path as a lost cache, minus any salvage credit), and an
+    /// `evict` event is journaled. Metadata (bytes, availability) stays
+    /// so same-window readers remain correctly gated; the file itself is
+    /// reclaimed by the owning registry's next purge scan.
+    fn evict_holder(&mut self, name: &CacheName, at: SimTime) {
+        let Some(sig) = self.sigs.get_mut(name) else { return };
+        if sig.ready != Ready::CacheAvailable {
+            return;
+        }
+        let (node, bytes) = (sig.node, sig.bytes);
+        Self::unindex_holder(&mut self.by_node, name, sig);
+        sig.ready = Ready::HdfsAvailable;
+        sig.node = None;
+        // The whole file is reclaimed; no frames survive to salvage.
+        sig.salvaged = None;
+        self.policy.forget(name);
+        self.trace.emit(|| TraceEvent::Cache {
+            at,
+            action: CacheAction::Evict,
+            name: name.store_name(),
+            node,
+            bytes,
+        });
+    }
+
+    /// Journals and applies an admission rejection: the signature keeps
+    /// fresh metadata (readers of the building window gate on
+    /// `available_at`) but stays HDFS-available.
+    fn reject(
+        &mut self,
+        name: CacheName,
+        node: NodeId,
+        bytes: u64,
+        rebuild_bytes: u64,
+        at: SimTime,
+    ) -> Admission {
+        let sig = Self::sig_entry(&mut self.sigs, &mut self.by_pane, name);
+        Self::unindex_holder(&mut self.by_node, &name, sig);
+        sig.node = None;
+        sig.ready = Ready::HdfsAvailable;
+        sig.bytes = bytes;
+        sig.rebuild_bytes = rebuild_bytes.max(bytes);
+        sig.available_at = at;
+        sig.salvaged = None;
+        sig.last_used = at;
+        self.trace.emit(|| TraceEvent::Cache {
+            at,
+            action: CacheAction::AdmitReject,
+            name: name.store_name(),
+            node: Some(node),
+            bytes,
+        });
+        Admission { admitted: false, evicted: Vec::new() }
+    }
+
+    /// Records a consumption of `name` at virtual time `at` (a window
+    /// hit): updates the signature's recency stamp, consumes one unit of
+    /// the window-lifespan estimate (each window reads a cache at most
+    /// once, so the remaining-use forecast decays by exactly the uses
+    /// that actually happened), and forwards the charge to the capacity
+    /// policy.
+    pub fn touch(&mut self, name: &CacheName, at: SimTime) {
+        if let Some(sig) = self.sigs.get_mut(name) {
+            sig.last_used = at;
+            sig.remaining_uses = sig.remaining_uses.saturating_sub(1);
+        }
+        self.policy.charge(name, at);
+    }
+
+    /// Sets the executor-maintained window-lifespan estimate for `name`
+    /// (how many future recurrences will consume it), creating the
+    /// signature if needed so the estimate is visible to the admission
+    /// decision of the registration that follows.
+    pub fn note_remaining_uses(&mut self, name: CacheName, uses: u32) {
+        let sig = Self::sig_entry(&mut self.sigs, &mut self.by_pane, name);
+        sig.remaining_uses = uses;
     }
 
     /// Records the salvage verdict of a damaged cache: `intact` of
@@ -556,8 +834,12 @@ mod tests {
             let node = NodeId((next() % nodes as u64) as u32);
             match next() % 6 {
                 0 => c.note_hdfs_available(n),
-                1 => c.register_cache(n, node, 1 + next() % 999, SimTime::ZERO),
-                2 => c.adopt_remote(n, node, 1 + next() % 999, next() % 4000, SimTime::ZERO),
+                1 => {
+                    c.register_cache(n, node, 1 + next() % 999, SimTime::ZERO);
+                }
+                2 => {
+                    c.adopt_remote(n, node, 1 + next() % 999, next() % 4000, SimTime::ZERO);
+                }
                 3 => {
                     c.invalidate(&n);
                 }
@@ -606,5 +888,114 @@ mod tests {
             assert_eq!(c.mark_query_done(n, q).unwrap(), None);
         }
         assert!(c.mark_query_done(n, 63).unwrap().is_some());
+    }
+
+    fn cache_events(sink: &TraceSink, want: CacheAction) -> Vec<String> {
+        sink.events()
+            .into_iter()
+            .filter_map(|e| match e {
+                TraceEvent::Cache { action, name, .. } if action == want => Some(name),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn baseline_rejects_over_budget_without_evicting() {
+        let sink = TraceSink::enabled();
+        let mut c = CacheController::new(1);
+        c.set_trace_sink(sink.clone());
+        c.set_capacity(Some(100));
+        assert!(c.register_cache(name(0, 0), NodeId(0), 80, SimTime(1)).admitted);
+        let b = c.register_cache(name(1, 0), NodeId(0), 40, SimTime(2));
+        assert!(!b.admitted);
+        assert!(b.evicted.is_empty());
+        assert_eq!(c.bytes_on(NodeId(0)), 80, "the resident stays charged");
+        // The rejected cache keeps its signature metadata (same-window
+        // readers gate on availability) but is not materialized.
+        let sig = c.signature(&name(1, 0)).unwrap();
+        assert_eq!(sig.ready, Ready::HdfsAvailable);
+        assert_eq!(sig.bytes, 40);
+        assert!(c.location(&name(1, 0)).is_none());
+        assert_eq!(cache_events(&sink, CacheAction::AdmitReject).len(), 1);
+        assert!(cache_events(&sink, CacheAction::Evict).is_empty());
+    }
+
+    #[test]
+    fn lru_evicts_the_stalest_resident_to_fit() {
+        use super::super::policy::LruPolicy;
+        let sink = TraceSink::enabled();
+        let mut c = CacheController::new(1);
+        c.set_trace_sink(sink.clone());
+        c.set_policy(Box::new(LruPolicy));
+        c.set_capacity(Some(100));
+        c.register_cache(name(0, 0), NodeId(0), 50, SimTime(1));
+        c.register_cache(name(1, 0), NodeId(0), 50, SimTime(2));
+        c.touch(&name(0, 0), SimTime(3)); // pane 1 is now the stalest
+        let adm = c.register_cache(name(2, 0), NodeId(0), 40, SimTime(4));
+        assert!(adm.admitted);
+        assert_eq!(adm.evicted, vec![(NodeId(0), name(1, 0))]);
+        // The victim drops to HDFS-available — the lost-cache miss path,
+        // minus salvage — and its bytes are released from the ledger.
+        assert_eq!(c.signature(&name(1, 0)).unwrap().ready, Ready::HdfsAvailable);
+        assert!(c.location(&name(1, 0)).is_none());
+        assert_eq!(c.bytes_on(NodeId(0)), 90);
+        assert_eq!(cache_events(&sink, CacheAction::Evict), vec![name(1, 0).store_name()]);
+    }
+
+    #[test]
+    fn larger_than_whole_budget_is_refused_under_every_policy() {
+        use super::super::policy::{CachePolicyKind, LruPolicy};
+        use redoop_mapred::CostModel;
+        let policies: [Box<dyn CachePolicy>; 3] = [
+            Box::new(WindowLifespanPolicy),
+            Box::new(LruPolicy),
+            CachePolicyKind::CostBased.build(&CostModel::default()),
+        ];
+        for policy in policies {
+            let mut c = CacheController::new(1);
+            c.set_policy(policy);
+            c.set_capacity(Some(100));
+            c.register_cache(name(0, 0), NodeId(0), 60, SimTime(1));
+            let adm = c.register_cache(name(1, 0), NodeId(0), 101, SimTime(2));
+            assert!(!adm.admitted, "a cache bigger than the node budget never fits");
+            assert!(adm.evicted.is_empty(), "and must not displace anything trying");
+            assert_eq!(c.location(&name(0, 0)), Some(NodeId(0)));
+        }
+    }
+
+    #[test]
+    fn adoption_checks_admission_but_never_evicts() {
+        use super::super::policy::LruPolicy;
+        let mut c = CacheController::new(2);
+        c.set_policy(Box::new(LruPolicy));
+        c.set_capacity(Some(100));
+        c.register_cache(name(0, 0), NodeId(0), 80, SimTime(1));
+        // Over budget: even the always-evicting policy must not displace
+        // a resident for an *adoption* — the cache already exists on a
+        // peer, so refusing costs one remote re-import, not a rebuild.
+        let adm = c.adopt_remote(name(1, 0), NodeId(0), 40, 40, SimTime(2));
+        assert!(!adm.admitted);
+        assert!(adm.evicted.is_empty());
+        assert_eq!(c.location(&name(0, 0)), Some(NodeId(0)));
+        assert_eq!(c.bytes_on(NodeId(0)), 80);
+        // Within budget the adoption lands silently, as before.
+        assert!(c.adopt_remote(name(2, 0), NodeId(1), 40, 40, SimTime(3)).admitted);
+        assert_eq!(c.location(&name(2, 0)), Some(NodeId(1)));
+    }
+
+    #[test]
+    fn window_hits_consume_the_remaining_use_forecast() {
+        let mut c = CacheController::new(1);
+        let n = name(0, 0);
+        c.note_remaining_uses(n, 3);
+        c.register_cache(n, NodeId(0), 10, SimTime(1));
+        c.touch(&n, SimTime(2));
+        c.touch(&n, SimTime(3));
+        assert_eq!(c.signature(&n).unwrap().remaining_uses, 1);
+        // The forecast saturates at zero rather than wrapping.
+        c.touch(&n, SimTime(4));
+        c.touch(&n, SimTime(5));
+        assert_eq!(c.signature(&n).unwrap().remaining_uses, 0);
     }
 }

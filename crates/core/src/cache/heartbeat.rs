@@ -158,7 +158,7 @@ impl CacheController {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::cache::purge::PurgePolicy;
+    use crate::cache::policy::PurgePolicy;
     use crate::cache::CacheObject;
     use crate::pane::PaneId;
     use bytes::Bytes;
@@ -341,44 +341,47 @@ mod tests {
         assert!(lost.is_empty(), "node 0's caches are not node 2's business");
         assert_eq!(ctl.location(&name(5)), Some(NodeId(0)));
     }
-}
-
-#[cfg(test)]
-mod review_scratch {
-    use super::*;
-    use super::tests::name as _n;
-    use crate::cache::controller::CacheController;
-    use crate::cache::purge::PurgePolicy;
-    use redoop_dfs::Cluster;
-    use redoop_mapred::io::encode_framed_grouped_block;
-    use redoop_mapred::Grouped;
 
     #[test]
-    fn double_corruption_between_heartbeats_can_evade_audit() {
+    fn evicted_entries_reconcile_like_lost_ones() {
+        use crate::cache::controller::Ready;
+        use crate::cache::policy::LruPolicy;
+
         let cluster = Cluster::with_nodes(2);
-        let mut reg = LocalCacheRegistry::new(NodeId(1), PurgePolicy::default());
         let mut ctl = CacheController::new(1);
-        let mut groups: Grouped<String, u64> = Grouped::default();
-        for g in 0..40u64 {
-            groups.values.push(g);
-            groups.runs.push((format!("k{g:03}"), g as u32, 1));
-        }
-        let blob = encode_framed_grouped_block(&groups, 7, 0);
-        let store = tests::name(7).store_name();
-        cluster.put_local(NodeId(1), store.clone(), blob.clone().into()).unwrap();
-        reg.add_entry(tests::name(7), 1);
-        ctl.register_cache(tests::name(7), NodeId(1), 1, redoop_mapred::SimTime::ZERO);
-        // Heartbeat 1: blob verified, memoized by (ptr, len).
+        ctl.set_policy(Box::new(LruPolicy));
+        ctl.set_capacity(Some(100));
+        let mut reg = LocalCacheRegistry::new(NodeId(1), PurgePolicy::default());
+
+        // Materialize pane 0 on node 1: controller, registry, local file.
+        cluster.put_local(NodeId(1), name(0).store_name(), Bytes::from_static(b"aaaa")).unwrap();
+        ctl.register_cache(name(0), NodeId(1), 80, SimTime(1));
+        reg.add_entry(name(0), 80);
+
+        // A bigger registration evicts it. Driver-side reclamation flags
+        // the registry entry expired; the file stays until the purge scan.
+        cluster.put_local(NodeId(1), name(1).store_name(), Bytes::from_static(b"bbbb")).unwrap();
+        let adm = ctl.register_cache(name(1), NodeId(1), 90, SimTime(2));
+        assert_eq!(adm.evicted, vec![(NodeId(1), name(0))]);
+        reg.add_entry(name(1), 90);
+        reg.mark_expired(&name(0));
+
+        // The next heartbeat is a no-op: the expired entry is excluded
+        // from `held`, the controller no longer lists the holder, so the
+        // eviction neither resurrects nor reads as a second loss.
         let hb = reg.heartbeat(&cluster);
-        assert!(hb.damaged.is_empty());
-        // Two corruption events before the next heartbeat.
-        assert!(cluster.corrupt_local(NodeId(1), &store, blob.len() - 8, 8).unwrap());
-        assert!(cluster.corrupt_local(NodeId(1), &store, blob.len() - 8, 4).unwrap());
-        let now = cluster.peek_local(NodeId(1), &store).unwrap();
-        assert_ne!(&now[..], &blob[..], "blob content is damaged");
-        let hb = reg.heartbeat(&cluster);
-        println!("damaged reported: {:?}, held: {:?}", hb.damaged.len(), hb.held.len());
-        assert_eq!(hb.damaged.len(), 1, "audit must detect the damaged blob");
-        let _ = ctl;
+        assert_eq!(hb.held, vec![name(1)]);
+        let invalidated = ctl.apply_heartbeat(&hb);
+        assert!(invalidated.is_empty(), "eviction already reconciled: {invalidated:?}");
+        assert_eq!(ctl.signature(&name(0)).unwrap().ready, Ready::HdfsAvailable);
+        assert_eq!(ctl.location(&name(1)), Some(NodeId(1)));
+
+        // §5 node death after the eviction: the rollback sweeps only the
+        // live resident — the evicted cache cannot be double-freed.
+        let dead =
+            RegistryHeartbeat { node: NodeId(1), alive: false, held: Vec::new(), damaged: Vec::new() };
+        let lost = ctl.apply_heartbeat(&dead);
+        assert_eq!(lost, vec![name(1)]);
+        assert_eq!(ctl.bytes_on(NodeId(1)), 0);
     }
 }

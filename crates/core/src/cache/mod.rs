@@ -1,11 +1,11 @@
 //! Window-aware caching (paper §4): cache identities, the per-node Local
 //! Cache Registry, the master-side Window-Aware Cache Controller, the
-//! per-query cache status matrix, purge policies, and the cross-query
-//! signature directory ([`share`]).
+//! per-query cache status matrix, lifecycle/purge policies ([`policy`]),
+//! and the cross-query signature directory ([`share`]).
 
 pub mod controller;
 pub mod heartbeat;
-pub mod purge;
+pub mod policy;
 pub mod registry;
 pub mod share;
 pub mod status_matrix;

@@ -12,7 +12,7 @@ use redoop_dfs::{Cluster, NodeId};
 use redoop_mapred::hasher::FastMap;
 use redoop_mapred::trace::{self, CacheAction, TraceEvent, TraceSink};
 
-use super::purge::PurgePolicy;
+use super::policy::PurgePolicy;
 use super::{CacheKind, CacheName};
 use crate::error::Result;
 
@@ -121,10 +121,14 @@ impl LocalCacheRegistry {
         }
         self.live_bytes += bytes;
         self.version += 1;
+        self.debug_check_counters();
     }
 
     /// Handles a purge notification from the window-aware cache
-    /// controller: flips the matching entry's expiration flag.
+    /// controller — or an eviction decision from the capacity policy,
+    /// which reclaims bytes through exactly the same path: flips the
+    /// matching entry's expiration flag so the next purge scan deletes
+    /// the file.
     pub fn mark_expired(&mut self, name: &CacheName) {
         if let Some(e) = self.entries.get_mut(name) {
             if !e.expired {
@@ -134,7 +138,32 @@ impl LocalCacheRegistry {
                 self.version += 1;
             }
         }
+        self.debug_check_counters();
     }
+
+    /// Debug-mode invariant (capacity enforcement reads `live_bytes`;
+    /// silent drift here would corrupt every admission decision): the
+    /// incremental counter must equal the sum of unexpired entry sizes,
+    /// and the expired working set must mirror the expiration flags.
+    #[cfg(debug_assertions)]
+    fn debug_check_counters(&self) {
+        let live: u64 = self.entries.values().filter(|e| !e.expired).map(|e| e.bytes).sum();
+        debug_assert_eq!(
+            self.live_bytes, live,
+            "live-byte counter drifted from entry table on node {:?}",
+            self.node
+        );
+        let expired: Vec<&CacheName> =
+            self.entries.values().filter(|e| e.expired).map(|e| &e.name).collect();
+        debug_assert!(
+            self.expired.iter().eq(expired.into_iter()),
+            "expired working set drifted from entry table on node {:?}",
+            self.node
+        );
+    }
+
+    #[cfg(not(debug_assertions))]
+    fn debug_check_counters(&self) {}
 
     /// Entry lookup.
     pub fn get(&self, name: &CacheName) -> Option<&RegistryEntry> {
@@ -158,6 +187,7 @@ impl LocalCacheRegistry {
                 }
                 self.verified_blobs.remove(name);
                 self.version += 1;
+                self.debug_check_counters();
                 true
             }
             None => false,
@@ -188,6 +218,7 @@ impl LocalCacheRegistry {
         self.verified_blobs.clear();
         self.live_bytes = 0;
         self.version += 1;
+        self.debug_check_counters();
         names
     }
 
@@ -212,6 +243,7 @@ impl LocalCacheRegistry {
                 bytes: entry.map_or(0, |e| e.bytes),
             });
         }
+        self.debug_check_counters();
         Ok(expired)
     }
 
@@ -365,6 +397,37 @@ mod tests {
                 model.iter().filter(|(_, v)| !v.1).map(|(k, _)| *k).collect();
             assert_eq!(reg.names(), names);
         }
+    }
+
+    #[test]
+    fn live_bytes_equal_materialized_sum_under_eviction_churn() {
+        // Capacity enforcement reads `live_bytes`; this pins the counter
+        // to a brute-force sum over the entry table across the eviction
+        // lifecycle (expire-flag reclaim, then re-admission of the same
+        // name). The debug-mode assertion additionally re-checks the
+        // invariant inside every mutation below.
+        let mut reg = LocalCacheRegistry::new(NodeId(0), PurgePolicy::default());
+        let sum_of = |reg: &LocalCacheRegistry| -> u64 {
+            reg.names().iter().map(|n| reg.get(n).unwrap().bytes).sum()
+        };
+        reg.add_entry(name(0), 100);
+        reg.add_entry(name(1), 200);
+        assert_eq!(reg.live_bytes(), 300);
+        // Eviction reclaims through the expiry flag (same path as a
+        // purge notification); the bytes leave the live counter at once
+        // even though the file survives until the next purge scan.
+        reg.mark_expired(&name(0));
+        assert_eq!(reg.live_bytes(), 200);
+        assert_eq!(reg.live_bytes(), sum_of(&reg));
+        // A rebuilt cache re-admits over its evicted entry.
+        reg.add_entry(name(0), 150);
+        assert_eq!(reg.live_bytes(), 350);
+        assert_eq!(reg.live_bytes(), sum_of(&reg));
+        // Double-expire is idempotent.
+        reg.mark_expired(&name(1));
+        reg.mark_expired(&name(1));
+        assert_eq!(reg.live_bytes(), 150);
+        assert_eq!(reg.live_bytes(), sum_of(&reg));
     }
 
     #[test]

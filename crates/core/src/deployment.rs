@@ -24,6 +24,7 @@
 //! of the queries' window specs and registration order, so a deployment
 //! run is reproducible batch-for-batch.
 
+use crate::cache::policy::CacheBudget;
 use crate::error::Result;
 use crate::executor::{RecurringExecutor, WindowReport};
 use crate::query::WindowSpec;
@@ -59,6 +60,10 @@ pub trait DeployedQuery {
         -> Result<()>;
     /// Runs recurrence `rec` and reports it.
     fn run_window(&mut self, rec: u64) -> Result<WindowReport>;
+    /// Selects the query's cache lifecycle policy and per-node capacity
+    /// budget. Defaults to a no-op so wrappers without a cache layer
+    /// (e.g. recomputation baselines) satisfy the trait unchanged.
+    fn set_cache_policy(&mut self, _budget: CacheBudget) {}
 }
 
 /// A mutable borrow drives the query in place — deployments can borrow
@@ -80,6 +85,10 @@ impl<Q: DeployedQuery + ?Sized> DeployedQuery for &mut Q {
 
     fn run_window(&mut self, rec: u64) -> Result<WindowReport> {
         (**self).run_window(rec)
+    }
+
+    fn set_cache_policy(&mut self, budget: CacheBudget) {
+        (**self).set_cache_policy(budget)
     }
 }
 
@@ -103,6 +112,10 @@ where
 
     fn run_window(&mut self, rec: u64) -> Result<WindowReport> {
         RecurringExecutor::run_window(self, rec)
+    }
+
+    fn set_cache_policy(&mut self, budget: CacheBudget) {
+        RecurringExecutor::set_cache_policy(self, budget)
     }
 }
 
@@ -319,6 +332,17 @@ impl<'a> RecurringDeployment<'a> {
         Ok(fired)
     }
 
+    /// Applies one cache lifecycle policy + per-node capacity budget to
+    /// every deployed query (call after the last
+    /// [`RecurringDeployment::add_query`]). Each query's controller gets
+    /// its own policy instance built from the shared budget, so eviction
+    /// state never leaks across queries.
+    pub fn set_cache_policy(&mut self, budget: CacheBudget) {
+        for q in &mut self.queries {
+            q.query.set_cache_policy(budget);
+        }
+    }
+
     /// Reports of one query's completed recurrences, in firing order.
     pub fn reports(&self, query: usize) -> &[WindowReport] {
         &self.queries[query].reports
@@ -496,6 +520,156 @@ mod tests {
                 if m.contains("unregistered deployment source 7")),
             "unexpected error: {err}"
         );
+    }
+
+    #[test]
+    fn sharing_under_eviction_matches_uncapped_and_rebuilds_once() {
+        use crate::cache::policy::{CacheBudget, CachePolicyKind};
+        use redoop_mapred::trace::{CacheAction, TraceEvent, TraceSink};
+
+        // Overlap 0.75 (pane 100ms, window 400ms) and a 2-query fleet
+        // over one shared source: the first query to fire builds and
+        // publishes each (pane, partition) product, the second imports
+        // it, and window expiry is deferred until the last consumer
+        // votes done.
+        let spec = WindowSpec::new(400, 100).unwrap();
+        let windows = 6u64;
+        let data: Vec<ArrivalBatch> = (0..windows + 3)
+            .map(|p| {
+                let lo = p * 100;
+                ArrivalBatch::new(
+                    (lo..lo + 100)
+                        .step_by(4)
+                        .map(|t| format!("{t},k{}", t % 5))
+                        .collect(),
+                    TimeRange::new(EventTime(lo), EventTime(lo + 100)),
+                )
+            })
+            .collect();
+
+        let run = |budget: Option<CacheBudget>| -> (Vec<Vec<u8>>, TraceSink) {
+            let cluster = Cluster::with_nodes(4);
+            let sim = ClusterSim::paper_testbed(4, CostModel::default());
+            let shared = crate::shared::SharedSource::new(
+                &cluster,
+                0,
+                "evict-share",
+                DfsPath::new("/panes/evict-share").unwrap(),
+                &[spec],
+                leading_ts_fn(),
+            )
+            .unwrap();
+            let sink = TraceSink::enabled();
+            let mut execs: Vec<_> = (0..2)
+                .map(|i| {
+                    let conf = QueryConf::new(
+                        format!("ev-q{i}"),
+                        2,
+                        DfsPath::new(format!("/out/ev-q{i}")).unwrap(),
+                    )
+                    .unwrap();
+                    let adaptive = AdaptiveController::disabled(
+                        SemanticAnalyzer::new(1024),
+                        PartitionPlan::simple(100),
+                    );
+                    let mut e = crate::executor::RecurringExecutor::aggregation_shared(
+                        &cluster,
+                        sim.clone(),
+                        conf,
+                        &shared,
+                        spec,
+                        mapper(),
+                        reducer(),
+                        Arc::new(SumMerger),
+                        adaptive,
+                    )
+                    .unwrap();
+                    e.set_trace_sink(sink.clone());
+                    e
+                })
+                .collect();
+            let mut dep = RecurringDeployment::new(sim);
+            let src = dep.add_shared_source(shared, data.clone());
+            for e in execs.iter_mut() {
+                dep.add_query(e, &[src], windows).unwrap();
+            }
+            if let Some(b) = budget {
+                dep.set_cache_policy(b);
+            }
+            let fired = dep.run().unwrap();
+            let mut outs = Vec::new();
+            for f in &fired {
+                for p in &f.report.outputs {
+                    outs.push(cluster.read(p).unwrap().to_vec());
+                }
+            }
+            (outs, sink)
+        };
+
+        let (oracle, free_sink) = run(None);
+        assert!(
+            !free_sink.events().is_empty(),
+            "uncapped run must journal (sanity for the comparisons below)"
+        );
+
+        // Budget sized from the uncapped run: twice the largest single
+        // cache, so every cache fits but nodes hold only a couple —
+        // evictions are forced while nothing is refused outright.
+        let max_cache = free_sink
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Cache { action: CacheAction::Register, bytes, .. } => Some(*bytes),
+                _ => None,
+            })
+            .max()
+            .expect("uncapped run registers caches");
+        let (capped, sink) =
+            run(Some(CacheBudget::bounded(CachePolicyKind::Lru, max_cache * 2)));
+
+        // Eviction changes *when* work happens, never *what* is computed:
+        // the fleet's window outputs are bit-identical to uncapped.
+        assert_eq!(capped, oracle, "outputs must not depend on the cache budget");
+
+        // Per-cache event history, in journal order.
+        let mut history: std::collections::BTreeMap<String, Vec<CacheAction>> =
+            std::collections::BTreeMap::new();
+        for e in sink.events() {
+            if let TraceEvent::Cache { action, name, .. } = e {
+                history.entry(name).or_default().push(action);
+            }
+        }
+        let evicted: Vec<_> =
+            history.iter().filter(|(_, h)| h.contains(&CacheAction::Evict)).collect();
+        assert!(!evicted.is_empty(), "the tight budget must actually evict");
+        assert!(
+            history.values().flatten().any(|a| *a == CacheAction::ExpireDeferred),
+            "the shared fleet must exercise deferred expiry"
+        );
+        assert!(
+            history.values().flatten().any(|a| *a == CacheAction::SharedHit),
+            "sharing must survive the capacity pressure"
+        );
+        // An evicted cache that is still wanted re-registers exactly once
+        // per eviction (the lost-cache miss path), not in a thrash loop:
+        // between consecutive evictions there is exactly one Register.
+        let sane_rebuilds = evicted.iter().any(|(_, h)| {
+            let mut evicts = 0usize;
+            let mut rebuilds = 0usize;
+            let mut seen_evict = false;
+            for a in h.iter() {
+                match a {
+                    CacheAction::Evict => {
+                        evicts += 1;
+                        seen_evict = true;
+                    }
+                    CacheAction::Register if seen_evict => rebuilds += 1,
+                    _ => {}
+                }
+            }
+            rebuilds == evicts || rebuilds == evicts - 1
+        });
+        assert!(sane_rebuilds, "an evicted cache must rebuild once per eviction, not thrash");
     }
 
     #[test]

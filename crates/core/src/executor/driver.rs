@@ -40,6 +40,7 @@ use redoop_mapred::{
 };
 
 use crate::adaptive::ExecMode;
+use crate::cache::controller::PurgeNotification;
 use crate::cache::{CacheName, CacheObject};
 use crate::error::{RedoopError, Result};
 use crate::pane::PaneId;
@@ -278,6 +279,9 @@ where
                 bytes,
             });
             if hit {
+                // Recency feedback for the eviction policy (no trace
+                // event, so journals are unchanged by the stamp).
+                self.controller.touch(&hit_name, ctx.fire);
                 self.window_reused += 1;
                 self.win_stats.cache_hits += 1;
                 continue;
@@ -748,13 +752,20 @@ where
                 dir.lock().remove(name);
                 continue;
             }
-            self.controller.adopt_remote(
+            let admission = self.controller.adopt_remote(
                 *name,
                 entry.node,
                 entry.bytes,
                 entry.rebuild_bytes,
                 entry.available_at,
             );
+            if !admission.admitted {
+                // Over-budget adoption: fall back to a plain miss. The
+                // remote file and its advertisement stay put — a query
+                // with headroom can still adopt it.
+                self.win_stats.admit_rejects += 1;
+                continue;
+            }
             self.registries[entry.node.index()].add_entry(*name, entry.bytes);
             // The importer never builds this pane itself, but its expiry
             // sweep visits only built panes the status matrix cleared —
@@ -800,7 +811,21 @@ where
         // partition): losing a small aggregate cache still forces a full
         // pane re-read/re-map/re-shuffle.
         let rebuild = self.rebuild_bytes_of(&name);
-        self.controller.register_cache_with_rebuild(name, node, bytes, rebuild, at);
+        // Admission sees the window-lifespan use estimate; cost-based
+        // policies weigh rebuild cost by it.
+        self.controller.note_remaining_uses(name, self.remaining_uses_of(&name));
+        let admission = self.controller.register_cache_with_rebuild(name, node, bytes, rebuild, at);
+        self.apply_evictions(&admission.evicted);
+        if !admission.admitted {
+            // The build already wrote the file and same-window merges may
+            // still read it, so hand it to the node's registry already
+            // flagged expired — the next purge scan reclaims it exactly
+            // like any other retired cache.
+            self.win_stats.admit_rejects += 1;
+            self.registries[node.index()].add_entry(name, bytes);
+            self.registries[node.index()].mark_expired(&name);
+            return;
+        }
         self.registries[node.index()].add_entry(name, bytes);
         if name.fp != 0 && self.options.cross_query_sharing {
             if let Some(share) = &self.share {
@@ -815,6 +840,50 @@ where
                 );
             }
         }
+    }
+
+    /// Applies a policy eviction plan: each victim's registry row is
+    /// flagged expired — the node's next purge scan deletes the file, so
+    /// eviction and lifespan expiry share one reclamation path — and any
+    /// cross-query advertisement is withdrawn. Peers that already
+    /// adopted the victim reconcile through their heartbeat audits once
+    /// the file is gone, the same §5 path a lost cache takes.
+    fn apply_evictions(&mut self, evicted: &[(NodeId, CacheName)]) {
+        if evicted.is_empty() {
+            return;
+        }
+        let dir = self.share.as_ref().map(|s| s.dir.clone());
+        for (vnode, vname) in evicted {
+            self.win_stats.evictions += 1;
+            self.registries[vnode.index()].mark_expired(vname);
+            if vname.fp != 0 {
+                if let Some(dir) = &dir {
+                    dir.lock().remove(vname);
+                }
+            }
+        }
+    }
+
+    /// Window-lifespan estimate of a cache's future uses: how many
+    /// upcoming recurrences' windows still contain the underlying
+    /// pane(s) (paper §4.1). This is the remaining-use factor of the
+    /// cost-based eviction score — a Belady-style proxy the window
+    /// geometry makes exact for pane lifetimes.
+    fn remaining_uses_of(&self, name: &CacheName) -> u32 {
+        let geom = self.sources[0].geom;
+        // The recurrence currently executing (or about to): reports are
+        // pushed after each window, so `len()` is the active index both
+        // mid-window and at ingest-time delta seals.
+        let next = self.reports.len() as u64 + 1;
+        let end = match name.object {
+            CacheObject::PaneInput { pane, .. }
+            | CacheObject::PaneOutput { pane, .. }
+            | CacheObject::PaneDelta { pane, .. } => geom.windows_containing(pane).end,
+            CacheObject::PairOutput { left, right } => {
+                geom.windows_containing(left).end.min(geom.windows_containing(right).end)
+            }
+        };
+        end.saturating_sub(next).min(u32::MAX as u64) as u32
     }
 
     /// Per-partition source bytes behind one cache object.
@@ -909,6 +978,23 @@ where
         }
     }
 
+    /// Retires one cache identity at end-of-lifespan. Every expiry
+    /// trigger — pane sweep, pair sweep, shared-signature deferral —
+    /// funnels through here: consult the cross-query directory first (a
+    /// deferred expiry releases only this query's bookkeeping and keeps
+    /// the file alive), otherwise cast this query's done-vote, drop the
+    /// master-side signature, and return the purge notification for the
+    /// holding node, if any. One lifecycle path, three triggers.
+    fn retire_cache(&mut self, name: CacheName) -> Result<Option<PurgeNotification>> {
+        if self.defer_shared_expiry(&name) {
+            return Ok(None);
+        }
+        let notification = self.controller.mark_query_done(name, 0)?;
+        self.controller.forget(&name);
+        self.interned.remove(&name);
+        Ok(notification)
+    }
+
     /// Expiration + purging after recurrence `rec` (paper §4.1/§4.2):
     /// panes and pairs that left the window and exhausted their lifespans
     /// get their `doneQueryMask` bits set, purge notifications flow to
@@ -935,14 +1021,9 @@ where
             // full-table scan per expired pane.
             let names = self.controller.names_for_pane(source, p);
             for name in names {
-                if self.defer_shared_expiry(&name) {
-                    continue;
-                }
-                if let Some(n) = self.controller.mark_query_done(name, 0)? {
+                if let Some(n) = self.retire_cache(name)? {
                     notifications.push(n);
                 }
-                self.controller.forget(&name);
-                self.interned.remove(&name);
             }
             self.trace.emit(|| TraceEvent::PaneExpire {
                 at: self.trace.now(),
@@ -969,11 +1050,9 @@ where
                     // are always un-fingerprinted.
                     let name = super::plan::pair_name(0, PaneId(p), PaneId(q), r);
                     if self.controller.signature(&name).is_some() {
-                        if let Some(n) = self.controller.mark_query_done(name, 0)? {
+                        if let Some(n) = self.retire_cache(name)? {
                             notifications.push(n);
                         }
-                        self.controller.forget(&name);
-                        self.interned.remove(&name);
                     }
                 }
                 self.built_pairs.remove(&(p, q));

@@ -61,7 +61,7 @@ use redoop_mapred::{
 use crate::adaptive::{AdaptiveController, ExecMode};
 use crate::api::{Merger, QueryConf, SourceConf};
 use crate::cache::controller::CacheController;
-use crate::cache::purge::PurgePolicy;
+use crate::cache::policy::{CacheBudget, PurgePolicy};
 use crate::cache::registry::LocalCacheRegistry;
 use crate::cache::status_matrix::CacheStatusMatrix;
 use crate::cache::{CacheName, CacheObject};
@@ -486,6 +486,18 @@ where
         self.options = options;
     }
 
+    /// Selects the cache lifecycle policy and per-node capacity budget
+    /// (paper §4 caching, this implementation's policy layer). With the
+    /// default budget — baseline window-lifespan policy, unbounded
+    /// capacity — execution is bit-identical to an executor that never
+    /// called this. A bounded budget makes the controller consult the
+    /// policy on every registration/adoption and journal `evict` /
+    /// `admit_reject` decisions.
+    pub fn set_cache_policy(&mut self, budget: CacheBudget) {
+        self.controller.set_policy(budget.policy.build(self.sim.cost()));
+        self.controller.set_capacity(budget.per_node_bytes);
+    }
+
     /// The operator fingerprint this executor's cache names carry: the
     /// shared fingerprint when attached to a shared source with sharing
     /// on, a private per-query fingerprint when sharing is off, and 0
@@ -536,6 +548,32 @@ where
     /// The cache controller (inspection in tests/benches).
     pub fn controller(&self) -> &CacheController {
         &self.controller
+    }
+
+    /// Debug-build invariant: on every **alive** node, the controller's
+    /// per-node byte index equals that node registry's live-byte
+    /// counter — registration, adoption, eviction, rejection, expiry,
+    /// and heartbeat rollback must all move the two ledgers in step.
+    /// Dead nodes are excluded (their registries intentionally keep
+    /// stale rows until a heartbeat can run again), as is the
+    /// caching-off ablation (it invalidates controller entries without
+    /// visiting registries).
+    #[cfg(debug_assertions)]
+    fn debug_check_cache_accounting(&self) {
+        if !self.options.caching {
+            return;
+        }
+        for reg in &self.registries {
+            if !self.cluster.is_alive(reg.node()) {
+                continue;
+            }
+            debug_assert_eq!(
+                self.controller.bytes_on(reg.node()),
+                reg.live_bytes(),
+                "cache byte ledgers diverged on node {:?}",
+                reg.node()
+            );
+        }
     }
 
     /// The query's window constraints (identical across all sources —
@@ -705,6 +743,8 @@ where
         self.trace.set_now(metrics.finished_at);
         self.expire_and_purge(rec)?;
         self.mapped.clear();
+        #[cfg(debug_assertions)]
+        self.debug_check_cache_accounting();
 
         let response = metrics.finished_at.saturating_sub(fire);
         let input_bytes = metrics.counters.get(cnames::HDFS_BYTES_READ);

@@ -94,6 +94,14 @@
 //!     TimeRange::new(EventTime(0), EventTime(40)),
 //! )]);
 //! let q = deployment.add_query(exec, &[clicks], 1).unwrap();
+//!
+//! // Optional: cap each node's cache footprint and pick the eviction
+//! // policy that arbitrates the budget (`WindowLifespan` is the paper
+//! // baseline; `Lru` and `CostBased` actively evict). The default —
+//! // unbounded capacity, baseline policy — is bit-identical to never
+//! // calling this.
+//! deployment.set_cache_policy(CacheBudget::bounded(CachePolicyKind::CostBased, 64 << 20));
+//!
 //! let fired = deployment.run().unwrap();
 //! assert_eq!(fired.len(), 1);
 //! assert!(deployment.reports(q)[0].response > redoop_mapred::SimTime::ZERO);
@@ -116,6 +124,7 @@ pub mod shared;
 pub mod time;
 
 pub use adaptive::{AdaptiveController, AdaptiveDecision, ExecMode};
+pub use cache::policy::{CacheBudget, CachePolicy, CachePolicyKind};
 pub use analyzer::{PartitionPlan, SemanticAnalyzer, SourceStats};
 pub use api::{leading_ts_fn, ClosureMerger, MaxMerger, Merger, QueryConf, SourceConf, SumMerger};
 pub use baseline::{run_baseline_window, BatchFile, WindowFilterMapper};
@@ -137,6 +146,7 @@ pub mod prelude {
         leading_ts_fn, ClosureMerger, MaxMerger, Merger, QueryConf, SourceConf, SumMerger,
     };
     pub use crate::baseline::{run_baseline_window, BatchFile};
+    pub use crate::cache::policy::{CacheBudget, CachePolicyKind};
     pub use crate::deployment::{ArrivalBatch, FiredWindow, RecurringDeployment};
     pub use crate::executor::{
         read_window_output, ExecutorOptions, RecurringExecutor, WindowReport,

@@ -293,6 +293,29 @@ mod tests {
     }
 
     #[test]
+    fn eviction_revokes_the_holder_affinity_credit() {
+        use crate::cache::policy::LruPolicy;
+        let mut ctl = CacheController::new(1);
+        ctl.set_policy(Box::new(LruPolicy));
+        ctl.set_capacity(Some(1_000_000));
+        ctl.register_cache(name(0), NodeId(1), 800_000, SimTime::ZERO);
+        let cost = CostModel::default();
+        assert!(
+            cache_affinity(&ctl, &[name(0)], NodeId(1), &cost)
+                < cache_affinity(&ctl, &[name(0)], NodeId(0), &cost),
+            "the holder earns the Eq. 4 credit while the cache is resident"
+        );
+        // A bigger registration on the same node evicts pane 0.
+        let adm = ctl.register_cache(name(1), NodeId(1), 900_000, SimTime(1));
+        assert_eq!(adm.evicted, vec![(NodeId(1), name(0))]);
+        // Eq. 4 stops crediting the old holder: every node now pays the
+        // same rebuild cost for the evicted cache.
+        let on_old_holder = cache_affinity(&ctl, &[name(0)], NodeId(1), &cost);
+        assert_eq!(on_old_holder, cache_affinity(&ctl, &[name(0)], NodeId(0), &cost));
+        assert!(on_old_holder >= rebuild_cost(800_000, &cost));
+    }
+
+    #[test]
     fn affinity_weighs_delta_state_like_pane_caches() {
         // Incremental pane maintenance registers sealed `rd/…` delta
         // caches through the same controller, so Eq. 4's affinity term

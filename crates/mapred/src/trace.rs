@@ -77,6 +77,16 @@ pub enum CacheAction {
     /// A salvaged (partially damaged) cache was rebuilt at the cost of
     /// only its missing frame suffix instead of a full rebuild.
     PartialRebuild,
+    /// Cache evicted by the capacity policy to make room on its node
+    /// (controller ready 2 → 1; the file is reclaimed at the next purge
+    /// scan). Distinct from `Invalidate`: nothing was lost, the policy
+    /// chose to give the bytes back.
+    Evict,
+    /// The capacity policy refused to admit a freshly built cache (it
+    /// would not fit within the node budget, or no resident was worth
+    /// displacing for it). The window still consumes the bytes once;
+    /// they are reclaimed at the next purge scan.
+    AdmitReject,
 }
 
 impl CacheAction {
@@ -92,6 +102,8 @@ impl CacheAction {
             CacheAction::SharedHit => "shared_hit",
             CacheAction::ExpireDeferred => "expire_deferred",
             CacheAction::PartialRebuild => "partial_rebuild",
+            CacheAction::Evict => "evict",
+            CacheAction::AdmitReject => "admit_reject",
         }
     }
 }
@@ -563,6 +575,11 @@ pub struct WindowTraceStats {
     /// count as `cache_hits` when the plan probes them, so
     /// `shared_hits` isolates the cross-query contribution.
     pub shared_hits: u64,
+    /// Caches evicted by the capacity policy this window.
+    pub evictions: u64,
+    /// Freshly built caches the capacity policy refused to admit this
+    /// window.
+    pub admit_rejects: u64,
 }
 
 impl WindowTraceStats {
@@ -743,6 +760,7 @@ mod tests {
             placements_cache_local: 2,
             rollbacks: 0,
             shared_hits: 1,
+            ..Default::default()
         };
         assert_eq!(s.cache_hit_ratio(), 0.75);
         assert_eq!(s.locality_ratio(), 0.5);
